@@ -1,0 +1,20 @@
+//! The competitor methods DOCS is evaluated against (Section 6).
+//!
+//! Truth inference ([`ti`]):
+//!
+//! | Method | Worker model | Source |
+//! |--------|--------------|--------|
+//! | [`ti::MajorityVote`] | none (workers equal) | — |
+//! | [`ti::ZenCrowd`]     | scalar reliability, EM | \[16\] |
+//! | [`ti::DawidSkene`]   | confusion matrix, EM | \[15\] |
+//! | [`ti::ICrowd`]       | per-domain accuracy + weighted majority vote | \[18\] |
+//! | [`ti::FaitCrowd`]    | per-latent-topic quality vector, EM | \[30\] |
+//!
+//! Online task assignment ([`ota`]): `Baseline` (random + MV), `AskIt!`
+//! (uncertainty + MV), `IC` (domain match + equal counts + weighted MV),
+//! `QASCA` (expected accuracy gain + DS), `D-Max` (domain match + DOCS TI),
+//! and the full `DOCS` strategy (benefit function + DOCS TI) — each paired
+//! with the inference procedure the original paper used, as in Section 6.4.
+
+pub mod ota;
+pub mod ti;

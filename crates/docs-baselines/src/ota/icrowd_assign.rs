@@ -1,0 +1,190 @@
+//! iCrowd [18] assignment: highest worker accuracy on the task's domain,
+//! under an equal-answer-count constraint; weighted-majority-vote inference.
+
+use super::unanswered;
+use crate::ti::{ICrowd, TruthMethod};
+use docs_crowd::AssignmentStrategy;
+use docs_types::{Answer, AnswerLog, ChoiceIndex, Task, TaskId, WorkerId};
+use std::collections::HashMap;
+
+/// iCrowd assigns the `k` tasks the worker is *best at* (highest estimated
+/// accuracy for the task's domain) while requiring every task to end up
+/// with the same number of answers — so candidates are drawn from the tasks
+/// with the currently fewest answers. The paper's criticisms: it may keep
+/// assigning tasks whose truth is already confident, and the equal-count
+/// constraint wastes budget of easy tasks that hard tasks could use.
+#[derive(Debug)]
+pub struct ICrowdAssign {
+    tasks: Vec<Task>,
+    log: AnswerLog,
+    /// Per-worker, per-domain accuracy estimates.
+    accuracy: HashMap<WorkerId, Vec<f64>>,
+    /// Re-estimate accuracies every this many feedbacks.
+    refresh_every: usize,
+    feedbacks: usize,
+    num_domains: usize,
+    prior: f64,
+}
+
+impl ICrowdAssign {
+    /// Creates the strategy; `num_domains` bounds the hard task domains.
+    pub fn new(tasks: Vec<Task>, num_domains: usize) -> Self {
+        let log = AnswerLog::new(tasks.len());
+        ICrowdAssign {
+            tasks,
+            log,
+            accuracy: HashMap::new(),
+            refresh_every: 100,
+            feedbacks: 0,
+            num_domains,
+            prior: 0.7,
+        }
+    }
+
+    fn domain_of(&self, t: &Task) -> usize {
+        t.true_domain.expect("iCrowd tasks carry domains")
+    }
+
+    /// Re-estimates per-domain accuracies from the current weighted-MV
+    /// truths (the original's iterative estimation, run in batch).
+    fn refresh_accuracy(&mut self) {
+        let truths = ICrowd::default().infer(&self.tasks, &self.log);
+        let mut correct: HashMap<WorkerId, Vec<f64>> = HashMap::new();
+        let mut total: HashMap<WorkerId, Vec<f64>> = HashMap::new();
+        for (task, &truth) in self.tasks.iter().zip(&truths) {
+            let k = self.domain_of(task);
+            for &(w, v) in self.log.task_answers(task.id) {
+                let c = correct
+                    .entry(w)
+                    .or_insert_with(|| vec![self.prior; self.num_domains]);
+                let t = total
+                    .entry(w)
+                    .or_insert_with(|| vec![1.0; self.num_domains]);
+                t[k] += 1.0;
+                if v == truth {
+                    c[k] += 1.0;
+                }
+            }
+        }
+        for (w, c) in correct {
+            let t = &total[&w];
+            let acc: Vec<f64> = c.iter().zip(t).map(|(&ci, &ti)| ci / ti).collect();
+            self.accuracy.insert(w, acc);
+        }
+    }
+
+    fn worker_accuracy(&self, w: WorkerId, domain: usize) -> f64 {
+        self.accuracy
+            .get(&w)
+            .map(|a| a[domain])
+            .unwrap_or(self.prior)
+    }
+}
+
+impl AssignmentStrategy for ICrowdAssign {
+    fn name(&self) -> &'static str {
+        "IC"
+    }
+
+    fn init_worker(&mut self, worker: WorkerId, golden: &[(TaskId, ChoiceIndex)]) {
+        // Per-domain accuracy from golden answers, smoothed toward prior.
+        let mut correct = vec![self.prior; self.num_domains];
+        let mut total = vec![1.0; self.num_domains];
+        for &(tid, choice) in golden {
+            let task = &self.tasks[tid.index()];
+            let k = self.domain_of(task);
+            total[k] += 1.0;
+            if Some(choice) == task.ground_truth {
+                correct[k] += 1.0;
+            }
+        }
+        let acc = correct.iter().zip(&total).map(|(&c, &t)| c / t).collect();
+        self.accuracy.insert(worker, acc);
+    }
+
+    fn assign(&mut self, worker: WorkerId, k: usize) -> Vec<TaskId> {
+        // Equal-count constraint: only tasks with the minimum answer count
+        // among this worker's unanswered tasks are candidates; if fewer than
+        // k, extend to the next count level, and so on.
+        let mut by_count: Vec<(usize, f64, TaskId)> = unanswered(&self.tasks, &self.log, worker)
+            .map(|t| {
+                let count = self.log.answer_count(t.id);
+                let acc = self.worker_accuracy(worker, self.domain_of(t));
+                (count, acc, t.id)
+            })
+            .collect();
+        // Sort by count ascending, then accuracy descending, then id.
+        by_count.sort_by(|a, b| {
+            a.0.cmp(&b.0)
+                .then_with(|| b.1.partial_cmp(&a.1).expect("finite"))
+                .then_with(|| a.2.cmp(&b.2))
+        });
+        by_count.into_iter().take(k).map(|(_, _, t)| t).collect()
+    }
+
+    fn feedback(&mut self, answer: Answer) {
+        self.log
+            .record(answer)
+            .expect("platform delivers valid answers");
+        self.feedbacks += 1;
+        if self.feedbacks.is_multiple_of(self.refresh_every) {
+            self.refresh_accuracy();
+        }
+    }
+
+    fn truths(&self) -> Vec<ChoiceIndex> {
+        ICrowd::default().infer(&self.tasks, &self.log)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::{make_tasks, run_alone};
+    use super::*;
+
+    #[test]
+    fn golden_init_prefers_expert_domain() {
+        // Tasks: even ids domain 0, odd ids domain 1; golden: task 0 (d0)
+        // answered right, task 1 (d1) answered wrong.
+        let tasks = make_tasks(10, 2);
+        let mut s = ICrowdAssign::new(tasks.clone(), 2);
+        let golden = [
+            (TaskId(0), tasks[0].ground_truth.unwrap()),
+            (TaskId(1), 1 - tasks[1].ground_truth.unwrap()),
+        ];
+        s.init_worker(WorkerId(0), &golden);
+        let picks = s.assign(WorkerId(0), 4);
+        // All counts equal (0), so the tie-break is accuracy: the first
+        // picks should be domain-0 (even) tasks.
+        for t in &picks {
+            assert_eq!(t.index() % 2, 0, "expected domain-0 tasks, got {picks:?}");
+        }
+    }
+
+    #[test]
+    fn equal_count_constraint_balances_answers() {
+        let tasks = make_tasks(6, 2);
+        let mut s = ICrowdAssign::new(tasks, 2);
+        // Worker 1 answers tasks 0-2; worker 2's assignment must favor the
+        // unanswered 3-5 regardless of expertise.
+        for t in 0..3u32 {
+            s.feedback(Answer {
+                task: TaskId(t),
+                worker: WorkerId(1),
+                choice: 0,
+            });
+        }
+        let picks = s.assign(WorkerId(2), 3);
+        let mut ids: Vec<u32> = picks.iter().map(|t| t.0).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![3, 4, 5]);
+    }
+
+    #[test]
+    fn end_to_end_beats_chance() {
+        let tasks = make_tasks(30, 2);
+        let mut s = ICrowdAssign::new(tasks.clone(), 2);
+        let acc = run_alone(&mut s, &tasks, 2, 300, 44);
+        assert!(acc > 0.6, "iCrowd accuracy {acc}");
+    }
+}

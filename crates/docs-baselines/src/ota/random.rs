@@ -1,0 +1,93 @@
+//! The random Baseline: random assignment, majority-vote inference.
+
+use super::unanswered;
+use crate::ti::{MajorityVote, TruthMethod};
+use docs_crowd::AssignmentStrategy;
+use docs_types::{Answer, AnswerLog, ChoiceIndex, Task, TaskId, WorkerId};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// "Baseline uses MV to infer truth and randomly selects k tasks to assign
+/// to the coming worker" (Section 6.4).
+#[derive(Debug)]
+pub struct RandomBaseline {
+    tasks: Vec<Task>,
+    log: AnswerLog,
+    rng: SmallRng,
+}
+
+impl RandomBaseline {
+    /// Creates the baseline over the published tasks.
+    pub fn new(tasks: Vec<Task>, seed: u64) -> Self {
+        let log = AnswerLog::new(tasks.len());
+        RandomBaseline {
+            tasks,
+            log,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl AssignmentStrategy for RandomBaseline {
+    fn name(&self) -> &'static str {
+        "Baseline"
+    }
+
+    fn init_worker(&mut self, _worker: WorkerId, _golden: &[(TaskId, ChoiceIndex)]) {
+        // MV has no worker model to initialize.
+    }
+
+    fn assign(&mut self, worker: WorkerId, k: usize) -> Vec<TaskId> {
+        let mut candidates: Vec<TaskId> = unanswered(&self.tasks, &self.log, worker)
+            .map(|t| t.id)
+            .collect();
+        candidates.shuffle(&mut self.rng);
+        candidates.truncate(k);
+        candidates
+    }
+
+    fn feedback(&mut self, answer: Answer) {
+        self.log
+            .record(answer)
+            .expect("platform delivers valid answers");
+    }
+
+    fn truths(&self) -> Vec<ChoiceIndex> {
+        MajorityVote.infer(&self.tasks, &self.log)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::{make_tasks, run_alone};
+    use super::*;
+
+    #[test]
+    fn never_reassigns_answered_tasks() {
+        let tasks = make_tasks(5, 2);
+        let mut s = RandomBaseline::new(tasks, 1);
+        let w = WorkerId(0);
+        let first = s.assign(w, 3);
+        for &t in &first {
+            s.feedback(Answer {
+                task: t,
+                worker: w,
+                choice: 0,
+            });
+        }
+        let second = s.assign(w, 5);
+        for t in &second {
+            assert!(!first.contains(t));
+        }
+        assert_eq!(second.len(), 2);
+    }
+
+    #[test]
+    fn end_to_end_produces_sane_accuracy() {
+        let tasks = make_tasks(30, 2);
+        let mut s = RandomBaseline::new(tasks.clone(), 2);
+        let acc = run_alone(&mut s, &tasks, 2, 300, 42);
+        assert!(acc > 0.6, "random + MV should still beat chance, got {acc}");
+    }
+}

@@ -1,0 +1,246 @@
+//! Dawid & Skene [15]: per-worker confusion matrices estimated with EM.
+
+use super::TruthMethod;
+use docs_types::{prob, AnswerLog, ChoiceIndex, Task, WorkerId};
+use std::collections::HashMap;
+
+/// Per-worker confusion matrices `π_w[j][l] = Pr(answer l | truth j)`.
+pub type ConfusionMatrices = HashMap<WorkerId, Vec<Vec<f64>>>;
+
+/// The classic observer-error-rate model: worker `w` has a confusion matrix
+/// `π_w[j][l] = Pr(answer l | truth j)`. Richer than ZenCrowd's scalar but
+/// still domain-blind: one matrix describes the worker on every topic.
+#[derive(Debug, Clone)]
+pub struct DawidSkene {
+    /// EM iterations.
+    pub iterations: usize,
+    /// Initial diagonal mass (probability of answering correctly) for
+    /// workers without golden statistics.
+    pub prior_diag: f64,
+    /// Golden-task scalar initialization per worker: used as the initial
+    /// diagonal of the confusion matrix.
+    pub init: HashMap<WorkerId, f64>,
+    /// Smoothing pseudo-count in the M-step (avoids zero-probability locks).
+    pub smoothing: f64,
+}
+
+impl Default for DawidSkene {
+    fn default() -> Self {
+        DawidSkene {
+            iterations: 20,
+            prior_diag: 0.7,
+            init: HashMap::new(),
+            smoothing: 0.01,
+        }
+    }
+}
+
+impl DawidSkene {
+    /// Sets the golden-task initialization.
+    pub fn with_init(mut self, init: HashMap<WorkerId, f64>) -> Self {
+        self.init = init;
+        self
+    }
+
+    /// Runs EM; returns truth distributions and confusion matrices (size
+    /// `L × L` with `L = max ℓ`).
+    pub fn run(&self, tasks: &[Task], answers: &AnswerLog) -> (Vec<Vec<f64>>, ConfusionMatrices) {
+        let l_max = tasks.iter().map(|t| t.num_choices()).max().unwrap_or(2);
+
+        let mut confusion: HashMap<WorkerId, Vec<Vec<f64>>> = answers
+            .workers()
+            .map(|w| {
+                let diag = *self.init.get(&w).unwrap_or(&self.prior_diag);
+                let mut mat = vec![vec![0.0; l_max]; l_max];
+                for (j, row) in mat.iter_mut().enumerate() {
+                    for (l, slot) in row.iter_mut().enumerate() {
+                        *slot = if j == l {
+                            diag
+                        } else {
+                            (1.0 - diag) / (l_max as f64 - 1.0).max(1.0)
+                        };
+                    }
+                }
+                (w, mat)
+            })
+            .collect();
+
+        let mut s: Vec<Vec<f64>> = tasks
+            .iter()
+            .map(|t| prob::uniform(t.num_choices()))
+            .collect();
+
+        for _ in 0..self.iterations {
+            // E-step.
+            for (task, si) in tasks.iter().zip(s.iter_mut()) {
+                si.iter_mut().for_each(|x| *x = 1.0);
+                for &(w, v) in answers.task_answers(task.id) {
+                    let mat = &confusion[&w];
+                    for (j, slot) in si.iter_mut().enumerate() {
+                        *slot *= mat[j][v].max(1e-12);
+                    }
+                }
+                prob::normalize_in_place(si);
+            }
+            // M-step.
+            for (w, mat) in confusion.iter_mut() {
+                let mut counts = vec![vec![self.smoothing; l_max]; l_max];
+                for &(t, v) in answers.worker_answers(*w) {
+                    let si = &s[t.index()];
+                    for (j, &sij) in si.iter().enumerate() {
+                        counts[j][v] += sij;
+                    }
+                }
+                for (j, row) in counts.iter().enumerate() {
+                    let total: f64 = row.iter().sum();
+                    if total > 0.0 {
+                        for (l, slot) in mat[j].iter_mut().enumerate() {
+                            *slot = row[l] / total;
+                        }
+                    }
+                }
+            }
+        }
+        (s, confusion)
+    }
+}
+
+impl TruthMethod for DawidSkene {
+    fn name(&self) -> &'static str {
+        "DS"
+    }
+
+    fn infer(&self, tasks: &[Task], answers: &AnswerLog) -> Vec<ChoiceIndex> {
+        let (s, _) = self.run(tasks, answers);
+        s.iter().map(|si| prob::argmax(si)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::{standard_population, world, Lcg};
+    use super::super::{accuracy, MajorityVote, TruthMethod};
+    use super::*;
+    use docs_types::{Answer, TaskBuilder, TaskId};
+
+    #[test]
+    fn beats_or_matches_majority_vote_on_average() {
+        // EM can lose to MV on an unlucky draw; average over seeds like the
+        // paper's aggregated comparison.
+        let mut mv_total = 0.0;
+        let mut ds_total = 0.0;
+        for seed in 0..8u64 {
+            let (tasks, log) = world(60, &standard_population(), 0xD5 + seed);
+            mv_total += accuracy(&MajorityVote.infer(&tasks, &log), &tasks);
+            ds_total += accuracy(&DawidSkene::default().infer(&tasks, &log), &tasks);
+        }
+        assert!(
+            ds_total + 0.08 * 8.0 >= mv_total,
+            "DS mean {} vs MV mean {}",
+            ds_total / 8.0,
+            mv_total / 8.0
+        );
+    }
+
+    #[test]
+    fn learns_systematic_confusion() {
+        // A worker who *always* answers the opposite of the truth is
+        // perfectly informative to DS (anti-correlated), while MV treats
+        // them as noise. Build 3 inverters + 2 honest workers: majority is
+        // wrong everywhere, DS should recover the truth.
+        let n = 40;
+        let mut tasks = Vec::new();
+        for i in 0..n {
+            tasks.push(
+                TaskBuilder::new(i, "t")
+                    .yes_no()
+                    .with_ground_truth(i % 2)
+                    .build()
+                    .unwrap(),
+            );
+        }
+        let mut rng = Lcg(0x77);
+        let mut log = AnswerLog::new(n);
+        for i in 0..n {
+            let truth = i % 2;
+            for w in 0..3usize {
+                log.record(Answer {
+                    task: TaskId::from(i),
+                    worker: docs_types::WorkerId::from(w),
+                    choice: 1 - truth, // inverters
+                })
+                .unwrap();
+            }
+            for w in 3..5usize {
+                let correct = rng.next_f64() < 0.9;
+                log.record(Answer {
+                    task: TaskId::from(i),
+                    worker: docs_types::WorkerId::from(w),
+                    choice: if correct { truth } else { 1 - truth },
+                })
+                .unwrap();
+            }
+        }
+        // Golden init tells DS the inverters are bad and honest are good —
+        // the EM can then flip the inverters' matrices.
+        let mut init = HashMap::new();
+        for w in 0..3usize {
+            init.insert(docs_types::WorkerId::from(w), 0.1);
+        }
+        for w in 3..5usize {
+            init.insert(docs_types::WorkerId::from(w), 0.9);
+        }
+        let ds = DawidSkene::default().with_init(init);
+        let acc = accuracy(&ds.infer(&tasks, &log), &tasks);
+        let mv = accuracy(&MajorityVote.infer(&tasks, &log), &tasks);
+        assert!(acc > 0.9, "DS should exploit inverters, got {acc}");
+        assert!(mv < 0.5, "MV should be fooled, got {mv}");
+    }
+
+    #[test]
+    fn handles_mixed_choice_counts() {
+        // ℓ = 2 and ℓ = 4 tasks in one run.
+        let mut tasks = vec![
+            TaskBuilder::new(0usize, "t")
+                .yes_no()
+                .with_ground_truth(0)
+                .build()
+                .unwrap(),
+            TaskBuilder::new(1usize, "t")
+                .with_choices(["a", "b", "c", "d"])
+                .with_ground_truth(2)
+                .build()
+                .unwrap(),
+        ];
+        tasks[0].true_domain = Some(0);
+        let mut log = AnswerLog::new(2);
+        for w in 0..5usize {
+            log.record(Answer {
+                task: TaskId(0),
+                worker: docs_types::WorkerId::from(w),
+                choice: 0,
+            })
+            .unwrap();
+            log.record(Answer {
+                task: TaskId(1),
+                worker: docs_types::WorkerId::from(w),
+                choice: 2,
+            })
+            .unwrap();
+        }
+        let truths = DawidSkene::default().infer(&tasks, &log);
+        assert_eq!(truths, vec![0, 2]);
+    }
+
+    #[test]
+    fn confusion_matrices_are_row_stochastic() {
+        let (tasks, log) = world(30, &standard_population(), 0x99);
+        let (_, confusion) = DawidSkene::default().run(&tasks, &log);
+        for mat in confusion.values() {
+            for row in mat {
+                let sum: f64 = row.iter().sum();
+                assert!((sum - 1.0).abs() < 1e-9, "row sums to {sum}");
+            }
+        }
+    }
+}

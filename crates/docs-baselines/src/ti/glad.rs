@@ -1,0 +1,229 @@
+//! GLAD [46]: joint worker-ability / task-difficulty model ("Whose vote
+//! should count more", Whitehill et al., NIPS 2009).
+//!
+//! The paper's related work cites [46] as the line that "models the
+//! difficulty in tasks". GLAD parameterizes
+//!
+//! ```text
+//! Pr(v^w_i = v*_i) = σ(α_w · β_i),   σ(x) = 1 / (1 + e^{-x})
+//! ```
+//!
+//! with worker ability `α_w ∈ ℝ` (negative = adversarial) and task easiness
+//! `β_i > 0` (`1/β_i` is the difficulty). Like ZenCrowd and Dawid-Skene it
+//! is *domain-blind* — one scalar describes a worker on every topic — which
+//! is exactly the gap DOCS's quality vectors close; but unlike them it can
+//! discount hard tasks instead of blaming the workers who answered them.
+//!
+//! Inference is EM: the E-step computes truth posteriors from the current
+//! `(α, β)`; the M-step runs a few steps of gradient ascent on the expected
+//! complete-data log-likelihood (multiclass extension: wrong answers
+//! uniform over the `ℓ − 1` distractors, the same Eq. 4 convention DOCS
+//! uses). `β` is optimized through `λ = ln β` to stay positive.
+
+use super::TruthMethod;
+use docs_types::{prob, AnswerLog, ChoiceIndex, Task, WorkerId};
+use std::collections::HashMap;
+
+/// Logistic worker-ability / task-difficulty truth inference.
+#[derive(Debug, Clone)]
+pub struct Glad {
+    /// EM iterations.
+    pub iterations: usize,
+    /// Gradient-ascent steps per M-step.
+    pub gradient_steps: usize,
+    /// Gradient-ascent learning rate.
+    pub learning_rate: f64,
+    /// Initial ability for workers without golden statistics; `1.0`
+    /// corresponds to σ(β) ≈ 0.73 on a unit-easiness task.
+    pub prior_ability: f64,
+    /// Golden-task scalar accuracies (Section 6.3 protocol); mapped to an
+    /// initial ability via the logit at unit easiness.
+    pub init: HashMap<WorkerId, f64>,
+}
+
+impl Default for Glad {
+    fn default() -> Self {
+        Glad {
+            iterations: 30,
+            gradient_steps: 3,
+            learning_rate: 0.1,
+            prior_ability: 1.0,
+            init: HashMap::new(),
+        }
+    }
+}
+
+#[inline]
+fn sigmoid(x: f64) -> f64 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// Clamp probabilities used inside likelihood products away from {0, 1}.
+#[inline]
+fn clamp_p(p: f64) -> f64 {
+    p.clamp(1e-6, 1.0 - 1e-6)
+}
+
+impl Glad {
+    /// Sets the golden-task initialization: a worker with golden accuracy
+    /// `q` starts at ability `logit(q)` (her σ(α·1) equals `q` on a
+    /// unit-easiness task).
+    pub fn with_init(mut self, init: HashMap<WorkerId, f64>) -> Self {
+        self.init = init;
+        self
+    }
+
+    /// Runs EM; returns per-task truth distributions, per-worker abilities
+    /// `α_w`, and per-task easiness values `β_i`.
+    pub fn run(
+        &self,
+        tasks: &[Task],
+        answers: &AnswerLog,
+    ) -> (Vec<Vec<f64>>, HashMap<WorkerId, f64>, Vec<f64>) {
+        let mut alpha: HashMap<WorkerId, f64> = answers
+            .workers()
+            .map(|w| {
+                let a = match self.init.get(&w) {
+                    Some(&q) => {
+                        let q = clamp_p(q);
+                        (q / (1.0 - q)).ln()
+                    }
+                    None => self.prior_ability,
+                };
+                (w, a)
+            })
+            .collect();
+        let mut log_beta = vec![0.0f64; tasks.len()]; // β = 1 everywhere
+        let mut s: Vec<Vec<f64>> = tasks
+            .iter()
+            .map(|t| prob::uniform(t.num_choices()))
+            .collect();
+
+        for _ in 0..self.iterations {
+            // E-step: truth posterior per task under the logistic model.
+            for (i, task) in tasks.iter().enumerate() {
+                let l = task.num_choices();
+                let beta = log_beta[i].exp();
+                let si = &mut s[i];
+                si.iter_mut().for_each(|x| *x = 1.0);
+                for &(w, v) in answers.task_answers(task.id) {
+                    let p = clamp_p(sigmoid(alpha[&w] * beta));
+                    let wrong = (1.0 - p) / (l as f64 - 1.0);
+                    for (j, slot) in si.iter_mut().enumerate() {
+                        *slot *= if v == j { p } else { wrong };
+                    }
+                }
+                prob::normalize_in_place(si);
+            }
+
+            // M-step: gradient ascent on E[log likelihood] w.r.t. α and
+            // λ = ln β. For each answer, the expected gradient contribution
+            // is (z − σ(αβ)) scaled by β (for α) or αβ (for λ), where
+            // z = Pr(answer correct | posterior) = s_{i, v}.
+            for _ in 0..self.gradient_steps {
+                let mut grad_alpha: HashMap<WorkerId, f64> =
+                    alpha.keys().map(|&w| (w, 0.0)).collect();
+                let mut grad_lambda = vec![0.0f64; tasks.len()];
+                for (i, task) in tasks.iter().enumerate() {
+                    let beta = log_beta[i].exp();
+                    for &(w, v) in answers.task_answers(task.id) {
+                        let z = s[i][v];
+                        let residual = z - sigmoid(alpha[&w] * beta);
+                        *grad_alpha.get_mut(&w).expect("worker present") += residual * beta;
+                        grad_lambda[i] += residual * alpha[&w] * beta;
+                    }
+                }
+                for (w, g) in grad_alpha {
+                    *alpha.get_mut(&w).expect("worker present") += self.learning_rate * g;
+                }
+                for (lb, g) in log_beta.iter_mut().zip(&grad_lambda) {
+                    *lb = (*lb + self.learning_rate * g).clamp(-3.0, 3.0);
+                }
+            }
+        }
+
+        let beta = log_beta.iter().map(|lb| lb.exp()).collect();
+        (s, alpha, beta)
+    }
+}
+
+impl TruthMethod for Glad {
+    fn name(&self) -> &'static str {
+        "GLAD"
+    }
+
+    fn infer(&self, tasks: &[Task], answers: &AnswerLog) -> Vec<ChoiceIndex> {
+        let (s, _, _) = self.run(tasks, answers);
+        s.iter().map(|si| prob::argmax(si)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ti::testutil::{simulated_log, Lcg};
+    use crate::ti::MajorityVote;
+
+    #[test]
+    fn sigmoid_sanity() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-12);
+        assert!(sigmoid(5.0) > 0.99);
+        assert!(sigmoid(-5.0) < 0.01);
+    }
+
+    #[test]
+    fn recovers_truth_with_able_workers() {
+        let (tasks, log) = simulated_log(40, 2, 9, 0.85, &mut Lcg(7));
+        let truths = Glad::default().infer(&tasks, &log);
+        let acc = crate::ti::accuracy(&truths, &tasks);
+        assert!(acc > 0.85, "GLAD accuracy {acc}");
+    }
+
+    #[test]
+    fn beats_majority_vote_with_mixed_crowd() {
+        // Half the crowd answers at 0.9, half at 0.45 (near-spam). A
+        // worker-aware model must beat unweighted MV.
+        let mut rng = Lcg(11);
+        let (tasks, log) = crate::ti::testutil::mixed_quality_log(60, 2, 10, 0.9, 0.45, &mut rng);
+        let glad = crate::ti::accuracy(&Glad::default().infer(&tasks, &log), &tasks);
+        let mv = crate::ti::accuracy(&MajorityVote.infer(&tasks, &log), &tasks);
+        assert!(
+            glad >= mv,
+            "GLAD {glad} should not lose to MV {mv} on a mixed crowd"
+        );
+    }
+
+    #[test]
+    fn abilities_separate_good_from_bad_workers() {
+        let mut rng = Lcg(13);
+        let (tasks, log) = crate::ti::testutil::mixed_quality_log(80, 2, 10, 0.95, 0.4, &mut rng);
+        let (_, alpha, _) = Glad::default().run(&tasks, &log);
+        // Workers 0..5 are the good half in mixed_quality_log; 5..10 bad.
+        let good: f64 = (0..5).map(|w| alpha[&WorkerId(w)]).sum::<f64>() / 5.0;
+        let bad: f64 = (5..10).map(|w| alpha[&WorkerId(w)]).sum::<f64>() / 5.0;
+        assert!(
+            good > bad + 0.5,
+            "mean ability good {good:.2} vs bad {bad:.2}"
+        );
+    }
+
+    #[test]
+    fn golden_init_maps_through_logit() {
+        let init: HashMap<WorkerId, f64> = [(WorkerId(0), 0.9)].into();
+        let glad = Glad::default().with_init(init);
+        let (tasks, log) = simulated_log(10, 2, 3, 0.8, &mut Lcg(17));
+        // Smoke: runs and returns one truth per task.
+        let truths = glad.infer(&tasks, &log);
+        assert_eq!(truths.len(), 10);
+    }
+
+    #[test]
+    fn easiness_stays_positive_and_bounded() {
+        let (tasks, log) = simulated_log(30, 3, 8, 0.75, &mut Lcg(19));
+        let (_, _, beta) = Glad::default().run(&tasks, &log);
+        for b in beta {
+            assert!(b > 0.0 && b.is_finite());
+            assert!((-3.0..=3.0).contains(&b.ln()));
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! Majority Voting — the domainless, qualityless baseline.
+
+use super::TruthMethod;
+use docs_types::{AnswerLog, ChoiceIndex, Task};
+
+/// Majority vote: the truth of a task is the choice given by the largest
+/// number of workers (ties toward the smaller choice index; unanswered tasks
+/// default to choice 0).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MajorityVote;
+
+impl MajorityVote {
+    /// Vote counts per choice for one task.
+    pub fn counts(task: &Task, answers: &AnswerLog) -> Vec<usize> {
+        let mut counts = vec![0usize; task.num_choices()];
+        for &(_, c) in answers.task_answers(task.id) {
+            if c < counts.len() {
+                counts[c] += 1;
+            }
+        }
+        counts
+    }
+}
+
+impl TruthMethod for MajorityVote {
+    fn name(&self) -> &'static str {
+        "MV"
+    }
+
+    fn infer(&self, tasks: &[Task], answers: &AnswerLog) -> Vec<ChoiceIndex> {
+        tasks
+            .iter()
+            .map(|t| {
+                let counts = Self::counts(t, answers);
+                counts
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|&(i, &c)| (c, usize::MAX - i))
+                    .map(|(i, _)| i)
+                    .unwrap_or(0)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::{standard_population, world};
+    use super::*;
+    use docs_types::{Answer, TaskBuilder, TaskId, WorkerId};
+
+    #[test]
+    fn majority_wins() {
+        let tasks = vec![TaskBuilder::new(0usize, "t").yes_no().build().unwrap()];
+        let mut log = AnswerLog::new(1);
+        for (w, c) in [(0, 1), (1, 1), (2, 0)] {
+            log.record(Answer {
+                task: TaskId(0),
+                worker: WorkerId(w),
+                choice: c,
+            })
+            .unwrap();
+        }
+        assert_eq!(MajorityVote.infer(&tasks, &log), vec![1]);
+    }
+
+    #[test]
+    fn tie_breaks_low_and_empty_defaults_zero() {
+        let tasks = vec![
+            TaskBuilder::new(0usize, "t").yes_no().build().unwrap(),
+            TaskBuilder::new(1usize, "t").yes_no().build().unwrap(),
+        ];
+        let mut log = AnswerLog::new(2);
+        log.record(Answer {
+            task: TaskId(0),
+            worker: WorkerId(0),
+            choice: 0,
+        })
+        .unwrap();
+        log.record(Answer {
+            task: TaskId(0),
+            worker: WorkerId(1),
+            choice: 1,
+        })
+        .unwrap();
+        assert_eq!(MajorityVote.infer(&tasks, &log), vec![0, 0]);
+    }
+
+    #[test]
+    fn reasonable_on_mixed_population() {
+        let (tasks, log) = world(40, &standard_population(), 0xABCD);
+        let truths = MajorityVote.infer(&tasks, &log);
+        let acc = super::super::accuracy(&truths, &tasks);
+        assert!(acc > 0.7, "MV accuracy {acc}");
+    }
+}

@@ -1,0 +1,31 @@
+//! Figure 4(e) bench: iterative TI time vs `n` and `|W|` (m = 20,
+//! 10 answers per task). Expectation: linear in `n`, invariant in `|W|`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use docs_core::ti::{TiConfig, TruthInference, WorkerRegistry};
+use docs_datasets::scalability_workload;
+use std::hint::black_box;
+
+fn bench_ti_scalability(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4e_ti");
+    group.sample_size(10);
+    for workers in [10usize, 100, 500] {
+        for n in [1_000usize, 4_000] {
+            let (tasks, _pop, log) = scalability_workload(n, 20, workers, 10, 0xE5);
+            let registry = WorkerRegistry::new(20, 0.7);
+            let ti = TruthInference::new(TiConfig {
+                max_iterations: 20,
+                epsilon: 1e-6,
+            });
+            group.bench_with_input(
+                BenchmarkId::new(format!("w{workers}"), n),
+                &(tasks, log),
+                |b, (tasks, log)| b.iter(|| black_box(ti.run(tasks, log, &registry))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ti_scalability);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Figure 5(b) bench: execution time of each truth-inference method on the
+//! Item dataset (same collected answers for every method).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use docs_baselines::ti::{
+    Crh, DawidSkene, FaitCrowd, Glad, ICrowd, MajorityVote, TruthMethod, ZenCrowd,
+};
+use docs_bench::protocol::prepare;
+use docs_core::ti::TruthInference;
+use std::hint::black_box;
+
+fn bench_ti_methods(c: &mut Criterion) {
+    let prepared = prepare(docs_datasets::item(), 10, 20, 50, 0xF5);
+    let tasks = &prepared.dataset.tasks;
+    let log = &prepared.log;
+    let scalar = prepared.scalar_init();
+    let registry = prepared.docs_registry();
+
+    let mut group = c.benchmark_group("fig5_ti_methods");
+    group.sample_size(20);
+    group.bench_function("MV", |b| {
+        b.iter(|| black_box(MajorityVote.infer(tasks, log)))
+    });
+    let zc = ZenCrowd::default().with_init(scalar.clone());
+    group.bench_function("ZC", |b| b.iter(|| black_box(zc.infer(tasks, log))));
+    let ds = DawidSkene::default().with_init(scalar.clone());
+    group.bench_function("DS", |b| b.iter(|| black_box(ds.infer(tasks, log))));
+    let glad = Glad::default().with_init(scalar.clone());
+    group.bench_function("GLAD", |b| b.iter(|| black_box(glad.infer(tasks, log))));
+    let crh = Crh::default().with_init(scalar.clone());
+    group.bench_function("CRH", |b| b.iter(|| black_box(crh.infer(tasks, log))));
+    let ic = ICrowd::default();
+    group.bench_function("IC", |b| b.iter(|| black_box(ic.infer(tasks, log))));
+    let fc = FaitCrowd::default().with_init(scalar);
+    group.bench_function("FC", |b| b.iter(|| black_box(fc.infer(tasks, log))));
+    group.bench_function("DOCS", |b| {
+        b.iter(|| black_box(TruthInference::default().run(tasks, log, &registry).truths))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ti_methods);
+criterion_main!(benches);

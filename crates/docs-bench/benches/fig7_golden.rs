@@ -1,0 +1,47 @@
+//! Figure 7 bench: golden-task count allocation — the approximation vs the
+//! exact enumeration (7a), and approximation scalability in n′ and m (7b).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use docs_bench::fig7::random_tau;
+use docs_core::golden::{golden_counts, golden_counts_enumeration};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_fig7a(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(0x7A7A);
+    let tau = random_tau(10, &mut rng);
+    let mut group = c.benchmark_group("fig7a_golden");
+    for n_prime in [5usize, 10, 15] {
+        group.bench_with_input(BenchmarkId::new("approx", n_prime), &n_prime, |b, &n| {
+            b.iter(|| black_box(golden_counts(&tau, n)))
+        });
+        if n_prime <= 10 {
+            group.bench_with_input(
+                BenchmarkId::new("enumeration", n_prime),
+                &n_prime,
+                |b, &n| b.iter(|| black_box(golden_counts_enumeration(&tau, n))),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_fig7b(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(0x7B7B);
+    let mut group = c.benchmark_group("fig7b_scalability");
+    for m in [10usize, 20, 50] {
+        let tau = random_tau(m, &mut rng);
+        for n_prime in [1_000usize, 10_000] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("m{m}"), n_prime),
+                &n_prime,
+                |b, &n| b.iter(|| black_box(golden_counts(&tau, n))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig7a, bench_fig7b);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Table 3 bench: Algorithm 1 vs Enumeration per top-`c` heuristic.
+//!
+//! Criterion variant of the Table 3 harness: measures one representative
+//! multi-entity task per dataset rather than the whole corpus (the corpus
+//! totals are printed by the `figures` binary).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use docs_bench::table3::linked_entities;
+use docs_core::dve::{domain_vector, domain_vector_enumeration};
+use std::hint::black_box;
+
+fn bench_table3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3_dve");
+    for (name, dataset) in [
+        ("Item", docs_datasets::item()),
+        ("4D", docs_datasets::four_domain()),
+    ] {
+        let m = dataset.domain_set.len();
+        for top_c in [20usize, 10, 3] {
+            let all = linked_entities(&dataset, top_c);
+            // The task with the most entities is the stress case.
+            let entities = all
+                .iter()
+                .max_by_key(|e| e.len())
+                .expect("dataset has tasks")
+                .clone();
+            group.bench_with_input(
+                BenchmarkId::new(format!("{name}/algorithm1"), top_c),
+                &entities,
+                |b, es| b.iter(|| black_box(domain_vector(es, m))),
+            );
+            // Enumeration only where it can finish in bench time.
+            let omega: u128 = entities
+                .iter()
+                .map(|e| e.num_candidates() as u128)
+                .product();
+            if omega <= 100_000 {
+                group.bench_with_input(
+                    BenchmarkId::new(format!("{name}/enumeration"), top_c),
+                    &entities,
+                    |b, es| b.iter(|| black_box(domain_vector_enumeration(es, m, 1 << 40))),
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table3);
+criterion_main!(benches);

@@ -1,0 +1,108 @@
+//! Figure 5: truth-inference comparison — MV, ZC, DS, IC, FC, DOCS —
+//! accuracy and execution time on the same collected answers, plus two
+//! extended competitors from the related-work lineage (GLAD \[46\], CRH \[28\])
+//! that the paper cites but does not benchmark.
+
+use crate::protocol::PreparedDataset;
+use docs_baselines::ti::{
+    Crh, DawidSkene, FaitCrowd, Glad, ICrowd, MajorityVote, TruthMethod, ZenCrowd,
+};
+use docs_core::ti::TruthInference;
+use docs_crowd::accuracy_of;
+use std::time::{Duration, Instant};
+
+/// One method's Figure 5 bar pair.
+#[derive(Debug, Clone)]
+pub struct MethodResult {
+    /// Method display name.
+    pub method: &'static str,
+    /// Accuracy on the dataset.
+    pub accuracy: f64,
+    /// Inference wall time.
+    pub time: Duration,
+}
+
+/// Runs the Figure 5 comparison on one prepared dataset.
+///
+/// Protocol notes mirroring Section 6.3: all competitors are initialized
+/// from the same golden tasks; IC and FC additionally receive the ground
+/// truth of each task's domain ("to do a more challenging job").
+pub fn run(prepared: &PreparedDataset) -> Vec<MethodResult> {
+    let tasks = &prepared.dataset.tasks;
+    let log = &prepared.log;
+    let scalar_init = prepared.scalar_init();
+
+    let mut results = Vec::new();
+    let mut measure = |method: &'static str, f: &mut dyn FnMut() -> Vec<usize>| {
+        let t0 = Instant::now();
+        let truths = f();
+        let time = t0.elapsed();
+        results.push(MethodResult {
+            method,
+            accuracy: accuracy_of(&truths, tasks),
+            time,
+        });
+    };
+
+    measure("MV", &mut || MajorityVote.infer(tasks, log));
+    measure("ZC", &mut || {
+        ZenCrowd::default()
+            .with_init(scalar_init.clone())
+            .infer(tasks, log)
+    });
+    measure("DS", &mut || {
+        DawidSkene::default()
+            .with_init(scalar_init.clone())
+            .infer(tasks, log)
+    });
+    measure("GLAD", &mut || {
+        Glad::default()
+            .with_init(scalar_init.clone())
+            .infer(tasks, log)
+    });
+    measure("CRH", &mut || {
+        Crh::default()
+            .with_init(scalar_init.clone())
+            .infer(tasks, log)
+    });
+    // IC and FC consume the ground-truth domains (true_domain), the paper's
+    // handicap.
+    measure("IC", &mut || ICrowd::default().infer(tasks, log));
+    measure("FC", &mut || {
+        FaitCrowd::default()
+            .with_init(scalar_init.clone())
+            .infer(tasks, log)
+    });
+    measure("DOCS", &mut || {
+        TruthInference::default()
+            .run(tasks, log, &prepared.docs_registry())
+            .truths
+    });
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::prepare;
+
+    #[test]
+    fn docs_leads_the_field_on_item() {
+        let prepared = prepare(docs_datasets::item(), 10, 20, 40, 0x55);
+        let results = run(&prepared);
+        assert_eq!(results.len(), 8);
+        let get = |name: &str| results.iter().find(|r| r.method == name).unwrap().accuracy;
+        let docs = get("DOCS");
+        assert!(docs > 0.85, "DOCS accuracy {docs}");
+        // The Figure 5 ordering at the aggregate level: DOCS at the top,
+        // MV at the bottom.
+        assert!(docs >= get("MV"), "DOCS {docs} vs MV {}", get("MV"));
+        for m in ["ZC", "DS", "GLAD", "CRH", "IC", "FC"] {
+            assert!(
+                docs + 1e-9 >= get(m),
+                "DOCS {docs} should not lose to {m} ({})",
+                get(m)
+            );
+        }
+    }
+}

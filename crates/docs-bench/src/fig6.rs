@@ -1,0 +1,118 @@
+//! Figure 6: case studies of worker qualities on Item — the per-domain
+//! quality histogram, the calibration of the most active workers, and the
+//! NBA-domain calibration of all multi-HIT workers.
+
+use crate::fig4::calibration_pairs;
+use crate::protocol::PreparedDataset;
+use docs_types::WorkerId;
+
+/// Figure 6(a): per focus domain, the number of workers whose *true*
+/// quality falls in each of 10 bins (`[i/10, (i+1)/10)`).
+pub fn fig6a_histogram(prepared: &PreparedDataset) -> Vec<(&'static str, [usize; 10])> {
+    prepared
+        .dataset
+        .focus_domains
+        .iter()
+        .zip(&prepared.dataset.focus_names)
+        .map(|(&fd, &name)| {
+            let mut bins = [0usize; 10];
+            for w in prepared.population.workers() {
+                let q = w.true_quality[fd];
+                let bin = ((q * 10.0) as usize).min(9);
+                bins[bin] += 1;
+            }
+            (name, bins)
+        })
+        .collect()
+}
+
+/// Figure 6(b): calibration points `(true q̃, estimated q)` for the three
+/// workers with the most answers, one point per focus domain.
+pub fn fig6b_top_worker_calibration(
+    prepared: &PreparedDataset,
+) -> Vec<(WorkerId, Vec<(f64, f64)>)> {
+    // Rank workers by answer count.
+    let mut activity: Vec<(WorkerId, usize)> = prepared
+        .log
+        .workers()
+        .map(|w| (w, prepared.log.worker_answers(w).len()))
+        .collect();
+    activity.sort_by_key(|&(w, n)| (usize::MAX - n, w));
+    let top: Vec<WorkerId> = activity.iter().take(3).map(|&(w, _)| w).collect();
+
+    top.iter()
+        .map(|&w| {
+            let points: Vec<(f64, f64)> = prepared
+                .dataset
+                .focus_domains
+                .iter()
+                .map(|&fd| {
+                    let pairs = calibration_pairs(prepared, fd, 0);
+                    let (_, tq, eq) = pairs
+                        .iter()
+                        .find(|(pw, _, _)| *pw == w)
+                        .copied()
+                        .expect("active worker has calibration data");
+                    (tq, eq)
+                })
+                .collect();
+            (w, points)
+        })
+        .collect()
+}
+
+/// Figure 6(c): `(true q̃, estimated q)` in the first focus domain (NBA)
+/// for every worker who answered more than one HIT (> 20 tasks).
+pub fn fig6c_nba_calibration(prepared: &PreparedDataset) -> Vec<(f64, f64)> {
+    let nba = prepared.dataset.focus_domains[0];
+    calibration_pairs(prepared, nba, 21)
+        .into_iter()
+        .map(|(_, tq, eq)| (tq, eq))
+        .collect()
+}
+
+/// Mean absolute calibration error of a point set — used to check the
+/// paper's "points lie very close to the line Y = X" claim.
+pub fn calibration_error(points: &[(f64, f64)]) -> f64 {
+    if points.is_empty() {
+        return 0.0;
+    }
+    points.iter().map(|(tq, eq)| (tq - eq).abs()).sum::<f64>() / points.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::prepare;
+
+    #[test]
+    fn histogram_covers_all_workers() {
+        let prepared = prepare(docs_datasets::item(), 6, 10, 30, 0x66);
+        let hist = fig6a_histogram(&prepared);
+        assert_eq!(hist.len(), 4);
+        for (name, bins) in &hist {
+            assert_eq!(bins.iter().sum::<usize>(), 30, "domain {name}");
+        }
+    }
+
+    #[test]
+    fn top_workers_are_calibrated() {
+        let prepared = prepare(docs_datasets::item(), 10, 20, 25, 0x67);
+        let calib = fig6b_top_worker_calibration(&prepared);
+        assert_eq!(calib.len(), 3);
+        for (w, points) in &calib {
+            assert_eq!(points.len(), 4);
+            let err = calibration_error(points);
+            assert!(err < 0.2, "worker {w} calibration error {err}");
+        }
+    }
+
+    #[test]
+    fn nba_calibration_tracks_truth() {
+        let prepared = prepare(docs_datasets::item(), 10, 20, 25, 0x68);
+        let points = fig6c_nba_calibration(&prepared);
+        assert!(!points.is_empty());
+        let err = calibration_error(&points);
+        assert!(err < 0.22, "NBA calibration error {err}");
+    }
+}

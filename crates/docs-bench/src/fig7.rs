@@ -1,0 +1,134 @@
+//! Figure 7: golden-task selection — approximation vs enumeration, and
+//! scalability of the approximation.
+
+use docs_core::golden::{allocation_objective, golden_counts, golden_counts_enumeration};
+use docs_types::prob;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::time::{Duration, Instant};
+
+/// One Figure 7(a) point.
+#[derive(Debug, Clone)]
+pub struct Fig7aPoint {
+    /// Golden budget n′.
+    pub n_prime: usize,
+    /// Approximation algorithm time.
+    pub approx_time: Duration,
+    /// Exact enumeration time.
+    pub enum_time: Duration,
+    /// Approximation ratio γ = |D − D_opt| / D_opt.
+    pub gamma: f64,
+}
+
+/// Random domain distribution τ of size `m`.
+pub fn random_tau(m: usize, rng: &mut SmallRng) -> Vec<f64> {
+    let mut tau: Vec<f64> = (0..m).map(|_| rng.gen_range(0.05..1.0)).collect();
+    prob::normalize_in_place(&mut tau);
+    tau
+}
+
+/// **Figure 7(a)**: for each n′, the time of both solvers and γ
+/// (m = 10, random τ per point, as in the paper).
+pub fn fig7a(n_primes: &[usize], seed: u64) -> Vec<Fig7aPoint> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    n_primes
+        .iter()
+        .map(|&n_prime| {
+            let tau = random_tau(10, &mut rng);
+
+            let t0 = Instant::now();
+            let approx = golden_counts(&tau, n_prime);
+            let approx_time = t0.elapsed();
+
+            let t0 = Instant::now();
+            let (_, d_opt) = golden_counts_enumeration(&tau, n_prime);
+            let enum_time = t0.elapsed();
+
+            let d = allocation_objective(&approx, &tau);
+            let gamma = if d_opt > 1e-12 {
+                (d - d_opt).abs() / d_opt
+            } else {
+                (d - d_opt).abs()
+            };
+            Fig7aPoint {
+                n_prime,
+                approx_time,
+                enum_time,
+                gamma,
+            }
+        })
+        .collect()
+}
+
+/// One Figure 7(b) point.
+#[derive(Debug, Clone)]
+pub struct Fig7bPoint {
+    /// Golden budget n′.
+    pub n_prime: usize,
+    /// Number of domains m.
+    pub m: usize,
+    /// Approximation time.
+    pub time: Duration,
+}
+
+/// **Figure 7(b)**: approximation scalability over n′ ∈ [1K, 10K] and
+/// m ∈ {10, 20, 50}.
+pub fn fig7b(n_primes: &[usize], ms: &[usize], seed: u64) -> Vec<Fig7bPoint> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut out = Vec::new();
+    for &m in ms {
+        let tau = random_tau(m, &mut rng);
+        for &n_prime in n_primes {
+            let t0 = Instant::now();
+            let counts = golden_counts(&tau, n_prime);
+            let time = t0.elapsed();
+            debug_assert_eq!(counts.iter().sum::<usize>(), n_prime);
+            out.push(Fig7bPoint { n_prime, m, time });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gamma_is_tiny() {
+        // The paper reports average γ within 0.1%; give a little slack on
+        // individual random draws.
+        let points = fig7a(&[4, 8, 12], 0x7A);
+        for p in &points {
+            assert!(p.gamma < 0.01, "n′={} γ={}", p.n_prime, p.gamma);
+        }
+    }
+
+    #[test]
+    fn enumeration_time_explodes_and_approx_stays_flat() {
+        let points = fig7a(&[6, 14], 0x7B);
+        assert!(
+            points[1].enum_time > points[0].enum_time,
+            "enumeration should grow steeply: {points:?}"
+        );
+        // Approximation stays far below enumeration at the larger size.
+        assert!(points[1].approx_time < points[1].enum_time);
+    }
+
+    #[test]
+    fn approx_scales_with_m_not_n_prime() {
+        let points = fig7b(&[1_000, 10_000], &[10, 50], 0x7C);
+        let t = |n: usize, m: usize| {
+            points
+                .iter()
+                .find(|p| p.n_prime == n && p.m == m)
+                .unwrap()
+                .time
+        };
+        // Flat in n′ (within generous noise).
+        assert!(t(10_000, 10) < t(1_000, 10) * 20 + Duration::from_millis(1));
+        // All fast.
+        for p in &points {
+            assert!(p.time < Duration::from_millis(100), "{p:?}");
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! Experiment harness: regenerates every table and figure of the paper's
+//! evaluation (Section 6) on the simulated substrate.
+//!
+//! Each module computes one table/figure's data series and returns plain
+//! structs; the `figures` binary prints them in the paper's row/series
+//! format, and the criterion benches in `benches/` measure the timing
+//! claims. The per-experiment index lives in `DESIGN.md`; measured-vs-paper
+//! notes live in `EXPERIMENTS.md`.
+
+pub mod extensions;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod population;
+pub mod protocol;
+pub mod robustness;
+pub mod table3;
+
+/// Formats a fraction as a percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", 100.0 * x)
+}

@@ -1,0 +1,142 @@
+//! The shared experiment protocol of Section 6.1: prepare a dataset (DVE),
+//! simulate the answer collection (10 answers per task), select golden
+//! tasks, and record every worker's golden-task performance for method
+//! initialization.
+
+use crate::population::dataset_population;
+use docs_core::golden::select_golden_tasks;
+use docs_core::ti::WorkerRegistry;
+use docs_crowd::{AnswerModel, Platform, PlatformConfig, WorkerPopulation};
+use docs_datasets::Dataset;
+use docs_types::{AnswerLog, ChoiceIndex, TaskId, WorkerId};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+/// A dataset made experiment-ready.
+pub struct PreparedDataset {
+    /// The dataset with DVE-filled domain vectors.
+    pub dataset: Dataset,
+    /// The simulated worker population behind the answers.
+    pub population: WorkerPopulation,
+    /// Collected answers: `answers_per_task` per task.
+    pub log: AnswerLog,
+    /// Selected golden tasks (Section 5.2).
+    pub golden_ids: Vec<TaskId>,
+    /// Every worker's answers on the golden tasks.
+    pub golden_answers: HashMap<WorkerId, Vec<(TaskId, ChoiceIndex)>>,
+}
+
+/// Prepares a dataset per the Section 6.1 protocol.
+pub fn prepare(
+    mut dataset: Dataset,
+    answers_per_task: usize,
+    num_golden: usize,
+    pop_size: usize,
+    seed: u64,
+) -> PreparedDataset {
+    dataset.run_dve_default();
+    let population = dataset_population(
+        dataset.domain_set.len(),
+        &dataset.focus_domains,
+        pop_size,
+        seed,
+    );
+    let platform = Platform::new(
+        &dataset.tasks,
+        vec![],
+        &population,
+        PlatformConfig {
+            seed: seed ^ 0xABCDEF,
+            ..Default::default()
+        },
+    );
+    let log = platform.collect_uniform(answers_per_task.min(pop_size));
+    let golden_ids = select_golden_tasks(&dataset.tasks, num_golden);
+
+    // Every worker answers the golden HIT once (used for initialization
+    // only; golden answers never enter the inference log).
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x601DE_u64);
+    let golden_answers = population
+        .workers()
+        .iter()
+        .map(|w| {
+            let answers: Vec<(TaskId, ChoiceIndex)> = golden_ids
+                .iter()
+                .map(|&gid| {
+                    let task = &dataset.tasks[gid.index()];
+                    (gid, w.answer(task, AnswerModel::DomainUniform, &mut rng))
+                })
+                .collect();
+            (w.id, answers)
+        })
+        .collect();
+
+    PreparedDataset {
+        dataset,
+        population,
+        log,
+        golden_ids,
+        golden_answers,
+    }
+}
+
+impl PreparedDataset {
+    /// DOCS worker registry initialized from golden answers (Section 5.2).
+    pub fn docs_registry(&self) -> WorkerRegistry {
+        let m = self.dataset.domain_set.len();
+        let mut registry = WorkerRegistry::new(m, 0.7);
+        for (&w, answers) in &self.golden_answers {
+            registry.init_from_golden(
+                w,
+                answers,
+                |tid| {
+                    let t = &self.dataset.tasks[tid.index()];
+                    (
+                        t.domain_vector().clone(),
+                        t.ground_truth.expect("golden truth"),
+                    )
+                },
+                1.0,
+            );
+        }
+        registry
+    }
+
+    /// Scalar golden initialization for the domain-blind competitors.
+    pub fn scalar_init(&self) -> HashMap<WorkerId, f64> {
+        docs_baselines::ti::golden_scalar_quality(&self.golden_answers, |tid| {
+            self.dataset.tasks[tid.index()]
+                .ground_truth
+                .expect("golden truth")
+        })
+    }
+
+    /// The log truncated to the first `cap` answers per task (Figure 4(c)).
+    pub fn log_with_answer_cap(&self, cap: usize) -> AnswerLog {
+        self.log.truncated_per_task(cap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prepare_produces_complete_protocol_state() {
+        let prepared = prepare(docs_datasets::item(), 5, 8, 30, 0xA1);
+        assert_eq!(prepared.log.len(), 360 * 5);
+        assert_eq!(prepared.golden_ids.len(), 8);
+        assert_eq!(prepared.golden_answers.len(), 30);
+        for answers in prepared.golden_answers.values() {
+            assert_eq!(answers.len(), 8);
+        }
+        let registry = prepared.docs_registry();
+        assert_eq!(registry.len(), 30);
+        let init = prepared.scalar_init();
+        assert_eq!(init.len(), 30);
+        for q in init.values() {
+            assert!((0.0..=1.0).contains(q));
+        }
+    }
+}

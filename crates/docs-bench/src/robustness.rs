@@ -1,0 +1,123 @@
+//! Model-mismatch robustness — an extension beyond the paper's evaluation.
+//!
+//! DOCS's answer model (Eq. 4) assumes wrong answers are uniform over the
+//! `ℓ − 1` distractors. Real workers are not that tidy: some consistently
+//! confuse specific pairs (the Dawid-Skene world), some answer at random
+//! when tired. This experiment re-runs the Figure 5 comparison under the
+//! `docs-crowd` mismatch answer models and reports how gracefully each
+//! inference method degrades.
+
+use crate::population::dataset_population;
+use docs_baselines::ti::{DawidSkene, MajorityVote, TruthMethod};
+use docs_core::ti::{TruthInference, WorkerRegistry};
+use docs_crowd::accuracy_of;
+use docs_crowd::{AnswerModel, Platform, PlatformConfig};
+use docs_datasets::Dataset;
+
+/// Accuracy of MV, DS, and DOCS under one answer model.
+#[derive(Debug, Clone)]
+pub struct RobustnessRow {
+    /// Which answer model generated the crowd's answers.
+    pub model: &'static str,
+    /// Majority-vote accuracy.
+    pub mv: f64,
+    /// Dawid-Skene accuracy (its confusion matrix is the right model for
+    /// `Confused` workers).
+    pub ds: f64,
+    /// DOCS TI accuracy.
+    pub docs: f64,
+}
+
+/// Runs the sweep on a dataset: the assumed model, a confusion-biased crowd,
+/// and a sloppy crowd.
+pub fn run(mut dataset: Dataset, answers_per_task: usize, seed: u64) -> Vec<RobustnessRow> {
+    dataset.run_dve_default();
+    let m = dataset.domain_set.len();
+    let population = dataset_population(m, &dataset.focus_domains, 50, seed);
+    let models: [(&'static str, AnswerModel); 4] = [
+        ("domain-uniform (assumed)", AnswerModel::DomainUniform),
+        (
+            "confused (biased distractor)",
+            AnswerModel::Confused { bias: 0.8 },
+        ),
+        (
+            "sloppy (20% random)",
+            AnswerModel::Sloppy { carelessness: 0.2 },
+        ),
+        (
+            "adversarial (10% collusion)",
+            AnswerModel::Adversarial { malice: 0.10 },
+        ),
+    ];
+    models
+        .iter()
+        .map(|&(name, model)| {
+            let platform = Platform::new(
+                &dataset.tasks,
+                vec![],
+                &population,
+                PlatformConfig {
+                    answer_model: model,
+                    seed: seed ^ 0xB0B_u64 ^ name.len() as u64,
+                    ..Default::default()
+                },
+            );
+            let log = platform.collect_uniform(answers_per_task);
+            let mv = accuracy_of(&MajorityVote.infer(&dataset.tasks, &log), &dataset.tasks);
+            let ds = accuracy_of(
+                &DawidSkene::default().infer(&dataset.tasks, &log),
+                &dataset.tasks,
+            );
+            let registry = WorkerRegistry::new(m, 0.7);
+            let docs_truths = TruthInference::default()
+                .run(&dataset.tasks, &log, &registry)
+                .truths;
+            let docs = accuracy_of(&docs_truths, &dataset.tasks);
+            RobustnessRow {
+                model: name,
+                mv,
+                ds,
+                docs,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn docs_degrades_gracefully_under_mismatch() {
+        let rows = run(docs_datasets::item(), 10, 0x0B);
+        assert_eq!(rows.len(), 4);
+        let assumed = &rows[0];
+        for row in &rows {
+            // No catastrophic collapse: every model keeps DOCS above chance
+            // and competitive with MV.
+            assert!(row.docs > 0.55, "{}: DOCS {}", row.model, row.docs);
+            assert!(
+                row.docs + 0.05 >= row.mv,
+                "{}: DOCS {} vs MV {}",
+                row.model,
+                row.docs,
+                row.mv
+            );
+        }
+        // Honest mismatch (confused/sloppy) costs a bounded amount relative
+        // to the assumed model. Collusion is allowed to cost more — on
+        // binary tasks 10% coordinated flips push the domain-skewed Item
+        // crowd's non-experts close to chance, so every method suffers —
+        // but DOCS may not fall *behind* the model-free baseline (checked
+        // above for every row).
+        for row in &rows[1..3] {
+            assert!(
+                assumed.docs - row.docs < 0.25,
+                "{} lost too much: {} vs {}",
+                row.model,
+                row.docs,
+                assumed.docs
+            );
+        }
+    }
+}

@@ -1,0 +1,258 @@
+//! Multi-domain evaluation metrics — the paper's stated future work for the
+//! Section 6.2 analysis.
+//!
+//! Figure 3 scores domain detection with single-label accuracy (the argmax
+//! domain), but the paper's own "Analysis on Multiple Domains" observes that
+//! real tasks ("Harlem Globetrotters whistle song": *Entertain* + *Sports*)
+//! relate to several domains at once, and closes with: "it might be
+//! interesting to develop metrics on evaluating how a method can compute a
+//! task's multiple domains correctly."
+//!
+//! This module provides those metrics:
+//!
+//! * [`jensen_shannon`] — symmetric, bounded divergence between the
+//!   estimated domain vector and a ground-truth domain mixture (KL, the
+//!   paper's Section 5.2 tool, is unusable here because estimated vectors
+//!   routinely contain zeros),
+//! * [`top_j_recall`] — did the true domains surface among the `j` largest
+//!   entries of `r^t`?
+//! * [`mode_scores`] — precision/recall/F1 of the vector's *modes* (the
+//!   peaks the paper's analysis picks out by hand) against the true domain
+//!   set,
+//! * [`MultiDomainReport`] — corpus-level aggregation used by the extended
+//!   Figure 3 harness.
+
+use docs_types::{prob, DomainVector};
+
+/// Builds the ground-truth mixture for a task related to `domains`: uniform
+/// mass over the true domains (the convention the paper's multi-domain
+/// examples imply — both peaks "have high probabilities").
+///
+/// # Panics
+/// Panics if `domains` is empty or any index is `≥ m`.
+pub fn truth_mixture(m: usize, domains: &[usize]) -> DomainVector {
+    assert!(
+        !domains.is_empty(),
+        "a task must have at least one true domain"
+    );
+    let mut w = vec![0.0; m];
+    for &k in domains {
+        assert!(k < m, "true domain {k} out of range for m={m}");
+        w[k] = 1.0;
+    }
+    DomainVector::from_weights(&w).expect("one-hot mixture weights are valid")
+}
+
+/// Jensen–Shannon divergence between two distributions, in nats.
+///
+/// `JS(p, q) = ½ KL(p ‖ m) + ½ KL(q ‖ m)` with `m = ½(p + q)`; symmetric,
+/// finite even when supports differ, and bounded by `ln 2`.
+pub fn jensen_shannon(p: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(p.len(), q.len(), "distributions must have equal length");
+    let mid: Vec<f64> = p.iter().zip(q).map(|(&a, &b)| 0.5 * (a + b)).collect();
+    0.5 * prob::kl_divergence(p, &mid) + 0.5 * prob::kl_divergence(q, &mid)
+}
+
+/// Fraction of the true domains that appear among the `j` highest-mass
+/// entries of the estimated vector (ties broken by lower index, matching
+/// [`prob::argmax`]'s first-wins convention).
+pub fn top_j_recall(estimated: &DomainVector, true_domains: &[usize], j: usize) -> f64 {
+    assert!(!true_domains.is_empty(), "need at least one true domain");
+    assert!(j >= 1, "top-j needs j >= 1");
+    let mut order: Vec<usize> = (0..estimated.len()).collect();
+    order.sort_by(|&a, &b| {
+        estimated[b]
+            .partial_cmp(&estimated[a])
+            .expect("domain vectors contain no NaN")
+            .then(a.cmp(&b))
+    });
+    let top = &order[..j.min(order.len())];
+    let hit = true_domains.iter().filter(|k| top.contains(k)).count();
+    hit as f64 / true_domains.len() as f64
+}
+
+/// Precision / recall / F1 of the estimated vector's modes against the true
+/// domain set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModeScores {
+    /// Fraction of detected modes that are true domains.
+    pub precision: f64,
+    /// Fraction of true domains detected as modes.
+    pub recall: f64,
+    /// Harmonic mean of precision and recall (0 when both are 0).
+    pub f1: f64,
+}
+
+/// Scores the modes of `estimated` (entries `≥ threshold`, the paper's
+/// "more than one mode (or peak)" criterion made precise) against the true
+/// domain set.
+///
+/// An estimate with no modes at all scores zero precision and recall.
+pub fn mode_scores(estimated: &DomainVector, true_domains: &[usize], threshold: f64) -> ModeScores {
+    assert!(!true_domains.is_empty(), "need at least one true domain");
+    let modes = estimated.modes(threshold);
+    if modes.is_empty() {
+        return ModeScores {
+            precision: 0.0,
+            recall: 0.0,
+            f1: 0.0,
+        };
+    }
+    let tp = modes.iter().filter(|k| true_domains.contains(k)).count() as f64;
+    let precision = tp / modes.len() as f64;
+    let recall = tp / true_domains.len() as f64;
+    let f1 = if precision + recall == 0.0 {
+        0.0
+    } else {
+        2.0 * precision * recall / (precision + recall)
+    };
+    ModeScores {
+        precision,
+        recall,
+        f1,
+    }
+}
+
+/// Corpus-level multi-domain evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MultiDomainReport {
+    /// Number of tasks evaluated.
+    pub tasks: usize,
+    /// Mean Jensen–Shannon divergence to the truth mixtures (lower better).
+    pub mean_js: f64,
+    /// Mean top-2 recall of the true domains.
+    pub mean_top2_recall: f64,
+    /// Mean mode-F1 at the report's threshold.
+    pub mean_mode_f1: f64,
+    /// Threshold used for mode detection.
+    pub mode_threshold: f64,
+}
+
+/// Evaluates a corpus of estimated domain vectors against per-task true
+/// domain sets.
+///
+/// # Panics
+/// Panics if the slices differ in length, are empty, or any truth set is
+/// empty.
+pub fn evaluate_corpus(
+    estimated: &[DomainVector],
+    true_domains: &[Vec<usize>],
+    mode_threshold: f64,
+) -> MultiDomainReport {
+    assert_eq!(
+        estimated.len(),
+        true_domains.len(),
+        "corpus length mismatch"
+    );
+    assert!(!estimated.is_empty(), "cannot evaluate an empty corpus");
+    let n = estimated.len() as f64;
+    let mut js = 0.0;
+    let mut top2 = 0.0;
+    let mut f1 = 0.0;
+    for (r, truth) in estimated.iter().zip(true_domains) {
+        let mixture = truth_mixture(r.len(), truth);
+        js += jensen_shannon(r.as_slice(), mixture.as_slice());
+        top2 += top_j_recall(r, truth, 2);
+        f1 += mode_scores(r, truth, mode_threshold).f1;
+    }
+    MultiDomainReport {
+        tasks: estimated.len(),
+        mean_js: js / n,
+        mean_top2_recall: top2 / n,
+        mean_mode_f1: f1 / n,
+        mode_threshold,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truth_mixture_uniform_over_true_domains() {
+        let t = truth_mixture(4, &[1, 3]);
+        assert_eq!(t.as_slice(), &[0.0, 0.5, 0.0, 0.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one true domain")]
+    fn truth_mixture_rejects_empty() {
+        let _ = truth_mixture(4, &[]);
+    }
+
+    #[test]
+    fn js_zero_iff_equal() {
+        let p = [0.2, 0.3, 0.5];
+        assert!(jensen_shannon(&p, &p).abs() < 1e-12);
+        let q = [0.5, 0.3, 0.2];
+        let js = jensen_shannon(&p, &q);
+        assert!(js > 0.0);
+        // Symmetry.
+        assert!((js - jensen_shannon(&q, &p)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn js_bounded_by_ln2_on_disjoint_supports() {
+        let p = [1.0, 0.0];
+        let q = [0.0, 1.0];
+        let js = jensen_shannon(&p, &q);
+        assert!((js - std::f64::consts::LN_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn top_j_recall_counts_hits() {
+        let r = DomainVector::new(vec![0.1, 0.5, 0.35, 0.05]).unwrap();
+        assert_eq!(top_j_recall(&r, &[1, 2], 2), 1.0);
+        assert_eq!(top_j_recall(&r, &[1, 3], 2), 0.5);
+        assert_eq!(top_j_recall(&r, &[3], 1), 0.0);
+        // j larger than m is clamped.
+        assert_eq!(top_j_recall(&r, &[3], 10), 1.0);
+    }
+
+    #[test]
+    fn mode_scores_exact_match() {
+        let r = DomainVector::new(vec![0.05, 0.45, 0.45, 0.05]).unwrap();
+        let s = mode_scores(&r, &[1, 2], 0.3);
+        assert_eq!(s.precision, 1.0);
+        assert_eq!(s.recall, 1.0);
+        assert_eq!(s.f1, 1.0);
+    }
+
+    #[test]
+    fn mode_scores_partial_and_empty() {
+        let r = DomainVector::new(vec![0.7, 0.2, 0.1]).unwrap();
+        // One mode (domain 0), truth {0, 2}: precision 1, recall 0.5.
+        let s = mode_scores(&r, &[0, 2], 0.5);
+        assert_eq!(s.precision, 1.0);
+        assert_eq!(s.recall, 0.5);
+        assert!((s.f1 - 2.0 / 3.0).abs() < 1e-12);
+        // Threshold too high: no modes, all-zero scores.
+        let s = mode_scores(&r, &[0], 0.9);
+        assert_eq!(
+            s,
+            ModeScores {
+                precision: 0.0,
+                recall: 0.0,
+                f1: 0.0
+            }
+        );
+    }
+
+    #[test]
+    fn corpus_aggregation_averages() {
+        let perfect = truth_mixture(3, &[0]);
+        let off = DomainVector::new(vec![0.0, 1.0, 0.0]).unwrap();
+        let report = evaluate_corpus(&[perfect.clone(), off], &[vec![0], vec![0]], 0.3);
+        assert_eq!(report.tasks, 2);
+        // One perfect (JS 0), one disjoint (JS ln 2).
+        assert!((report.mean_js - std::f64::consts::LN_2 / 2.0).abs() < 1e-12);
+        assert!((report.mean_mode_f1 - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn corpus_length_mismatch_panics() {
+        let r = DomainVector::uniform(3);
+        let _ = evaluate_corpus(&[r], &[vec![0], vec![1]], 0.3);
+    }
+}

@@ -1,0 +1,294 @@
+//! Golden-task selection (Section 5.2).
+//!
+//! Golden tasks test a new worker's per-domain quality. Two guidelines
+//! drive the selection of the `n′` golden tasks out of the `n` published
+//! tasks: each selected task should strongly capture one domain (pick the
+//! tasks with the highest `r^t_k`), and the per-domain counts
+//! `σ = [n′_1/n′, …, n′_m/n′]` should approximate the aggregate domain
+//! distribution `τ` of the whole task set. The count allocation minimizes
+//! the KL divergence `D(σ, τ)` subject to `Σ_k n′_k = n′` (Eq. 11) — an
+//! NP-hard integer program, approximated by a floor-then-greedy procedure
+//! that the paper measures at γ ≤ 0.1% from optimal (Figure 7(a)).
+
+use docs_types::{prob, Task, TaskId};
+
+/// Objective of Eq. 11 for an allocation `counts`:
+/// `Σ_k (n′_k/n′) · ln( (n′_k · 1) / (n′ · τ_k) )`.
+///
+/// Allocations that put tasks into zero-mass domains score `+∞`.
+pub fn allocation_objective(counts: &[usize], tau: &[f64]) -> f64 {
+    debug_assert_eq!(counts.len(), tau.len());
+    let n_prime: usize = counts.iter().sum();
+    if n_prime == 0 {
+        return 0.0;
+    }
+    let sigma: Vec<f64> = counts.iter().map(|&c| c as f64 / n_prime as f64).collect();
+    prob::kl_divergence(&sigma, tau)
+}
+
+/// The approximation algorithm for Eq. 11: start each `n′_k` at the lower
+/// bound `⌊τ_k · n′⌋`, then repeatedly add one task to the domain that
+/// minimizes the resulting objective until `Σ_k n′_k = n′`.
+///
+/// Runs in `O(m²·n′_residual)` ≤ `O(m³)` since at most `m` increments remain
+/// after the floor step (the paper bounds the procedure by `m` rounds).
+///
+/// # Panics
+/// Panics if `tau` is not a distribution.
+pub fn golden_counts(tau: &[f64], n_prime: usize) -> Vec<usize> {
+    assert!(
+        prob::is_distribution(tau),
+        "τ must be a distribution over domains"
+    );
+    let m = tau.len();
+    let mut counts: Vec<usize> = tau.iter().map(|&t| (t * n_prime as f64) as usize).collect();
+    let mut assigned: usize = counts.iter().sum();
+    debug_assert!(assigned <= n_prime);
+
+    while assigned < n_prime {
+        // ind = argmin_k objective if n′_k were incremented.
+        let mut best_k = 0;
+        let mut best_obj = f64::INFINITY;
+        for k in 0..m {
+            if tau[k] <= 0.0 {
+                continue; // incrementing a zero-mass domain costs +∞
+            }
+            counts[k] += 1;
+            let obj = allocation_objective(&counts, tau);
+            counts[k] -= 1;
+            if obj < best_obj {
+                best_obj = obj;
+                best_k = k;
+            }
+        }
+        counts[best_k] += 1;
+        assigned += 1;
+    }
+    counts
+}
+
+/// Exact solver by enumerating every composition of `n′` into `m`
+/// non-negative parts — `C(n′+m−1, m−1)` cases, exponential in practice;
+/// the Figure 7(a) baseline. Returns `(best_counts, best_objective)`.
+pub fn golden_counts_enumeration(tau: &[f64], n_prime: usize) -> (Vec<usize>, f64) {
+    assert!(prob::is_distribution(tau));
+    let m = tau.len();
+    let mut best = vec![0usize; m];
+    let mut best_obj = f64::INFINITY;
+    let mut current = vec![0usize; m];
+
+    fn recurse(
+        k: usize,
+        remaining: usize,
+        m: usize,
+        tau: &[f64],
+        current: &mut Vec<usize>,
+        best: &mut Vec<usize>,
+        best_obj: &mut f64,
+    ) {
+        if k == m - 1 {
+            current[k] = remaining;
+            let obj = allocation_objective(current, tau);
+            if obj < *best_obj {
+                *best_obj = obj;
+                best.clone_from(current);
+            }
+            return;
+        }
+        for c in 0..=remaining {
+            current[k] = c;
+            recurse(k + 1, remaining - c, m, tau, current, best, best_obj);
+        }
+    }
+    recurse(0, n_prime, m, tau, &mut current, &mut best, &mut best_obj);
+    (best, best_obj)
+}
+
+/// Aggregate domain distribution `τ_k = Σ_i r^{t_i}_k / n` of a task set.
+///
+/// # Panics
+/// Panics if `tasks` is empty or a task lacks its domain vector.
+pub fn aggregate_domain_distribution(tasks: &[Task]) -> Vec<f64> {
+    assert!(!tasks.is_empty(), "need at least one task");
+    let m = tasks[0].domain_vector().len();
+    let mut tau = vec![0.0; m];
+    for t in tasks {
+        let r = t.domain_vector();
+        for k in 0..m {
+            tau[k] += r[k];
+        }
+    }
+    prob::normalize_in_place(&mut tau);
+    tau
+}
+
+/// Full golden-task selection: computes `τ`, allocates the per-domain counts
+/// with [`golden_counts`], and per domain picks the `n′_k` not-yet-selected
+/// tasks with the highest `r^t_k` (guideline 1). Domains are processed in
+/// descending allocation order so strongly represented domains pick first.
+///
+/// Returns the selected task ids (deduplicated; a task captures exactly one
+/// domain slot).
+pub fn select_golden_tasks(tasks: &[Task], n_prime: usize) -> Vec<TaskId> {
+    if tasks.is_empty() || n_prime == 0 {
+        return Vec::new();
+    }
+    let n_prime = n_prime.min(tasks.len());
+    let tau = aggregate_domain_distribution(tasks);
+    let counts = golden_counts(&tau, n_prime);
+    let m = tau.len();
+
+    let mut selected: Vec<TaskId> = Vec::with_capacity(n_prime);
+    let mut used = vec![false; tasks.len()];
+
+    let mut domain_order: Vec<usize> = (0..m).collect();
+    domain_order.sort_by(|&a, &b| counts[b].cmp(&counts[a]));
+
+    for k in domain_order {
+        if counts[k] == 0 {
+            continue;
+        }
+        // Rank unselected tasks by r_k, descending (stable tie-break on id).
+        let mut ranked: Vec<usize> = (0..tasks.len()).filter(|&i| !used[i]).collect();
+        ranked.sort_by(|&a, &b| {
+            let ra = tasks[a].domain_vector()[k];
+            let rb = tasks[b].domain_vector()[k];
+            rb.partial_cmp(&ra).expect("finite").then(a.cmp(&b))
+        });
+        for &i in ranked.iter().take(counts[k]) {
+            used[i] = true;
+            selected.push(tasks[i].id);
+        }
+    }
+    selected
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use docs_types::{DomainVector, TaskBuilder};
+
+    #[test]
+    fn counts_sum_to_n_prime() {
+        let tau = [0.5, 0.3, 0.2];
+        for n in 0..30 {
+            let c = golden_counts(&tau, n);
+            assert_eq!(c.iter().sum::<usize>(), n, "n′ = {n}");
+        }
+    }
+
+    #[test]
+    fn counts_proportional_to_tau() {
+        let tau = [0.5, 0.25, 0.25];
+        let c = golden_counts(&tau, 20);
+        assert_eq!(c, vec![10, 5, 5]);
+    }
+
+    #[test]
+    fn zero_mass_domains_get_nothing() {
+        let tau = [0.0, 0.6, 0.4];
+        let c = golden_counts(&tau, 10);
+        assert_eq!(c[0], 0);
+        assert_eq!(c.iter().sum::<usize>(), 10);
+    }
+
+    #[test]
+    fn approximation_close_to_enumeration() {
+        // The paper reports γ = |D − D_opt| / D_opt within 0.1% on average.
+        // On top of that bound, when D_opt is ~0 both must be ~0.
+        let cases: Vec<Vec<f64>> = vec![
+            vec![0.4, 0.3, 0.2, 0.1],
+            vec![0.7, 0.1, 0.1, 0.1],
+            vec![0.25, 0.25, 0.25, 0.25],
+            vec![0.55, 0.45],
+            vec![0.05, 0.15, 0.3, 0.5],
+        ];
+        for tau in cases {
+            for n in [5usize, 8, 13] {
+                let approx = golden_counts(&tau, n);
+                let (_, d_opt) = golden_counts_enumeration(&tau, n);
+                let d = allocation_objective(&approx, &tau);
+                assert!(
+                    d - d_opt < 1e-9 || (d - d_opt) / d_opt.max(1e-12) < 0.05,
+                    "τ = {tau:?}, n′ = {n}: D = {d}, D_opt = {d_opt}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn enumeration_finds_exact_optimum_small() {
+        let tau = [0.5, 0.5];
+        let (best, obj) = golden_counts_enumeration(&tau, 4);
+        assert_eq!(best, vec![2, 2]);
+        assert!(obj.abs() < 1e-12);
+    }
+
+    fn make_tasks(specs: &[(usize, f64)]) -> Vec<Task> {
+        // (dominant domain, strength): r = strength on domain, rest uniform.
+        let m = 3;
+        specs
+            .iter()
+            .enumerate()
+            .map(|(i, &(d, strength))| {
+                let mut r = vec![(1.0 - strength) / (m as f64 - 1.0); m];
+                r[d] = strength;
+                TaskBuilder::new(i, format!("t{i}"))
+                    .yes_no()
+                    .with_domain_vector(DomainVector::new(r).unwrap())
+                    .build()
+                    .unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn aggregate_distribution_normalizes() {
+        let tasks = make_tasks(&[(0, 0.9), (1, 0.9), (2, 0.9)]);
+        let tau = aggregate_domain_distribution(&tasks);
+        assert!(prob::is_distribution(&tau));
+        assert!((tau[0] - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn selects_strongest_tasks_per_domain() {
+        let tasks = make_tasks(&[
+            (0, 0.95),
+            (0, 0.6),
+            (1, 0.95),
+            (1, 0.6),
+            (2, 0.95),
+            (2, 0.6),
+        ]);
+        let golden = select_golden_tasks(&tasks, 3);
+        assert_eq!(golden.len(), 3);
+        // One per domain, always the 0.95-strength representative.
+        assert!(golden.contains(&TaskId(0)));
+        assert!(golden.contains(&TaskId(2)));
+        assert!(golden.contains(&TaskId(4)));
+    }
+
+    #[test]
+    fn selection_never_duplicates_tasks() {
+        let tasks = make_tasks(&[(0, 0.9), (0, 0.8), (1, 0.9), (2, 0.9)]);
+        let golden = select_golden_tasks(&tasks, 4);
+        let mut ids: Vec<u32> = golden.iter().map(|t| t.0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 4);
+    }
+
+    #[test]
+    fn selection_caps_at_task_count() {
+        let tasks = make_tasks(&[(0, 0.9), (1, 0.9)]);
+        let golden = select_golden_tasks(&tasks, 10);
+        assert_eq!(golden.len(), 2);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(select_golden_tasks(&[], 5).is_empty());
+        let tasks = make_tasks(&[(0, 0.9)]);
+        assert!(select_golden_tasks(&tasks, 0).is_empty());
+    }
+}

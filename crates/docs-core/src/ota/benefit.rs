@@ -1,0 +1,179 @@
+//! The benefit function (Definition 5) and its ingredients
+//! (Theorems 2 and 3, Eq. 8).
+
+use crate::ti::{clamp_quality, TaskState};
+use docs_types::{prob, DomainVector};
+
+/// **Theorem 2**: the probability that the coming worker answers each choice,
+/// given the answers collected so far:
+///
+/// ```text
+/// Pr(v^w_i = a | V(i)) = Σ_k r_k · [ q_k·M_{k,a} + (1-q_k)/(ℓ-1) · (1 − M_{k,a}) ]
+/// ```
+///
+/// The returned vector is a distribution over the `ℓ` choices.
+pub fn answer_probabilities(state: &TaskState, r: &DomainVector, quality: &[f64]) -> Vec<f64> {
+    let l = state.num_choices();
+    let m = state.num_domains();
+    debug_assert_eq!(r.len(), m);
+    debug_assert_eq!(quality.len(), m);
+    let mut p = vec![0.0; l];
+    for k in 0..m {
+        let rk = r[k];
+        if rk == 0.0 {
+            continue;
+        }
+        let q = clamp_quality(quality[k]);
+        let wrong = (1.0 - q) / (l as f64 - 1.0);
+        for (a, slot) in p.iter_mut().enumerate() {
+            let mka = state.m_entry(k, a);
+            *slot += rk * (q * mka + wrong * (1.0 - mka));
+        }
+    }
+    // Exact in theory; normalize defensively against floating drift.
+    prob::normalize_in_place(&mut p);
+    p
+}
+
+/// **Eq. 8**: the expected entropy of the task's truth after the worker
+/// answers, `H(ŝ_i) = Σ_a H(r × M^{(i)}|a) · Pr(v^w_i = a | V(i))`, with
+/// `M^{(i)}|a` from Theorem 3.
+pub fn expected_posterior_entropy(state: &TaskState, r: &DomainVector, quality: &[f64]) -> f64 {
+    let probs = answer_probabilities(state, r, quality);
+    let mut h = 0.0;
+    for (a, &pa) in probs.iter().enumerate() {
+        if pa == 0.0 {
+            continue;
+        }
+        let updated = state.m_given_answer(quality, a);
+        let s_hat = state.s_from_matrix(r, &updated);
+        h += prob::entropy(&s_hat) * pa;
+    }
+    h
+}
+
+/// **Definition 5**: the benefit of assigning the task to the worker,
+/// `B(t_i) = H(s_i) − H(ŝ_i)`.
+pub fn benefit(state: &TaskState, r: &DomainVector, quality: &[f64]) -> f64 {
+    prob::entropy(state.s()) - expected_posterior_entropy(state, r, quality)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use docs_types::DomainVector;
+
+    fn fresh(m: usize, l: usize) -> TaskState {
+        TaskState::new(m, l)
+    }
+
+    #[test]
+    fn answer_probabilities_form_distribution() {
+        let mut st = fresh(3, 4);
+        let r = DomainVector::new(vec![0.2, 0.5, 0.3]).unwrap();
+        st.apply_answer(&r, &[0.8, 0.6, 0.9], 2);
+        let p = answer_probabilities(&st, &r, &[0.7, 0.9, 0.4]);
+        assert_eq!(p.len(), 4);
+        assert!(prob::is_distribution(&p));
+    }
+
+    #[test]
+    fn uninformed_state_gives_uniform_answer_distribution() {
+        // With M uniform, Theorem 2 gives q/ℓ + (1-q)/(ℓ-1) · (1 - 1/ℓ)
+        // = 1/ℓ for every a: the prediction is uniform.
+        let st = fresh(2, 2);
+        let r = DomainVector::new(vec![0.5, 0.5]).unwrap();
+        let p = answer_probabilities(&st, &r, &[0.9, 0.3]);
+        assert!((p[0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expert_predicted_to_follow_current_truth() {
+        let r = DomainVector::one_hot(1, 0);
+        let mut st = fresh(1, 2);
+        st.apply_answer(&r, &[0.9], 0); // current truth leans choice 0
+        let p = answer_probabilities(&st, &r, &[0.95]);
+        assert!(
+            p[0] > 0.8,
+            "expert should agree with the likely truth: {p:?}"
+        );
+        // A uniform-quality worker is a coin flip regardless of state.
+        let p_flip = answer_probabilities(&st, &r, &[0.5]);
+        assert!((p_flip[0] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn benefit_positive_for_informative_workers() {
+        let st = fresh(1, 2);
+        let r = DomainVector::one_hot(1, 0);
+        let b = benefit(&st, &r, &[0.9]);
+        assert!(b > 0.0);
+    }
+
+    #[test]
+    fn benefit_near_zero_for_coin_flip_worker() {
+        let st = fresh(1, 2);
+        let r = DomainVector::one_hot(1, 0);
+        let b = benefit(&st, &r, &[0.5]);
+        assert!(b.abs() < 1e-9, "coin flip adds no information, b = {b}");
+    }
+
+    #[test]
+    fn benefit_grows_with_quality() {
+        let st = fresh(1, 2);
+        let r = DomainVector::one_hot(1, 0);
+        let b_low = benefit(&st, &r, &[0.6]);
+        let b_mid = benefit(&st, &r, &[0.75]);
+        let b_high = benefit(&st, &r, &[0.95]);
+        assert!(b_low < b_mid && b_mid < b_high);
+    }
+
+    #[test]
+    fn benefit_shrinks_as_task_becomes_confident() {
+        let r = DomainVector::one_hot(1, 0);
+        let mut st = fresh(1, 2);
+        let mut prev = benefit(&st, &r, &[0.85]);
+        for _ in 0..5 {
+            st.apply_answer(&r, &[0.85], 0);
+            let b = benefit(&st, &r, &[0.85]);
+            assert!(b <= prev + 1e-12, "benefit should shrink: {b} vs {prev}");
+            prev = b;
+        }
+        assert!(prev < 0.05, "a confident task has little left to gain");
+    }
+
+    /// **Theorem 4** (numerical check): the expected benefit of a k-task set
+    /// computed by enumerating all answer combinations (Eqs. 9-10) equals
+    /// the sum of individual benefits.
+    #[test]
+    fn theorem4_additivity() {
+        let m = 2;
+        let r1 = DomainVector::new(vec![0.7, 0.3]).unwrap();
+        let r2 = DomainVector::new(vec![0.2, 0.8]).unwrap();
+        let q = vec![0.85, 0.65];
+        let mut st1 = TaskState::new(m, 2);
+        st1.apply_answer(&r1, &[0.7, 0.7], 0);
+        let mut st2 = TaskState::new(m, 3);
+        st2.apply_answer(&r2, &[0.6, 0.8], 2);
+
+        // Joint expectation over φ ∈ {0,1} × {0,1,2} (Eq. 10).
+        let p1 = answer_probabilities(&st1, &r1, &q);
+        let p2 = answer_probabilities(&st2, &r2, &q);
+        let h1 = prob::entropy(st1.s());
+        let h2 = prob::entropy(st2.s());
+        let mut joint = 0.0;
+        for (a1, &pa1) in p1.iter().enumerate() {
+            let s1 = st1.s_from_matrix(&r1, &st1.m_given_answer(&q, a1));
+            for (a2, &pa2) in p2.iter().enumerate() {
+                let s2 = st2.s_from_matrix(&r2, &st2.m_given_answer(&q, a2));
+                let b_phi = (h1 - prob::entropy(&s1)) + (h2 - prob::entropy(&s2));
+                joint += b_phi * pa1 * pa2;
+            }
+        }
+        let sum = benefit(&st1, &r1, &q) + benefit(&st2, &r2, &q);
+        assert!(
+            (joint - sum).abs() < 1e-12,
+            "Theorem 4 violated: joint {joint} vs sum {sum}"
+        );
+    }
+}

@@ -1,0 +1,93 @@
+//! Top-`k` selection of `(benefit, task)` pairs.
+//!
+//! The paper selects the top `k` benefits with a linear-time selection
+//! algorithm (the PICK algorithm of Blum et al. [7]); we use the standard
+//! library's introselect (`select_nth_unstable_by`), which has the same
+//! expected-linear behaviour. A full-sort variant exists for the
+//! `ablation_topk` benchmark.
+
+use docs_types::TaskId;
+use std::cmp::Ordering;
+
+fn by_benefit_desc(a: &(f64, TaskId), b: &(f64, TaskId)) -> Ordering {
+    // Benefits are finite by construction; tie-break on TaskId for
+    // determinism across selection strategies.
+    b.0.partial_cmp(&a.0)
+        .expect("benefits are finite")
+        .then_with(|| a.1.cmp(&b.1))
+}
+
+/// Selects the `k` highest-benefit tasks in expected O(n) time, returned in
+/// descending benefit order (ties broken toward lower task ids).
+pub fn top_k_linear(mut candidates: Vec<(f64, TaskId)>, k: usize) -> Vec<TaskId> {
+    if candidates.is_empty() || k == 0 {
+        return Vec::new();
+    }
+    if candidates.len() > k {
+        candidates.select_nth_unstable_by(k - 1, by_benefit_desc);
+        candidates.truncate(k);
+    }
+    candidates.sort_unstable_by(by_benefit_desc);
+    candidates.into_iter().map(|(_, t)| t).collect()
+}
+
+/// Full-sort top-`k` — O(n log n), the ablation baseline.
+pub fn top_k_by_sort(mut candidates: Vec<(f64, TaskId)>, k: usize) -> Vec<TaskId> {
+    candidates.sort_unstable_by(by_benefit_desc);
+    candidates.truncate(k);
+    candidates.into_iter().map(|(_, t)| t).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cand(pairs: &[(f64, u32)]) -> Vec<(f64, TaskId)> {
+        pairs.iter().map(|&(b, t)| (b, TaskId(t))).collect()
+    }
+
+    #[test]
+    fn selects_highest_benefits() {
+        let c = cand(&[(0.1, 0), (0.9, 1), (0.5, 2), (0.7, 3)]);
+        assert_eq!(top_k_linear(c, 2), vec![TaskId(1), TaskId(3)]);
+    }
+
+    #[test]
+    fn k_larger_than_n_returns_all_sorted() {
+        let c = cand(&[(0.2, 0), (0.8, 1)]);
+        assert_eq!(top_k_linear(c, 10), vec![TaskId(1), TaskId(0)]);
+    }
+
+    #[test]
+    fn empty_and_zero_k() {
+        assert!(top_k_linear(vec![], 3).is_empty());
+        assert!(top_k_linear(cand(&[(1.0, 0)]), 0).is_empty());
+    }
+
+    #[test]
+    fn ties_break_by_task_id() {
+        let c = cand(&[(0.5, 3), (0.5, 1), (0.5, 2)]);
+        assert_eq!(top_k_linear(c, 2), vec![TaskId(1), TaskId(2)]);
+    }
+
+    #[test]
+    fn linear_matches_sort_on_random_input() {
+        // Deterministic pseudo-random benefits.
+        let mut x: u64 = 0x12345;
+        let mut c = Vec::new();
+        for t in 0..200u32 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let b = (x >> 11) as f64 / (1u64 << 53) as f64;
+            c.push((b, TaskId(t)));
+        }
+        for k in [1, 5, 50, 199, 200] {
+            assert_eq!(
+                top_k_linear(c.clone(), k),
+                top_k_by_sort(c.clone(), k),
+                "k = {k}"
+            );
+        }
+    }
+}

@@ -1,0 +1,366 @@
+//! The incremental truth-inference approach of Section 4.2.
+//!
+//! When a worker submits one answer, only the parameters most related to the
+//! task and the worker change: the task's `M^{(i)}`/`s_i` (via the stored
+//! numerator `M̂^{(i)}`) and the qualities of the submitting worker and of
+//! the workers who answered the task before. The update costs
+//! `O(m · |V(i)|)`, so it keeps up with high-velocity answer streams; the
+//! full iterative approach is re-run every `z` submissions (`z = 100` in
+//! DOCS) to restore full accuracy.
+
+use super::iterative::{TiConfig, TiResult, TruthInference};
+use super::state::TaskState;
+use super::stats::WorkerRegistry;
+use docs_types::{Answer, AnswerLog, ChoiceIndex, Result, Task, TaskId, WorkerId};
+
+/// Online inference engine maintaining per-task state and worker statistics
+/// across a stream of answer submissions.
+#[derive(Debug, Clone)]
+pub struct IncrementalTi {
+    tasks: Vec<Task>,
+    states: Vec<TaskState>,
+    /// Live worker statistics, updated on every answer.
+    registry: WorkerRegistry,
+    /// Golden-task initializations only — the starting point for periodic
+    /// full re-inference.
+    golden_registry: WorkerRegistry,
+    log: AnswerLog,
+    /// Run the full iterative approach every `z` submissions; `0` disables
+    /// the periodic re-run.
+    z: usize,
+    submissions: usize,
+    ti: TruthInference,
+}
+
+impl IncrementalTi {
+    /// Creates the engine. Every task must already carry its domain vector.
+    /// `z` is the full-inference period (the paper uses `z = 100`).
+    pub fn new(tasks: Vec<Task>, registry: WorkerRegistry, z: usize) -> Self {
+        let m = registry.num_domains();
+        let states = tasks
+            .iter()
+            .map(|t| TaskState::new(m, t.num_choices()))
+            .collect();
+        let log = AnswerLog::new(tasks.len());
+        IncrementalTi {
+            golden_registry: registry.clone(),
+            registry,
+            tasks,
+            states,
+            log,
+            z,
+            submissions: 0,
+            ti: TruthInference::new(TiConfig::default()),
+        }
+    }
+
+    /// The published tasks.
+    pub fn tasks(&self) -> &[Task] {
+        &self.tasks
+    }
+
+    /// Current per-task inference states.
+    pub fn states(&self) -> &[TaskState] {
+        &self.states
+    }
+
+    /// State of one task.
+    pub fn state(&self, task: TaskId) -> &TaskState {
+        &self.states[task.index()]
+    }
+
+    /// Live worker statistics.
+    pub fn registry(&self) -> &WorkerRegistry {
+        &self.registry
+    }
+
+    /// The answer log accumulated so far.
+    pub fn log(&self) -> &AnswerLog {
+        &self.log
+    }
+
+    /// Number of submissions processed.
+    pub fn submissions(&self) -> usize {
+        self.submissions
+    }
+
+    /// Registers a worker's golden-task performance (Section 5.2): both the
+    /// live statistics and the baseline used by periodic full re-inference.
+    pub fn init_worker_from_golden(
+        &mut self,
+        worker: WorkerId,
+        golden_answers: &[(TaskId, ChoiceIndex)],
+        task_info: impl Fn(TaskId) -> (docs_types::DomainVector, ChoiceIndex) + Copy,
+        smoothing: f64,
+    ) {
+        self.registry
+            .init_from_golden(worker, golden_answers, task_info, smoothing);
+        self.golden_registry
+            .init_from_golden(worker, golden_answers, task_info, smoothing);
+    }
+
+    /// Processes one answer submission with the O(m·|V(i)|) update policy.
+    /// Returns `true` when the periodic full inference ran afterwards.
+    pub fn submit(&mut self, answer: Answer) -> Result<bool> {
+        let i = answer.task.index();
+        if i >= self.tasks.len() {
+            return Err(docs_types::Error::UnknownTask(answer.task));
+        }
+        self.tasks[i].check_choice(answer.choice)?;
+        // Snapshot prior answerers and the pre-update truth s̃_i.
+        let prior: Vec<(WorkerId, ChoiceIndex)> = self.log.task_answers(answer.task).clone();
+        self.log.record(answer)?;
+
+        let r = self.tasks[i].domain_vector().clone();
+        let s_before = self.states[i].s().to_vec();
+
+        // Step 1 (incremental): update M̂^{(i)}, M^{(i)}, s_i.
+        let q_w = self.registry.quality(answer.worker);
+        self.states[i].apply_answer(&r, &q_w, answer.choice);
+        let s_after = self.states[i].s().to_vec();
+
+        // Step 2 (incremental): the submitting worker absorbs the new task…
+        self.registry
+            .get_or_insert(answer.worker)
+            .absorb_answer(&r, s_after[answer.choice]);
+        // …and every earlier answerer's quality is revised for the moved
+        // truth probability of their recorded choice.
+        for (w_prev, j) in prior {
+            self.registry
+                .get_or_insert(w_prev)
+                .revise_answer(&r, s_before[j], s_after[j]);
+        }
+
+        self.submissions += 1;
+        if self.z > 0 && self.submissions.is_multiple_of(self.z) {
+            self.run_full();
+            return Ok(true);
+        }
+        Ok(false)
+    }
+
+    /// Runs the full iterative approach over everything received so far and
+    /// replaces the incremental estimates with the converged ones. Worker
+    /// weights are rebuilt from the log (`u^w_k = Σ_{t∈T(w)} r^t_k`).
+    pub fn run_full(&mut self) -> TiResult {
+        let result = self.ti.run(&self.tasks, &self.log, &self.golden_registry);
+        // Replace task states with converged ones.
+        self.states = result.states.clone();
+        // Replace worker statistics: converged quality (which already blends
+        // the golden/prior evidence) with weight = prior weight + batch
+        // weight, keeping Theorem 1's bookkeeping exact.
+        let m = self.registry.num_domains();
+        for (&w, q) in &result.qualities {
+            let mut weight = self
+                .golden_registry
+                .get(w)
+                .map(|s| s.weight.clone())
+                .unwrap_or_else(|| vec![0.0; m]);
+            for &(tid, _) in self.log.worker_answers(w) {
+                let r = self.tasks[tid.index()].domain_vector();
+                for k in 0..m {
+                    weight[k] += r[k];
+                }
+            }
+            self.registry.put(
+                w,
+                super::stats::WorkerStats {
+                    quality: q.clone(),
+                    weight,
+                },
+            );
+        }
+        result
+    }
+
+    /// Inferred truths under the current (incremental) states.
+    pub fn truths(&self) -> Vec<ChoiceIndex> {
+        self.states.iter().map(|st| st.truth()).collect()
+    }
+
+    /// Accuracy of the current truths against task ground truth.
+    pub fn accuracy(&self) -> f64 {
+        let mut correct = 0usize;
+        let mut total = 0usize;
+        for (task, state) in self.tasks.iter().zip(&self.states) {
+            if let Some(gt) = task.ground_truth {
+                total += 1;
+                if gt == state.truth() {
+                    correct += 1;
+                }
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            correct as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use docs_types::{DomainVector, TaskBuilder};
+
+    fn make_tasks(n: usize, m: usize) -> Vec<Task> {
+        (0..n)
+            .map(|i| {
+                TaskBuilder::new(i, format!("t{i}"))
+                    .yes_no()
+                    .with_ground_truth(i % 2)
+                    .with_domain_vector(DomainVector::one_hot(m, i % m))
+                    .build()
+                    .unwrap()
+            })
+            .collect()
+    }
+
+    fn ans(t: usize, w: usize, c: usize) -> Answer {
+        Answer {
+            task: TaskId::from(t),
+            worker: WorkerId::from(w),
+            choice: c,
+        }
+    }
+
+    #[test]
+    fn incremental_step1_matches_batch_recompute() {
+        let tasks = make_tasks(4, 2);
+        let registry = WorkerRegistry::new(2, 0.7);
+        let mut inc = IncrementalTi::new(tasks.clone(), registry.clone(), 0);
+        // Workers answer with fixed qualities: since registry holds priors
+        // and the incremental step uses the *current* quality, replaying the
+        // same sequence against TaskState::apply_answer must agree.
+        let stream = [ans(0, 0, 0), ans(0, 1, 1), ans(1, 0, 1), ans(0, 2, 0)];
+        let mut shadow = TaskState::new(2, 2);
+        let r0 = tasks[0].domain_vector().clone();
+        for a in stream {
+            let q = inc.registry().quality(a.worker);
+            if a.task.index() == 0 {
+                shadow.apply_answer(&r0, &q, a.choice);
+            }
+            inc.submit(a).unwrap();
+        }
+        for j in 0..2 {
+            assert!((inc.state(TaskId(0)).s()[j] - shadow.s()[j]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn duplicate_submission_rejected() {
+        let tasks = make_tasks(2, 2);
+        let mut inc = IncrementalTi::new(tasks, WorkerRegistry::new(2, 0.7), 0);
+        inc.submit(ans(0, 0, 0)).unwrap();
+        assert!(inc.submit(ans(0, 0, 1)).is_err());
+        assert_eq!(inc.submissions(), 1);
+    }
+
+    #[test]
+    fn invalid_choice_rejected_before_any_mutation() {
+        let tasks = make_tasks(2, 2);
+        let mut inc = IncrementalTi::new(tasks, WorkerRegistry::new(2, 0.7), 0);
+        assert!(inc.submit(ans(0, 0, 7)).is_err());
+        assert_eq!(inc.log().len(), 0);
+        assert_eq!(inc.submissions(), 0);
+    }
+
+    #[test]
+    fn quality_updates_move_in_right_direction() {
+        let tasks = make_tasks(2, 2);
+        let mut inc = IncrementalTi::new(tasks, WorkerRegistry::new(2, 0.7), 0);
+        // Three agreeing answers on task 0 (domain 0, truth 0): all three
+        // workers should end with domain-0 quality above the 0.7 prior.
+        for w in 0..3 {
+            inc.submit(ans(0, w, 0)).unwrap();
+        }
+        for w in 0..3 {
+            let q = inc.registry().quality(WorkerId(w));
+            assert!(q[0] > 0.7, "worker {w}: {q:?}");
+            // Domain 1 untouched (r_1 = 0 for task 0).
+            assert!((q[1] - 0.7).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn disagreeing_worker_loses_quality() {
+        let tasks = make_tasks(2, 2);
+        let mut inc = IncrementalTi::new(tasks, WorkerRegistry::new(2, 0.7), 0);
+        inc.submit(ans(0, 0, 0)).unwrap();
+        inc.submit(ans(0, 1, 0)).unwrap();
+        inc.submit(ans(0, 2, 1)).unwrap(); // dissent
+        let q_dissenter = inc.registry().quality(WorkerId(2));
+        let q_majority = inc.registry().quality(WorkerId(0));
+        assert!(q_dissenter[0] < q_majority[0]);
+        assert!(q_dissenter[0] < 0.7);
+    }
+
+    #[test]
+    fn periodic_full_inference_triggers() {
+        let tasks = make_tasks(4, 2);
+        let mut inc = IncrementalTi::new(tasks, WorkerRegistry::new(2, 0.7), 3);
+        assert!(!inc.submit(ans(0, 0, 0)).unwrap());
+        assert!(!inc.submit(ans(1, 0, 1)).unwrap());
+        assert!(inc.submit(ans(2, 0, 0)).unwrap()); // 3rd submission → full run
+        assert!(!inc.submit(ans(3, 0, 1)).unwrap());
+    }
+
+    #[test]
+    fn full_run_matches_standalone_iterative() {
+        let tasks = make_tasks(6, 2);
+        let registry = WorkerRegistry::new(2, 0.7);
+        let mut inc = IncrementalTi::new(tasks.clone(), registry.clone(), 0);
+        let mut log = AnswerLog::new(6);
+        for t in 0..6 {
+            for w in 0..3 {
+                let choice = if w == 2 { 1 - (t % 2) } else { t % 2 };
+                let a = ans(t, w, choice);
+                inc.submit(a).unwrap();
+                log.record(a).unwrap();
+            }
+        }
+        let incremental_result = inc.run_full();
+        let standalone = TruthInference::default().run(&tasks, &log, &registry);
+        assert_eq!(incremental_result.truths, standalone.truths);
+        for (w, q) in &standalone.qualities {
+            let qi = &incremental_result.qualities[w];
+            for k in 0..2 {
+                assert!((q[k] - qi[k]).abs() < 1e-12);
+            }
+        }
+        // And the engine's live registry was overwritten with the converged
+        // qualities.
+        for (w, q) in &standalone.qualities {
+            let live = inc.registry().quality(*w);
+            for k in 0..2 {
+                assert!((q[k] - live[k]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn accuracy_tracks_ground_truth() {
+        let tasks = make_tasks(4, 2);
+        let mut inc = IncrementalTi::new(tasks, WorkerRegistry::new(2, 0.8), 0);
+        for t in 0..4 {
+            for w in 0..3 {
+                inc.submit(ans(t, w, t % 2)).unwrap();
+            }
+        }
+        assert_eq!(inc.accuracy(), 1.0);
+    }
+
+    #[test]
+    fn golden_init_feeds_full_runs() {
+        let tasks = make_tasks(2, 2);
+        let mut inc = IncrementalTi::new(tasks, WorkerRegistry::new(2, 0.5), 0);
+        let golden_info = |_tid: TaskId| (DomainVector::one_hot(2, 0), 0usize);
+        inc.init_worker_from_golden(WorkerId(0), &[(TaskId(0), 0)], golden_info, 1.0);
+        let q = inc.registry().quality(WorkerId(0));
+        assert!(q[0] > 0.5);
+        // The golden registry feeds run_full as the initial point.
+        inc.submit(ans(0, 0, 0)).unwrap();
+        let result = inc.run_full();
+        assert!(result.qualities[&WorkerId(0)][0] > 0.5);
+    }
+}

@@ -1,0 +1,470 @@
+//! The iterative truth-inference approach of Section 4.1.
+
+use super::state::TaskState;
+use super::stats::WorkerRegistry;
+use docs_types::{prob, AnswerLog, ChoiceIndex, Task, WorkerId};
+use std::collections::HashMap;
+
+/// Configuration of the iterative approach.
+#[derive(Debug, Clone, Copy)]
+pub struct TiConfig {
+    /// Hard iteration cap; the paper observes convergence within ~10–20
+    /// iterations and terminates within "a few (say 20)".
+    pub max_iterations: usize,
+    /// Convergence threshold on the parameter change Δ (Section 6.3).
+    pub epsilon: f64,
+}
+
+impl Default for TiConfig {
+    fn default() -> Self {
+        TiConfig {
+            max_iterations: 20,
+            epsilon: 1e-5,
+        }
+    }
+}
+
+/// Output of truth inference: per-task states (`M^{(i)}`, `s_i`), final
+/// worker qualities, the inferred truths, and the per-iteration parameter
+/// change Δ (the Figure 4(a) convergence series).
+#[derive(Debug, Clone)]
+pub struct TiResult {
+    /// Per-task inference state, indexable by `TaskId::index()`.
+    pub states: Vec<TaskState>,
+    /// Estimated quality vector per worker seen in the answer log.
+    pub qualities: HashMap<WorkerId, Vec<f64>>,
+    /// Inferred truth `v*_i = argmax_j s_{i,j}` per task.
+    pub truths: Vec<ChoiceIndex>,
+    /// Δ after each iteration; `deltas.len()` is the iteration count.
+    pub deltas: Vec<f64>,
+}
+
+impl TiResult {
+    /// Fraction of tasks whose inferred truth matches the ground truth —
+    /// the paper's *Accuracy* metric. Tasks without recorded ground truth
+    /// are skipped.
+    pub fn accuracy(&self, tasks: &[Task]) -> f64 {
+        let mut correct = 0usize;
+        let mut total = 0usize;
+        for (task, &truth) in tasks.iter().zip(&self.truths) {
+            if let Some(gt) = task.ground_truth {
+                total += 1;
+                if gt == truth {
+                    correct += 1;
+                }
+            }
+        }
+        if total == 0 {
+            return 0.0;
+        }
+        correct as f64 / total as f64
+    }
+
+    /// Mean absolute deviation between estimated and true worker qualities,
+    /// `Σ_w Σ_k |q̃^w_k − q^w_k| / (m·|W|)` — the Figure 4(d) metric.
+    /// `true_quality` returns the length-`m` ground-truth vector `q̃^w`.
+    pub fn quality_deviation(&self, true_quality: impl Fn(WorkerId) -> Vec<f64>) -> f64 {
+        if self.qualities.is_empty() {
+            return 0.0;
+        }
+        let mut total = 0.0;
+        let mut count = 0usize;
+        for (&w, q) in &self.qualities {
+            let tq = true_quality(w);
+            debug_assert_eq!(tq.len(), q.len());
+            total += prob::l1_distance(q, &tq);
+            count += q.len();
+        }
+        total / count as f64
+    }
+}
+
+/// The iterative truth-inference algorithm (Section 4.1).
+#[derive(Debug, Clone, Default)]
+pub struct TruthInference {
+    config: TiConfig,
+}
+
+impl TruthInference {
+    /// Creates the algorithm with a custom configuration.
+    pub fn new(config: TiConfig) -> Self {
+        TruthInference { config }
+    }
+
+    /// Runs inference over the collected answers.
+    ///
+    /// * `tasks` — the published tasks; each must carry its domain vector
+    ///   (run DVE first).
+    /// * `answers` — the full answer log.
+    /// * `registry` — initial worker qualities (golden-task initialization
+    ///   per Section 5.2; unseen workers get the registry prior).
+    ///
+    /// # Panics
+    /// Panics if a task lacks a domain vector or the log covers a different
+    /// number of tasks.
+    pub fn run(&self, tasks: &[Task], answers: &AnswerLog, registry: &WorkerRegistry) -> TiResult {
+        assert_eq!(
+            tasks.len(),
+            answers.num_tasks(),
+            "answer log and task set disagree on n"
+        );
+        let m = registry.num_domains();
+
+        // Initial qualities from the registry (golden-task initialized), and
+        // the registry's evidence weights. Golden tasks are tasks the worker
+        // *answered*, so Step 2 keeps them in `T(w)` as pseudo-observations
+        // with their recorded weight `u^w_k` — the Theorem 1 merge between
+        // stored statistics and the current batch. Unseen workers carry zero
+        // weight and reduce to the plain Eq. 5.
+        let mut qualities: HashMap<WorkerId, Vec<f64>> = answers
+            .workers()
+            .map(|w| (w, registry.quality(w)))
+            .collect();
+        let init_qualities = qualities.clone();
+        let prior_weights: HashMap<WorkerId, Vec<f64>> = answers
+            .workers()
+            .map(|w| {
+                let weight = registry
+                    .get(w)
+                    .map(|s| s.weight.clone())
+                    .unwrap_or_else(|| vec![0.0; m]);
+                (w, weight)
+            })
+            .collect();
+
+        let mut states: Vec<TaskState> = tasks
+            .iter()
+            .map(|t| TaskState::new(m, t.num_choices()))
+            .collect();
+
+        let mut deltas = Vec::new();
+        for _ in 0..self.config.max_iterations {
+            // ---- Step 1: infer the truth (q^w → s_i), Eqs. 2-4. ----
+            let mut delta_s = 0.0;
+            for (task, state) in tasks.iter().zip(states.iter_mut()) {
+                let v = answers.task_answers(task.id);
+                let prev_s = state.s().to_vec();
+                state.recompute(task.domain_vector(), v, |w| {
+                    qualities
+                        .get(&w)
+                        .map(|q| q.as_slice())
+                        .expect("every answering worker has a quality entry")
+                });
+                delta_s += prob::l1_distance(&prev_s, state.s())
+                    / (tasks.len() as f64 * task.num_choices() as f64);
+            }
+
+            // ---- Step 2: estimate worker quality (s_i → q^w), Eq. 5. ----
+            let mut delta_q = 0.0;
+            let num_workers = qualities.len().max(1);
+            for (w, q) in qualities.iter_mut() {
+                let prior_w = &prior_weights[w];
+                let init_q = &init_qualities[w];
+                // Seed Eq. 5's sums with the registry evidence (golden
+                // answers / previous batches): numerator q̂_k·û_k,
+                // denominator û_k.
+                let mut num: Vec<f64> = (0..m).map(|k| init_q[k] * prior_w[k]).collect();
+                let mut den = prior_w.clone();
+                for &(tid, choice) in answers.worker_answers(*w) {
+                    let r = tasks[tid.index()].domain_vector();
+                    let s = states[tid.index()].s();
+                    for k in 0..m {
+                        num[k] += r[k] * s[choice];
+                        den[k] += r[k];
+                    }
+                }
+                let mut change = 0.0;
+                for k in 0..m {
+                    let new_q = if den[k] > 0.0 {
+                        num[k] / den[k]
+                    } else {
+                        // No evidence at all for this domain: keep the
+                        // initial (prior) value.
+                        init_q[k]
+                    };
+                    change += (new_q - q[k]).abs();
+                    q[k] = new_q;
+                }
+                delta_q += change / (num_workers as f64 * m as f64);
+            }
+
+            let delta = delta_s + delta_q;
+            deltas.push(delta);
+            if delta < self.config.epsilon {
+                break;
+            }
+        }
+
+        let truths = states.iter().map(|st| st.truth()).collect();
+        TiResult {
+            states,
+            qualities,
+            truths,
+            deltas,
+        }
+    }
+
+    /// Runs inference and folds the estimated qualities back into the
+    /// registry via Theorem 1 (quality maintenance across requesters).
+    pub fn run_and_maintain(
+        &self,
+        tasks: &[Task],
+        answers: &AnswerLog,
+        registry: &mut WorkerRegistry,
+    ) -> TiResult {
+        let result = self.run(tasks, answers, registry);
+        let m = registry.num_domains();
+        for (&w, q) in &result.qualities {
+            // The converged quality already blends the registry's prior
+            // evidence (Step 2 seeds Eq. 5 with it), so store it directly
+            // with the combined weight û^w_k + Σ_{t ∈ T(w)} r^t_k — a
+            // second Theorem 1 merge would double-count the prior.
+            let mut weight = registry
+                .get(w)
+                .map(|s| s.weight.clone())
+                .unwrap_or_else(|| vec![0.0; m]);
+            for &(tid, _) in answers.worker_answers(w) {
+                let r = tasks[tid.index()].domain_vector();
+                for k in 0..m {
+                    weight[k] += r[k];
+                }
+            }
+            registry.put(
+                w,
+                super::stats::WorkerStats {
+                    quality: q.clone(),
+                    weight,
+                },
+            );
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use docs_types::{Answer, DomainVector, TaskBuilder, TaskId};
+
+    /// Tiny deterministic LCG so answer generation needs no rand dependency.
+    struct Lcg(u64);
+    impl Lcg {
+        fn next_f64(&mut self) -> f64 {
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (self.0 >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+
+    /// Builds a 2-domain world with 40 tasks (20 per domain) and 6 workers:
+    /// two domain-0 experts, two domain-1 experts, two mediocre workers.
+    /// Answers are sampled from the true per-domain qualities, exactly the
+    /// answer model DOCS assumes (Eq. 4).
+    fn build_world() -> (Vec<Task>, AnswerLog, Vec<Vec<f64>>) {
+        let n = 40;
+        let mut tasks = Vec::new();
+        for i in 0..n {
+            let domain = usize::from(i >= 20);
+            tasks.push(
+                TaskBuilder::new(i, format!("task {i}"))
+                    .yes_no()
+                    .with_ground_truth(i % 2)
+                    .with_true_domain(domain)
+                    .with_domain_vector(DomainVector::one_hot(2, domain))
+                    .build()
+                    .unwrap(),
+            );
+        }
+        let true_q: Vec<Vec<f64>> = vec![
+            vec![0.95, 0.55],
+            vec![0.95, 0.55],
+            vec![0.55, 0.95],
+            vec![0.55, 0.95],
+            vec![0.6, 0.6],
+            vec![0.6, 0.6],
+        ];
+        let mut rng = Lcg(0xD0C5);
+        let mut log = AnswerLog::new(n);
+        for i in 0..n {
+            let truth = i % 2;
+            let domain = usize::from(i >= 20);
+            for (w, q) in true_q.iter().enumerate() {
+                let correct = rng.next_f64() < q[domain];
+                log.record(Answer {
+                    task: TaskId::from(i),
+                    worker: WorkerId::from(w),
+                    choice: if correct { truth } else { 1 - truth },
+                })
+                .unwrap();
+            }
+        }
+        (tasks, log, true_q)
+    }
+
+    #[test]
+    fn infers_truths_and_expertise() {
+        let (tasks, log, _) = build_world();
+        let registry = WorkerRegistry::new(2, 0.6);
+        let result = TruthInference::default().run(&tasks, &log, &registry);
+
+        assert!(
+            result.accuracy(&tasks) >= 0.9,
+            "accuracy {}, truths: {:?}",
+            result.accuracy(&tasks),
+            result.truths
+        );
+        // Experts must look like experts in their own domain.
+        let q0 = &result.qualities[&WorkerId(0)];
+        let q2 = &result.qualities[&WorkerId(2)];
+        assert!(q0[0] > 0.8, "q0 = {q0:?}");
+        assert!(q2[1] > 0.8, "q2 = {q2:?}");
+        assert!(q0[0] > q0[1], "expert confined to own domain: {q0:?}");
+        assert!(q2[1] > q2[0]);
+    }
+
+    #[test]
+    fn estimated_qualities_approach_truth() {
+        let (tasks, log, true_q) = build_world();
+        let registry = WorkerRegistry::new(2, 0.6);
+        let result = TruthInference::default().run(&tasks, &log, &registry);
+        let dev = result.quality_deviation(|w| true_q[w.index()].clone());
+        assert!(dev < 0.15, "mean quality deviation {dev}");
+    }
+
+    #[test]
+    fn converges_quickly() {
+        let (tasks, log, _) = build_world();
+        let registry = WorkerRegistry::new(2, 0.6);
+        let result = TruthInference::default().run(&tasks, &log, &registry);
+        assert!(
+            result.deltas.len() <= 20,
+            "expected convergence within 20 iterations, got {}",
+            result.deltas.len()
+        );
+        // Δ shrinks monotonically-ish: last delta far below first.
+        let first = result.deltas[0];
+        let last = *result.deltas.last().unwrap();
+        assert!(last < first / 10.0, "deltas = {:?}", result.deltas);
+    }
+
+    #[test]
+    fn step2_running_example() {
+        // Section 4.1's Step 2 example: worker answers t1, t2 with the first
+        // choice; s_{1,1}=0.95, s_{2,1}=0.3, r1_2=0.9, r2_2=0.05 ⇒ q_2=0.92.
+        let tasks = [
+            TaskBuilder::new(0usize, "t1")
+                .yes_no()
+                .with_domain_vector(DomainVector::new(vec![0.1, 0.9]).unwrap())
+                .build()
+                .unwrap(),
+            TaskBuilder::new(1usize, "t2")
+                .yes_no()
+                .with_domain_vector(DomainVector::new(vec![0.95, 0.05]).unwrap())
+                .build()
+                .unwrap(),
+        ];
+        let s = [vec![0.95, 0.05], vec![0.3, 0.7]];
+        // Direct evaluation of Eq. 5 for k = 2 (index 1).
+        let r1 = tasks[0].domain_vector();
+        let r2 = tasks[1].domain_vector();
+        let q2 = (r1[1] * s[0][0] + r2[1] * s[1][0]) / (r1[1] + r2[1]);
+        assert!((q2 - 0.9157894736842105).abs() < 1e-12);
+        // Paper rounds to 0.92.
+        assert!((q2 - 0.92).abs() < 0.005);
+    }
+
+    #[test]
+    fn empty_log_yields_uniform_states() {
+        let tasks = vec![TaskBuilder::new(0usize, "t")
+            .yes_no()
+            .with_domain_vector(DomainVector::uniform(2))
+            .build()
+            .unwrap()];
+        let log = AnswerLog::new(1);
+        let registry = WorkerRegistry::new(2, 0.7);
+        let result = TruthInference::default().run(&tasks, &log, &registry);
+        assert_eq!(result.states[0].s(), &[0.5, 0.5]);
+        assert!(result.qualities.is_empty());
+    }
+
+    #[test]
+    fn golden_initialization_improves_inference() {
+        // A world where the majority is wrong on every task; only a good
+        // prior on the minority worker lets TI recover the truth.
+        let n = 6;
+        let mut tasks = Vec::new();
+        for i in 0..n {
+            tasks.push(
+                TaskBuilder::new(i, format!("t{i}"))
+                    .yes_no()
+                    .with_ground_truth(0)
+                    .with_domain_vector(DomainVector::one_hot(1, 0))
+                    .build()
+                    .unwrap(),
+            );
+        }
+        let mut log = AnswerLog::new(n);
+        for i in 0..n {
+            log.record(Answer {
+                task: TaskId::from(i),
+                worker: WorkerId(0),
+                choice: 0,
+            })
+            .unwrap();
+            for w in 1..3 {
+                log.record(Answer {
+                    task: TaskId::from(i),
+                    worker: WorkerId(w),
+                    choice: 1,
+                })
+                .unwrap();
+            }
+        }
+        // Registry knows worker 0 is excellent and workers 1, 2 are bad.
+        let mut registry = WorkerRegistry::new(1, 0.5);
+        registry.put(
+            WorkerId(0),
+            super::super::stats::WorkerStats {
+                quality: vec![0.95],
+                weight: vec![20.0],
+            },
+        );
+        for w in 1..3 {
+            registry.put(
+                WorkerId(w),
+                super::super::stats::WorkerStats {
+                    quality: vec![0.2],
+                    weight: vec![20.0],
+                },
+            );
+        }
+        let result = TruthInference::default().run(&tasks, &log, &registry);
+        assert_eq!(result.accuracy(&tasks), 1.0);
+    }
+
+    #[test]
+    fn run_and_maintain_updates_registry() {
+        let (tasks, log, _) = build_world();
+        let mut registry = WorkerRegistry::new(2, 0.6);
+        let result = TruthInference::default().run_and_maintain(&tasks, &log, &mut registry);
+        let stats = registry.get(WorkerId(0)).unwrap();
+        // Worker 0 answered all 40 tasks; 20 fully in each domain.
+        assert!((stats.weight[0] - 20.0).abs() < 1e-9);
+        assert!((stats.weight[1] - 20.0).abs() < 1e-9);
+        // Registry quality equals the inferred quality (prior weight was 0).
+        assert!((stats.quality[0] - result.qualities[&WorkerId(0)][0]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quality_deviation_metric() {
+        let (tasks, log, _) = build_world();
+        let registry = WorkerRegistry::new(2, 0.6);
+        let result = TruthInference::default().run(&tasks, &log, &registry);
+        let dev_self = result.quality_deviation(|w| result.qualities[&w].clone());
+        assert_eq!(dev_self, 0.0);
+        let dev_other = result.quality_deviation(|_| vec![0.0, 0.0]);
+        assert!(dev_other > 0.0);
+    }
+}

@@ -1,0 +1,358 @@
+//! Per-task inference state: the matrix `M^{(i)}`, its unnormalized
+//! numerator `M̂^{(i)}`, and the probabilistic truth `s_i`.
+
+use docs_types::{prob, ChoiceIndex, DomainVector, WorkerId};
+use serde::{Deserialize, Serialize};
+
+/// Worker qualities are probabilities; products in Eq. 3 divide by `1 - q`
+/// and by `q`, so both are kept away from the exact endpoints.
+const Q_EPS: f64 = 1e-6;
+
+/// Clamps a quality value into `[Q_EPS, 1 - Q_EPS]` for use inside
+/// likelihood products.
+#[inline]
+pub fn clamp_quality(q: f64) -> f64 {
+    q.clamp(Q_EPS, 1.0 - Q_EPS)
+}
+
+/// The per-task state Section 4.2 stores in the database: the `m × ℓ`
+/// matrix `M^{(i)}` (each row `M^{(i)}_{k,•}` is the truth distribution
+/// conditioned on the task's true domain being `d_k`), the numerator matrix
+/// `M̂^{(i)}` that makes single-answer updates O(m·ℓ), and the probabilistic
+/// truth `s_i = r^{t_i} × M^{(i)}`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TaskState {
+    m: usize,
+    num_choices: usize,
+    /// Numerator of Eq. 3, row-major `m × ℓ`: products of per-worker answer
+    /// likelihoods. An empty answer set gives the all-ones matrix.
+    m_hat: Vec<f64>,
+    /// Row-normalized `M^{(i)}`, row-major `m × ℓ`.
+    m_matrix: Vec<f64>,
+    /// Probabilistic truth `s_i`, length `ℓ`.
+    s: Vec<f64>,
+}
+
+impl TaskState {
+    /// Fresh state for a task with `ℓ` choices over `m` domains: no answers
+    /// yet, so every row of `M` (and `s`) is uniform — the paper's uniform
+    /// prior assumption.
+    pub fn new(m: usize, num_choices: usize) -> Self {
+        assert!(m >= 1 && num_choices >= 2);
+        TaskState {
+            m,
+            num_choices,
+            m_hat: vec![1.0; m * num_choices],
+            m_matrix: vec![1.0 / num_choices as f64; m * num_choices],
+            s: prob::uniform(num_choices),
+        }
+    }
+
+    /// Number of domains `m`.
+    #[inline]
+    pub fn num_domains(&self) -> usize {
+        self.m
+    }
+
+    /// Number of choices `ℓ`.
+    #[inline]
+    pub fn num_choices(&self) -> usize {
+        self.num_choices
+    }
+
+    /// `M^{(i)}_{k,j}`.
+    #[inline]
+    pub fn m_entry(&self, k: usize, j: usize) -> f64 {
+        self.m_matrix[k * self.num_choices + j]
+    }
+
+    /// Row `M^{(i)}_{k,•}`.
+    #[inline]
+    pub fn m_row(&self, k: usize) -> &[f64] {
+        &self.m_matrix[k * self.num_choices..(k + 1) * self.num_choices]
+    }
+
+    /// The probabilistic truth `s_i`.
+    #[inline]
+    pub fn s(&self) -> &[f64] {
+        &self.s
+    }
+
+    /// The inferred truth `v*_i = argmax_j s_{i,j}`.
+    pub fn truth(&self) -> ChoiceIndex {
+        prob::argmax(&self.s)
+    }
+
+    /// Per-worker answer likelihood (Eq. 4):
+    /// `Pr(v^w_i | o_i = k, v*_i = j) = q_k^{1{v=j}} · ((1-q_k)/(ℓ-1))^{1{v≠j}}`.
+    #[inline]
+    fn likelihood(qk: f64, answered: ChoiceIndex, truth_j: usize, num_choices: usize) -> f64 {
+        let q = clamp_quality(qk);
+        if answered == truth_j {
+            q
+        } else {
+            (1.0 - q) / (num_choices as f64 - 1.0)
+        }
+    }
+
+    /// Recomputes `M̂`, `M` and `s` from scratch for a given answer set and
+    /// quality lookup — Step 1 of the iterative approach (Eqs. 2–4).
+    ///
+    /// `quality_of` must return the answering worker's length-`m` quality
+    /// vector.
+    pub fn recompute<'q>(
+        &mut self,
+        r: &DomainVector,
+        answers: &[(WorkerId, ChoiceIndex)],
+        mut quality_of: impl FnMut(WorkerId) -> &'q [f64],
+    ) {
+        debug_assert_eq!(r.len(), self.m);
+        let l = self.num_choices;
+        self.m_hat.iter_mut().for_each(|v| *v = 1.0);
+        for &(w, v) in answers {
+            let q = quality_of(w);
+            debug_assert_eq!(q.len(), self.m);
+            // `k` both indexes `q` and derives the row slice; an iterator
+            // chain here obscures the M̂ row structure.
+            #[allow(clippy::needless_range_loop)]
+            for k in 0..self.m {
+                let row = &mut self.m_hat[k * l..(k + 1) * l];
+                for (j, slot) in row.iter_mut().enumerate() {
+                    *slot *= Self::likelihood(q[k], v, j, l);
+                }
+            }
+        }
+        self.normalize_rows();
+        self.recompute_s(r);
+    }
+
+    /// Applies one newly arrived answer in O(m·ℓ) — the incremental Step 1
+    /// of Section 4.2: multiply the new worker's likelihoods into `M̂`,
+    /// renormalize each row, refresh `s`.
+    pub fn apply_answer(&mut self, r: &DomainVector, quality: &[f64], choice: ChoiceIndex) {
+        debug_assert_eq!(quality.len(), self.m);
+        debug_assert!(choice < self.num_choices);
+        let l = self.num_choices;
+        // Same row-slice structure as `recompute` above.
+        #[allow(clippy::needless_range_loop)]
+        for k in 0..self.m {
+            let row = &mut self.m_hat[k * l..(k + 1) * l];
+            for (j, slot) in row.iter_mut().enumerate() {
+                *slot *= Self::likelihood(quality[k], choice, j, l);
+            }
+        }
+        self.normalize_rows();
+        self.recompute_s(r);
+    }
+
+    /// Hypothetical update matrix `M^{(i)}|a` of Theorem 3: what `M` becomes
+    /// if the worker with the given quality answers choice `a`. Used by OTA
+    /// without mutating the real state.
+    pub fn m_given_answer(&self, quality: &[f64], a: ChoiceIndex) -> Vec<f64> {
+        let l = self.num_choices;
+        let mut out = vec![0.0; self.m * l];
+        for k in 0..self.m {
+            let row = &mut out[k * l..(k + 1) * l];
+            let mut sum = 0.0;
+            for (j, slot) in row.iter_mut().enumerate() {
+                let v = self.m_entry(k, j) * Self::likelihood(quality[k], a, j, l);
+                *slot = v;
+                sum += v;
+            }
+            if sum > 0.0 {
+                for slot in row.iter_mut() {
+                    *slot /= sum;
+                }
+            } else {
+                row.iter_mut().for_each(|x| *x = 1.0 / l as f64);
+            }
+        }
+        out
+    }
+
+    /// `ŝ_i = r × (M|a)` for a hypothetical matrix produced by
+    /// [`TaskState::m_given_answer`].
+    pub fn s_from_matrix(&self, r: &DomainVector, matrix: &[f64]) -> Vec<f64> {
+        let l = self.num_choices;
+        let mut s = vec![0.0; l];
+        for k in 0..self.m {
+            let rk = r[k];
+            if rk == 0.0 {
+                continue;
+            }
+            for (j, slot) in s.iter_mut().enumerate() {
+                *slot += rk * matrix[k * l + j];
+            }
+        }
+        // Rows of M are distributions and r is a distribution, so s already
+        // sums to 1; normalize defensively against drift.
+        prob::normalize_in_place(&mut s);
+        s
+    }
+
+    fn normalize_rows(&mut self) {
+        let l = self.num_choices;
+        for k in 0..self.m {
+            let hat = &self.m_hat[k * l..(k + 1) * l];
+            let sum: f64 = hat.iter().sum();
+            let row = &mut self.m_matrix[k * l..(k + 1) * l];
+            if sum > 0.0 && sum.is_finite() {
+                for (slot, &h) in row.iter_mut().zip(hat) {
+                    *slot = h / sum;
+                }
+            } else {
+                row.iter_mut().for_each(|x| *x = 1.0 / l as f64);
+            }
+        }
+        // Guard against underflow in long-lived numerators: rescale M̂ rows
+        // whose mass collapsed; the normalized M is unaffected.
+        for k in 0..self.m {
+            let hat = &mut self.m_hat[k * l..(k + 1) * l];
+            let max = hat.iter().cloned().fold(0.0_f64, f64::max);
+            if max > 0.0 && max < 1e-100 {
+                hat.iter_mut().for_each(|x| *x /= max);
+            }
+        }
+    }
+
+    /// Recomputes `s_i = r^{t_i} × M^{(i)}` (Eq. 2).
+    pub fn recompute_s(&mut self, r: &DomainVector) {
+        let l = self.num_choices;
+        self.s.iter_mut().for_each(|x| *x = 0.0);
+        for k in 0..self.m {
+            let rk = r[k];
+            if rk == 0.0 {
+                continue;
+            }
+            for (j, slot) in self.s.iter_mut().enumerate() {
+                *slot += rk * self.m_matrix[k * l + j];
+            }
+        }
+        prob::normalize_in_place(&mut self.s);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use docs_types::WorkerId;
+
+    /// Table 1 / Section 4.1 running example: three workers answer task t1
+    /// (r = [0, 0.78, 0.22]); the computed s must favor "yes" despite two
+    /// "no" answers, because w1 is the sports expert.
+    #[test]
+    fn table1_running_example() {
+        let r = DomainVector::new(vec![0.0, 0.78, 0.22]).unwrap();
+        let qualities = [
+            vec![0.3, 0.9, 0.6], // w1
+            vec![0.9, 0.6, 0.3], // w2
+            vec![0.6, 0.3, 0.9], // w3
+        ];
+        let answers = [
+            (WorkerId(0), 0usize), // yes
+            (WorkerId(1), 1usize), // no
+            (WorkerId(2), 1usize), // no
+        ];
+        let mut st = TaskState::new(3, 2);
+        st.recompute(&r, &answers, |w| qualities[w.index()].as_slice());
+
+        // Paper: M_{2,•} = [0.93, 0.07], M_{1,•} = [0.03, 0.97],
+        // M_{3,•} = [0.28, 0.72] (1-indexed domains).
+        assert!(
+            (st.m_entry(1, 0) - 0.93).abs() < 0.005,
+            "{}",
+            st.m_entry(1, 0)
+        );
+        assert!((st.m_entry(0, 0) - 0.03).abs() < 0.005);
+        assert!((st.m_entry(2, 0) - 0.28).abs() < 0.005);
+        // s1 = [0.79, 0.21].
+        assert!((st.s()[0] - 0.79).abs() < 0.01, "s = {:?}", st.s());
+        assert!((st.s()[1] - 0.21).abs() < 0.01);
+        assert_eq!(st.truth(), 0); // "yes" wins.
+    }
+
+    #[test]
+    fn fresh_state_is_uniform() {
+        let st = TaskState::new(4, 3);
+        assert_eq!(st.s(), &[1.0 / 3.0; 3]);
+        for k in 0..4 {
+            assert_eq!(st.m_row(k), &[1.0 / 3.0; 3]);
+        }
+    }
+
+    #[test]
+    fn incremental_apply_matches_recompute() {
+        let r = DomainVector::new(vec![0.2, 0.5, 0.3]).unwrap();
+        let qualities = [vec![0.9, 0.4, 0.7], vec![0.5, 0.8, 0.2]];
+        let answers = [(WorkerId(0), 1usize), (WorkerId(1), 0usize)];
+
+        let mut batch = TaskState::new(3, 2);
+        batch.recompute(&r, &answers, |w| qualities[w.index()].as_slice());
+
+        let mut inc = TaskState::new(3, 2);
+        inc.apply_answer(&r, &qualities[0], 1);
+        inc.apply_answer(&r, &qualities[1], 0);
+
+        for k in 0..3 {
+            for j in 0..2 {
+                assert!((batch.m_entry(k, j) - inc.m_entry(k, j)).abs() < 1e-12);
+            }
+        }
+        for j in 0..2 {
+            assert!((batch.s()[j] - inc.s()[j]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn m_given_answer_matches_actual_update() {
+        let r = DomainVector::new(vec![0.6, 0.4]).unwrap();
+        let q = vec![0.85, 0.3];
+        let mut st = TaskState::new(2, 3);
+        st.apply_answer(&r, &[0.7, 0.7], 2);
+
+        let hypothetical = st.m_given_answer(&q, 1);
+        let s_hyp = st.s_from_matrix(&r, &hypothetical);
+
+        let mut applied = st.clone();
+        applied.apply_answer(&r, &q, 1);
+        for k in 0..2 {
+            for j in 0..3 {
+                assert!(
+                    (hypothetical[k * 3 + j] - applied.m_entry(k, j)).abs() < 1e-12,
+                    "k={k} j={j}"
+                );
+            }
+        }
+        for (hyp, actual) in s_hyp.iter().zip(applied.s()) {
+            assert!((hyp - actual).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn extreme_qualities_are_clamped() {
+        let r = DomainVector::new(vec![1.0, 0.0]).unwrap();
+        let mut st = TaskState::new(2, 2);
+        st.apply_answer(&r, &[1.0, 0.0], 0);
+        assert!(st.s()[0] > 0.99);
+        assert!(st.s().iter().all(|p| p.is_finite() && *p >= 0.0));
+    }
+
+    #[test]
+    fn underflow_guard_keeps_numerators_finite() {
+        let r = DomainVector::new(vec![0.5, 0.5]).unwrap();
+        let mut st = TaskState::new(2, 2);
+        // 2000 consistent answers would underflow naive products.
+        for _ in 0..2000 {
+            st.apply_answer(&r, &[0.9, 0.9], 0);
+        }
+        assert!(st.s()[0] > 0.999);
+        assert!(st.s().iter().all(|p| p.is_finite()));
+    }
+
+    #[test]
+    fn clamp_quality_bounds() {
+        assert!(clamp_quality(0.0) > 0.0);
+        assert!(clamp_quality(1.0) < 1.0);
+        assert_eq!(clamp_quality(0.5), 0.5);
+    }
+}

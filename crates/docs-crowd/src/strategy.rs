@@ -1,0 +1,37 @@
+//! The protocol between the platform and a task-assignment method.
+
+use docs_types::{Answer, ChoiceIndex, TaskId, WorkerId};
+
+/// A task-assignment method under evaluation.
+///
+/// The platform drives each method through three calls:
+///
+/// 1. [`AssignmentStrategy::init_worker`] the first time a worker arrives,
+///    with her answers to the shared golden tasks (Section 5.2),
+/// 2. [`AssignmentStrategy::assign`] whenever the worker requests a HIT,
+/// 3. [`AssignmentStrategy::feedback`] for every answer the worker submits
+///    on the method's assignment.
+///
+/// Each method keeps its own answer state: the parallel comparison of
+/// Section 6.1 runs all methods on the *same* worker stream but with
+/// independent answer logs.
+pub trait AssignmentStrategy {
+    /// Display name (used in experiment reports, e.g. "DOCS", "QASCA").
+    fn name(&self) -> &'static str;
+
+    /// Called once per new worker with her golden-task answers.
+    fn init_worker(&mut self, worker: WorkerId, golden: &[(TaskId, ChoiceIndex)]);
+
+    /// Selects up to `k` tasks for the worker. Tasks the worker already
+    /// answered under this method must not be returned. An empty result
+    /// tells the platform this method has nothing left to ask this worker.
+    fn assign(&mut self, worker: WorkerId, k: usize) -> Vec<TaskId>;
+
+    /// Delivers one submitted answer for a task this method assigned.
+    fn feedback(&mut self, answer: Answer);
+
+    /// Final inferred truths, one per task, produced by the method's own
+    /// truth-inference procedure (each baseline pairs assignment with the
+    /// inference the original paper used).
+    fn truths(&self) -> Vec<ChoiceIndex>;
+}

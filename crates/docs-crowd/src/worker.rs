@@ -1,0 +1,414 @@
+//! Simulated workers with ground-truth per-domain qualities.
+
+use docs_types::{ChoiceIndex, QualityVector, Task, WorkerId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// How a simulated worker produces an answer from her true quality.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AnswerModel {
+    /// The model DOCS assumes (Eq. 4): correct with probability `q̃_k` where
+    /// `d_k` is the task's true domain; wrong answers uniform over the
+    /// remaining `ℓ − 1` choices.
+    DomainUniform,
+    /// Model mismatch: wrong answers concentrate on one "attractive"
+    /// distractor (choice `(truth + 1) mod ℓ` with the given bias) instead
+    /// of being uniform — the Dawid-Skene confusion-matrix world.
+    Confused {
+        /// Probability mass of the preferred distractor among wrong answers.
+        bias: f64,
+    },
+    /// Model mismatch: with the given probability the worker ignores the
+    /// task entirely and answers uniformly at random (including the truth).
+    Sloppy {
+        /// Probability of answering at random.
+        carelessness: f64,
+    },
+    /// Adversarial collusion: with probability `malice` the worker
+    /// *deliberately* answers the canonical wrong choice
+    /// (`(truth + 1) mod ℓ`) — the same one every other adversary picks, so
+    /// colluders agree with each other and look consistent to inference;
+    /// otherwise she answers per [`AnswerModel::DomainUniform`]. This is the
+    /// hardest stress for truth inference: the paper warns that weighted
+    /// majority voting "is easy to be misled by the answers given by
+    /// multiple low-quality workers", and collusion makes those answers
+    /// correlate.
+    Adversarial {
+        /// Probability of giving the colluding wrong answer.
+        malice: f64,
+    },
+}
+
+/// One simulated worker: her identity and ground-truth quality vector `q̃^w`.
+#[derive(Debug, Clone)]
+pub struct SimulatedWorker {
+    /// Platform identity.
+    pub id: WorkerId,
+    /// Ground-truth per-domain accuracy (the `q̃^w` of Section 6.3's
+    /// worker-quality case studies).
+    pub true_quality: QualityVector,
+}
+
+impl SimulatedWorker {
+    /// Answers a task under the given answer model.
+    ///
+    /// The task must carry its ground truth and true domain (datasets built
+    /// by `docs-datasets` always do). The worker's accuracy is her true
+    /// quality in the task's true domain.
+    pub fn answer(&self, task: &Task, model: AnswerModel, rng: &mut SmallRng) -> ChoiceIndex {
+        let truth = task
+            .ground_truth
+            .expect("simulated workers need tasks with ground truth");
+        let domain = task
+            .true_domain
+            .expect("simulated workers need tasks with a true domain");
+        let l = task.num_choices();
+        let q = self.true_quality[domain];
+
+        match model {
+            AnswerModel::DomainUniform => {
+                if rng.gen::<f64>() < q {
+                    truth
+                } else {
+                    wrong_uniform(truth, l, rng)
+                }
+            }
+            AnswerModel::Confused { bias } => {
+                if rng.gen::<f64>() < q {
+                    truth
+                } else if l == 2 {
+                    1 - truth
+                } else if rng.gen::<f64>() < bias {
+                    (truth + 1) % l
+                } else {
+                    wrong_uniform(truth, l, rng)
+                }
+            }
+            AnswerModel::Sloppy { carelessness } => {
+                if rng.gen::<f64>() < carelessness {
+                    rng.gen_range(0..l)
+                } else if rng.gen::<f64>() < q {
+                    truth
+                } else {
+                    wrong_uniform(truth, l, rng)
+                }
+            }
+            AnswerModel::Adversarial { malice } => {
+                if rng.gen::<f64>() < malice {
+                    (truth + 1) % l
+                } else if rng.gen::<f64>() < q {
+                    truth
+                } else {
+                    wrong_uniform(truth, l, rng)
+                }
+            }
+        }
+    }
+}
+
+fn wrong_uniform(truth: ChoiceIndex, l: usize, rng: &mut SmallRng) -> ChoiceIndex {
+    let mut c = rng.gen_range(0..l - 1);
+    if c >= truth {
+        c += 1;
+    }
+    c
+}
+
+/// Mixture configuration for the worker population.
+#[derive(Debug, Clone)]
+pub struct PopulationConfig {
+    /// Number of domains `m`.
+    pub m: usize,
+    /// Number of workers.
+    pub size: usize,
+    /// Fraction of workers that are domain experts.
+    pub expert_fraction: f64,
+    /// How many domains each expert excels in (1 or 2 typically; capped
+    /// at `m`).
+    pub expert_domains: usize,
+    /// Expert quality range inside their domains.
+    pub expert_quality: (f64, f64),
+    /// Quality range outside expert domains / for normal workers.
+    pub base_quality: (f64, f64),
+    /// Fraction of spammers (quality ≈ random guessing everywhere).
+    pub spammer_fraction: f64,
+    /// Spammer quality range.
+    pub spammer_quality: (f64, f64),
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for PopulationConfig {
+    fn default() -> Self {
+        PopulationConfig {
+            m: 4,
+            size: 50,
+            expert_fraction: 0.4,
+            expert_domains: 1,
+            expert_quality: (0.85, 0.97),
+            base_quality: (0.5, 0.7),
+            spammer_fraction: 0.1,
+            spammer_quality: (0.4, 0.55),
+            seed: 0xC20D,
+        }
+    }
+}
+
+/// The simulated worker population.
+#[derive(Debug, Clone)]
+pub struct WorkerPopulation {
+    workers: Vec<SimulatedWorker>,
+}
+
+impl WorkerPopulation {
+    /// Samples a population from the mixture configuration. Expert domains
+    /// rotate round-robin so every domain gets experts.
+    pub fn generate(config: &PopulationConfig) -> Self {
+        assert!(config.size > 0 && config.m > 0);
+        let mut rng = SmallRng::seed_from_u64(config.seed);
+        let n_expert = (config.size as f64 * config.expert_fraction).round() as usize;
+        let n_spam = (config.size as f64 * config.spammer_fraction).round() as usize;
+        let mut workers = Vec::with_capacity(config.size);
+        for i in 0..config.size {
+            let quality = if i < n_expert {
+                let mut q: Vec<f64> = (0..config.m)
+                    .map(|_| rng.gen_range(config.base_quality.0..config.base_quality.1))
+                    .collect();
+                let k0 = i % config.m;
+                for d in 0..config.expert_domains.min(config.m) {
+                    q[(k0 + d) % config.m] =
+                        rng.gen_range(config.expert_quality.0..config.expert_quality.1);
+                }
+                q
+            } else if i < n_expert + n_spam {
+                (0..config.m)
+                    .map(|_| rng.gen_range(config.spammer_quality.0..config.spammer_quality.1))
+                    .collect()
+            } else {
+                (0..config.m)
+                    .map(|_| rng.gen_range(config.base_quality.0..config.base_quality.1))
+                    .collect()
+            };
+            workers.push(SimulatedWorker {
+                id: WorkerId::from(i),
+                true_quality: QualityVector::new(quality).expect("generated qualities in range"),
+            });
+        }
+        WorkerPopulation { workers }
+    }
+
+    /// Builds a population from explicit quality vectors (tests, figures).
+    pub fn from_qualities(qualities: Vec<Vec<f64>>) -> Self {
+        let workers = qualities
+            .into_iter()
+            .enumerate()
+            .map(|(i, q)| SimulatedWorker {
+                id: WorkerId::from(i),
+                true_quality: QualityVector::new(q).expect("valid quality"),
+            })
+            .collect();
+        WorkerPopulation { workers }
+    }
+
+    /// Number of workers.
+    pub fn len(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// True when empty (not constructible via `generate`).
+    pub fn is_empty(&self) -> bool {
+        self.workers.is_empty()
+    }
+
+    /// Worker by id.
+    pub fn worker(&self, id: WorkerId) -> &SimulatedWorker {
+        &self.workers[id.index()]
+    }
+
+    /// All workers.
+    pub fn workers(&self) -> &[SimulatedWorker] {
+        &self.workers
+    }
+
+    /// The true quality vector of a worker — evaluation-only ground truth.
+    pub fn true_quality(&self, id: WorkerId) -> &QualityVector {
+        &self.workers[id.index()].true_quality
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use docs_types::{DomainVector, TaskBuilder};
+
+    fn task(l: usize, truth: usize, domain: usize) -> Task {
+        TaskBuilder::new(0usize, "t")
+            .with_choices((0..l).map(|c| format!("c{c}")))
+            .with_ground_truth(truth)
+            .with_true_domain(domain)
+            .with_domain_vector(DomainVector::one_hot(2, domain))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn answer_accuracy_tracks_true_quality() {
+        let w = SimulatedWorker {
+            id: WorkerId(0),
+            true_quality: QualityVector::new(vec![0.9, 0.3]).unwrap(),
+        };
+        let mut rng = SmallRng::seed_from_u64(1);
+        let t_easy = task(2, 0, 0);
+        let t_hard = task(2, 0, 1);
+        let trials = 4000;
+        let correct_easy = (0..trials)
+            .filter(|_| w.answer(&t_easy, AnswerModel::DomainUniform, &mut rng) == 0)
+            .count();
+        let correct_hard = (0..trials)
+            .filter(|_| w.answer(&t_hard, AnswerModel::DomainUniform, &mut rng) == 0)
+            .count();
+        let acc_easy = correct_easy as f64 / trials as f64;
+        let acc_hard = correct_hard as f64 / trials as f64;
+        assert!((acc_easy - 0.9).abs() < 0.03, "easy accuracy {acc_easy}");
+        assert!((acc_hard - 0.3).abs() < 0.03, "hard accuracy {acc_hard}");
+    }
+
+    #[test]
+    fn wrong_answers_are_uniform_over_distractors() {
+        let w = SimulatedWorker {
+            id: WorkerId(0),
+            true_quality: QualityVector::new(vec![0.0, 0.0]).unwrap(),
+        };
+        let t = task(4, 1, 0);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut counts = [0usize; 4];
+        for _ in 0..6000 {
+            counts[w.answer(&t, AnswerModel::DomainUniform, &mut rng)] += 1;
+        }
+        assert_eq!(counts[1], 0, "never correct at q=0");
+        for (c, &cnt) in counts.iter().enumerate() {
+            if c != 1 {
+                let frac = cnt as f64 / 6000.0;
+                assert!((frac - 1.0 / 3.0).abs() < 0.03, "choice {c}: {frac}");
+            }
+        }
+    }
+
+    #[test]
+    fn confused_model_prefers_distractor() {
+        let w = SimulatedWorker {
+            id: WorkerId(0),
+            true_quality: QualityVector::new(vec![0.0, 0.5]).unwrap(),
+        };
+        let t = task(4, 0, 0);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut counts = [0usize; 4];
+        for _ in 0..4000 {
+            counts[w.answer(&t, AnswerModel::Confused { bias: 0.8 }, &mut rng)] += 1;
+        }
+        assert!(counts[1] > counts[2] && counts[1] > counts[3]);
+    }
+
+    #[test]
+    fn sloppy_model_dilutes_accuracy() {
+        let w = SimulatedWorker {
+            id: WorkerId(0),
+            true_quality: QualityVector::new(vec![1.0, 1.0]).unwrap(),
+        };
+        let t = task(2, 0, 0);
+        let mut rng = SmallRng::seed_from_u64(4);
+        let trials = 4000;
+        let correct = (0..trials)
+            .filter(|_| w.answer(&t, AnswerModel::Sloppy { carelessness: 0.5 }, &mut rng) == 0)
+            .count();
+        // Expected accuracy: 0.5·1.0 + 0.5·0.5 = 0.75.
+        let acc = correct as f64 / trials as f64;
+        assert!((acc - 0.75).abs() < 0.03, "{acc}");
+    }
+
+    #[test]
+    fn adversarial_model_colludes_on_one_distractor() {
+        let w = SimulatedWorker {
+            id: WorkerId(0),
+            true_quality: QualityVector::new(vec![0.9, 0.9]).unwrap(),
+        };
+        let t = task(4, 0, 0);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut counts = [0usize; 4];
+        let trials = 6000;
+        for _ in 0..trials {
+            counts[w.answer(&t, AnswerModel::Adversarial { malice: 0.4 }, &mut rng)] += 1;
+        }
+        // Truth share ≈ (1 − 0.4)·0.9 = 0.54; colluding distractor (choice 1)
+        // ≈ 0.4 + 0.6·0.1/3 ≈ 0.42; the other distractors split the rest.
+        let truth_frac = counts[0] as f64 / trials as f64;
+        let collude_frac = counts[1] as f64 / trials as f64;
+        assert!((truth_frac - 0.54).abs() < 0.03, "truth {truth_frac}");
+        assert!(
+            (collude_frac - 0.42).abs() < 0.03,
+            "collusion {collude_frac}"
+        );
+        assert!(counts[2] < counts[1] / 4 && counts[3] < counts[1] / 4);
+    }
+
+    #[test]
+    fn adversarial_with_zero_malice_is_domain_uniform() {
+        let w = SimulatedWorker {
+            id: WorkerId(0),
+            true_quality: QualityVector::new(vec![0.8]).unwrap(),
+        };
+        let t = task(2, 0, 0);
+        let trials = 4000;
+        let mut rng = SmallRng::seed_from_u64(6);
+        let correct = (0..trials)
+            .filter(|_| w.answer(&t, AnswerModel::Adversarial { malice: 0.0 }, &mut rng) == 0)
+            .count();
+        let acc = correct as f64 / trials as f64;
+        assert!((acc - 0.8).abs() < 0.03, "{acc}");
+    }
+
+    #[test]
+    fn population_mixture_shapes() {
+        let cfg = PopulationConfig {
+            m: 4,
+            size: 100,
+            expert_fraction: 0.4,
+            spammer_fraction: 0.1,
+            ..Default::default()
+        };
+        let pop = WorkerPopulation::generate(&cfg);
+        assert_eq!(pop.len(), 100);
+        // First 40 are experts: exactly one domain above 0.85.
+        for w in &pop.workers()[..40] {
+            let high = (0..4).filter(|&k| w.true_quality[k] >= 0.85).count();
+            assert_eq!(high, 1, "{:?}", w.true_quality);
+        }
+        // Experts rotate across domains.
+        for k in 0..4 {
+            assert!(pop.workers()[..40]
+                .iter()
+                .any(|w| w.true_quality[k] >= 0.85));
+        }
+        // Spammers are uniformly weak.
+        for w in &pop.workers()[40..50] {
+            assert!((0..4).all(|k| w.true_quality[k] < 0.56));
+        }
+    }
+
+    #[test]
+    fn population_is_deterministic() {
+        let cfg = PopulationConfig::default();
+        let a = WorkerPopulation::generate(&cfg);
+        let b = WorkerPopulation::generate(&cfg);
+        for (x, y) in a.workers().iter().zip(b.workers()) {
+            assert_eq!(x.true_quality, y.true_quality);
+        }
+    }
+
+    #[test]
+    fn from_qualities_roundtrip() {
+        let pop = WorkerPopulation::from_qualities(vec![vec![0.3, 0.9], vec![0.8, 0.2]]);
+        assert_eq!(pop.len(), 2);
+        assert_eq!(pop.true_quality(WorkerId(1))[0], 0.8);
+    }
+}

@@ -1,0 +1,27 @@
+//! Synthetic regenerations of the paper's four evaluation datasets and the
+//! simulation workloads.
+//!
+//! The originals are AMT collections we cannot re-run, so each generator
+//! reproduces the published *shape* that drives the experiments:
+//!
+//! * [`item`] — 360 tasks, 4 domains × 90, one fixed comparison template per
+//!   domain (high intra-domain text similarity → topic models succeed),
+//! * [`four_domain`] — 400 tasks, 4 domains × 100, varied templates with
+//!   deliberate cross-domain template sharing (topic models fail, KB wins),
+//! * [`yahoo_qa`] — 1000 heterogeneous search-style questions over
+//!   Entertain/Science/Sports/Business,
+//! * [`sfv`] — 328 person-attribute tasks with 4 candidate answers each,
+//! * [`scalability_workload`] — the pure-simulation workloads of
+//!   Figures 4(e), 7(b), 8(c).
+//!
+//! Texts are generated from the curated knowledge base's entity aliases, so
+//! the entity linker and the topic models both see realistic inputs.
+
+mod dataset;
+mod kb;
+pub mod pools;
+mod scalability;
+
+pub use dataset::{all_datasets, four_domain, item, sfv, yahoo_qa, Dataset};
+pub use kb::{curated_kb, curated_kb_with_distractors};
+pub use scalability::{scalability_tasks, scalability_workload};

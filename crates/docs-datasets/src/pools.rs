@@ -1,0 +1,298 @@
+//! Curated entity pools backing the dataset generators.
+//!
+//! Each pool lists real-world entities of one thematic category together
+//! with the Yahoo Answers domain(s) they belong to. A handful of entities
+//! are deliberately ambiguous across categories (a "Jaguar" is a car and an
+//! animal; "Lincoln" is a car make and a president), reproducing the
+//! entity-linking ambiguity that motivates Algorithm 1.
+
+/// Indices into [`docs_types::domain::YAHOO_ANSWERS_DOMAINS`].
+pub mod domains {
+    /// Business & Finance.
+    pub const BUSINESS: usize = 2;
+    /// Cars & Transportation.
+    pub const CARS: usize = 3;
+    /// Entertainment & Music.
+    pub const ENTERTAINMENT: usize = 8;
+    /// Food & Drink.
+    pub const FOOD: usize = 11;
+    /// Pets.
+    pub const PETS: usize = 17;
+    /// Politics & Government.
+    pub const POLITICS: usize = 18;
+    /// Science & Mathematics.
+    pub const SCIENCE: usize = 20;
+    /// Sports.
+    pub const SPORTS: usize = 23;
+    /// Travel.
+    pub const TRAVEL: usize = 24;
+}
+
+/// One curated entity: canonical name and its Yahoo-domain memberships.
+pub struct PoolEntry {
+    /// Surface form used both as KB alias and in generated task text.
+    pub name: &'static str,
+    /// Yahoo Answers domain indices this concept belongs to.
+    pub domains: &'static [usize],
+}
+
+macro_rules! pool {
+    ($($name:literal => [$($d:expr),+]),+ $(,)?) => {
+        &[$(PoolEntry { name: $name, domains: &[$($d),+] }),+]
+    };
+}
+
+use domains::*;
+
+/// NBA players. "Michael Jordan" also relates to films via Space Jam —
+/// the paper's own example of a multi-domain concept.
+pub const NBA_PLAYERS: &[PoolEntry] = pool![
+    "Michael Jordan" => [SPORTS, ENTERTAINMENT],
+    "Kobe Bryant" => [SPORTS],
+    "Stephen Curry" => [SPORTS],
+    "LeBron James" => [SPORTS, ENTERTAINMENT],
+    "Kevin Durant" => [SPORTS],
+    "Tim Duncan" => [SPORTS],
+    "Shaquille O'Neal" => [SPORTS, ENTERTAINMENT],
+    "Dirk Nowitzki" => [SPORTS],
+    "Allen Iverson" => [SPORTS],
+    "Dwyane Wade" => [SPORTS],
+    "Kareem Abdul-Jabbar" => [SPORTS],
+    "Magic Johnson" => [SPORTS, BUSINESS],
+    "Larry Bird" => [SPORTS],
+    "Scottie Pippen" => [SPORTS],
+    "Kevin Garnett" => [SPORTS],
+    "Russell Westbrook" => [SPORTS],
+    "James Harden" => [SPORTS],
+    "Chris Paul" => [SPORTS],
+    "Tony Parker" => [SPORTS],
+    "Paul Pierce" => [SPORTS],
+];
+
+/// NBA teams, for team-level 4D questions.
+pub const NBA_TEAMS: &[PoolEntry] = pool![
+    "Golden State Warriors" => [SPORTS],
+    "Chicago Bulls" => [SPORTS],
+    "Los Angeles Lakers" => [SPORTS],
+    "Boston Celtics" => [SPORTS],
+    "San Antonio Spurs" => [SPORTS],
+    "Miami Heat" => [SPORTS],
+    "Houston Rockets" => [SPORTS],
+    "Cleveland Cavaliers" => [SPORTS],
+];
+
+/// Foods compared by calories in the Item dataset.
+pub const FOODS: &[PoolEntry] = pool![
+    "Chocolate" => [FOOD],
+    "Honey" => [FOOD],
+    "Butter" => [FOOD],
+    "Avocado" => [FOOD],
+    "Banana" => [FOOD],
+    "Peanut Butter" => [FOOD],
+    "Cheddar Cheese" => [FOOD],
+    "White Rice" => [FOOD],
+    "Broccoli" => [FOOD],
+    "Salmon" => [FOOD],
+    "Almonds" => [FOOD],
+    "Olive Oil" => [FOOD],
+    "Yogurt" => [FOOD],
+    "Oatmeal" => [FOOD],
+    "Bacon" => [FOOD],
+    "Tofu" => [FOOD],
+    "Lentils" => [FOOD],
+    "Watermelon" => [FOOD],
+    "Croissant" => [FOOD],
+    "Maple Syrup" => [FOOD],
+];
+
+/// Cars. "Jaguar" doubles as an animal, "Lincoln" as a president, "Mustang"
+/// as a horse breed — the ambiguous aliases of this KB.
+pub const CARS_POOL: &[PoolEntry] = pool![
+    "Toyota Camry" => [CARS],
+    "Honda Civic" => [CARS],
+    "Ford Mustang" => [CARS],
+    "Chevrolet Corvette" => [CARS],
+    "Tesla Model S" => [CARS, SCIENCE],
+    "BMW M3" => [CARS],
+    "Audi A4" => [CARS],
+    "Porsche 911" => [CARS],
+    "Jaguar" => [CARS],
+    "Lincoln" => [CARS],
+    "Volkswagen Golf" => [CARS],
+    "Subaru Outback" => [CARS],
+    "Jeep Wrangler" => [CARS],
+    "Mazda Miata" => [CARS],
+    "Dodge Charger" => [CARS],
+    "Nissan Leaf" => [CARS, SCIENCE],
+    "Mini Cooper" => [CARS],
+    "Ferrari F40" => [CARS],
+    "Lamborghini Aventador" => [CARS],
+    "Volvo XC90" => [CARS],
+];
+
+/// Countries compared by population/area in Item.
+pub const COUNTRIES: &[PoolEntry] = pool![
+    "Brazil" => [TRAVEL],
+    "Canada" => [TRAVEL],
+    "Japan" => [TRAVEL],
+    "Germany" => [TRAVEL],
+    "Australia" => [TRAVEL],
+    "India" => [TRAVEL],
+    "France" => [TRAVEL],
+    "Italy" => [TRAVEL],
+    "Mexico" => [TRAVEL],
+    "Egypt" => [TRAVEL],
+    "Norway" => [TRAVEL],
+    "Thailand" => [TRAVEL],
+    "Argentina" => [TRAVEL],
+    "Kenya" => [TRAVEL],
+    "Portugal" => [TRAVEL],
+    "Vietnam" => [TRAVEL],
+    "Iceland" => [TRAVEL],
+    "Morocco" => [TRAVEL],
+    "Peru" => [TRAVEL],
+    "Greece" => [TRAVEL],
+];
+
+/// Films for the 4D dataset.
+pub const FILMS: &[PoolEntry] = pool![
+    "The Godfather" => [ENTERTAINMENT],
+    "Titanic" => [ENTERTAINMENT],
+    "Inception" => [ENTERTAINMENT],
+    "Casablanca" => [ENTERTAINMENT],
+    "Pulp Fiction" => [ENTERTAINMENT],
+    "The Dark Knight" => [ENTERTAINMENT],
+    "Forrest Gump" => [ENTERTAINMENT],
+    "Space Jam" => [ENTERTAINMENT, SPORTS],
+    "Jurassic Park" => [ENTERTAINMENT, SCIENCE],
+    "The Matrix" => [ENTERTAINMENT],
+    "Gladiator" => [ENTERTAINMENT],
+    "Avatar" => [ENTERTAINMENT],
+    "Goodfellas" => [ENTERTAINMENT],
+    "Interstellar" => [ENTERTAINMENT, SCIENCE],
+    "Rocky" => [ENTERTAINMENT, SPORTS],
+    "Amadeus" => [ENTERTAINMENT],
+    "Vertigo" => [ENTERTAINMENT],
+    "Alien" => [ENTERTAINMENT],
+    "Fargo" => [ENTERTAINMENT],
+    "Chinatown" => [ENTERTAINMENT],
+];
+
+/// Mountains for the 4D dataset.
+pub const MOUNTAINS: &[PoolEntry] = pool![
+    "Mount Everest" => [SCIENCE, TRAVEL],
+    "K2" => [SCIENCE, TRAVEL],
+    "Kilimanjaro" => [SCIENCE, TRAVEL],
+    "Denali" => [SCIENCE, TRAVEL],
+    "Mont Blanc" => [SCIENCE, TRAVEL],
+    "Matterhorn" => [SCIENCE, TRAVEL],
+    "Annapurna" => [SCIENCE, TRAVEL],
+    "Mount Fuji" => [SCIENCE, TRAVEL],
+    "Aconcagua" => [SCIENCE, TRAVEL],
+    "Elbrus" => [SCIENCE, TRAVEL],
+    "Mount Rainier" => [SCIENCE, TRAVEL],
+    "Ben Nevis" => [SCIENCE, TRAVEL],
+    "Table Mountain" => [SCIENCE, TRAVEL],
+    "Mount Olympus" => [SCIENCE, TRAVEL],
+    "Pikes Peak" => [SCIENCE, TRAVEL],
+    "Mount Whitney" => [SCIENCE, TRAVEL],
+    "Grossglockner" => [SCIENCE, TRAVEL],
+    "Mount Cook" => [SCIENCE, TRAVEL],
+    "Toubkal" => [SCIENCE, TRAVEL],
+    "Mount Etna" => [SCIENCE, TRAVEL],
+];
+
+/// People for the SFV dataset, tagged with their most renowned domain
+/// (the paper labels each person task by the person's famous field).
+pub const PEOPLE: &[PoolEntry] = pool![
+    "Bill Gates" => [BUSINESS],
+    "Warren Buffett" => [BUSINESS],
+    "Elon Musk" => [BUSINESS, SCIENCE],
+    "Oprah Winfrey" => [ENTERTAINMENT, BUSINESS],
+    "Taylor Swift" => [ENTERTAINMENT],
+    "Leonardo DiCaprio" => [ENTERTAINMENT],
+    "Meryl Streep" => [ENTERTAINMENT],
+    "Tom Hanks" => [ENTERTAINMENT],
+    "Serena Williams" => [SPORTS],
+    "Roger Federer" => [SPORTS],
+    "Lionel Messi" => [SPORTS],
+    "Usain Bolt" => [SPORTS],
+    "Barack Obama" => [POLITICS],
+    "Angela Merkel" => [POLITICS],
+    "Winston Churchill" => [POLITICS],
+    "Abraham Lincoln" => [POLITICS],
+    "Nelson Mandela" => [POLITICS],
+    "Steven Spielberg" => [ENTERTAINMENT],
+    "Jeff Bezos" => [BUSINESS],
+    "Cristiano Ronaldo" => [SPORTS],
+];
+
+/// Animals; provides the ambiguous counterparts of some car aliases.
+pub const ANIMALS: &[PoolEntry] = pool![
+    "Jaguar" => [PETS, SCIENCE],
+    "Mustang" => [PETS, SCIENCE],
+    "Golden Retriever" => [PETS],
+    "Siamese Cat" => [PETS],
+    "African Elephant" => [PETS, SCIENCE],
+];
+
+/// Deterministic latent "score" of an entity, used to manufacture ground
+/// truths for comparison questions (who is taller / has more calories / …).
+/// Derived from an FNV-1a hash of the name and the attribute so different
+/// attributes rank entities differently.
+pub fn entity_score(name: &str, attribute: &str) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in name
+        .bytes()
+        .chain(b"#".iter().copied())
+        .chain(attribute.bytes())
+    {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pools_are_nonempty_and_sized() {
+        assert_eq!(NBA_PLAYERS.len(), 20);
+        assert_eq!(FOODS.len(), 20);
+        assert_eq!(CARS_POOL.len(), 20);
+        assert_eq!(COUNTRIES.len(), 20);
+        assert_eq!(FILMS.len(), 20);
+        assert_eq!(MOUNTAINS.len(), 20);
+        assert_eq!(PEOPLE.len(), 20);
+    }
+
+    #[test]
+    fn domain_indices_match_yahoo_names() {
+        use docs_types::domain::YAHOO_ANSWERS_DOMAINS as Y;
+        assert_eq!(Y[domains::SPORTS], "Sports");
+        assert_eq!(Y[domains::FOOD], "Food & Drink");
+        assert_eq!(Y[domains::CARS], "Cars & Transportation");
+        assert_eq!(Y[domains::TRAVEL], "Travel");
+        assert_eq!(Y[domains::ENTERTAINMENT], "Entertainment & Music");
+        assert_eq!(Y[domains::SCIENCE], "Science & Mathematics");
+        assert_eq!(Y[domains::BUSINESS], "Business & Finance");
+        assert_eq!(Y[domains::POLITICS], "Politics & Government");
+    }
+
+    #[test]
+    fn scores_are_deterministic_and_attribute_sensitive() {
+        let a = entity_score("Kobe Bryant", "height");
+        assert_eq!(a, entity_score("Kobe Bryant", "height"));
+        assert_ne!(a, entity_score("Kobe Bryant", "age"));
+        assert_ne!(a, entity_score("Michael Jordan", "height"));
+    }
+
+    #[test]
+    fn ambiguity_exists_between_pools() {
+        // "Jaguar" appears in both cars and animals — the ambiguity driver.
+        assert!(CARS_POOL.iter().any(|e| e.name == "Jaguar"));
+        assert!(ANIMALS.iter().any(|e| e.name == "Jaguar"));
+    }
+}

@@ -1,0 +1,104 @@
+//! Synthetic simulation workloads for the scalability experiments
+//! (Figures 4(e), 7(b), 8(c)).
+
+use docs_crowd::{Platform, PlatformConfig, PopulationConfig, WorkerPopulation};
+use docs_types::{AnswerLog, DomainVector, Task, TaskBuilder};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates `n` synthetic tasks over `m` anonymous domains with Dirichlet-
+/// style random domain vectors concentrated on one true domain (matching the
+/// paper's simulation setup: tasks created directly with domain vectors, no
+/// text pipeline).
+pub fn scalability_tasks(n: usize, m: usize, seed: u64) -> Vec<Task> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            let true_domain = rng.gen_range(0..m);
+            // Concentrated random vector: heavy mass on the true domain.
+            let mut w: Vec<f64> = (0..m).map(|_| rng.gen_range(0.0..0.08)).collect();
+            w[true_domain] += 1.0;
+            TaskBuilder::new(i, format!("synthetic task {i}"))
+                .yes_no()
+                .with_ground_truth(rng.gen_range(0..2usize))
+                .with_true_domain(true_domain)
+                .with_domain_vector(DomainVector::from_weights(&w).expect("non-negative"))
+                .build()
+                .expect("valid synthetic task")
+        })
+        .collect()
+}
+
+/// Generates a worker population and an answer log where each task is
+/// answered by `answers_per_task` randomly selected workers — the Figure 4(e)
+/// setup (`n` up to 10K, `|W|` ∈ {10, 100, 500}, 10 answers per task).
+pub fn scalability_workload(
+    n: usize,
+    m: usize,
+    num_workers: usize,
+    answers_per_task: usize,
+    seed: u64,
+) -> (Vec<Task>, WorkerPopulation, AnswerLog) {
+    let tasks = scalability_tasks(n, m, seed);
+    let population = WorkerPopulation::generate(&PopulationConfig {
+        m,
+        size: num_workers,
+        seed: seed ^ 0x9E3779B97F4A7C15,
+        ..Default::default()
+    });
+    let platform = Platform::new(
+        &tasks,
+        vec![],
+        &population,
+        PlatformConfig {
+            seed: seed ^ 0xDEADBEEF,
+            ..Default::default()
+        },
+    );
+    let log = platform.collect_uniform(answers_per_task.min(num_workers));
+    (tasks, population, log)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tasks_have_valid_domain_vectors() {
+        let tasks = scalability_tasks(50, 20, 1);
+        assert_eq!(tasks.len(), 50);
+        for t in &tasks {
+            let r = t.domain_vector.as_ref().unwrap();
+            assert!(docs_types::prob::is_distribution(r.as_slice()));
+            // The true domain should dominate.
+            assert_eq!(r.dominant_domain(), t.true_domain.unwrap());
+        }
+    }
+
+    #[test]
+    fn workload_covers_all_tasks() {
+        let (tasks, pop, log) = scalability_workload(30, 5, 20, 10, 7);
+        assert_eq!(tasks.len(), 30);
+        assert_eq!(pop.len(), 20);
+        assert_eq!(log.len(), 300);
+    }
+
+    #[test]
+    fn workload_caps_answers_at_population() {
+        let (_, _, log) = scalability_workload(10, 5, 4, 10, 7);
+        // Only 4 workers exist, so at most 4 answers per task.
+        for (_, v) in log.iter_tasks() {
+            assert_eq!(v.len(), 4);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (t1, _, l1) = scalability_workload(20, 5, 10, 5, 42);
+        let (t2, _, l2) = scalability_workload(20, 5, 10, 5, 42);
+        assert_eq!(t1.len(), t2.len());
+        let a1: Vec<_> = l1.iter_answers().collect();
+        let a2: Vec<_> = l2.iter_answers().collect();
+        assert_eq!(a1, a2);
+    }
+}

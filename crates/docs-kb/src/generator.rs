@@ -1,0 +1,234 @@
+//! Seeded random knowledge-base generation for scale experiments.
+//!
+//! Table 3 and the DVE benchmarks need tasks with controllable entity counts
+//! `|E_t|` and candidate counts `c`; this module produces knowledge bases
+//! (and raw entity-linking outputs) with those knobs without hand-curating
+//! thousands of concepts.
+
+use crate::{IndicatorVector, KbBuilder, KnowledgeBase, LinkedEntity};
+use docs_types::DomainSet;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of the random KB generator.
+#[derive(Debug, Clone)]
+pub struct KbGeneratorConfig {
+    /// Domain set to generate over (defaults to the 26 Yahoo Answers domains).
+    pub domains: DomainSet,
+    /// Concepts generated per domain.
+    pub concepts_per_domain: usize,
+    /// Probability that a concept belongs to a second domain as well —
+    /// multi-domain concepts like "Michael Jordan (basketball)" ∈
+    /// {sports, films}.
+    pub multi_domain_prob: f64,
+    /// Probability that a concept's alias is shared with a concept from a
+    /// *different* domain, creating ambiguity.
+    pub ambiguous_alias_prob: f64,
+    /// RNG seed; generation is fully deterministic given the config.
+    pub seed: u64,
+}
+
+impl Default for KbGeneratorConfig {
+    fn default() -> Self {
+        KbGeneratorConfig {
+            domains: DomainSet::yahoo_answers(),
+            concepts_per_domain: 200,
+            multi_domain_prob: 0.15,
+            ambiguous_alias_prob: 0.2,
+            seed: 0x0DC5,
+        }
+    }
+}
+
+/// Deterministic random KB generator. See [`KbGeneratorConfig`].
+#[derive(Debug)]
+pub struct KbGenerator {
+    config: KbGeneratorConfig,
+}
+
+impl KbGenerator {
+    /// Creates a generator with the given configuration.
+    pub fn new(config: KbGeneratorConfig) -> Self {
+        assert!(config.concepts_per_domain > 0);
+        assert!((0.0..=1.0).contains(&config.multi_domain_prob));
+        assert!((0.0..=1.0).contains(&config.ambiguous_alias_prob));
+        KbGenerator { config }
+    }
+
+    /// Generates the knowledge base.
+    pub fn generate(&self) -> KnowledgeBase {
+        let cfg = &self.config;
+        let m = cfg.domains.len();
+        let mut rng = SmallRng::seed_from_u64(cfg.seed);
+        let mut builder: KbBuilder = KnowledgeBase::builder(cfg.domains.clone());
+
+        // Pool of aliases that later concepts may reuse to create ambiguity:
+        // (alias text, domain of the first owner).
+        let mut reusable: Vec<(String, usize)> = Vec::new();
+
+        for k in 0..m {
+            for c in 0..cfg.concepts_per_domain {
+                let mut domain_indices = vec![k];
+                if rng.gen_bool(cfg.multi_domain_prob) && m > 1 {
+                    let mut other = rng.gen_range(0..m - 1);
+                    if other >= k {
+                        other += 1;
+                    }
+                    domain_indices.push(other);
+                }
+                let indicators = IndicatorVector::from_domains(m, &domain_indices);
+                let popularity = rng.gen_range(0.1..10.0);
+                let name = format!("concept {k} {c}");
+
+                // Decide the alias: either reuse an alias owned by a concept
+                // in another domain (ambiguity) or mint a fresh one.
+                let alias = if !reusable.is_empty() && rng.gen_bool(cfg.ambiguous_alias_prob) {
+                    let pick = rng.gen_range(0..reusable.len());
+                    if reusable[pick].1 != k {
+                        reusable[pick].0.clone()
+                    } else {
+                        format!("entity {k} {c}")
+                    }
+                } else {
+                    format!("entity {k} {c}")
+                };
+                if alias.starts_with("entity") {
+                    reusable.push((alias.clone(), k));
+                }
+                builder.add_concept(name, indicators, popularity, [alias]);
+            }
+        }
+        builder.build()
+    }
+}
+
+/// Generates raw entity-linking outputs directly — one synthetic task's
+/// `(p_i, h_{i,j})` inputs — bypassing text. Used by the DVE benchmarks
+/// (Table 3 sweeps `|E_t|` and `c` precisely).
+///
+/// Each entity gets exactly `num_candidates` candidates with a geometric-ish
+/// probability profile (matching the skewed distributions Wikifier emits)
+/// and random indicator vectors with `related_domains` set bits.
+pub fn synthetic_entities(
+    m: usize,
+    num_entities: usize,
+    num_candidates: usize,
+    related_domains: usize,
+    seed: u64,
+) -> Vec<LinkedEntity> {
+    assert!(m >= 1 && num_entities >= 1 && num_candidates >= 1);
+    assert!(related_domains <= m);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..num_entities)
+        .map(|i| {
+            let parts: Vec<(f64, IndicatorVector)> = (0..num_candidates)
+                .map(|j| {
+                    // Skewed weights: first candidates grab most of the mass.
+                    let w = 1.0 / (1.0 + j as f64) + rng.gen_range(0.0..0.05);
+                    let mut domains = Vec::with_capacity(related_domains);
+                    while domains.len() < related_domains {
+                        let k = rng.gen_range(0..m);
+                        if !domains.contains(&k) {
+                            domains.push(k);
+                        }
+                    }
+                    (w, IndicatorVector::from_domains(m, &domains))
+                })
+                .collect();
+            LinkedEntity::from_parts(format!("e{i}"), &parts)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EntityLinker;
+
+    #[test]
+    fn generator_is_deterministic() {
+        let cfg = KbGeneratorConfig {
+            concepts_per_domain: 10,
+            ..Default::default()
+        };
+        let kb1 = KbGenerator::new(cfg.clone()).generate();
+        let kb2 = KbGenerator::new(cfg).generate();
+        assert_eq!(kb1.num_concepts(), kb2.num_concepts());
+        assert_eq!(kb1.num_aliases(), kb2.num_aliases());
+        for (a, b) in kb1.concepts().iter().zip(kb2.concepts()) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.domains, b.domains);
+            assert_eq!(a.popularity, b.popularity);
+        }
+    }
+
+    #[test]
+    fn generator_covers_all_domains() {
+        let cfg = KbGeneratorConfig {
+            domains: DomainSet::anonymous(6),
+            concepts_per_domain: 20,
+            ..Default::default()
+        };
+        let kb = KbGenerator::new(cfg).generate();
+        assert_eq!(kb.num_concepts(), 120);
+        for k in 0..6 {
+            assert!(
+                kb.concepts().iter().any(|c| c.domains.contains(k)),
+                "domain {k} has no concepts"
+            );
+        }
+    }
+
+    #[test]
+    fn generator_produces_ambiguity() {
+        let cfg = KbGeneratorConfig {
+            domains: DomainSet::anonymous(8),
+            concepts_per_domain: 100,
+            ambiguous_alias_prob: 0.4,
+            ..Default::default()
+        };
+        let kb = KbGenerator::new(cfg).generate();
+        assert!(
+            kb.ambiguous_aliases().count() > 0,
+            "expected at least one ambiguous alias"
+        );
+    }
+
+    #[test]
+    fn generated_kb_is_linkable() {
+        let cfg = KbGeneratorConfig {
+            domains: DomainSet::anonymous(4),
+            concepts_per_domain: 5,
+            ambiguous_alias_prob: 0.0,
+            ..Default::default()
+        };
+        let kb = KbGenerator::new(cfg).generate();
+        let linker = EntityLinker::with_defaults(&kb);
+        let entities = linker.link("tell me about entity 0 0 and entity 3 4");
+        assert_eq!(entities.len(), 2);
+    }
+
+    #[test]
+    fn synthetic_entities_shape() {
+        let es = synthetic_entities(26, 5, 20, 2, 7);
+        assert_eq!(es.len(), 5);
+        for e in &es {
+            assert_eq!(e.num_candidates(), 20);
+            let sum: f64 = e.probs.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9);
+            for h in &e.indicators {
+                assert_eq!(h.count(), 2);
+            }
+        }
+    }
+
+    #[test]
+    fn synthetic_entities_deterministic() {
+        let a = synthetic_entities(10, 3, 5, 1, 42);
+        let b = synthetic_entities(10, 3, 5, 1, 42);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.probs, y.probs);
+            assert_eq!(x.indicators, y.indicators);
+        }
+    }
+}

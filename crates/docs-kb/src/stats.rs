@@ -1,0 +1,211 @@
+//! Knowledge-base health statistics and validation.
+//!
+//! A deployment that swaps in its own KB (the paper used Freebase; ours is
+//! synthetic; a downstream user might load a Wikidata dump) needs to know
+//! whether the KB can actually support domain vector estimation: are all
+//! deployment domains covered by concepts, how ambiguous is the alias
+//! space, how many concepts carry no domain signal at all. [`KbStats`]
+//! computes those numbers and [`KbStats::validate`] turns the hard failure
+//! modes into actionable errors.
+
+use crate::KnowledgeBase;
+
+/// Aggregate statistics of a knowledge base.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KbStats {
+    /// Number of concepts.
+    pub concepts: usize,
+    /// Number of distinct aliases.
+    pub aliases: usize,
+    /// Aliases resolving to more than one concept.
+    pub ambiguous_aliases: usize,
+    /// Concepts related to no deployment domain (like the paper's
+    /// "Michael I. Jordan" page, which maps outside the 26 domains).
+    pub domain_free_concepts: usize,
+    /// Concepts related to two or more domains (multi-domain concepts,
+    /// like the basketball Michael Jordan: sports + films).
+    pub multi_domain_concepts: usize,
+    /// Concepts per domain, indexed by domain id.
+    pub concepts_per_domain: Vec<usize>,
+    /// Mean candidates per alias (≥ 1.0; higher = more ambiguity).
+    pub mean_candidates_per_alias: f64,
+}
+
+/// A problem that makes a KB unusable (or useless) for DVE.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KbIssue {
+    /// The KB has no concepts at all.
+    Empty,
+    /// These domains have no related concept — tasks in them can never be
+    /// detected (named by domain index).
+    UncoveredDomains(Vec<usize>),
+    /// Every concept is domain-free: DVE would emit only uniform vectors.
+    NoDomainSignal,
+}
+
+impl std::fmt::Display for KbIssue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KbIssue::Empty => write!(f, "knowledge base has no concepts"),
+            KbIssue::UncoveredDomains(ds) => {
+                write!(f, "domains without any related concept: {ds:?}")
+            }
+            KbIssue::NoDomainSignal => {
+                write!(f, "every concept is domain-free; DVE would be uniform")
+            }
+        }
+    }
+}
+
+impl KbStats {
+    /// Computes statistics for a knowledge base.
+    ///
+    /// ```
+    /// use docs_kb::{table2_example_kb, KbStats};
+    ///
+    /// let stats = KbStats::of(&table2_example_kb());
+    /// assert_eq!(stats.concepts, 6);          // Table 2's six concepts
+    /// assert_eq!(stats.ambiguous_aliases, 2); // "michael jordan", "nba"
+    /// // The politics domain has no concept — validation flags it.
+    /// assert!(!stats.validate().is_empty());
+    /// ```
+    pub fn of(kb: &KnowledgeBase) -> KbStats {
+        let m = kb.num_domains();
+        let mut per_domain = vec![0usize; m];
+        let mut domain_free = 0usize;
+        let mut multi = 0usize;
+        for c in kb.concepts() {
+            let count = c.domains.count() as usize;
+            if count == 0 {
+                domain_free += 1;
+            }
+            if count >= 2 {
+                multi += 1;
+            }
+            for (k, slot) in per_domain.iter_mut().enumerate() {
+                *slot += c.domains.get(k) as usize;
+            }
+        }
+        let ambiguous = kb.ambiguous_aliases().count();
+        let total_candidates: usize = kb
+            .aliases()
+            .map(|a| kb.candidates(a).map_or(0, <[_]>::len))
+            .sum();
+        KbStats {
+            concepts: kb.num_concepts(),
+            aliases: kb.num_aliases(),
+            ambiguous_aliases: ambiguous,
+            domain_free_concepts: domain_free,
+            multi_domain_concepts: multi,
+            concepts_per_domain: per_domain,
+            mean_candidates_per_alias: if kb.num_aliases() == 0 {
+                0.0
+            } else {
+                total_candidates as f64 / kb.num_aliases() as f64
+            },
+        }
+    }
+
+    /// Checks the hard failure modes; an empty result means the KB can
+    /// support DVE on every deployment domain.
+    pub fn validate(&self) -> Vec<KbIssue> {
+        let mut issues = Vec::new();
+        if self.concepts == 0 {
+            issues.push(KbIssue::Empty);
+            return issues;
+        }
+        let uncovered: Vec<usize> = self
+            .concepts_per_domain
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c == 0)
+            .map(|(k, _)| k)
+            .collect();
+        if !uncovered.is_empty() {
+            issues.push(KbIssue::UncoveredDomains(uncovered));
+        }
+        if self.domain_free_concepts == self.concepts {
+            issues.push(KbIssue::NoDomainSignal);
+        }
+        issues
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{table2_example_kb, IndicatorVector, KnowledgeBase};
+    use docs_types::DomainSet;
+
+    fn domains() -> DomainSet {
+        DomainSet::new(["politics", "sports", "films"])
+    }
+
+    #[test]
+    fn table2_kb_statistics() {
+        let stats = KbStats::of(&table2_example_kb());
+        // Table 2: six concepts (3 Michael Jordans, 2 NBAs, Kobe).
+        assert_eq!(stats.concepts, 6);
+        // "michael jordan" and "nba" are ambiguous; "kobe bryant" is not.
+        assert_eq!(stats.ambiguous_aliases, 2);
+        // Michael I. Jordan and the bar association carry no domain.
+        assert_eq!(stats.domain_free_concepts, 2);
+        // The basketball Michael Jordan is sports + films.
+        assert_eq!(stats.multi_domain_concepts, 1);
+        // Sports: player + NBA + Kobe; films: player + actor; politics: none.
+        assert_eq!(stats.concepts_per_domain, vec![0, 3, 2]);
+        assert!(stats.mean_candidates_per_alias > 1.0);
+        // Politics is uncovered — validation must flag it.
+        assert_eq!(stats.validate(), vec![KbIssue::UncoveredDomains(vec![0])]);
+    }
+
+    #[test]
+    fn curated_kb_validates_clean() {
+        let kb = docs_types_smoke();
+        let stats = KbStats::of(&kb);
+        assert!(stats.validate().is_empty(), "{:?}", stats.validate());
+    }
+
+    /// A minimal fully covered KB.
+    fn docs_types_smoke() -> KnowledgeBase {
+        let mut b = KnowledgeBase::builder(domains());
+        for (i, k) in [0usize, 1, 2].iter().enumerate() {
+            b.add_concept(
+                format!("c{i}"),
+                IndicatorVector::from_domains(3, &[*k]),
+                1.0,
+                [format!("alias{i}")],
+            );
+        }
+        b.build()
+    }
+
+    #[test]
+    fn empty_kb_is_flagged() {
+        let kb = KnowledgeBase::builder(domains()).build();
+        let stats = KbStats::of(&kb);
+        assert_eq!(stats.validate(), vec![KbIssue::Empty]);
+        assert_eq!(stats.mean_candidates_per_alias, 0.0);
+    }
+
+    #[test]
+    fn all_domain_free_kb_is_flagged() {
+        let mut b = KnowledgeBase::builder(domains());
+        b.add_concept("void", IndicatorVector::empty(3), 1.0, ["void"]);
+        let kb = b.build();
+        let issues = KbStats::of(&kb).validate();
+        assert!(issues.contains(&KbIssue::NoDomainSignal));
+        assert!(issues
+            .iter()
+            .any(|i| matches!(i, KbIssue::UncoveredDomains(_))));
+    }
+
+    #[test]
+    fn issue_display_is_readable() {
+        assert!(KbIssue::Empty.to_string().contains("no concepts"));
+        assert!(KbIssue::UncoveredDomains(vec![2])
+            .to_string()
+            .contains("[2]"));
+        assert!(KbIssue::NoDomainSignal.to_string().contains("uniform"));
+    }
+}

@@ -1,0 +1,246 @@
+//! Concurrent crowd driver: runs a simulated worker population against a
+//! live [`crate::DocsService`] from many client threads at once.
+//!
+//! On AMT the workers are independent humans hitting the web server in
+//! parallel; the single-threaded campaign loop in `docs-system` cannot
+//! exercise that. [`drive_workers`] shards the population across `threads`
+//! OS threads, each of which repeatedly: picks one of its workers, requests
+//! work, answers the golden HIT on first contact, answers and submits
+//! assigned tasks, and stops once the service reports the budget consumed.
+
+use crate::server::{ServiceError, ServiceHandle};
+use docs_crowd::{AnswerModel, WorkerPopulation};
+use docs_system::WorkRequest;
+use docs_types::{Answer, Task, WorkerId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// Per-thread outcome of a drive run.
+#[derive(Debug, Clone, Default)]
+pub struct DriveOutcome {
+    /// Task-request round-trips made.
+    pub arrivals: usize,
+    /// Golden HITs submitted (one per first-time worker).
+    pub golden_hits: usize,
+    /// Ordinary answers successfully submitted.
+    pub answers: usize,
+    /// Submissions the service rejected (e.g. duplicate answers when the
+    /// same worker raced on two HITs).
+    pub rejected: usize,
+}
+
+/// Aggregate report of a drive run.
+#[derive(Debug, Clone, Default)]
+pub struct DriveReport {
+    /// Per-thread outcomes, indexed by thread.
+    pub per_thread: Vec<DriveOutcome>,
+}
+
+impl DriveReport {
+    /// Total answers submitted across threads.
+    pub fn total_answers(&self) -> usize {
+        self.per_thread.iter().map(|o| o.answers).sum()
+    }
+
+    /// Total golden HITs submitted across threads.
+    pub fn total_golden(&self) -> usize {
+        self.per_thread.iter().map(|o| o.golden_hits).sum()
+    }
+
+    /// Total rejected submissions across threads.
+    pub fn total_rejected(&self) -> usize {
+        self.per_thread.iter().map(|o| o.rejected).sum()
+    }
+}
+
+/// Drives `population` against the service from `threads` parallel client
+/// threads until every thread observes [`WorkRequest::Done`].
+///
+/// Workers are sharded round-robin across threads (worker `w` lives on
+/// thread `w % threads`), so a given worker identity never races with
+/// itself; different workers still interleave arbitrarily at the service,
+/// which is the concurrency the deployment sees.
+///
+/// `tasks` must be the service's published task list (ids align by index);
+/// the simulated workers need the ground truth and true domain it carries.
+///
+/// # Panics
+/// Panics if `threads` is zero, the population is empty, or a service
+/// round-trip fails with [`ServiceError::Disconnected`].
+pub fn drive_workers(
+    handle: &ServiceHandle,
+    tasks: Arc<Vec<Task>>,
+    population: &WorkerPopulation,
+    model: AnswerModel,
+    threads: usize,
+    seed: u64,
+) -> DriveReport {
+    assert!(threads >= 1, "need at least one client thread");
+    assert!(!population.is_empty(), "need at least one worker");
+    let population = Arc::new(population.clone());
+
+    let joins: Vec<_> = (0..threads)
+        .map(|shard| {
+            let handle = handle.clone();
+            let tasks = Arc::clone(&tasks);
+            let population = Arc::clone(&population);
+            std::thread::Builder::new()
+                .name(format!("crowd-client-{shard}"))
+                .spawn(move || {
+                    drive_shard(&handle, &tasks, &population, model, shard, threads, seed)
+                })
+                .expect("spawn crowd client thread")
+        })
+        .collect();
+
+    DriveReport {
+        per_thread: joins
+            .into_iter()
+            .map(|j| j.join().expect("crowd client thread panicked"))
+            .collect(),
+    }
+}
+
+fn drive_shard(
+    handle: &ServiceHandle,
+    tasks: &[Task],
+    population: &WorkerPopulation,
+    model: AnswerModel,
+    shard: usize,
+    threads: usize,
+    seed: u64,
+) -> DriveOutcome {
+    let mut rng = SmallRng::seed_from_u64(seed ^ (shard as u64).wrapping_mul(0x9E37_79B9));
+    let my_workers: Vec<WorkerId> = (0..population.len())
+        .filter(|w| w % threads == shard)
+        .map(WorkerId::from)
+        .collect();
+    let mut outcome = DriveOutcome::default();
+    if my_workers.is_empty() {
+        return outcome;
+    }
+    // A generous guard so a logic bug cannot spin forever.
+    let max_arrivals = tasks.len() * 400 / threads + 200;
+
+    while outcome.arrivals < max_arrivals {
+        outcome.arrivals += 1;
+        let w = my_workers[rng.gen_range(0..my_workers.len())];
+        match handle.request_tasks(w) {
+            Ok(WorkRequest::Golden(golden)) => {
+                let worker = population.worker(w);
+                let answers: Vec<_> = golden
+                    .iter()
+                    .map(|&gid| (gid, worker.answer(&tasks[gid.index()], model, &mut rng)))
+                    .collect();
+                match handle.submit_golden(w, answers) {
+                    Ok(()) => outcome.golden_hits += 1,
+                    Err(ServiceError::Rejected(_)) => outcome.rejected += 1,
+                    Err(e) => panic!("service failed: {e}"),
+                }
+            }
+            Ok(WorkRequest::Tasks(hit)) => {
+                let worker = population.worker(w);
+                for tid in hit {
+                    let choice = worker.answer(&tasks[tid.index()], model, &mut rng);
+                    match handle.submit_answer(Answer::new(w, tid, choice)) {
+                        Ok(()) => outcome.answers += 1,
+                        Err(ServiceError::Rejected(_)) => outcome.rejected += 1,
+                        Err(e) => panic!("service failed: {e}"),
+                    }
+                }
+            }
+            Ok(WorkRequest::Done) => break,
+            Err(e) => panic!("service failed: {e}"),
+        }
+    }
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DocsService;
+    use docs_crowd::PopulationConfig;
+    use docs_kb::table2_example_kb;
+    use docs_system::{Docs, DocsConfig};
+    use docs_types::TaskBuilder;
+
+    fn publish(n: usize, answers_per_task: usize) -> (DocsService, ServiceHandle, Arc<Vec<Task>>) {
+        let kb = table2_example_kb();
+        let subjects = ["Michael Jordan", "Kobe Bryant", "NBA"];
+        let tasks: Vec<_> = (0..n)
+            .map(|i| {
+                TaskBuilder::new(i, format!("Is {} great?", subjects[i % 3]))
+                    .yes_no()
+                    .with_ground_truth(i % 2)
+                    .with_true_domain(1)
+                    .build()
+                    .unwrap()
+            })
+            .collect();
+        let config = DocsConfig {
+            num_golden: 3,
+            k_per_hit: 4,
+            answers_per_task,
+            z: 25,
+            ..Default::default()
+        };
+        let docs = Docs::publish(&kb, tasks, config).unwrap();
+        let published = Arc::new(docs.tasks().to_vec());
+        let (service, handle) = DocsService::spawn(docs);
+        (service, handle, published)
+    }
+
+    fn population(workers: usize) -> WorkerPopulation {
+        WorkerPopulation::generate(&PopulationConfig {
+            m: 3,
+            size: workers,
+            seed: 42,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn concurrent_drive_consumes_the_budget() {
+        let (service, handle, tasks) = publish(24, 4);
+        let pop = population(12);
+        let report = drive_workers(&handle, tasks, &pop, AnswerModel::DomainUniform, 4, 7);
+        // Budget is answers_per_task × n; the drive must reach it (golden
+        // answers are accounted separately).
+        assert!(
+            report.total_answers() >= 24 * 4,
+            "collected {} answers",
+            report.total_answers()
+        );
+        assert!(report.total_golden() >= 1);
+        let final_report = handle.finish().unwrap();
+        assert_eq!(final_report.truths.len(), 24);
+        assert!(final_report.answers_collected >= 24 * 4);
+        drop(handle);
+        service.join();
+    }
+
+    #[test]
+    fn single_thread_drive_matches_protocol() {
+        let (service, handle, tasks) = publish(12, 2);
+        let pop = population(6);
+        let report = drive_workers(&handle, tasks, &pop, AnswerModel::DomainUniform, 1, 9);
+        assert_eq!(report.per_thread.len(), 1);
+        assert!(report.total_answers() >= 12 * 2);
+        // Every first-time worker passed through the golden HIT.
+        assert_eq!(report.total_golden(), report.total_golden().min(6));
+        drop(handle);
+        service.join();
+    }
+
+    #[test]
+    fn more_threads_than_workers_is_fine() {
+        let (service, handle, tasks) = publish(8, 2);
+        let pop = population(2);
+        let report = drive_workers(&handle, tasks, &pop, AnswerModel::DomainUniform, 6, 11);
+        assert!(report.total_answers() >= 8 * 2 || report.total_rejected() > 0);
+        drop(handle);
+        service.join();
+    }
+}

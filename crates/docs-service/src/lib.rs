@@ -1,0 +1,33 @@
+//! Concurrent service front-end for DOCS — the role the paper's Django web
+//! server plays in the deployment ("We implement DOCS in Python 2.7 with the
+//! Django web framework").
+//!
+//! On AMT, many workers interact with DOCS at once: some submitting answers
+//! (Figure 1, arrow ⑤), others requesting HITs (arrow ④). The paper calls
+//! the assignment path latency-critical ("online task assignment is required
+//! to achieve instant assignment"). This crate reproduces that serving
+//! architecture in-process:
+//!
+//! * [`DocsService`] owns the [`docs_system::Docs`] state machine on a
+//!   dedicated server thread; requests arrive over a crossbeam channel and
+//!   are processed strictly in arrival order — the same serialization a
+//!   single-writer web backend with a transactional parameter DB provides,
+//! * [`ServiceHandle`] is a cheaply cloneable client used from any number
+//!   of worker threads; every call is synchronous request/response,
+//! * [`ServiceMetrics`] records per-operation latency (count/mean/max), so
+//!   the Figure 8(b) "worst-case assignment time" measurement works under
+//!   real concurrency rather than a single-threaded loop,
+//! * [`drive_workers`] runs a whole simulated crowd (from `docs-crowd`)
+//!   against the service from `threads` parallel clients until the budget
+//!   is consumed — the harness behind the `concurrent_service` example and
+//!   the cross-crate stress tests.
+
+mod client;
+mod message;
+mod metrics;
+mod server;
+
+pub use client::{drive_workers, DriveOutcome, DriveReport};
+pub use message::{Request, Response};
+pub use metrics::{OpKind, OpStats, ServiceMetrics};
+pub use server::{DocsService, ServiceError, ServiceHandle};

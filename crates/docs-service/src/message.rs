@@ -1,0 +1,36 @@
+//! The service wire protocol: the two worker-facing request kinds of
+//! Figure 1 plus requester-side control operations.
+
+use docs_system::{RequesterReport, WorkRequest};
+use docs_types::{Answer, ChoiceIndex, TaskId, WorkerId};
+
+/// A request to the DOCS service.
+#[derive(Debug, Clone)]
+pub enum Request {
+    /// "A worker comes and requests tasks" (Figure 1, arrow ④).
+    RequestTasks(WorkerId),
+    /// A new worker submits her golden-HIT answers (Section 5.2).
+    SubmitGolden {
+        /// The submitting worker.
+        worker: WorkerId,
+        /// Her answers to the golden tasks.
+        answers: Vec<(TaskId, ChoiceIndex)>,
+    },
+    /// "A worker accomplishes tasks and submits answers" (arrow ⑤).
+    SubmitAnswer(Answer),
+    /// Requester-side: finalize inference and produce the report.
+    Finish,
+}
+
+/// A response from the DOCS service.
+#[derive(Debug, Clone)]
+pub enum Response {
+    /// Reply to [`Request::RequestTasks`].
+    Work(WorkRequest),
+    /// Successful submission.
+    Ack,
+    /// Reply to [`Request::Finish`].
+    Report(Box<RequesterReport>),
+    /// The request failed inside the system (e.g. duplicate answer).
+    Failed(String),
+}

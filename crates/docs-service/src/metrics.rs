@@ -1,0 +1,146 @@
+//! Per-operation latency accounting.
+//!
+//! Figure 8(b) reports the *worst-case* assignment time; a deployed service
+//! must measure it while other requests contend for the inference state.
+//! [`ServiceMetrics`] is shared (via `Arc`) between the server thread and
+//! every client handle, guarded by a `parking_lot` mutex (uncontended locks
+//! are a handful of nanoseconds — negligible next to the microsecond-scale
+//! operations being measured).
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The operation kinds the service distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    /// OTA assignment (`RequestTasks`).
+    Assign,
+    /// Golden-HIT submission.
+    Golden,
+    /// Answer submission (incremental TI).
+    Submit,
+    /// Final inference + report.
+    Finish,
+}
+
+const NUM_KINDS: usize = 4;
+
+impl OpKind {
+    #[inline]
+    fn index(self) -> usize {
+        match self {
+            OpKind::Assign => 0,
+            OpKind::Golden => 1,
+            OpKind::Submit => 2,
+            OpKind::Finish => 3,
+        }
+    }
+}
+
+/// Aggregated statistics for one operation kind.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct OpStats {
+    /// Number of completed operations.
+    pub count: u64,
+    /// Total service time across them.
+    pub total: Duration,
+    /// Worst single-operation service time (Figure 8(b)'s metric).
+    pub max: Duration,
+}
+
+impl OpStats {
+    /// Mean service time, or zero when nothing was recorded.
+    pub fn mean(&self) -> Duration {
+        if self.count == 0 {
+            Duration::ZERO
+        } else {
+            self.total / self.count as u32
+        }
+    }
+}
+
+/// Thread-safe latency recorder shared by the server and all handles.
+#[derive(Debug, Clone, Default)]
+pub struct ServiceMetrics {
+    inner: Arc<Mutex<[OpStats; NUM_KINDS]>>,
+}
+
+impl ServiceMetrics {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one completed operation.
+    pub fn record(&self, kind: OpKind, elapsed: Duration) {
+        let mut stats = self.inner.lock();
+        let s = &mut stats[kind.index()];
+        s.count += 1;
+        s.total += elapsed;
+        s.max = s.max.max(elapsed);
+    }
+
+    /// Snapshot of one operation kind's statistics.
+    pub fn stats(&self, kind: OpKind) -> OpStats {
+        self.inner.lock()[kind.index()]
+    }
+
+    /// Total operations recorded across all kinds.
+    pub fn total_ops(&self) -> u64 {
+        self.inner.lock().iter().map(|s| s.count).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_count_total_and_max() {
+        let m = ServiceMetrics::new();
+        m.record(OpKind::Assign, Duration::from_micros(10));
+        m.record(OpKind::Assign, Duration::from_micros(30));
+        m.record(OpKind::Submit, Duration::from_micros(5));
+        let a = m.stats(OpKind::Assign);
+        assert_eq!(a.count, 2);
+        assert_eq!(a.total, Duration::from_micros(40));
+        assert_eq!(a.max, Duration::from_micros(30));
+        assert_eq!(a.mean(), Duration::from_micros(20));
+        assert_eq!(m.stats(OpKind::Submit).count, 1);
+        assert_eq!(m.stats(OpKind::Finish), OpStats::default());
+        assert_eq!(m.total_ops(), 3);
+    }
+
+    #[test]
+    fn empty_stats_have_zero_mean() {
+        assert_eq!(OpStats::default().mean(), Duration::ZERO);
+    }
+
+    #[test]
+    fn clones_share_the_recorder() {
+        let m = ServiceMetrics::new();
+        let m2 = m.clone();
+        m2.record(OpKind::Golden, Duration::from_micros(1));
+        assert_eq!(m.stats(OpKind::Golden).count, 1);
+    }
+
+    #[test]
+    fn concurrent_recording_is_consistent() {
+        let m = ServiceMetrics::new();
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let m = m.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        m.record(OpKind::Submit, Duration::from_nanos(100));
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(m.stats(OpKind::Submit).count, 8000);
+    }
+}

@@ -1,0 +1,306 @@
+//! The service: a dedicated thread owning the DOCS state machine, a
+//! cloneable request handle, and an orderly shutdown path.
+
+use crate::message::{Request, Response};
+use crate::metrics::{OpKind, ServiceMetrics};
+use crossbeam::channel::{bounded, unbounded, Sender};
+use docs_system::{Docs, RequesterReport, WorkRequest};
+use docs_types::{Answer, ChoiceIndex, TaskId, WorkerId};
+use std::fmt;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Errors surfaced to service clients.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceError {
+    /// The server thread is gone (shut down or panicked).
+    Disconnected,
+    /// The system rejected the request (duplicate answer, unknown task, …).
+    Rejected(String),
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::Disconnected => write!(f, "DOCS service disconnected"),
+            ServiceError::Rejected(msg) => write!(f, "request rejected: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+struct Envelope {
+    request: Request,
+    reply: Sender<Response>,
+}
+
+/// Cloneable client handle to a running [`DocsService`].
+///
+/// Every method is synchronous: it enqueues the request and blocks for the
+/// server's response, exactly like an HTTP round-trip to the paper's Django
+/// backend. Handles are cheap to clone and safe to use from many threads.
+#[derive(Clone)]
+pub struct ServiceHandle {
+    tx: Sender<Envelope>,
+    metrics: ServiceMetrics,
+}
+
+impl ServiceHandle {
+    fn call(&self, request: Request) -> Result<Response, ServiceError> {
+        let (reply_tx, reply_rx) = bounded(1);
+        self.tx
+            .send(Envelope {
+                request,
+                reply: reply_tx,
+            })
+            .map_err(|_| ServiceError::Disconnected)?;
+        reply_rx.recv().map_err(|_| ServiceError::Disconnected)
+    }
+
+    /// "A worker comes and requests tasks."
+    pub fn request_tasks(&self, worker: WorkerId) -> Result<WorkRequest, ServiceError> {
+        match self.call(Request::RequestTasks(worker))? {
+            Response::Work(w) => Ok(w),
+            Response::Failed(msg) => Err(ServiceError::Rejected(msg)),
+            other => unreachable!("protocol violation: {other:?}"),
+        }
+    }
+
+    /// Submits a new worker's golden-HIT answers.
+    pub fn submit_golden(
+        &self,
+        worker: WorkerId,
+        answers: Vec<(TaskId, ChoiceIndex)>,
+    ) -> Result<(), ServiceError> {
+        match self.call(Request::SubmitGolden { worker, answers })? {
+            Response::Ack => Ok(()),
+            Response::Failed(msg) => Err(ServiceError::Rejected(msg)),
+            other => unreachable!("protocol violation: {other:?}"),
+        }
+    }
+
+    /// Submits one answer.
+    pub fn submit_answer(&self, answer: Answer) -> Result<(), ServiceError> {
+        match self.call(Request::SubmitAnswer(answer))? {
+            Response::Ack => Ok(()),
+            Response::Failed(msg) => Err(ServiceError::Rejected(msg)),
+            other => unreachable!("protocol violation: {other:?}"),
+        }
+    }
+
+    /// Finalizes inference and returns the requester report.
+    pub fn finish(&self) -> Result<RequesterReport, ServiceError> {
+        match self.call(Request::Finish)? {
+            Response::Report(r) => Ok(*r),
+            Response::Failed(msg) => Err(ServiceError::Rejected(msg)),
+            other => unreachable!("protocol violation: {other:?}"),
+        }
+    }
+
+    /// The shared latency metrics.
+    pub fn metrics(&self) -> &ServiceMetrics {
+        &self.metrics
+    }
+}
+
+/// A running DOCS service (the server thread).
+pub struct DocsService {
+    join: JoinHandle<Docs>,
+}
+
+impl DocsService {
+    /// Spawns the server thread around a published [`Docs`] instance and
+    /// returns the service plus its first client handle.
+    pub fn spawn(docs: Docs) -> (DocsService, ServiceHandle) {
+        let (tx, rx) = unbounded::<Envelope>();
+        let metrics = ServiceMetrics::new();
+        let server_metrics = metrics.clone();
+        let join = std::thread::Builder::new()
+            .name("docs-service".into())
+            .spawn(move || {
+                let mut docs = docs;
+                // The loop ends when every handle (every sender) is dropped.
+                while let Ok(env) = rx.recv() {
+                    let start = Instant::now();
+                    let (kind, response) = match env.request {
+                        Request::RequestTasks(w) => {
+                            (OpKind::Assign, Response::Work(docs.request_tasks(w)))
+                        }
+                        Request::SubmitGolden { worker, answers } => (
+                            OpKind::Golden,
+                            match docs.submit_golden(worker, &answers) {
+                                Ok(()) => Response::Ack,
+                                Err(e) => Response::Failed(e.to_string()),
+                            },
+                        ),
+                        Request::SubmitAnswer(answer) => (
+                            OpKind::Submit,
+                            match docs.submit_answer(answer) {
+                                Ok(()) => Response::Ack,
+                                Err(e) => Response::Failed(e.to_string()),
+                            },
+                        ),
+                        Request::Finish => (
+                            OpKind::Finish,
+                            match docs.finish() {
+                                Ok(r) => Response::Report(Box::new(r)),
+                                Err(e) => Response::Failed(e.to_string()),
+                            },
+                        ),
+                    };
+                    server_metrics.record(kind, start.elapsed());
+                    // A client that hung up after sending is fine.
+                    let _ = env.reply.send(response);
+                }
+                docs
+            })
+            .expect("spawn docs-service thread");
+        (DocsService { join }, ServiceHandle { tx, metrics })
+    }
+
+    /// Waits for the server to drain and stop, returning the final system
+    /// state.
+    ///
+    /// The server stops when every [`ServiceHandle`] has been dropped, so
+    /// drop all handles before calling `join` or it will block forever.
+    pub fn join(self) -> Docs {
+        self.join.join().expect("docs-service thread panicked")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use docs_kb::table2_example_kb;
+    use docs_system::DocsConfig;
+    use docs_types::TaskBuilder;
+
+    fn service() -> (DocsService, ServiceHandle) {
+        let kb = table2_example_kb();
+        let subjects = ["Michael Jordan", "Kobe Bryant", "NBA"];
+        let tasks: Vec<_> = (0..9)
+            .map(|i| {
+                TaskBuilder::new(i, format!("Is {} great?", subjects[i % 3]))
+                    .yes_no()
+                    .with_ground_truth(i % 2)
+                    .with_true_domain(1)
+                    .build()
+                    .unwrap()
+            })
+            .collect();
+        let config = DocsConfig {
+            num_golden: 2,
+            k_per_hit: 3,
+            answers_per_task: 2,
+            z: 10,
+            ..Default::default()
+        };
+        DocsService::spawn(Docs::publish(&kb, tasks, config).unwrap())
+    }
+
+    /// Answers golden tasks correctly (ground truth is i % 2 by id).
+    fn pass_golden(handle: &ServiceHandle, worker: WorkerId, golden: &[TaskId]) {
+        let answers: Vec<_> = golden.iter().map(|&g| (g, g.index() % 2)).collect();
+        handle.submit_golden(worker, answers).unwrap();
+    }
+
+    #[test]
+    fn round_trip_golden_then_tasks_then_report() {
+        let (service, handle) = service();
+        let w = WorkerId(0);
+        let golden = match handle.request_tasks(w).unwrap() {
+            WorkRequest::Golden(g) => g,
+            other => panic!("expected golden HIT, got {other:?}"),
+        };
+        assert_eq!(golden.len(), 2);
+        pass_golden(&handle, w, &golden);
+        let tasks = match handle.request_tasks(w).unwrap() {
+            WorkRequest::Tasks(t) => t,
+            other => panic!("expected task HIT, got {other:?}"),
+        };
+        assert_eq!(tasks.len(), 3);
+        for t in tasks {
+            handle
+                .submit_answer(Answer::new(w, t, t.index() % 2))
+                .unwrap();
+        }
+        let report = handle.finish().unwrap();
+        assert_eq!(report.truths.len(), 9);
+        assert_eq!(report.answers_collected, 3);
+        drop(handle);
+        let _docs = service.join();
+    }
+
+    #[test]
+    fn duplicate_answer_is_rejected_not_fatal() {
+        let (service, handle) = service();
+        let w = WorkerId(1);
+        if let WorkRequest::Golden(g) = handle.request_tasks(w).unwrap() {
+            pass_golden(&handle, w, &g);
+        }
+        let answer = Answer::new(w, TaskId(0), 0);
+        handle.submit_answer(answer).unwrap();
+        let err = handle.submit_answer(answer).unwrap_err();
+        assert!(matches!(err, ServiceError::Rejected(_)));
+        // The service keeps serving after the rejection.
+        assert!(handle.request_tasks(w).is_ok());
+        drop(handle);
+        service.join();
+    }
+
+    #[test]
+    fn metrics_count_operations() {
+        let (service, handle) = service();
+        let w = WorkerId(2);
+        let _ = handle.request_tasks(w);
+        if let WorkRequest::Golden(g) = handle.request_tasks(w).unwrap() {
+            pass_golden(&handle, w, &g);
+        }
+        assert_eq!(handle.metrics().stats(OpKind::Assign).count, 2);
+        assert_eq!(handle.metrics().stats(OpKind::Golden).count, 1);
+        assert!(handle.metrics().stats(OpKind::Assign).max > std::time::Duration::ZERO);
+        drop(handle);
+        service.join();
+    }
+
+    #[test]
+    fn calls_after_shutdown_fail_cleanly() {
+        let (service, handle) = service();
+        let extra = handle.clone();
+        drop(handle);
+        // Server still alive: `extra` holds a sender.
+        assert!(extra.request_tasks(WorkerId(3)).is_ok());
+        drop(extra);
+        let _docs = service.join();
+    }
+
+    #[test]
+    fn many_threads_share_one_handle() {
+        let (service, handle) = service();
+        // Seed golden for 4 workers, then hammer assignments concurrently.
+        for w in 0..4u32 {
+            let w = WorkerId(w);
+            if let WorkRequest::Golden(g) = handle.request_tasks(w).unwrap() {
+                pass_golden(&handle, w, &g);
+            }
+        }
+        let threads: Vec<_> = (0..4u32)
+            .map(|w| {
+                let h = handle.clone();
+                std::thread::spawn(move || {
+                    let w = WorkerId(w);
+                    for _ in 0..10 {
+                        h.request_tasks(w).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(handle.metrics().stats(OpKind::Assign).count, 4 + 40);
+        drop(handle);
+        service.join();
+    }
+}

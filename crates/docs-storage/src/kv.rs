@@ -1,0 +1,297 @@
+//! The keyed byte store: snapshot + WAL of mutations + in-memory index.
+
+use crate::{io_err, Wal};
+use bytes::{Buf, BufMut, BytesMut};
+use docs_types::{Error, Result};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::path::PathBuf;
+
+const OP_PUT: u8 = 1;
+const OP_DELETE: u8 = 2;
+
+fn encode_put(key: &str, value: &[u8]) -> Vec<u8> {
+    let mut buf = BytesMut::with_capacity(9 + key.len() + value.len());
+    buf.put_u8(OP_PUT);
+    buf.put_u32_le(key.len() as u32);
+    buf.put_slice(key.as_bytes());
+    buf.put_u32_le(value.len() as u32);
+    buf.put_slice(value);
+    buf.to_vec()
+}
+
+fn encode_delete(key: &str) -> Vec<u8> {
+    let mut buf = BytesMut::with_capacity(5 + key.len());
+    buf.put_u8(OP_DELETE);
+    buf.put_u32_le(key.len() as u32);
+    buf.put_slice(key.as_bytes());
+    buf.to_vec()
+}
+
+fn decode(mut record: &[u8]) -> Result<(u8, String, Vec<u8>)> {
+    let fail = || Error::Storage("malformed WAL record".into());
+    if record.len() < 5 {
+        return Err(fail());
+    }
+    let op = record.get_u8();
+    let klen = record.get_u32_le() as usize;
+    if record.len() < klen {
+        return Err(fail());
+    }
+    let key = String::from_utf8(record[..klen].to_vec()).map_err(|_| fail())?;
+    record.advance(klen);
+    let value = match op {
+        OP_PUT => {
+            if record.len() < 4 {
+                return Err(fail());
+            }
+            let vlen = record.get_u32_le() as usize;
+            if record.len() < vlen {
+                return Err(fail());
+            }
+            record[..vlen].to_vec()
+        }
+        OP_DELETE => Vec::new(),
+        _ => return Err(fail()),
+    };
+    Ok((op, key, value))
+}
+
+#[derive(Debug)]
+struct Inner {
+    map: HashMap<String, Vec<u8>>,
+    wal: Wal,
+    dir: PathBuf,
+}
+
+/// A durable key → bytes store.
+///
+/// Every mutation is logged to the WAL before the in-memory index is
+/// touched; [`KvStore::snapshot`] persists the whole index as JSON and
+/// truncates the log. Reopening a directory recovers snapshot + log suffix.
+#[derive(Debug)]
+pub struct KvStore {
+    inner: Mutex<Inner>,
+}
+
+impl KvStore {
+    /// Opens (or creates) a store rooted at `dir`.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir).map_err(io_err)?;
+        let snapshot_path = dir.join("snapshot.json");
+        let mut map: HashMap<String, Vec<u8>> = match std::fs::read(&snapshot_path) {
+            Ok(data) => serde_json::from_slice(&data)
+                .map_err(|e| Error::Storage(format!("bad snapshot: {e}")))?,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => HashMap::new(),
+            Err(e) => return Err(io_err(e)),
+        };
+        let wal_path = dir.join("wal.log");
+        for entry in Wal::replay(&wal_path)? {
+            let (op, key, value) = decode(&entry.0)?;
+            match op {
+                OP_PUT => {
+                    map.insert(key, value);
+                }
+                _ => {
+                    map.remove(&key);
+                }
+            }
+        }
+        let wal = Wal::open(wal_path)?;
+        Ok(KvStore {
+            inner: Mutex::new(Inner { map, wal, dir }),
+        })
+    }
+
+    /// Stores a value, durably (WAL first).
+    pub fn put(&self, key: &str, value: &[u8]) -> Result<()> {
+        let mut inner = self.inner.lock();
+        inner.wal.append(&encode_put(key, value))?;
+        inner.map.insert(key.to_string(), value.to_vec());
+        Ok(())
+    }
+
+    /// Fetches a value.
+    pub fn get(&self, key: &str) -> Option<Vec<u8>> {
+        self.inner.lock().map.get(key).cloned()
+    }
+
+    /// Deletes a key; returns whether it existed.
+    pub fn delete(&self, key: &str) -> Result<bool> {
+        let mut inner = self.inner.lock();
+        inner.wal.append(&encode_delete(key))?;
+        Ok(inner.map.remove(key).is_some())
+    }
+
+    /// Number of live keys.
+    pub fn len(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+
+    /// True when no keys are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// All keys with the given prefix, sorted.
+    pub fn keys_with_prefix(&self, prefix: &str) -> Vec<String> {
+        let inner = self.inner.lock();
+        let mut keys: Vec<String> = inner
+            .map
+            .keys()
+            .filter(|k| k.starts_with(prefix))
+            .cloned()
+            .collect();
+        keys.sort();
+        keys
+    }
+
+    /// Writes an atomic snapshot (`tmp` + rename) and truncates the WAL.
+    pub fn snapshot(&self) -> Result<()> {
+        let mut inner = self.inner.lock();
+        let json = serde_json::to_vec(&inner.map)
+            .map_err(|e| Error::Storage(format!("snapshot encode: {e}")))?;
+        let tmp = inner.dir.join("snapshot.json.tmp");
+        let dst = inner.dir.join("snapshot.json");
+        std::fs::write(&tmp, &json).map_err(io_err)?;
+        std::fs::rename(&tmp, &dst).map_err(io_err)?;
+        inner.wal.truncate()
+    }
+
+    /// Bytes currently in the WAL — shrinks to 0 after [`KvStore::snapshot`].
+    pub fn wal_bytes(&self) -> Result<u64> {
+        self.inner.lock().wal.len_bytes()
+    }
+
+    /// Root directory of the store.
+    pub fn dir(&self) -> PathBuf {
+        self.inner.lock().dir.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("docs-kv-test-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn put_get_delete() {
+        let store = KvStore::open(tmp_dir("basic")).unwrap();
+        assert!(store.get("a").is_none());
+        store.put("a", b"1").unwrap();
+        store.put("b", b"2").unwrap();
+        assert_eq!(store.get("a").unwrap(), b"1");
+        assert_eq!(store.len(), 2);
+        assert!(store.delete("a").unwrap());
+        assert!(!store.delete("a").unwrap());
+        assert!(store.get("a").is_none());
+    }
+
+    #[test]
+    fn reopen_recovers_from_wal() {
+        let dir = tmp_dir("recover");
+        {
+            let store = KvStore::open(&dir).unwrap();
+            store.put("worker/1", b"q=0.9").unwrap();
+            store.put("worker/2", b"q=0.4").unwrap();
+            store.delete("worker/2").unwrap();
+        }
+        let store = KvStore::open(&dir).unwrap();
+        assert_eq!(store.get("worker/1").unwrap(), b"q=0.9");
+        assert!(store.get("worker/2").is_none());
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn snapshot_compacts_and_recovers() {
+        let dir = tmp_dir("snapshot");
+        {
+            let store = KvStore::open(&dir).unwrap();
+            for i in 0..50 {
+                store
+                    .put(&format!("k{i}"), format!("v{i}").as_bytes())
+                    .unwrap();
+            }
+            assert!(store.wal_bytes().unwrap() > 0);
+            store.snapshot().unwrap();
+            assert_eq!(store.wal_bytes().unwrap(), 0);
+            // Post-snapshot mutations land in the fresh WAL.
+            store.put("k50", b"v50").unwrap();
+        }
+        let store = KvStore::open(&dir).unwrap();
+        assert_eq!(store.len(), 51);
+        assert_eq!(store.get("k7").unwrap(), b"v7");
+        assert_eq!(store.get("k50").unwrap(), b"v50");
+    }
+
+    #[test]
+    fn overwrite_keeps_latest() {
+        let dir = tmp_dir("overwrite");
+        {
+            let store = KvStore::open(&dir).unwrap();
+            store.put("k", b"old").unwrap();
+            store.put("k", b"new").unwrap();
+        }
+        let store = KvStore::open(&dir).unwrap();
+        assert_eq!(store.get("k").unwrap(), b"new");
+    }
+
+    #[test]
+    fn keys_with_prefix_sorted() {
+        let store = KvStore::open(tmp_dir("prefix")).unwrap();
+        store.put("task/2", b"x").unwrap();
+        store.put("task/1", b"x").unwrap();
+        store.put("worker/1", b"x").unwrap();
+        assert_eq!(
+            store.keys_with_prefix("task/"),
+            vec!["task/1".to_string(), "task/2".to_string()]
+        );
+    }
+
+    #[test]
+    fn torn_wal_tail_loses_only_the_tail() {
+        let dir = tmp_dir("torn");
+        {
+            let store = KvStore::open(&dir).unwrap();
+            store.put("durable", b"yes").unwrap();
+        }
+        // Crash mid-append.
+        {
+            use std::io::Write;
+            let mut f = std::fs::OpenOptions::new()
+                .append(true)
+                .open(dir.join("wal.log"))
+                .unwrap();
+            f.write_all(&[99, 0, 0, 0, 1, 2, 3]).unwrap();
+        }
+        let store = KvStore::open(&dir).unwrap();
+        assert_eq!(store.get("durable").unwrap(), b"yes");
+        assert_eq!(store.len(), 1);
+        // And the store still accepts writes.
+        store.put("after", b"crash").unwrap();
+    }
+
+    #[test]
+    fn concurrent_writers_are_serialized() {
+        let store = std::sync::Arc::new(KvStore::open(tmp_dir("threads")).unwrap());
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let s = store.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..25 {
+                    s.put(&format!("t{t}/k{i}"), b"v").unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(store.len(), 100);
+    }
+}

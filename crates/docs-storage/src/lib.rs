@@ -1,0 +1,35 @@
+//! Embedded parameter database — the "DB" box of Figure 1.
+//!
+//! Section 4.2 requires DOCS to persist, across requesters, each worker's
+//! quality/weight statistics and each task's `M^{(i)}` and `s_i`, so that a
+//! returning worker's history is not lost and truth inference can resume
+//! after a restart. The paper deploys Django over a SQL database; this crate
+//! builds the equivalent storage layer from scratch:
+//!
+//! * [`Wal`] — an append-only, CRC-checked, length-prefixed log that
+//!   tolerates torn writes at the tail (crash recovery),
+//! * [`KvStore`] — a keyed byte store: in-memory index + WAL of mutations +
+//!   atomic JSON snapshots with log truncation (compaction),
+//! * [`ParamStore`] — a typed façade with the key scheme DOCS uses
+//!   (`worker/<id>`, `task/<id>`), generic over any `serde` value.
+//!
+//! Concurrency follows the paper's server model: many platform threads hit
+//! the store, so every public type is `Send + Sync` (interior
+//! `parking_lot` locking).
+
+mod crc;
+mod kv;
+mod params;
+mod wal;
+
+pub use crc::crc32;
+pub use kv::KvStore;
+pub use params::ParamStore;
+pub use wal::{Wal, WalEntry};
+
+use docs_types::Error;
+
+/// Maps I/O failures into the workspace error type.
+pub(crate) fn io_err(e: std::io::Error) -> Error {
+    Error::Storage(e.to_string())
+}

@@ -1,0 +1,69 @@
+//! System configuration.
+
+use docs_core::ti::StoppingPolicy;
+use docs_kb::LinkerConfig;
+use std::path::PathBuf;
+
+/// Deployment knobs of the DOCS system, defaulting to the paper's values.
+#[derive(Debug, Clone)]
+pub struct DocsConfig {
+    /// Entity-linker configuration for DVE (top-20 concepts by default).
+    pub linker: LinkerConfig,
+    /// Context-coherence weight used by the linker.
+    pub context_weight: f64,
+    /// Number of golden tasks (`n′ = 20` in the deployment).
+    pub num_golden: usize,
+    /// Golden-initialization smoothing pseudo-weight.
+    pub golden_smoothing: f64,
+    /// Full iterative inference every `z` submissions (`z = 100`).
+    pub z: usize,
+    /// Tasks per HIT (`k = 20` on AMT).
+    pub k_per_hit: usize,
+    /// Collection budget: answers per task (10 in Section 6.1). `0` means
+    /// unlimited.
+    pub answers_per_task: usize,
+    /// Optional parameter-database directory; `None` keeps state in memory
+    /// only.
+    pub storage_dir: Option<PathBuf>,
+    /// Optional per-task adaptive stopping (the Figure 4(c) stable-point
+    /// extension): tasks whose truth satisfies the policy stop receiving
+    /// assignments even before the `answers_per_task` cap, releasing budget
+    /// for harder tasks. `None` reproduces the paper's uniform protocol.
+    pub stopping: Option<StoppingPolicy>,
+}
+
+impl Default for DocsConfig {
+    fn default() -> Self {
+        DocsConfig {
+            linker: LinkerConfig {
+                top_c: 20,
+                context_weight: 0.5,
+            },
+            context_weight: 0.5,
+            num_golden: 20,
+            golden_smoothing: 1.0,
+            z: 100,
+            k_per_hit: 20,
+            answers_per_task: 10,
+            storage_dir: None,
+            stopping: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = DocsConfig::default();
+        assert_eq!(c.linker.top_c, 20);
+        assert_eq!(c.num_golden, 20);
+        assert_eq!(c.z, 100);
+        assert_eq!(c.k_per_hit, 20);
+        assert_eq!(c.answers_per_task, 10);
+        assert!(c.storage_dir.is_none());
+        assert!(c.stopping.is_none(), "uniform protocol by default");
+    }
+}

@@ -1,0 +1,563 @@
+//! The [`Docs`] system object: requester API + platform request handlers.
+
+use crate::DocsConfig;
+use docs_core::dve;
+use docs_core::golden::select_golden_tasks;
+use docs_core::ota::{Assigner, AssignerConfig};
+use docs_core::ti::{IncrementalTi, WorkerRegistry, WorkerStats};
+use docs_kb::{EntityLinker, KnowledgeBase};
+use docs_storage::ParamStore;
+use docs_types::{Answer, ChoiceIndex, Error, Result, Task, TaskId, WorkerId};
+use std::collections::HashSet;
+
+/// Response to a worker's task request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkRequest {
+    /// New worker: answer these golden tasks first (submitted via
+    /// [`Docs::submit_golden`]).
+    Golden(Vec<TaskId>),
+    /// Known worker: the OTA-selected HIT.
+    Tasks(Vec<TaskId>),
+    /// Budget consumed or nothing left for this worker.
+    Done,
+}
+
+/// Final report returned to the requester.
+#[derive(Debug, Clone)]
+pub struct RequesterReport {
+    /// Inferred truth per task.
+    pub truths: Vec<ChoiceIndex>,
+    /// Probabilistic truths `s_i`.
+    pub truth_distributions: Vec<Vec<f64>>,
+    /// Total answers collected.
+    pub answers_collected: usize,
+    /// Accuracy against ground truth where available (evaluation only).
+    pub accuracy: f64,
+}
+
+/// The deployed DOCS system for one requester batch.
+#[derive(Debug)]
+pub struct Docs {
+    engine: IncrementalTi,
+    golden_ids: Vec<TaskId>,
+    seen_workers: HashSet<WorkerId>,
+    config: DocsConfig,
+    store: Option<ParamStore>,
+}
+
+impl Docs {
+    /// Publishes a requester's tasks: runs DVE over the KB, selects golden
+    /// tasks, opens the parameter database, and merges any stored history
+    /// of returning workers (Theorem 1).
+    ///
+    /// Tasks may arrive without domain vectors — DVE fills them. Golden
+    /// tasks must have ground truth (the paper has them manually labeled);
+    /// `publish` verifies this after selection.
+    pub fn publish(kb: &KnowledgeBase, mut tasks: Vec<Task>, config: DocsConfig) -> Result<Self> {
+        if tasks.is_empty() {
+            return Err(Error::Empty("task set"));
+        }
+        let m = kb.num_domains();
+        // ① DVE.
+        let linker = EntityLinker::new(kb, config.linker);
+        for task in &mut tasks {
+            if task.domain_vector.is_none() {
+                let entities = linker.link(&task.text);
+                task.domain_vector = Some(dve::domain_vector(&entities, m));
+            }
+        }
+        // ② Golden selection.
+        let golden_ids = select_golden_tasks(&tasks, config.num_golden);
+        for &gid in &golden_ids {
+            if tasks[gid.index()].ground_truth.is_none() {
+                return Err(Error::Storage(format!(
+                    "golden task {gid} lacks a manually labeled ground truth"
+                )));
+            }
+        }
+        // ③ Registry, seeded from the parameter database when present.
+        let mut registry = WorkerRegistry::new(m, 0.7);
+        let store = match &config.storage_dir {
+            Some(dir) => Some(ParamStore::open(dir)?),
+            None => None,
+        };
+        if let Some(store) = &store {
+            for w in store.worker_ids() {
+                if let Some(stats) = store.get_worker::<WorkerStats>(w)? {
+                    if stats.num_domains() == m {
+                        registry.put(w, stats);
+                    }
+                }
+            }
+        }
+        let engine = IncrementalTi::new(tasks, registry, config.z);
+        Ok(Docs {
+            engine,
+            golden_ids,
+            seen_workers: HashSet::new(),
+            config,
+            store,
+        })
+    }
+
+    /// The published tasks (with DVE-filled domain vectors).
+    pub fn tasks(&self) -> &[Task] {
+        self.engine.tasks()
+    }
+
+    /// The selected golden task ids.
+    pub fn golden_ids(&self) -> &[TaskId] {
+        &self.golden_ids
+    }
+
+    /// The inference engine (read access for experiment harnesses).
+    pub fn engine(&self) -> &IncrementalTi {
+        &self.engine
+    }
+
+    /// Total (non-golden) answers collected so far.
+    pub fn answers_collected(&self) -> usize {
+        self.engine.log().len()
+    }
+
+    /// Whether the collection budget is consumed: the flat budget is spent,
+    /// or — with an adaptive stopping policy configured — every task has
+    /// satisfied its stopping condition.
+    pub fn budget_exhausted(&self) -> bool {
+        if self.config.answers_per_task == 0 {
+            return false;
+        }
+        if self.answers_collected() >= self.config.answers_per_task * self.tasks().len() {
+            return true;
+        }
+        if let Some(policy) = self.config.stopping {
+            let log = self.engine.log();
+            return self
+                .engine
+                .states()
+                .iter()
+                .zip(self.engine.tasks())
+                .all(|(state, task)| policy.should_stop(state, log.answer_count(task.id)));
+        }
+        false
+    }
+
+    /// Handles "a worker comes and requests tasks" (Figure 1, arrow ④).
+    ///
+    /// Unknown workers — not seen in this session and absent from the
+    /// parameter database — get the golden HIT first; known workers get an
+    /// OTA assignment.
+    pub fn request_tasks(&mut self, worker: WorkerId) -> WorkRequest {
+        if self.budget_exhausted() {
+            return WorkRequest::Done;
+        }
+        let known = self.seen_workers.contains(&worker) || self.engine.registry().contains(worker);
+        if !known {
+            return WorkRequest::Golden(self.golden_ids.clone());
+        }
+        let quality = self.engine.registry().quality(worker);
+        let assigner = Assigner::new(AssignerConfig {
+            k: self.config.k_per_hit,
+            max_answers_per_task: if self.config.answers_per_task == 0 {
+                None
+            } else {
+                Some(self.config.answers_per_task)
+            },
+            linear_select: true,
+        });
+        let log = self.engine.log();
+        let stopping = self.config.stopping;
+        let states = self.engine.states();
+        let picks = assigner.assign(
+            &quality,
+            self.engine.tasks(),
+            states,
+            |t| {
+                // Adaptive stopping excludes confident tasks the same way
+                // an already-answered task is excluded.
+                log.has_answered(worker, t)
+                    || stopping.is_some_and(|policy| {
+                        policy.should_stop(&states[t.index()], log.answer_count(t))
+                    })
+            },
+            |t| log.answer_count(t),
+        );
+        if picks.is_empty() {
+            WorkRequest::Done
+        } else {
+            WorkRequest::Tasks(picks)
+        }
+    }
+
+    /// Receives a new worker's golden answers and initializes her quality
+    /// (Section 5.2).
+    pub fn submit_golden(
+        &mut self,
+        worker: WorkerId,
+        answers: &[(TaskId, ChoiceIndex)],
+    ) -> Result<()> {
+        let infos: Vec<(TaskId, (docs_types::DomainVector, ChoiceIndex))> = answers
+            .iter()
+            .map(|&(tid, _)| {
+                let t = &self.engine.tasks()[tid.index()];
+                Ok((
+                    tid,
+                    (
+                        t.domain_vector().clone(),
+                        t.ground_truth.ok_or(Error::UnknownTask(tid))?,
+                    ),
+                ))
+            })
+            .collect::<Result<_>>()?;
+        let lookup = move |tid: TaskId| {
+            infos
+                .iter()
+                .find(|(t, _)| *t == tid)
+                .map(|(_, info)| info.clone())
+                .expect("golden info present")
+        };
+        self.engine
+            .init_worker_from_golden(worker, answers, &lookup, self.config.golden_smoothing);
+        self.seen_workers.insert(worker);
+        self.persist_worker(worker)?;
+        Ok(())
+    }
+
+    /// Handles "a worker accomplishes tasks and submits answers"
+    /// (Figure 1, arrow ⑤): incremental TI plus periodic full inference.
+    pub fn submit_answer(&mut self, answer: Answer) -> Result<()> {
+        self.seen_workers.insert(answer.worker);
+        self.engine.submit(answer)?;
+        self.persist_worker(answer.worker)?;
+        self.persist_task(answer.task)?;
+        Ok(())
+    }
+
+    /// Finalizes the batch: one last full inference, state persisted, report
+    /// returned to the requester.
+    pub fn finish(&mut self) -> Result<RequesterReport> {
+        self.engine.run_full();
+        if let Some(store) = &self.store {
+            for (w, stats) in self.engine.registry().iter() {
+                store.put_worker(w, stats)?;
+            }
+            for (i, state) in self.engine.states().iter().enumerate() {
+                store.put_task(TaskId::from(i), state)?;
+            }
+            store.compact()?;
+        }
+        let truths = self.engine.truths();
+        let accuracy = docs_crowd::accuracy_of(&truths, self.engine.tasks());
+        Ok(RequesterReport {
+            truth_distributions: self
+                .engine
+                .states()
+                .iter()
+                .map(|s| s.s().to_vec())
+                .collect(),
+            answers_collected: self.answers_collected(),
+            truths,
+            accuracy,
+        })
+    }
+
+    fn persist_worker(&self, worker: WorkerId) -> Result<()> {
+        if let (Some(store), Some(stats)) = (&self.store, self.engine.registry().get(worker)) {
+            store.put_worker(worker, stats)?;
+        }
+        Ok(())
+    }
+
+    fn persist_task(&self, task: TaskId) -> Result<()> {
+        if let Some(store) = &self.store {
+            store.put_task(task, self.engine.state(task))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use docs_kb::table2_example_kb;
+    use docs_types::TaskBuilder;
+
+    fn example_tasks(n: usize) -> Vec<Task> {
+        // Texts built from the Table 2 KB aliases so DVE has signal.
+        let subjects = ["Michael Jordan", "Kobe Bryant", "NBA"];
+        (0..n)
+            .map(|i| {
+                TaskBuilder::new(i, format!("Is {} great?", subjects[i % subjects.len()]))
+                    .yes_no()
+                    .with_ground_truth(i % 2)
+                    .with_true_domain(1)
+                    .build()
+                    .unwrap()
+            })
+            .collect()
+    }
+
+    fn small_config() -> DocsConfig {
+        DocsConfig {
+            num_golden: 2,
+            k_per_hit: 3,
+            answers_per_task: 3,
+            z: 10,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn publish_runs_dve_and_selects_golden() {
+        let kb = table2_example_kb();
+        let docs = Docs::publish(&kb, example_tasks(6), small_config()).unwrap();
+        assert_eq!(docs.golden_ids().len(), 2);
+        for t in docs.tasks() {
+            let r = t.domain_vector.as_ref().expect("DVE ran");
+            assert!(docs_types::prob::is_distribution(r.as_slice()));
+            // Kobe Bryant is a sports-only concept ⇒ sports-dominated
+            // vector. ("Michael Jordan" alone legitimately leans films:
+            // the player concept is multi-domain and the actor exists.)
+            if t.text.contains("Kobe") {
+                assert_eq!(r.dominant_domain(), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn new_workers_get_golden_then_tasks() {
+        let kb = table2_example_kb();
+        let mut docs = Docs::publish(&kb, example_tasks(6), small_config()).unwrap();
+        let w = WorkerId(0);
+        let req = docs.request_tasks(w);
+        let golden = match req {
+            WorkRequest::Golden(g) => g,
+            other => panic!("expected golden request, got {other:?}"),
+        };
+        let answers: Vec<(TaskId, ChoiceIndex)> = golden
+            .iter()
+            .map(|&g| (g, docs.tasks()[g.index()].ground_truth.unwrap()))
+            .collect();
+        docs.submit_golden(w, &answers).unwrap();
+        match docs.request_tasks(w) {
+            WorkRequest::Tasks(tasks) => assert_eq!(tasks.len(), 3),
+            other => panic!("expected tasks, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn budget_exhaustion_stops_assignment() {
+        let kb = table2_example_kb();
+        let mut docs = Docs::publish(&kb, example_tasks(2), small_config()).unwrap();
+        // Budget = 2 tasks × 3 answers = 6.
+        let mut served = 0;
+        'outer: for w in 0..10u32 {
+            let w = WorkerId(w);
+            if let WorkRequest::Golden(g) = docs.request_tasks(w) {
+                let answers: Vec<_> = g
+                    .iter()
+                    .map(|&gid| (gid, docs.tasks()[gid.index()].ground_truth.unwrap()))
+                    .collect();
+                docs.submit_golden(w, &answers).unwrap();
+            }
+            loop {
+                match docs.request_tasks(w) {
+                    WorkRequest::Tasks(tasks) => {
+                        for t in tasks {
+                            docs.submit_answer(Answer {
+                                task: t,
+                                worker: w,
+                                choice: 0,
+                            })
+                            .unwrap();
+                            served += 1;
+                            if served > 100 {
+                                panic!("budget never exhausted");
+                            }
+                        }
+                    }
+                    _ => continue 'outer,
+                }
+            }
+        }
+        assert!(docs.budget_exhausted());
+        assert_eq!(docs.answers_collected(), 6);
+        match docs.request_tasks(WorkerId(99)) {
+            WorkRequest::Done => {}
+            other => panic!("expected Done after budget, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn adaptive_stopping_excludes_confident_tasks() {
+        use docs_core::ti::{StoppingPolicy, StoppingRule};
+        let kb = table2_example_kb();
+        let config = DocsConfig {
+            num_golden: 2,
+            k_per_hit: 4,
+            answers_per_task: 10,
+            z: 1, // full inference after every answer, deterministic states
+            stopping: Some(StoppingPolicy {
+                rule: StoppingRule::ConfidenceAbove(0.95),
+                min_answers: 2,
+                max_answers: 10,
+            }),
+            ..Default::default()
+        };
+        let mut docs = Docs::publish(&kb, example_tasks(4), config).unwrap();
+        // Three golden-perfect workers agree on task 0's truth.
+        for w in 0..3u32 {
+            let w = WorkerId(w);
+            if let WorkRequest::Golden(g) = docs.request_tasks(w) {
+                let answers: Vec<_> = g
+                    .iter()
+                    .map(|&gid| (gid, docs.tasks()[gid.index()].ground_truth.unwrap()))
+                    .collect();
+                docs.submit_golden(w, &answers).unwrap();
+            }
+            docs.submit_answer(Answer {
+                task: TaskId(0),
+                worker: w,
+                choice: docs.tasks()[0].ground_truth.unwrap(),
+            })
+            .unwrap();
+        }
+        // Task 0 is now confident; a fresh (golden-initialized) worker's
+        // HIT must not contain it, even though its flat cap (10) is far off.
+        let w = WorkerId(7);
+        if let WorkRequest::Golden(g) = docs.request_tasks(w) {
+            let answers: Vec<_> = g
+                .iter()
+                .map(|&gid| (gid, docs.tasks()[gid.index()].ground_truth.unwrap()))
+                .collect();
+            docs.submit_golden(w, &answers).unwrap();
+        }
+        match docs.request_tasks(w) {
+            WorkRequest::Tasks(tasks) => {
+                assert!(
+                    !tasks.contains(&TaskId(0)),
+                    "confident task assigned anyway: {tasks:?}"
+                );
+                assert!(!tasks.is_empty());
+            }
+            other => panic!("expected tasks, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn all_tasks_stopped_exhausts_the_budget() {
+        use docs_core::ti::{StoppingPolicy, StoppingRule};
+        let kb = table2_example_kb();
+        let config = DocsConfig {
+            num_golden: 2,
+            k_per_hit: 4,
+            answers_per_task: 10,
+            z: 1,
+            stopping: Some(StoppingPolicy {
+                rule: StoppingRule::ConfidenceAbove(0.9),
+                min_answers: 2,
+                max_answers: 10,
+            }),
+            ..Default::default()
+        };
+        let mut docs = Docs::publish(&kb, example_tasks(2), config).unwrap();
+        for w in 0..3u32 {
+            let w = WorkerId(w);
+            if let WorkRequest::Golden(g) = docs.request_tasks(w) {
+                let answers: Vec<_> = g
+                    .iter()
+                    .map(|&gid| (gid, docs.tasks()[gid.index()].ground_truth.unwrap()))
+                    .collect();
+                docs.submit_golden(w, &answers).unwrap();
+            }
+            for t in 0..2usize {
+                docs.submit_answer(Answer {
+                    task: TaskId::from(t),
+                    worker: w,
+                    choice: docs.tasks()[t].ground_truth.unwrap(),
+                })
+                .unwrap();
+            }
+        }
+        // 3 unanimous expert answers per task: both tasks stop well short
+        // of the 10-answer flat budget (6 of 20 answers spent).
+        assert!(docs.budget_exhausted());
+        assert_eq!(docs.answers_collected(), 6);
+        assert!(matches!(docs.request_tasks(WorkerId(9)), WorkRequest::Done));
+    }
+
+    #[test]
+    fn finish_reports_truths() {
+        let kb = table2_example_kb();
+        let mut docs = Docs::publish(&kb, example_tasks(4), small_config()).unwrap();
+        for w in 0..3u32 {
+            let w = WorkerId(w);
+            if let WorkRequest::Golden(g) = docs.request_tasks(w) {
+                let answers: Vec<_> = g
+                    .iter()
+                    .map(|&gid| (gid, docs.tasks()[gid.index()].ground_truth.unwrap()))
+                    .collect();
+                docs.submit_golden(w, &answers).unwrap();
+            }
+            for t in 0..4usize {
+                let tid = TaskId::from(t);
+                if !docs.engine().log().has_answered(w, tid) {
+                    docs.submit_answer(Answer {
+                        task: tid,
+                        worker: w,
+                        choice: docs.tasks()[t].ground_truth.unwrap(),
+                    })
+                    .unwrap();
+                }
+            }
+        }
+        let report = docs.finish().unwrap();
+        assert_eq!(report.truths.len(), 4);
+        assert_eq!(report.accuracy, 1.0);
+        assert_eq!(report.answers_collected, 12);
+    }
+
+    #[test]
+    fn returning_workers_recover_history_from_storage() {
+        let dir =
+            std::env::temp_dir().join(format!("docs-system-test-{}-history", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let kb = table2_example_kb();
+        let config = DocsConfig {
+            storage_dir: Some(dir.clone()),
+            ..small_config()
+        };
+        // First requester: worker 0 answers golden + tasks, state persisted.
+        {
+            let mut docs = Docs::publish(&kb, example_tasks(4), config.clone()).unwrap();
+            let w = WorkerId(0);
+            if let WorkRequest::Golden(g) = docs.request_tasks(w) {
+                let answers: Vec<_> = g
+                    .iter()
+                    .map(|&gid| (gid, docs.tasks()[gid.index()].ground_truth.unwrap()))
+                    .collect();
+                docs.submit_golden(w, &answers).unwrap();
+            }
+            docs.submit_answer(Answer {
+                task: TaskId(0),
+                worker: w,
+                choice: 0,
+            })
+            .unwrap();
+            docs.finish().unwrap();
+        }
+        // Second requester: the same worker is recognized — no golden HIT.
+        {
+            let mut docs = Docs::publish(&kb, example_tasks(4), config).unwrap();
+            match docs.request_tasks(WorkerId(0)) {
+                WorkRequest::Tasks(_) => {}
+                other => panic!("returning worker should skip golden, got {other:?}"),
+            }
+            // A brand-new worker still gets golden tasks.
+            match docs.request_tasks(WorkerId(5)) {
+                WorkRequest::Golden(_) => {}
+                other => panic!("new worker should get golden, got {other:?}"),
+            }
+        }
+    }
+}

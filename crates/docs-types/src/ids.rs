@@ -1,0 +1,96 @@
+//! Strongly-typed identifiers.
+//!
+//! All cross-referencing in the workspace goes through these newtypes so a
+//! task index can never be confused with a worker index or a choice index.
+//! They are plain `u32`/`usize` wrappers with zero runtime cost.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a task `t_i` within one requester batch.
+///
+/// Task ids are dense: the `i`-th published task has id `i`, which lets the
+/// inference modules index per-task state with plain vectors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TaskId(pub u32);
+
+impl TaskId {
+    /// Returns the id as a vector index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl From<usize> for TaskId {
+    fn from(v: usize) -> Self {
+        TaskId(v as u32)
+    }
+}
+
+/// Identifier of a crowd worker `w`.
+///
+/// On a real platform this would be the opaque AMT worker id; in the
+/// reproduction it is a dense index into the simulated worker population.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct WorkerId(pub u32);
+
+impl WorkerId {
+    /// Returns the id as a vector index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for WorkerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "w{}", self.0)
+    }
+}
+
+impl From<usize> for WorkerId {
+    fn from(v: usize) -> Self {
+        WorkerId(v as u32)
+    }
+}
+
+/// Zero-based index of one of the `ℓ_{t_i}` choices of a task.
+///
+/// The paper numbers choices `1..=ℓ`; we use `0..ℓ` throughout and only
+/// translate in display code.
+pub type ChoiceIndex = usize;
+
+/// Zero-based index of a domain `d_k` within a [`crate::DomainSet`].
+pub type DomainIndex = usize;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn task_id_roundtrip() {
+        let id = TaskId::from(42usize);
+        assert_eq!(id.index(), 42);
+        assert_eq!(id.to_string(), "t42");
+    }
+
+    #[test]
+    fn worker_id_roundtrip() {
+        let id = WorkerId::from(7usize);
+        assert_eq!(id.index(), 7);
+        assert_eq!(id.to_string(), "w7");
+    }
+
+    #[test]
+    fn ids_are_ordered_by_value() {
+        assert!(TaskId(1) < TaskId(2));
+        assert!(WorkerId(0) < WorkerId(10));
+    }
+}

@@ -1,0 +1,32 @@
+//! Shared data model for the DOCS reproduction.
+//!
+//! This crate defines the vocabulary of the whole workspace, following the
+//! definitions in Section 2 of the paper:
+//!
+//! * [`DomainSet`] — the domain set `D = {d_1, ..., d_m}` (Definition 1),
+//! * [`Task`] and [`DomainVector`] — tasks with per-domain relatedness
+//!   distributions `r^t` (Definition 2),
+//! * [`QualityVector`] — per-domain worker expertise `q^w` (Definition 3),
+//! * [`Answer`] / [`AnswerLog`] — worker answers `v^w_i` and the bookkeeping
+//!   views over them (`V(i)` per task, `T(w)` per worker, Definition 4),
+//! * [`prob`] — small numeric helpers (entropy, KL divergence, normalization)
+//!   used by every inference and assignment module.
+//!
+//! Everything downstream (`docs-kb`, `docs-core`, `docs-baselines`,
+//! `docs-crowd`, ...) builds on these types, so they deliberately stay free of
+//! any algorithmic policy.
+
+mod answers;
+pub mod domain;
+mod error;
+mod ids;
+pub mod prob;
+mod task;
+mod vectors;
+
+pub use answers::{Answer, AnswerLog, TaskAnswers, WorkerAnswers};
+pub use domain::DomainSet;
+pub use error::{Error, Result};
+pub use ids::{ChoiceIndex, DomainIndex, TaskId, WorkerId};
+pub use task::{Task, TaskBuilder};
+pub use vectors::{DomainVector, QualityVector};

@@ -1,0 +1,195 @@
+//! Tasks (Definition 2) and their builder.
+
+use crate::{ChoiceIndex, DomainVector, Error, Result, TaskId};
+use serde::{Deserialize, Serialize};
+
+/// A multiple-choice task `t_i` published by a requester.
+///
+/// A task carries its natural-language description (consumed by the entity
+/// linker and the topic-model baselines), its `ℓ` choices, and — once DVE has
+/// run — its domain vector `r^t`. Ground-truth fields exist for evaluation
+/// and for golden tasks; the inference algorithms never read them.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Task {
+    /// Dense id of this task within the requester batch.
+    pub id: TaskId,
+    /// Natural-language description shown to workers.
+    pub text: String,
+    /// The `ℓ` choice labels. `ℓ = choices.len() ≥ 2`.
+    pub choices: Vec<String>,
+    /// Domain vector `r^t`, filled in by DVE.
+    pub domain_vector: Option<DomainVector>,
+    /// Ground-truth answer `v*` (0-based), known only to the evaluation
+    /// harness and for golden tasks.
+    pub ground_truth: Option<ChoiceIndex>,
+    /// Ground-truth domain of the task, used by the Figure 3 evaluation and
+    /// by the "IC/FC get true domains" handicap of Section 6.3.
+    pub true_domain: Option<usize>,
+}
+
+impl Task {
+    /// Number of choices `ℓ_t`.
+    #[inline]
+    pub fn num_choices(&self) -> usize {
+        self.choices.len()
+    }
+
+    /// Domain vector, panicking if DVE has not run yet.
+    ///
+    /// Inference and assignment require DVE output; calling them on
+    /// un-estimated tasks is a programming error, hence panic over `Result`.
+    pub fn domain_vector(&self) -> &DomainVector {
+        self.domain_vector
+            .as_ref()
+            .expect("task has no domain vector; run DVE first")
+    }
+
+    /// Validates a choice index against this task.
+    pub fn check_choice(&self, choice: ChoiceIndex) -> Result<()> {
+        if choice >= self.num_choices() {
+            return Err(Error::ChoiceOutOfRange {
+                choice,
+                num_choices: self.num_choices(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`Task`], used by the dataset generators.
+#[derive(Debug, Clone)]
+pub struct TaskBuilder {
+    id: TaskId,
+    text: String,
+    choices: Vec<String>,
+    domain_vector: Option<DomainVector>,
+    ground_truth: Option<ChoiceIndex>,
+    true_domain: Option<usize>,
+}
+
+impl TaskBuilder {
+    /// Starts a task with its id and description text.
+    pub fn new(id: impl Into<TaskId>, text: impl Into<String>) -> Self {
+        TaskBuilder {
+            id: id.into(),
+            text: text.into(),
+            choices: Vec::new(),
+            domain_vector: None,
+            ground_truth: None,
+            true_domain: None,
+        }
+    }
+
+    /// Convenience for a `TaskId` from a `usize`.
+    pub fn with_choices<I, S>(mut self, choices: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.choices = choices.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Standard yes/no task (`ℓ = 2`), the most common shape in the paper's
+    /// datasets.
+    pub fn yes_no(mut self) -> Self {
+        self.choices = vec!["yes".to_string(), "no".to_string()];
+        self
+    }
+
+    /// Sets the domain vector (normally DVE's job; tests set it directly).
+    pub fn with_domain_vector(mut self, r: DomainVector) -> Self {
+        self.domain_vector = Some(r);
+        self
+    }
+
+    /// Records the evaluation-only ground truth.
+    pub fn with_ground_truth(mut self, truth: ChoiceIndex) -> Self {
+        self.ground_truth = Some(truth);
+        self
+    }
+
+    /// Records the evaluation-only true domain.
+    pub fn with_true_domain(mut self, k: usize) -> Self {
+        self.true_domain = Some(k);
+        self
+    }
+
+    /// Validates and produces the task.
+    pub fn build(self) -> Result<Task> {
+        if self.choices.len() < 2 {
+            return Err(Error::TooFewChoices(self.choices.len()));
+        }
+        if let Some(t) = self.ground_truth {
+            if t >= self.choices.len() {
+                return Err(Error::ChoiceOutOfRange {
+                    choice: t,
+                    num_choices: self.choices.len(),
+                });
+            }
+        }
+        Ok(Task {
+            id: self.id,
+            text: self.text,
+            choices: self.choices,
+            domain_vector: self.domain_vector,
+            ground_truth: self.ground_truth,
+            true_domain: self.true_domain,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_produces_valid_task() {
+        let t = TaskBuilder::new(
+            0usize,
+            "Does Michael Jordan win more NBA championships than Kobe Bryant?",
+        )
+        .yes_no()
+        .with_ground_truth(0)
+        .with_true_domain(1)
+        .build()
+        .unwrap();
+        assert_eq!(t.num_choices(), 2);
+        assert_eq!(t.ground_truth, Some(0));
+        assert_eq!(t.true_domain, Some(1));
+        assert!(t.domain_vector.is_none());
+    }
+
+    #[test]
+    fn builder_rejects_single_choice() {
+        let err = TaskBuilder::new(0usize, "?")
+            .with_choices(["only"])
+            .build()
+            .unwrap_err();
+        assert_eq!(err, Error::TooFewChoices(1));
+    }
+
+    #[test]
+    fn builder_rejects_out_of_range_truth() {
+        let err = TaskBuilder::new(0usize, "?")
+            .yes_no()
+            .with_ground_truth(5)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, Error::ChoiceOutOfRange { choice: 5, .. }));
+    }
+
+    #[test]
+    fn check_choice_validates() {
+        let t = TaskBuilder::new(0usize, "?").yes_no().build().unwrap();
+        assert!(t.check_choice(1).is_ok());
+        assert!(t.check_choice(2).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "run DVE first")]
+    fn domain_vector_panics_before_dve() {
+        let t = TaskBuilder::new(0usize, "?").yes_no().build().unwrap();
+        let _ = t.domain_vector();
+    }
+}

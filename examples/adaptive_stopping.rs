@@ -1,0 +1,155 @@
+//! Adaptive answer collection — the Figure 4(c) "stable point" future work.
+//!
+//! ```text
+//! cargo run --release --example adaptive_stopping
+//! ```
+//!
+//! The paper collects exactly 10 answers for every task and observes that
+//! accuracy "remains stable as ≥ 8 answers are collected. We will study the
+//! estimation of stable point in future." This example runs that study on
+//! the simulated Item dataset, three ways:
+//!
+//! 1. the uniform 10-answers-per-task protocol (the paper's),
+//! 2. a per-task [`StoppingPolicy`]: confident tasks stop collecting early,
+//! 3. the campaign-level stable point, estimated offline from the accuracy
+//!    curve and online (no ground truth) from truth flips.
+
+use docs_core::ti::stopping::{stable_point_of_curve, StoppingPolicy, TruthFlipTracker};
+use docs_core::ti::{IncrementalTi, WorkerRegistry};
+use docs_crowd::{accuracy_of, AnswerModel, PopulationConfig, WorkerPopulation};
+use docs_types::{Answer, TaskId, WorkerId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let mut dataset = docs_datasets::item();
+    dataset.run_dve_default();
+    let m = dataset.domain_set.len();
+    let n = dataset.len();
+    let population = WorkerPopulation::generate(&PopulationConfig {
+        m,
+        size: 60,
+        seed: 0x57AB,
+        ..Default::default()
+    });
+    let mut rng = SmallRng::seed_from_u64(0x57AB1E);
+
+    println!(
+        "dataset {} ({n} tasks, {m} domains), 60 simulated workers\n",
+        dataset.name
+    );
+
+    // ── Round-based collection: one answer per task per round, with the
+    //    stopping policy deciding which tasks keep collecting.
+    // Stricter than the library default: without golden initialization the
+    // early quality estimates are uninformed, so demand ~99% confidence and
+    // at least half the uniform budget before releasing a task.
+    let policy = StoppingPolicy {
+        rule: docs_core::ti::StoppingRule::EntropyBelow(0.06),
+        min_answers: 5,
+        max_answers: 10,
+    };
+    let mut engine = IncrementalTi::new(dataset.tasks.clone(), WorkerRegistry::new(m, 0.7), 100);
+    let mut tracker = TruthFlipTracker::new(0.02, 2);
+    let mut curve = Vec::new();
+    let mut online_stable: Option<usize> = None;
+
+    for round in 1..=policy.max_answers {
+        for i in 0..n {
+            let tid = TaskId::from(i);
+            if policy.should_stop(engine.state(tid), engine.log().answer_count(tid)) {
+                continue;
+            }
+            // A random worker who has not answered this task yet.
+            let worker = loop {
+                let w = WorkerId::from(rng.gen_range(0..population.len()));
+                if !engine.log().has_answered(w, tid) {
+                    break w;
+                }
+            };
+            let choice = population.worker(worker).answer(
+                &dataset.tasks[i],
+                AnswerModel::DomainUniform,
+                &mut rng,
+            );
+            engine
+                .submit(Answer::new(worker, tid, choice))
+                .expect("fresh (worker, task) pair");
+        }
+        engine.run_full();
+        let truths = engine.truths();
+        let accuracy = accuracy_of(&truths, &dataset.tasks);
+        curve.push((round, accuracy));
+        if tracker.checkpoint(truths) && online_stable.is_none() {
+            online_stable = Some(round);
+        }
+        println!(
+            "round {round:>2}: answers so far {:>5}, accuracy {:.1}%{}",
+            engine.log().len(),
+            accuracy * 100.0,
+            if online_stable == Some(round) {
+                "   <- online stable point (truth flips quiet)"
+            } else {
+                ""
+            }
+        );
+    }
+
+    let adaptive_answers = engine.log().len();
+    let adaptive_accuracy = curve.last().expect("ten rounds ran").1;
+
+    // ── The uniform protocol for comparison: same crowd, 10 answers per
+    //    task, no early stopping.
+    let mut uniform = IncrementalTi::new(dataset.tasks.clone(), WorkerRegistry::new(m, 0.7), 100);
+    let mut rng = SmallRng::seed_from_u64(0x57AB1E);
+    for _ in 0..10 {
+        for i in 0..n {
+            let tid = TaskId::from(i);
+            let worker = loop {
+                let w = WorkerId::from(rng.gen_range(0..population.len()));
+                if !uniform.log().has_answered(w, tid) {
+                    break w;
+                }
+            };
+            let choice = population.worker(worker).answer(
+                &dataset.tasks[i],
+                AnswerModel::DomainUniform,
+                &mut rng,
+            );
+            uniform.submit(Answer::new(worker, tid, choice)).unwrap();
+        }
+    }
+    uniform.run_full();
+    let uniform_accuracy = accuracy_of(&uniform.truths(), &dataset.tasks);
+    let uniform_answers = uniform.log().len();
+
+    println!("\n── summary ──");
+    println!(
+        "uniform 10/task : {uniform_answers} answers, accuracy {:.1}%",
+        uniform_accuracy * 100.0
+    );
+    println!(
+        "adaptive policy : {adaptive_answers} answers, accuracy {:.1}%  (saved {} answers = ${:.2} at $0.005/answer)",
+        adaptive_accuracy * 100.0,
+        uniform_answers - adaptive_answers,
+        (uniform_answers - adaptive_answers) as f64 * 0.005,
+    );
+    println!(
+        "offline stable point (accuracy curve, tol 1pp): {:?} answers/task",
+        stable_point_of_curve(&curve, 0.01)
+    );
+    println!("online stable point (truth-flip tracker)      : {online_stable:?} answers/task");
+    println!(
+        "per-round truth-flip fractions                : {:?}",
+        tracker
+            .flip_history
+            .iter()
+            .map(|f| (f * 1000.0).round() / 1000.0)
+            .collect::<Vec<_>>()
+    );
+    // On this deliberately mediocre crowd the flip rate never falls under
+    // the 2% threshold — the online detector correctly refuses to declare
+    // stability while the offline curve already plateaued within 1pp. That
+    // gap (truths still churn even when *aggregate* accuracy is flat) is
+    // exactly why the stable-point question the paper defers is nontrivial.
+}

@@ -1,0 +1,78 @@
+//! Domain Vector Estimation walk-through (Section 3).
+//!
+//! ```text
+//! cargo run --release --example domain_vectors
+//! ```
+//!
+//! Reproduces Table 2 and Figure 2: links the paper's example task against
+//! the example knowledge base, prints each detected entity's candidate
+//! distribution, and computes the domain vector with both Algorithm 1 and
+//! the exponential enumeration — showing they agree and how their costs
+//! diverge as candidates grow.
+
+use docs_core::dve::{domain_vector, domain_vector_enumeration};
+use docs_kb::generator::synthetic_entities;
+use docs_kb::{table2_example_kb, EntityLinker};
+use std::time::Instant;
+
+fn main() {
+    let kb = table2_example_kb();
+    let linker = EntityLinker::with_defaults(&kb);
+    let text = "Does Michael Jordan win more NBA championships than Kobe Bryant?";
+    println!("task: {text}\n");
+
+    // Step 1: entities, concepts, and indicator vectors (Table 2).
+    let entities = linker.link(text);
+    for e in &entities {
+        println!("entity: {}", e.mention);
+        for (j, &cid) in e.candidates.iter().enumerate() {
+            let concept = kb.concept(cid);
+            println!(
+                "  p = {:.2}  h = {:?}  {}",
+                e.probs[j],
+                concept.domains.to_bits(),
+                concept.name
+            );
+        }
+    }
+
+    // Step 2: the domain vector (Figure 2 computes r_2 = 0.78).
+    let m = kb.num_domains();
+    let r = domain_vector(&entities, m);
+    println!("\ndomain vector over {:?}:", kb.domain_set().names());
+    println!(
+        "  r = [{}]",
+        r.as_slice()
+            .iter()
+            .map(|x| format!("{x:.2}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+
+    let slow = domain_vector_enumeration(&entities, m, 1 << 30).expect("small instance");
+    assert!((r[1] - slow[1]).abs() < 1e-12, "both algorithms agree");
+    println!("  (enumeration agrees exactly)");
+
+    // The complexity story: grow |E_t| with 20 candidates each and watch
+    // enumeration fall off a cliff while Algorithm 1 stays polynomial.
+    println!("\n|E_t| sweep with c = 20 candidates per entity:");
+    println!("{:<8} {:>14} {:>18}", "|E_t|", "Algorithm 1", "Enumeration");
+    for num_entities in [2usize, 3, 4, 5, 6] {
+        let es = synthetic_entities(26, num_entities, 20, 2, 7);
+        let t0 = Instant::now();
+        let _ = domain_vector(&es, 26);
+        let fast = t0.elapsed();
+        let t0 = Instant::now();
+        let slow = domain_vector_enumeration(&es, 26, 2_000_000);
+        let slow_str = match slow {
+            Some(_) => format!("{:.1?}", t0.elapsed()),
+            None => "> 2M linkings".to_string(),
+        };
+        println!(
+            "{:<8} {:>14} {:>18}",
+            num_entities,
+            format!("{fast:.1?}"),
+            slow_str
+        );
+    }
+}

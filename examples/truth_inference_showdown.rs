@@ -1,0 +1,80 @@
+//! Truth-inference showdown (the Figure 5 experiment, in miniature).
+//!
+//! ```text
+//! cargo run --release --example truth_inference_showdown
+//! ```
+//!
+//! Regenerates the 4D dataset, simulates the Section 6.1 answer collection
+//! (10 workers per task), and runs all six truth-inference methods — MV,
+//! ZenCrowd, Dawid-Skene, iCrowd, FaitCrowd, and DOCS — on the *same*
+//! answers, printing accuracy and wall time per method.
+
+use docs_baselines::ti::{DawidSkene, FaitCrowd, ICrowd, MajorityVote, TruthMethod, ZenCrowd};
+use docs_bench::protocol::prepare;
+use docs_core::ti::TruthInference;
+use docs_crowd::accuracy_of;
+use std::time::Instant;
+
+fn main() {
+    println!("preparing 4D: DVE over the knowledge base + simulated answer collection…");
+    let prepared = prepare(docs_datasets::four_domain(), 10, 20, 50, 0x5110);
+    let tasks = &prepared.dataset.tasks;
+    let log = &prepared.log;
+    println!(
+        "{} tasks, {} answers, {} workers, {} golden tasks\n",
+        tasks.len(),
+        log.len(),
+        log.num_workers(),
+        prepared.golden_ids.len()
+    );
+
+    let scalar_init = prepared.scalar_init();
+    let registry = prepared.docs_registry();
+
+    type Method<'a> = (&'a str, Box<dyn Fn() -> Vec<usize> + 'a>);
+    let methods: Vec<Method> = vec![
+        ("MV", Box::new(|| MajorityVote.infer(tasks, log))),
+        ("ZC", {
+            let init = scalar_init.clone();
+            Box::new(move || {
+                ZenCrowd::default()
+                    .with_init(init.clone())
+                    .infer(tasks, log)
+            })
+        }),
+        ("DS", {
+            let init = scalar_init.clone();
+            Box::new(move || {
+                DawidSkene::default()
+                    .with_init(init.clone())
+                    .infer(tasks, log)
+            })
+        }),
+        ("IC", Box::new(|| ICrowd::default().infer(tasks, log))),
+        ("FC", {
+            let init = scalar_init.clone();
+            Box::new(move || {
+                FaitCrowd::default()
+                    .with_init(init.clone())
+                    .infer(tasks, log)
+            })
+        }),
+        ("DOCS", {
+            let registry = registry.clone();
+            Box::new(move || TruthInference::default().run(tasks, log, &registry).truths)
+        }),
+    ];
+
+    println!("{:<6} {:>10} {:>12}", "method", "accuracy", "time");
+    for (name, run) in methods {
+        let t0 = Instant::now();
+        let truths = run();
+        let dt = t0.elapsed();
+        println!(
+            "{:<6} {:>9.1}% {:>12.1?}",
+            name,
+            100.0 * accuracy_of(&truths, tasks),
+            dt
+        );
+    }
+}

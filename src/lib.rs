@@ -1,0 +1,11 @@
+//! Workspace umbrella crate: re-exports for examples and integration tests.
+pub use docs_baselines as baselines;
+pub use docs_core as core;
+pub use docs_crowd as crowd;
+pub use docs_datasets as datasets;
+pub use docs_kb as kb;
+pub use docs_service as service;
+pub use docs_storage as storage;
+pub use docs_system as system;
+pub use docs_topics as topics;
+pub use docs_types as types;
