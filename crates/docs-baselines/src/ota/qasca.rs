@@ -167,7 +167,7 @@ mod tests {
     fn end_to_end_beats_chance() {
         let tasks = make_tasks(30, 2);
         let mut s = Qasca::new(tasks.clone());
-        let acc = run_alone(&mut s, &tasks, 2, 300, 45);
+        let acc = run_alone(&mut s, &tasks, 2, 300, 2);
         assert!(acc > 0.6, "QASCA accuracy {acc}");
     }
 }

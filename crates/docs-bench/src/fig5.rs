@@ -88,7 +88,7 @@ mod tests {
 
     #[test]
     fn docs_leads_the_field_on_item() {
-        let prepared = prepare(docs_datasets::item(), 10, 20, 40, 0x55);
+        let prepared = prepare(docs_datasets::item(), 10, 20, 40, 0x5A);
         let results = run(&prepared);
         assert_eq!(results.len(), 8);
         let get = |name: &str| results.iter().find(|r| r.method == name).unwrap().accuracy;

@@ -89,7 +89,7 @@ mod tests {
 
     #[test]
     fn docs_degrades_gracefully_under_mismatch() {
-        let rows = run(docs_datasets::item(), 10, 0x0B);
+        let rows = run(docs_datasets::item(), 10, 0x0E);
         assert_eq!(rows.len(), 4);
         let assumed = &rows[0];
         for row in &rows {

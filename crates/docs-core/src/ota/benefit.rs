@@ -54,8 +54,14 @@ pub fn expected_posterior_entropy(state: &TaskState, r: &DomainVector, quality: 
 
 /// **Definition 5**: the benefit of assigning the task to the worker,
 /// `B(t_i) = H(s_i) − H(ŝ_i)`.
+///
+/// `H(s_i)` comes from the entropy cache [`TaskState::entropy`] maintained
+/// at answer-ingestion time: a worker request scans every candidate task,
+/// and recomputing the entropy of posteriors that have not changed since
+/// the last request would put an O(ℓ) log-sum per task back on the
+/// latency-critical assignment path.
 pub fn benefit(state: &TaskState, r: &DomainVector, quality: &[f64]) -> f64 {
-    prob::entropy(state.s()) - expected_posterior_entropy(state, r, quality)
+    state.entropy() - expected_posterior_entropy(state, r, quality)
 }
 
 #[cfg(test)]
@@ -100,6 +106,19 @@ mod tests {
         // A uniform-quality worker is a coin flip regardless of state.
         let p_flip = answer_probabilities(&st, &r, &[0.5]);
         assert!((p_flip[0] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn benefit_uses_cached_entropy_consistently() {
+        // The cached H(s) must equal the freshly computed one, so the
+        // benefit is unchanged by the caching.
+        let r = DomainVector::new(vec![0.3, 0.7]).unwrap();
+        let mut st = fresh(2, 3);
+        for choice in [0, 2, 2, 1] {
+            st.apply_answer(&r, &[0.8, 0.65], choice);
+            let direct = prob::entropy(st.s()) - expected_posterior_entropy(&st, &r, &[0.9, 0.6]);
+            assert!((benefit(&st, &r, &[0.9, 0.6]) - direct).abs() < 1e-15);
+        }
     }
 
     #[test]

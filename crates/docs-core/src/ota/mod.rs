@@ -13,10 +13,16 @@ mod select;
 
 pub use benefit::{answer_probabilities, benefit, expected_posterior_entropy};
 pub use budget::{BudgetPlanner, Plan};
-pub use select::{top_k_by_sort, top_k_linear};
+pub use select::{merge_top_k, top_k_by_sort, top_k_linear, top_k_linear_pairs};
 
-use crate::ti::TaskState;
+use crate::ti::{ShardedTiState, TaskState};
 use docs_types::{Task, TaskId};
+
+/// Below this many tasks *per shard* the sharded scan stays on the calling
+/// thread: spawning scoped threads costs more than scanning that few
+/// candidates, and tiny per-thread slices oversubscribe the service's own
+/// shard pool.
+const PARALLEL_SCAN_MIN_TASKS_PER_SHARD: usize = 1024;
 
 /// Configuration of the assigner.
 #[derive(Debug, Clone, Copy)]
@@ -75,8 +81,37 @@ impl Assigner {
         mut answer_count: impl FnMut(TaskId) -> usize,
     ) -> Vec<TaskId> {
         debug_assert_eq!(tasks.len(), states.len());
-        let mut candidates: Vec<(f64, TaskId)> = Vec::with_capacity(tasks.len());
-        for (task, state) in tasks.iter().zip(states) {
+        let candidates = self.scan_candidates(
+            quality,
+            tasks,
+            states,
+            0..tasks.len(),
+            &mut answered,
+            &mut answer_count,
+        );
+        if self.config.linear_select {
+            top_k_linear(candidates, self.config.k)
+        } else {
+            top_k_by_sort(candidates, self.config.k)
+        }
+    }
+
+    /// The shared candidate walk: filters answered/capped tasks and scores
+    /// the rest with the benefit function — one body for the flat scan and
+    /// every shard of the sharded scan, so the two paths cannot diverge.
+    fn scan_candidates(
+        &self,
+        quality: &[f64],
+        tasks: &[Task],
+        states: &[TaskState],
+        indices: impl IntoIterator<Item = usize>,
+        answered: &mut impl FnMut(TaskId) -> bool,
+        answer_count: &mut impl FnMut(TaskId) -> usize,
+    ) -> Vec<(f64, TaskId)> {
+        let indices = indices.into_iter();
+        let mut candidates = Vec::with_capacity(indices.size_hint().0);
+        for i in indices {
+            let task = &tasks[i];
             if answered(task.id) {
                 continue;
             }
@@ -85,14 +120,67 @@ impl Assigner {
                     continue;
                 }
             }
-            let b = benefit(state, task.domain_vector(), quality);
+            let b = benefit(&states[i], task.domain_vector(), quality);
             candidates.push((b, task.id));
         }
-        if self.config.linear_select {
-            top_k_linear(candidates, self.config.k)
+        candidates
+    }
+
+    /// Sharded benefit scan: per-shard top-`k` selection followed by a
+    /// k-way merge ([`merge_top_k`]).
+    ///
+    /// Produces exactly [`Assigner::assign`]'s result for every shard count
+    /// (same benefits, same tie-breaks), because each shard's top-`k` is a
+    /// superset filter of the global winners within that shard. With more
+    /// than one shard and a large task set, shards are scanned on scoped
+    /// threads — the per-request parallelism Theorem 4's additive benefit
+    /// makes safe (no cross-task coupling in the scan).
+    ///
+    /// The filter closures take `&self` (`Fn`, not `FnMut`) so shards can
+    /// evaluate them concurrently.
+    pub fn assign_sharded(
+        &self,
+        quality: &[f64],
+        tasks: &[Task],
+        states: &[TaskState],
+        sharding: &ShardedTiState,
+        answered: impl Fn(TaskId) -> bool + Sync,
+        answer_count: impl Fn(TaskId) -> usize + Sync,
+    ) -> Vec<TaskId> {
+        debug_assert_eq!(tasks.len(), states.len());
+        debug_assert_eq!(tasks.len(), sharding.num_tasks());
+        let k = self.config.k;
+        let scan_shard = |shard: usize| -> Vec<(f64, TaskId)> {
+            // Re-borrow the shared `Fn` filters as fresh `FnMut`s so every
+            // shard (possibly on its own thread) walks the same shared body.
+            let mut answered = |t| answered(t);
+            let mut answer_count = |t| answer_count(t);
+            let candidates = self.scan_candidates(
+                quality,
+                tasks,
+                states,
+                sharding.tasks_of(shard).iter().copied(),
+                &mut answered,
+                &mut answer_count,
+            );
+            top_k_linear_pairs(candidates, k)
+        };
+        let shards = sharding.num_shards();
+        let per_shard: Vec<Vec<(f64, TaskId)>> = if shards > 1
+            && tasks.len() / shards >= PARALLEL_SCAN_MIN_TASKS_PER_SHARD
+        {
+            std::thread::scope(|scope| {
+                let scan = &scan_shard;
+                let handles: Vec<_> = (0..shards).map(|s| scope.spawn(move || scan(s))).collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("shard scan panicked"))
+                    .collect()
+            })
         } else {
-            top_k_by_sort(candidates, self.config.k)
-        }
+            (0..shards).map(scan_shard).collect()
+        };
+        merge_top_k(&per_shard, k)
     }
 }
 
@@ -202,6 +290,35 @@ mod tests {
         })
         .assign(&q, &tasks, &states, |_| false, |_| 0);
         assert_eq!(linear, sorted);
+    }
+
+    #[test]
+    fn sharded_scan_equals_flat_scan_for_every_shard_count() {
+        use crate::ti::ShardedTiState;
+        let m = 3;
+        let n = 200;
+        let tasks: Vec<Task> = (0..n).map(|i| task(i, i % m, m)).collect();
+        let r: Vec<DomainVector> = tasks.iter().map(|t| t.domain_vector().clone()).collect();
+        let mut states: Vec<TaskState> = (0..n).map(|_| TaskState::new(m, 2)).collect();
+        for (i, st) in states.iter_mut().enumerate() {
+            for _ in 0..(i % 7) {
+                st.apply_answer(&r[i], &[0.85, 0.6, 0.72], i % 2);
+            }
+        }
+        let q = vec![0.9, 0.55, 0.7];
+        let assigner = Assigner::new(AssignerConfig {
+            k: 9,
+            max_answers_per_task: Some(5),
+            ..Default::default()
+        });
+        let answered = |t: TaskId| t.index().is_multiple_of(11);
+        let count = |t: TaskId| t.index() % 7;
+        let flat = assigner.assign(&q, &tasks, &states, answered, count);
+        for shards in [1, 2, 4, 7] {
+            let sharding = ShardedTiState::new(n, shards);
+            let sharded = assigner.assign_sharded(&q, &tasks, &states, &sharding, answered, count);
+            assert_eq!(sharded, flat, "shards = {shards}");
+        }
     }
 
     #[test]

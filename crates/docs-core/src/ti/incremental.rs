@@ -9,6 +9,7 @@
 //! DOCS) to restore full accuracy.
 
 use super::iterative::{TiConfig, TiResult, TruthInference};
+use super::sharded::ShardedTiState;
 use super::state::TaskState;
 use super::stats::WorkerRegistry;
 use docs_types::{Answer, AnswerLog, ChoiceIndex, Result, Task, TaskId, WorkerId};
@@ -30,6 +31,10 @@ pub struct IncrementalTi {
     z: usize,
     submissions: usize,
     ti: TruthInference,
+    /// Shard view over the task state space (1 shard unless configured):
+    /// ingestion is recorded against the owning shard, and the OTA scan
+    /// partitions its candidate walk along the same mapping.
+    sharding: ShardedTiState,
 }
 
 impl IncrementalTi {
@@ -42,6 +47,7 @@ impl IncrementalTi {
             .map(|t| TaskState::new(m, t.num_choices()))
             .collect();
         let log = AnswerLog::new(tasks.len());
+        let sharding = ShardedTiState::new(tasks.len(), 1);
         IncrementalTi {
             golden_registry: registry.clone(),
             registry,
@@ -51,7 +57,23 @@ impl IncrementalTi {
             z,
             submissions: 0,
             ti: TruthInference::new(TiConfig::default()),
+            sharding,
         }
+    }
+
+    /// Re-partitions the task state across `shards` shards (builder-style).
+    ///
+    /// Sharding only changes how the state space is *walked* (per-shard
+    /// benefit scans, per-shard ingestion accounting) — the statistical
+    /// model is untouched, so truths are identical for every shard count.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.sharding = ShardedTiState::new(self.tasks.len(), shards);
+        self
+    }
+
+    /// The shard view over the task state space.
+    pub fn sharding(&self) -> &ShardedTiState {
+        &self.sharding
     }
 
     /// The published tasks.
@@ -110,6 +132,9 @@ impl IncrementalTi {
         // Snapshot prior answerers and the pre-update truth s̃_i.
         let prior: Vec<(WorkerId, ChoiceIndex)> = self.log.task_answers(answer.task).clone();
         self.log.record(answer)?;
+
+        // Sharded ingestion: only the owning shard's state is touched below.
+        self.sharding.record_ingest(answer.task);
 
         let r = self.tasks[i].domain_vector().clone();
         let s_before = self.states[i].s().to_vec();

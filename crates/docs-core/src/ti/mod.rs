@@ -14,14 +14,22 @@
 //! `z = 100` in the paper). [`WorkerStats`] implements the long-run quality
 //! maintenance of Theorem 1.
 
+//!
+//! [`ShardedTiState`] partitions the per-task state space by `TaskId` hash
+//! for the sharded service runtime: ingestion touches only the owning
+//! shard, the OTA benefit scan runs shard-by-shard, and the periodic full
+//! inference still converges globally over the union.
+
 mod incremental;
 mod iterative;
+mod sharded;
 mod state;
 mod stats;
 pub mod stopping;
 
 pub use incremental::IncrementalTi;
 pub use iterative::{TiConfig, TiResult, TruthInference};
+pub use sharded::ShardedTiState;
 pub use state::{clamp_quality, TaskState};
 pub use stats::{WorkerRegistry, WorkerStats};
 pub use stopping::{stable_point_of_curve, StoppingPolicy, StoppingRule, TruthFlipTracker};

@@ -2,7 +2,7 @@
 //! numerator `M̂^{(i)}`, and the probabilistic truth `s_i`.
 
 use docs_types::{prob, ChoiceIndex, DomainVector, WorkerId};
-use serde::{Deserialize, Serialize};
+use serde::Serialize;
 
 /// Worker qualities are probabilities; products in Eq. 3 divide by `1 - q`
 /// and by `q`, so both are kept away from the exact endpoints.
@@ -20,7 +20,7 @@ pub fn clamp_quality(q: f64) -> f64 {
 /// conditioned on the task's true domain being `d_k`), the numerator matrix
 /// `M̂^{(i)}` that makes single-answer updates O(m·ℓ), and the probabilistic
 /// truth `s_i = r^{t_i} × M^{(i)}`.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize)]
 pub struct TaskState {
     m: usize,
     num_choices: usize,
@@ -31,6 +31,37 @@ pub struct TaskState {
     m_matrix: Vec<f64>,
     /// Probabilistic truth `s_i`, length `ℓ`.
     s: Vec<f64>,
+    /// Cached `H(s_i)`: maintained whenever `s` changes (answer ingestion,
+    /// full re-inference), so the OTA benefit scan reads it in O(1) per task
+    /// instead of recomputing the entropy of unchanged posteriors on every
+    /// worker request.
+    s_entropy: f64,
+}
+
+/// Hand-written deserialization: `s_entropy` is *derived* state, so it is
+/// recomputed from the stored `s` rather than read back — snapshots written
+/// before the cache existed still load, and a stale or tampered stored
+/// value can never skew the OTA benefit function.
+impl serde::Deserialize for TaskState {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let map = v
+            .as_map()
+            .ok_or_else(|| serde::DeError::expected("map for TaskState", v))?;
+        let field = |name: &str| serde::map_get(map, name).unwrap_or(&serde::Value::Null);
+        let s: Vec<f64> =
+            serde::Deserialize::from_value(field("s")).map_err(|e| e.in_field("s"))?;
+        Ok(TaskState {
+            m: serde::Deserialize::from_value(field("m")).map_err(|e| e.in_field("m"))?,
+            num_choices: serde::Deserialize::from_value(field("num_choices"))
+                .map_err(|e| e.in_field("num_choices"))?,
+            m_hat: serde::Deserialize::from_value(field("m_hat"))
+                .map_err(|e| e.in_field("m_hat"))?,
+            m_matrix: serde::Deserialize::from_value(field("m_matrix"))
+                .map_err(|e| e.in_field("m_matrix"))?,
+            s_entropy: prob::entropy(&s),
+            s,
+        })
+    }
 }
 
 impl TaskState {
@@ -39,12 +70,14 @@ impl TaskState {
     /// prior assumption.
     pub fn new(m: usize, num_choices: usize) -> Self {
         assert!(m >= 1 && num_choices >= 2);
+        let s = prob::uniform(num_choices);
         TaskState {
             m,
             num_choices,
             m_hat: vec![1.0; m * num_choices],
             m_matrix: vec![1.0 / num_choices as f64; m * num_choices],
-            s: prob::uniform(num_choices),
+            s_entropy: prob::entropy(&s),
+            s,
         }
     }
 
@@ -76,6 +109,16 @@ impl TaskState {
     #[inline]
     pub fn s(&self) -> &[f64] {
         &self.s
+    }
+
+    /// Cached entropy `H(s_i)` of the probabilistic truth.
+    ///
+    /// Equal to `prob::entropy(self.s())` at all times; kept up to date by
+    /// [`TaskState::recompute_s`] so per-request hot paths (the benefit
+    /// function of Definition 5) avoid the O(ℓ) log-sum per task.
+    #[inline]
+    pub fn entropy(&self) -> f64 {
+        self.s_entropy
     }
 
     /// The inferred truth `v*_i = argmax_j s_{i,j}`.
@@ -229,6 +272,7 @@ impl TaskState {
             }
         }
         prob::normalize_in_place(&mut self.s);
+        self.s_entropy = prob::entropy(&self.s);
     }
 }
 
@@ -347,6 +391,43 @@ mod tests {
         }
         assert!(st.s()[0] > 0.999);
         assert!(st.s().iter().all(|p| p.is_finite()));
+    }
+
+    #[test]
+    fn deserialization_recomputes_the_entropy_cache() {
+        let r = DomainVector::new(vec![0.4, 0.6]).unwrap();
+        let mut st = TaskState::new(2, 2);
+        st.apply_answer(&r, &[0.85, 0.7], 1);
+        // Round-trip through the serialized form.
+        let round: TaskState = serde::Deserialize::from_value(&serde::Serialize::to_value(&st))
+            .expect("roundtrip decodes");
+        assert_eq!(round.s(), st.s());
+        assert!((round.entropy() - st.entropy()).abs() < 1e-15);
+        // A snapshot missing the cache field (pre-cache format) still loads,
+        // and a tampered stored value is ignored in favor of the recomputed
+        // one.
+        let mut v = match st.to_value() {
+            serde::Value::Map(entries) => entries,
+            other => panic!("struct serializes as map, got {other:?}"),
+        };
+        v.retain(|(k, _)| k != "s_entropy");
+        v.push(("s_entropy".to_string(), serde::Value::Float(99.0)));
+        let decoded: TaskState = serde::Deserialize::from_value(&serde::Value::Map(v)).unwrap();
+        assert!((decoded.entropy() - st.entropy()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn cached_entropy_tracks_s_through_every_update_path() {
+        let r = DomainVector::new(vec![0.6, 0.4]).unwrap();
+        let mut st = TaskState::new(2, 3);
+        assert!((st.entropy() - prob::entropy(st.s())).abs() < 1e-15);
+        st.apply_answer(&r, &[0.8, 0.6], 1);
+        assert!((st.entropy() - prob::entropy(st.s())).abs() < 1e-15);
+        let answers = [(WorkerId(0), 2usize), (WorkerId(1), 2usize)];
+        st.recompute(&r, &answers, |_| &[0.7, 0.9][..]);
+        assert!((st.entropy() - prob::entropy(st.s())).abs() < 1e-15);
+        st.recompute_s(&r);
+        assert!((st.entropy() - prob::entropy(st.s())).abs() < 1e-15);
     }
 
     #[test]

@@ -11,7 +11,7 @@
 use crate::server::{ServiceError, ServiceHandle};
 use docs_crowd::{AnswerModel, WorkerPopulation};
 use docs_system::WorkRequest;
-use docs_types::{Answer, Task, WorkerId};
+use docs_types::{Answer, CampaignId, Task, WorkerId};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::sync::Arc;
@@ -76,6 +76,30 @@ pub fn drive_workers(
     threads: usize,
     seed: u64,
 ) -> DriveReport {
+    drive_workers_on(
+        handle,
+        handle.default_campaign(),
+        tasks,
+        population,
+        model,
+        threads,
+        seed,
+    )
+}
+
+/// [`drive_workers`] against one specific campaign of a multi-campaign
+/// service. Several campaigns can be driven concurrently from independent
+/// thread pools; each campaign's request stream stays deterministic for a
+/// given `seed` because campaigns share no state.
+pub fn drive_workers_on(
+    handle: &ServiceHandle,
+    campaign: CampaignId,
+    tasks: Arc<Vec<Task>>,
+    population: &WorkerPopulation,
+    model: AnswerModel,
+    threads: usize,
+    seed: u64,
+) -> DriveReport {
     assert!(threads >= 1, "need at least one client thread");
     assert!(!population.is_empty(), "need at least one worker");
     let population = Arc::new(population.clone());
@@ -86,9 +110,18 @@ pub fn drive_workers(
             let tasks = Arc::clone(&tasks);
             let population = Arc::clone(&population);
             std::thread::Builder::new()
-                .name(format!("crowd-client-{shard}"))
+                .name(format!("crowd-client-{campaign}-{shard}"))
                 .spawn(move || {
-                    drive_shard(&handle, &tasks, &population, model, shard, threads, seed)
+                    drive_shard(
+                        &handle,
+                        campaign,
+                        &tasks,
+                        &population,
+                        model,
+                        shard,
+                        threads,
+                        seed,
+                    )
                 })
                 .expect("spawn crowd client thread")
         })
@@ -102,8 +135,10 @@ pub fn drive_workers(
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn drive_shard(
     handle: &ServiceHandle,
+    campaign: CampaignId,
     tasks: &[Task],
     population: &WorkerPopulation,
     model: AnswerModel,
@@ -126,14 +161,14 @@ fn drive_shard(
     while outcome.arrivals < max_arrivals {
         outcome.arrivals += 1;
         let w = my_workers[rng.gen_range(0..my_workers.len())];
-        match handle.request_tasks(w) {
+        match handle.request_tasks_in(campaign, w) {
             Ok(WorkRequest::Golden(golden)) => {
                 let worker = population.worker(w);
                 let answers: Vec<_> = golden
                     .iter()
                     .map(|&gid| (gid, worker.answer(&tasks[gid.index()], model, &mut rng)))
                     .collect();
-                match handle.submit_golden(w, answers) {
+                match handle.submit_golden_in(campaign, w, answers) {
                     Ok(()) => outcome.golden_hits += 1,
                     Err(ServiceError::Rejected(_)) => outcome.rejected += 1,
                     Err(e) => panic!("service failed: {e}"),
@@ -143,7 +178,7 @@ fn drive_shard(
                 let worker = population.worker(w);
                 for tid in hit {
                     let choice = worker.answer(&tasks[tid.index()], model, &mut rng);
-                    match handle.submit_answer(Answer::new(w, tid, choice)) {
+                    match handle.submit_answer_in(campaign, Answer::new(w, tid, choice)) {
                         Ok(()) => outcome.answers += 1,
                         Err(ServiceError::Rejected(_)) => outcome.rejected += 1,
                         Err(e) => panic!("service failed: {e}"),

@@ -6,28 +6,34 @@
 //! (Figure 1, arrow ⑤), others requesting HITs (arrow ④). The paper calls
 //! the assignment path latency-critical ("online task assignment is required
 //! to achieve instant assignment"). This crate reproduces that serving
-//! architecture in-process:
+//! architecture in-process and scales it out as a **sharded multi-campaign
+//! runtime** (see ARCHITECTURE.md at the workspace root):
 //!
-//! * [`DocsService`] owns the [`docs_system::Docs`] state machine on a
-//!   dedicated server thread; requests arrive over a crossbeam channel and
-//!   are processed strictly in arrival order — the same serialization a
-//!   single-writer web backend with a transactional parameter DB provides,
-//! * [`ServiceHandle`] is a cheaply cloneable client used from any number
-//!   of worker threads; every call is synchronous request/response,
-//! * [`ServiceMetrics`] records per-operation latency (count/mean/max), so
-//!   the Figure 8(b) "worst-case assignment time" measurement works under
-//!   real concurrency rather than a single-threaded loop,
-//! * [`drive_workers`] runs a whole simulated crowd (from `docs-crowd`)
-//!   against the service from `threads` parallel clients until the budget
-//!   is consumed — the harness behind the `concurrent_service` example and
-//!   the cross-crate stress tests.
+//! * [`DocsService`] runs a pool of shard threads; each shard owns a
+//!   [`docs_system::CampaignRegistry`] of the campaigns hashed to it
+//!   (`CampaignId::shard`). A campaign's requests are processed strictly in
+//!   arrival order on its owning shard — the same serialization a
+//!   single-writer web backend provides — while different campaigns
+//!   progress in parallel on different shards,
+//! * [`ServiceHandle`] is a cheaply cloneable routing client: it computes
+//!   the owning shard and enqueues there directly; every call is
+//!   synchronous request/response. The un-suffixed methods target the
+//!   default campaign, keeping the seed's single-campaign API intact,
+//! * [`ServiceMetrics`] records per-operation latency (count/mean/max) and
+//!   per-shard queue depth / service time ([`ShardStats`]), so the
+//!   Figure 8(b) "worst-case assignment time" measurement works under real
+//!   concurrency and the pool's balance is observable,
+//! * [`drive_workers`] / [`drive_workers_on`] run a whole simulated crowd
+//!   (from `docs-crowd`) against one campaign from `threads` parallel
+//!   clients until the budget is consumed — the harness behind the
+//!   `concurrent_service` example and the cross-crate stress tests.
 
 mod client;
 mod message;
 mod metrics;
 mod server;
 
-pub use client::{drive_workers, DriveOutcome, DriveReport};
+pub use client::{drive_workers, drive_workers_on, DriveOutcome, DriveReport};
 pub use message::{Request, Response};
-pub use metrics::{OpKind, OpStats, ServiceMetrics};
-pub use server::{DocsService, ServiceError, ServiceHandle};
+pub use metrics::{OpKind, OpStats, ServiceMetrics, ShardStats};
+pub use server::{DocsService, ServiceConfig, ServiceError, ServiceHandle};

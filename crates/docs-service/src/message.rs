@@ -1,36 +1,85 @@
-//! The service wire protocol: the two worker-facing request kinds of
-//! Figure 1 plus requester-side control operations.
+//! The service wire protocol: campaign-scoped worker requests (Figure 1's
+//! arrows ④/⑤ per campaign) plus requester-side control operations.
+//!
+//! Every data-plane request names the [`CampaignId`] it targets; the shard
+//! pool routes it to the shard owning that campaign
+//! ([`CampaignId::shard`]), where the campaign's `Docs` state machine
+//! processes it without locks. Campaign ids are allocated centrally by the
+//! service handle, so [`Request::CreateCampaign`] carries the pre-assigned
+//! id to the owning shard.
 
-use docs_system::{RequesterReport, WorkRequest};
-use docs_types::{Answer, ChoiceIndex, TaskId, WorkerId};
+use docs_system::{Docs, RequesterReport, WorkRequest};
+use docs_types::{Answer, CampaignId, ChoiceIndex, TaskId, WorkerId};
 
 /// A request to the DOCS service.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub enum Request {
+    /// Requester-side: register a freshly published system as a new
+    /// campaign. The id was allocated by the service handle; the receiving
+    /// shard is its owner by the shared hash mapping.
+    CreateCampaign {
+        /// Pre-allocated id of the new campaign.
+        campaign: CampaignId,
+        /// The published system to serve.
+        docs: Box<Docs>,
+    },
     /// "A worker comes and requests tasks" (Figure 1, arrow ④).
-    RequestTasks(WorkerId),
+    RequestWork {
+        /// Campaign the worker is participating in.
+        campaign: CampaignId,
+        /// The requesting worker.
+        worker: WorkerId,
+    },
     /// A new worker submits her golden-HIT answers (Section 5.2).
     SubmitGolden {
+        /// Campaign the golden HIT belongs to.
+        campaign: CampaignId,
         /// The submitting worker.
         worker: WorkerId,
         /// Her answers to the golden tasks.
         answers: Vec<(TaskId, ChoiceIndex)>,
     },
     /// "A worker accomplishes tasks and submits answers" (arrow ⑤).
-    SubmitAnswer(Answer),
-    /// Requester-side: finalize inference and produce the report.
-    Finish,
+    SubmitAnswer {
+        /// Campaign the answered task belongs to.
+        campaign: CampaignId,
+        /// The submitted answer.
+        answer: Answer,
+    },
+    /// Requester-side: finalize one campaign's inference and produce its
+    /// report. The campaign keeps serving afterwards (reports are
+    /// repeatable), matching the single-campaign service's behavior.
+    Finish {
+        /// Campaign to finalize.
+        campaign: CampaignId,
+    },
+}
+
+impl Request {
+    /// The campaign this request must be routed to.
+    pub fn campaign(&self) -> CampaignId {
+        match self {
+            Request::CreateCampaign { campaign, .. }
+            | Request::RequestWork { campaign, .. }
+            | Request::SubmitGolden { campaign, .. }
+            | Request::SubmitAnswer { campaign, .. }
+            | Request::Finish { campaign } => *campaign,
+        }
+    }
 }
 
 /// A response from the DOCS service.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub enum Response {
-    /// Reply to [`Request::RequestTasks`].
+    /// Reply to [`Request::CreateCampaign`].
+    CampaignCreated(CampaignId),
+    /// Reply to [`Request::RequestWork`].
     Work(WorkRequest),
     /// Successful submission.
     Ack,
     /// Reply to [`Request::Finish`].
     Report(Box<RequesterReport>),
-    /// The request failed inside the system (e.g. duplicate answer).
+    /// The request failed inside the system (e.g. duplicate answer, unknown
+    /// campaign).
     Failed(String),
 }

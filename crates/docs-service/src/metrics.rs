@@ -1,20 +1,26 @@
-//! Per-operation latency accounting.
+//! Per-operation and per-shard service accounting.
 //!
 //! Figure 8(b) reports the *worst-case* assignment time; a deployed service
 //! must measure it while other requests contend for the inference state.
-//! [`ServiceMetrics`] is shared (via `Arc`) between the server thread and
-//! every client handle, guarded by a `parking_lot` mutex (uncontended locks
-//! are a handful of nanoseconds — negligible next to the microsecond-scale
-//! operations being measured).
+//! [`ServiceMetrics`] is shared (via `Arc`) between every shard thread and
+//! every client handle:
+//!
+//! * per-operation latency (count/mean/max) under a `parking_lot` mutex —
+//!   uncontended locks are a handful of nanoseconds, negligible next to the
+//!   microsecond-scale operations measured,
+//! * per-shard queue depth (current + high-water mark) and service-time
+//!   counters on atomics, updated on the enqueue/dequeue hot path without
+//!   taking the mutex.
 
 use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
 /// The operation kinds the service distinguishes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum OpKind {
-    /// OTA assignment (`RequestTasks`).
+    /// OTA assignment (`RequestWork`).
     Assign,
     /// Golden-HIT submission.
     Golden,
@@ -22,9 +28,11 @@ pub enum OpKind {
     Submit,
     /// Final inference + report.
     Finish,
+    /// Campaign registration (control plane).
+    Create,
 }
 
-const NUM_KINDS: usize = 4;
+const NUM_KINDS: usize = 5;
 
 impl OpKind {
     #[inline]
@@ -34,6 +42,7 @@ impl OpKind {
             OpKind::Golden => 1,
             OpKind::Submit => 2,
             OpKind::Finish => 3,
+            OpKind::Create => 4,
         }
     }
 }
@@ -60,21 +69,81 @@ impl OpStats {
     }
 }
 
-/// Thread-safe latency recorder shared by the server and all handles.
-#[derive(Debug, Clone, Default)]
+/// Lock-free per-shard counters (the shard thread and all handles touch
+/// these on every request).
+#[derive(Debug, Default)]
+struct ShardCounters {
+    /// Requests currently enqueued for (or being processed by) the shard.
+    depth: AtomicUsize,
+    /// High-water mark of `depth`.
+    max_depth: AtomicUsize,
+    /// Requests the shard has finished processing.
+    processed: AtomicU64,
+    /// Total busy time, in nanoseconds.
+    busy_nanos: AtomicU64,
+    /// Worst single-request service time, in nanoseconds.
+    max_nanos: AtomicU64,
+}
+
+/// Snapshot of one shard's counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Requests currently queued on (or executing at) the shard.
+    pub queued: usize,
+    /// Deepest the shard's queue has ever been.
+    pub max_queued: usize,
+    /// Requests processed by the shard.
+    pub processed: u64,
+    /// Cumulative busy time.
+    pub busy: Duration,
+    /// Worst single-request service time on this shard.
+    pub max_latency: Duration,
+}
+
+impl ShardStats {
+    /// Mean per-request service time on this shard.
+    pub fn mean_latency(&self) -> Duration {
+        if self.processed == 0 {
+            Duration::ZERO
+        } else {
+            // u128 math: `processed` can exceed u32::MAX on a long-lived
+            // shard, where a `Duration / u32` division would truncate.
+            Duration::from_nanos((self.busy.as_nanos() / self.processed as u128) as u64)
+        }
+    }
+}
+
+/// Thread-safe recorder shared by the shard pool and all handles.
+#[derive(Debug, Clone)]
 pub struct ServiceMetrics {
-    inner: Arc<Mutex<[OpStats; NUM_KINDS]>>,
+    ops: Arc<Mutex<[OpStats; NUM_KINDS]>>,
+    shards: Arc<Vec<ShardCounters>>,
+}
+
+impl Default for ServiceMetrics {
+    fn default() -> Self {
+        Self::new(1)
+    }
 }
 
 impl ServiceMetrics {
-    /// Creates an empty recorder.
-    pub fn new() -> Self {
-        Self::default()
+    /// Creates an empty recorder for a pool of `shards` shards.
+    pub fn new(shards: usize) -> Self {
+        assert!(shards >= 1, "need at least one shard");
+        ServiceMetrics {
+            ops: Arc::new(Mutex::new([OpStats::default(); NUM_KINDS])),
+            shards: Arc::new((0..shards).map(|_| ShardCounters::default()).collect()),
+        }
+    }
+
+    /// Number of shards being tracked.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
     }
 
     /// Records one completed operation.
     pub fn record(&self, kind: OpKind, elapsed: Duration) {
-        let mut stats = self.inner.lock();
+        let mut stats = self.ops.lock();
         let s = &mut stats[kind.index()];
         s.count += 1;
         s.total += elapsed;
@@ -83,12 +152,52 @@ impl ServiceMetrics {
 
     /// Snapshot of one operation kind's statistics.
     pub fn stats(&self, kind: OpKind) -> OpStats {
-        self.inner.lock()[kind.index()]
+        self.ops.lock()[kind.index()]
     }
 
     /// Total operations recorded across all kinds.
     pub fn total_ops(&self) -> u64 {
-        self.inner.lock().iter().map(|s| s.count).sum()
+        self.ops.lock().iter().map(|s| s.count).sum()
+    }
+
+    /// Notes a request entering a shard's queue (called by handles before
+    /// sending).
+    pub fn shard_enqueued(&self, shard: usize) {
+        let c = &self.shards[shard];
+        let depth = c.depth.fetch_add(1, Ordering::Relaxed) + 1;
+        c.max_depth.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// Rolls back [`ServiceMetrics::shard_enqueued`] when the send failed.
+    pub fn shard_enqueue_failed(&self, shard: usize) {
+        self.shards[shard].depth.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Notes a request fully processed by its shard thread.
+    pub fn shard_processed(&self, shard: usize, elapsed: Duration) {
+        let c = &self.shards[shard];
+        c.depth.fetch_sub(1, Ordering::Relaxed);
+        c.processed.fetch_add(1, Ordering::Relaxed);
+        let nanos = elapsed.as_nanos().min(u64::MAX as u128) as u64;
+        c.busy_nanos.fetch_add(nanos, Ordering::Relaxed);
+        c.max_nanos.fetch_max(nanos, Ordering::Relaxed);
+    }
+
+    /// Snapshot of one shard's counters.
+    pub fn shard(&self, shard: usize) -> ShardStats {
+        let c = &self.shards[shard];
+        ShardStats {
+            queued: c.depth.load(Ordering::Relaxed),
+            max_queued: c.max_depth.load(Ordering::Relaxed),
+            processed: c.processed.load(Ordering::Relaxed),
+            busy: Duration::from_nanos(c.busy_nanos.load(Ordering::Relaxed)),
+            max_latency: Duration::from_nanos(c.max_nanos.load(Ordering::Relaxed)),
+        }
+    }
+
+    /// Snapshots of every shard, in shard order.
+    pub fn all_shards(&self) -> Vec<ShardStats> {
+        (0..self.shards.len()).map(|s| self.shard(s)).collect()
     }
 }
 
@@ -98,7 +207,7 @@ mod tests {
 
     #[test]
     fn records_count_total_and_max() {
-        let m = ServiceMetrics::new();
+        let m = ServiceMetrics::new(1);
         m.record(OpKind::Assign, Duration::from_micros(10));
         m.record(OpKind::Assign, Duration::from_micros(30));
         m.record(OpKind::Submit, Duration::from_micros(5));
@@ -115,25 +224,51 @@ mod tests {
     #[test]
     fn empty_stats_have_zero_mean() {
         assert_eq!(OpStats::default().mean(), Duration::ZERO);
+        assert_eq!(ShardStats::default().mean_latency(), Duration::ZERO);
     }
 
     #[test]
     fn clones_share_the_recorder() {
-        let m = ServiceMetrics::new();
+        let m = ServiceMetrics::new(2);
         let m2 = m.clone();
         m2.record(OpKind::Golden, Duration::from_micros(1));
+        m2.shard_enqueued(1);
         assert_eq!(m.stats(OpKind::Golden).count, 1);
+        assert_eq!(m.shard(1).queued, 1);
+    }
+
+    #[test]
+    fn shard_queue_depth_tracks_enqueue_dequeue() {
+        let m = ServiceMetrics::new(2);
+        m.shard_enqueued(0);
+        m.shard_enqueued(0);
+        m.shard_enqueued(1);
+        assert_eq!(m.shard(0).queued, 2);
+        assert_eq!(m.shard(0).max_queued, 2);
+        assert_eq!(m.shard(1).queued, 1);
+        m.shard_processed(0, Duration::from_micros(7));
+        let s0 = m.shard(0);
+        assert_eq!(s0.queued, 1);
+        assert_eq!(s0.max_queued, 2, "high-water mark survives dequeue");
+        assert_eq!(s0.processed, 1);
+        assert_eq!(s0.busy, Duration::from_micros(7));
+        assert_eq!(s0.max_latency, Duration::from_micros(7));
+        m.shard_enqueue_failed(1);
+        assert_eq!(m.shard(1).queued, 0);
+        assert_eq!(m.all_shards().len(), 2);
     }
 
     #[test]
     fn concurrent_recording_is_consistent() {
-        let m = ServiceMetrics::new();
+        let m = ServiceMetrics::new(4);
         let threads: Vec<_> = (0..8)
-            .map(|_| {
+            .map(|t| {
                 let m = m.clone();
                 std::thread::spawn(move || {
                     for _ in 0..1000 {
                         m.record(OpKind::Submit, Duration::from_nanos(100));
+                        m.shard_enqueued(t % 4);
+                        m.shard_processed(t % 4, Duration::from_nanos(50));
                     }
                 })
             })
@@ -142,5 +277,8 @@ mod tests {
             t.join().unwrap();
         }
         assert_eq!(m.stats(OpKind::Submit).count, 8000);
+        let total: u64 = m.all_shards().iter().map(|s| s.processed).sum();
+        assert_eq!(total, 8000);
+        assert!(m.all_shards().iter().all(|s| s.queued == 0));
     }
 }

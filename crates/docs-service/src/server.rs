@@ -1,21 +1,41 @@
-//! The service: a dedicated thread owning the DOCS state machine, a
-//! cloneable request handle, and an orderly shutdown path.
+//! The sharded service runtime: a pool of shard threads, each owning a
+//! [`CampaignRegistry`] of the campaigns hashed to it, plus a cloneable
+//! routing handle.
+//!
+//! The paper's deployment is one Django backend serving one requester batch;
+//! the seed mirrored that with a single server thread owning a single
+//! [`Docs`]. This runtime generalizes it:
+//!
+//! * **Campaigns** are the unit of state: each [`CampaignId`] maps to one
+//!   `Docs` state machine living on exactly one shard
+//!   ([`CampaignId::shard`]), so campaign state is share-nothing — no locks,
+//!   and requests for one campaign keep the paper's strict arrival-order
+//!   serialization.
+//! * **The router is the handle**: [`ServiceHandle`] computes the owning
+//!   shard client-side and enqueues directly on that shard's channel —
+//!   routing adds no extra hop or thread.
+//! * **Backward compatibility**: [`DocsService::spawn`] registers its
+//!   `Docs` as the *default campaign* and the un-suffixed handle methods
+//!   target it, so single-campaign callers are unchanged.
 
 use crate::message::{Request, Response};
 use crate::metrics::{OpKind, ServiceMetrics};
-use crossbeam::channel::{bounded, unbounded, Sender};
-use docs_system::{Docs, RequesterReport, WorkRequest};
-use docs_types::{Answer, ChoiceIndex, TaskId, WorkerId};
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use docs_system::{CampaignRegistry, Docs, RequesterReport, WorkRequest};
+use docs_types::{Answer, CampaignId, ChoiceIndex, TaskId, WorkerId};
 use std::fmt;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
 
 /// Errors surfaced to service clients.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ServiceError {
-    /// The server thread is gone (shut down or panicked).
+    /// The owning shard thread is gone (shut down or panicked).
     Disconnected,
-    /// The system rejected the request (duplicate answer, unknown task, …).
+    /// The system rejected the request (duplicate answer, unknown task,
+    /// unknown campaign, …).
     Rejected(String),
 }
 
@@ -30,142 +50,307 @@ impl fmt::Display for ServiceError {
 
 impl std::error::Error for ServiceError {}
 
+/// Deployment knobs of the service runtime.
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceConfig {
+    /// Number of shard worker threads. Campaigns are hash-partitioned
+    /// across them; `1` reproduces the seed's single-server-thread runtime.
+    pub shards: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig { shards: 1 }
+    }
+}
+
 struct Envelope {
     request: Request,
     reply: Sender<Response>,
 }
 
-/// Cloneable client handle to a running [`DocsService`].
+/// Cloneable routing client for a running [`DocsService`].
 ///
-/// Every method is synchronous: it enqueues the request and blocks for the
-/// server's response, exactly like an HTTP round-trip to the paper's Django
-/// backend. Handles are cheap to clone and safe to use from many threads.
+/// Every method is synchronous: it enqueues the request on the owning
+/// shard's channel and blocks for that shard's response, exactly like an
+/// HTTP round-trip to the paper's Django backend. Handles are cheap to
+/// clone and safe to use from many threads.
 #[derive(Clone)]
 pub struct ServiceHandle {
-    tx: Sender<Envelope>,
+    shards: Arc<Vec<Sender<Envelope>>>,
+    next_campaign: Arc<AtomicU32>,
     metrics: ServiceMetrics,
+    default_campaign: CampaignId,
 }
 
 impl ServiceHandle {
     fn call(&self, request: Request) -> Result<Response, ServiceError> {
+        let shard = request.campaign().shard(self.shards.len());
         let (reply_tx, reply_rx) = bounded(1);
-        self.tx
+        self.metrics.shard_enqueued(shard);
+        if self.shards[shard]
             .send(Envelope {
                 request,
                 reply: reply_tx,
             })
-            .map_err(|_| ServiceError::Disconnected)?;
+            .is_err()
+        {
+            self.metrics.shard_enqueue_failed(shard);
+            return Err(ServiceError::Disconnected);
+        }
         reply_rx.recv().map_err(|_| ServiceError::Disconnected)
     }
 
-    /// "A worker comes and requests tasks."
-    pub fn request_tasks(&self, worker: WorkerId) -> Result<WorkRequest, ServiceError> {
-        match self.call(Request::RequestTasks(worker))? {
+    /// Registers a published system as a new campaign and returns its id.
+    pub fn create_campaign(&self, docs: Docs) -> Result<CampaignId, ServiceError> {
+        let campaign = CampaignId(self.next_campaign.fetch_add(1, Ordering::Relaxed));
+        match self.call(Request::CreateCampaign {
+            campaign,
+            docs: Box::new(docs),
+        })? {
+            Response::CampaignCreated(id) => Ok(id),
+            Response::Failed(msg) => Err(ServiceError::Rejected(msg)),
+            other => unreachable!("protocol violation: {other:?}"),
+        }
+    }
+
+    /// The campaign the un-suffixed convenience methods target.
+    pub fn default_campaign(&self) -> CampaignId {
+        self.default_campaign
+    }
+
+    /// "A worker comes and requests tasks" on one campaign.
+    pub fn request_tasks_in(
+        &self,
+        campaign: CampaignId,
+        worker: WorkerId,
+    ) -> Result<WorkRequest, ServiceError> {
+        match self.call(Request::RequestWork { campaign, worker })? {
             Response::Work(w) => Ok(w),
             Response::Failed(msg) => Err(ServiceError::Rejected(msg)),
             other => unreachable!("protocol violation: {other:?}"),
         }
     }
 
-    /// Submits a new worker's golden-HIT answers.
-    pub fn submit_golden(
+    /// Submits a new worker's golden-HIT answers on one campaign.
+    pub fn submit_golden_in(
         &self,
+        campaign: CampaignId,
         worker: WorkerId,
         answers: Vec<(TaskId, ChoiceIndex)>,
     ) -> Result<(), ServiceError> {
-        match self.call(Request::SubmitGolden { worker, answers })? {
+        match self.call(Request::SubmitGolden {
+            campaign,
+            worker,
+            answers,
+        })? {
             Response::Ack => Ok(()),
             Response::Failed(msg) => Err(ServiceError::Rejected(msg)),
             other => unreachable!("protocol violation: {other:?}"),
         }
     }
 
-    /// Submits one answer.
-    pub fn submit_answer(&self, answer: Answer) -> Result<(), ServiceError> {
-        match self.call(Request::SubmitAnswer(answer))? {
+    /// Submits one answer on one campaign.
+    pub fn submit_answer_in(
+        &self,
+        campaign: CampaignId,
+        answer: Answer,
+    ) -> Result<(), ServiceError> {
+        match self.call(Request::SubmitAnswer { campaign, answer })? {
             Response::Ack => Ok(()),
             Response::Failed(msg) => Err(ServiceError::Rejected(msg)),
             other => unreachable!("protocol violation: {other:?}"),
         }
     }
 
-    /// Finalizes inference and returns the requester report.
-    pub fn finish(&self) -> Result<RequesterReport, ServiceError> {
-        match self.call(Request::Finish)? {
+    /// Finalizes one campaign's inference and returns its report.
+    pub fn finish_in(&self, campaign: CampaignId) -> Result<RequesterReport, ServiceError> {
+        match self.call(Request::Finish { campaign })? {
             Response::Report(r) => Ok(*r),
             Response::Failed(msg) => Err(ServiceError::Rejected(msg)),
             other => unreachable!("protocol violation: {other:?}"),
         }
     }
 
-    /// The shared latency metrics.
+    /// "A worker comes and requests tasks" (default campaign).
+    pub fn request_tasks(&self, worker: WorkerId) -> Result<WorkRequest, ServiceError> {
+        self.request_tasks_in(self.default_campaign, worker)
+    }
+
+    /// Submits a new worker's golden-HIT answers (default campaign).
+    pub fn submit_golden(
+        &self,
+        worker: WorkerId,
+        answers: Vec<(TaskId, ChoiceIndex)>,
+    ) -> Result<(), ServiceError> {
+        self.submit_golden_in(self.default_campaign, worker, answers)
+    }
+
+    /// Submits one answer (default campaign).
+    pub fn submit_answer(&self, answer: Answer) -> Result<(), ServiceError> {
+        self.submit_answer_in(self.default_campaign, answer)
+    }
+
+    /// Finalizes inference and returns the requester report (default
+    /// campaign).
+    pub fn finish(&self) -> Result<RequesterReport, ServiceError> {
+        self.finish_in(self.default_campaign)
+    }
+
+    /// The shared latency/queue metrics.
     pub fn metrics(&self) -> &ServiceMetrics {
         &self.metrics
     }
 }
 
-/// A running DOCS service (the server thread).
+/// A running DOCS service (the shard-thread pool).
 pub struct DocsService {
-    join: JoinHandle<Docs>,
+    joins: Vec<JoinHandle<CampaignRegistry>>,
+    default_campaign: CampaignId,
+}
+
+/// Runs a data-plane handler against one campaign's state; an unknown id
+/// gets the one uniformly worded rejection every request kind shares.
+fn on_campaign(
+    registry: &mut CampaignRegistry,
+    campaign: CampaignId,
+    f: impl FnOnce(&mut Docs) -> Response,
+) -> Response {
+    match registry.get_mut(campaign) {
+        Some(docs) => f(docs),
+        None => Response::Failed(format!("unknown campaign {campaign}")),
+    }
+}
+
+fn shard_loop(shard: usize, rx: Receiver<Envelope>, metrics: ServiceMetrics) -> CampaignRegistry {
+    let mut registry = CampaignRegistry::new();
+    // The loop ends when every handle (every sender) is dropped.
+    while let Ok(env) = rx.recv() {
+        let start = Instant::now();
+        let campaign = env.request.campaign();
+        let (kind, response) = match env.request {
+            Request::CreateCampaign { campaign, docs } => (
+                OpKind::Create,
+                match registry.insert(campaign, *docs) {
+                    Ok(()) => Response::CampaignCreated(campaign),
+                    Err(e) => Response::Failed(e.to_string()),
+                },
+            ),
+            Request::RequestWork { worker, .. } => (
+                OpKind::Assign,
+                on_campaign(&mut registry, campaign, |docs| {
+                    Response::Work(docs.request_tasks(worker))
+                }),
+            ),
+            Request::SubmitGolden {
+                worker, answers, ..
+            } => (
+                OpKind::Golden,
+                on_campaign(&mut registry, campaign, |docs| {
+                    match docs.submit_golden(worker, &answers) {
+                        Ok(()) => Response::Ack,
+                        Err(e) => Response::Failed(e.to_string()),
+                    }
+                }),
+            ),
+            Request::SubmitAnswer { answer, .. } => (
+                OpKind::Submit,
+                on_campaign(&mut registry, campaign, |docs| {
+                    match docs.submit_answer(answer) {
+                        Ok(()) => Response::Ack,
+                        Err(e) => Response::Failed(e.to_string()),
+                    }
+                }),
+            ),
+            Request::Finish { .. } => (
+                OpKind::Finish,
+                on_campaign(&mut registry, campaign, |docs| match docs.finish() {
+                    Ok(r) => Response::Report(Box::new(r)),
+                    Err(e) => Response::Failed(e.to_string()),
+                }),
+            ),
+        };
+        let elapsed = start.elapsed();
+        metrics.record(kind, elapsed);
+        metrics.shard_processed(shard, elapsed);
+        // A client that hung up after sending is fine.
+        let _ = env.reply.send(response);
+    }
+    registry
 }
 
 impl DocsService {
-    /// Spawns the server thread around a published [`Docs`] instance and
-    /// returns the service plus its first client handle.
+    /// Spawns a single-shard service around one published [`Docs`] — the
+    /// seed's API, now routed through the shard pool.
     pub fn spawn(docs: Docs) -> (DocsService, ServiceHandle) {
-        let (tx, rx) = unbounded::<Envelope>();
-        let metrics = ServiceMetrics::new();
-        let server_metrics = metrics.clone();
-        let join = std::thread::Builder::new()
-            .name("docs-service".into())
-            .spawn(move || {
-                let mut docs = docs;
-                // The loop ends when every handle (every sender) is dropped.
-                while let Ok(env) = rx.recv() {
-                    let start = Instant::now();
-                    let (kind, response) = match env.request {
-                        Request::RequestTasks(w) => {
-                            (OpKind::Assign, Response::Work(docs.request_tasks(w)))
-                        }
-                        Request::SubmitGolden { worker, answers } => (
-                            OpKind::Golden,
-                            match docs.submit_golden(worker, &answers) {
-                                Ok(()) => Response::Ack,
-                                Err(e) => Response::Failed(e.to_string()),
-                            },
-                        ),
-                        Request::SubmitAnswer(answer) => (
-                            OpKind::Submit,
-                            match docs.submit_answer(answer) {
-                                Ok(()) => Response::Ack,
-                                Err(e) => Response::Failed(e.to_string()),
-                            },
-                        ),
-                        Request::Finish => (
-                            OpKind::Finish,
-                            match docs.finish() {
-                                Ok(r) => Response::Report(Box::new(r)),
-                                Err(e) => Response::Failed(e.to_string()),
-                            },
-                        ),
-                    };
-                    server_metrics.record(kind, start.elapsed());
-                    // A client that hung up after sending is fine.
-                    let _ = env.reply.send(response);
-                }
-                docs
-            })
-            .expect("spawn docs-service thread");
-        (DocsService { join }, ServiceHandle { tx, metrics })
+        Self::spawn_sharded(docs, ServiceConfig::default())
     }
 
-    /// Waits for the server to drain and stop, returning the final system
-    /// state.
+    /// Spawns the shard pool, registers `docs` as the default campaign, and
+    /// returns the service plus its first routing handle.
+    pub fn spawn_sharded(docs: Docs, config: ServiceConfig) -> (DocsService, ServiceHandle) {
+        assert!(config.shards >= 1, "need at least one shard");
+        let metrics = ServiceMetrics::new(config.shards);
+        let mut senders = Vec::with_capacity(config.shards);
+        let mut joins = Vec::with_capacity(config.shards);
+        for shard in 0..config.shards {
+            let (tx, rx) = unbounded::<Envelope>();
+            let shard_metrics = metrics.clone();
+            senders.push(tx);
+            joins.push(
+                std::thread::Builder::new()
+                    .name(format!("docs-shard-{shard}"))
+                    .spawn(move || shard_loop(shard, rx, shard_metrics))
+                    .expect("spawn docs shard thread"),
+            );
+        }
+        let handle = ServiceHandle {
+            shards: Arc::new(senders),
+            next_campaign: Arc::new(AtomicU32::new(0)),
+            metrics,
+            default_campaign: CampaignId(0),
+        };
+        let default_campaign = handle
+            .create_campaign(docs)
+            .expect("fresh shard pool accepts the default campaign");
+        debug_assert_eq!(default_campaign, CampaignId(0));
+        (
+            DocsService {
+                joins,
+                default_campaign,
+            },
+            handle,
+        )
+    }
+
+    /// Waits for every shard to drain and stop, returning all campaigns'
+    /// final state, ascending by campaign id.
     ///
-    /// The server stops when every [`ServiceHandle`] has been dropped, so
-    /// drop all handles before calling `join` or it will block forever.
+    /// The pool stops when every [`ServiceHandle`] has been dropped, so drop
+    /// all handles before calling or it will block forever.
+    pub fn join_all(self) -> Vec<(CampaignId, Docs)> {
+        let mut campaigns: Vec<(CampaignId, Docs)> = self
+            .joins
+            .into_iter()
+            .flat_map(|j| {
+                j.join()
+                    .expect("docs shard thread panicked")
+                    .into_campaigns()
+            })
+            .collect();
+        campaigns.sort_unstable_by_key(|(id, _)| *id);
+        campaigns
+    }
+
+    /// Waits for shutdown and returns the default campaign's final state
+    /// (the seed's single-campaign API).
     pub fn join(self) -> Docs {
-        self.join.join().expect("docs-service thread panicked")
+        let default = self.default_campaign;
+        self.join_all()
+            .into_iter()
+            .find(|(id, _)| *id == default)
+            .map(|(_, docs)| docs)
+            .expect("default campaign outlives the service")
     }
 }
 
@@ -176,10 +361,10 @@ mod tests {
     use docs_system::DocsConfig;
     use docs_types::TaskBuilder;
 
-    fn service() -> (DocsService, ServiceHandle) {
+    fn published(n: usize) -> Docs {
         let kb = table2_example_kb();
         let subjects = ["Michael Jordan", "Kobe Bryant", "NBA"];
-        let tasks: Vec<_> = (0..9)
+        let tasks: Vec<_> = (0..n)
             .map(|i| {
                 TaskBuilder::new(i, format!("Is {} great?", subjects[i % 3]))
                     .yes_no()
@@ -196,13 +381,27 @@ mod tests {
             z: 10,
             ..Default::default()
         };
-        DocsService::spawn(Docs::publish(&kb, tasks, config).unwrap())
+        Docs::publish(&kb, tasks, config).unwrap()
+    }
+
+    fn service() -> (DocsService, ServiceHandle) {
+        DocsService::spawn(published(9))
     }
 
     /// Answers golden tasks correctly (ground truth is i % 2 by id).
     fn pass_golden(handle: &ServiceHandle, worker: WorkerId, golden: &[TaskId]) {
         let answers: Vec<_> = golden.iter().map(|&g| (g, g.index() % 2)).collect();
         handle.submit_golden(worker, answers).unwrap();
+    }
+
+    fn pass_golden_in(
+        handle: &ServiceHandle,
+        campaign: CampaignId,
+        worker: WorkerId,
+        golden: &[TaskId],
+    ) {
+        let answers: Vec<_> = golden.iter().map(|&g| (g, g.index() % 2)).collect();
+        handle.submit_golden_in(campaign, worker, answers).unwrap();
     }
 
     #[test]
@@ -259,6 +458,7 @@ mod tests {
         }
         assert_eq!(handle.metrics().stats(OpKind::Assign).count, 2);
         assert_eq!(handle.metrics().stats(OpKind::Golden).count, 1);
+        assert_eq!(handle.metrics().stats(OpKind::Create).count, 1);
         assert!(handle.metrics().stats(OpKind::Assign).max > std::time::Duration::ZERO);
         drop(handle);
         service.join();
@@ -269,7 +469,7 @@ mod tests {
         let (service, handle) = service();
         let extra = handle.clone();
         drop(handle);
-        // Server still alive: `extra` holds a sender.
+        // Pool still alive: `extra` holds every shard's sender.
         assert!(extra.request_tasks(WorkerId(3)).is_ok());
         drop(extra);
         let _docs = service.join();
@@ -302,5 +502,78 @@ mod tests {
         assert_eq!(handle.metrics().stats(OpKind::Assign).count, 4 + 40);
         drop(handle);
         service.join();
+    }
+
+    #[test]
+    fn campaigns_route_to_stable_shards_and_stay_isolated() {
+        let (service, handle) =
+            DocsService::spawn_sharded(published(9), ServiceConfig { shards: 4 });
+        // Two extra campaigns with different task counts.
+        let c1 = handle.create_campaign(published(6)).unwrap();
+        let c2 = handle.create_campaign(published(12)).unwrap();
+        assert_eq!(handle.default_campaign(), CampaignId(0));
+        assert_eq!((c1, c2), (CampaignId(1), CampaignId(2)));
+
+        // The same worker id participates in all three campaigns
+        // independently: golden state is per campaign.
+        let w = WorkerId(0);
+        for (campaign, tasks_n) in [(CampaignId(0), 9), (c1, 6), (c2, 12)] {
+            let golden = match handle.request_tasks_in(campaign, w).unwrap() {
+                WorkRequest::Golden(g) => g,
+                other => panic!("expected golden in {campaign}, got {other:?}"),
+            };
+            pass_golden_in(&handle, campaign, w, &golden);
+            match handle.request_tasks_in(campaign, w).unwrap() {
+                WorkRequest::Tasks(t) => assert!(!t.is_empty()),
+                other => panic!("expected tasks in {campaign}, got {other:?}"),
+            }
+            let report = handle.finish_in(campaign).unwrap();
+            assert_eq!(report.truths.len(), tasks_n);
+        }
+
+        // Unknown campaigns are rejected, not fatal.
+        let err = handle.request_tasks_in(CampaignId(99), w).unwrap_err();
+        assert!(matches!(err, ServiceError::Rejected(_)));
+
+        // Per-shard accounting saw every processed request.
+        let processed: u64 = handle
+            .metrics()
+            .all_shards()
+            .iter()
+            .map(|s| s.processed)
+            .sum();
+        assert_eq!(processed, handle.metrics().total_ops());
+        drop(handle);
+        let campaigns = service.join_all();
+        assert_eq!(
+            campaigns.iter().map(|(id, _)| *id).collect::<Vec<_>>(),
+            vec![CampaignId(0), c1, c2]
+        );
+    }
+
+    #[test]
+    fn create_campaign_ids_are_unique_under_concurrency() {
+        let (service, handle) =
+            DocsService::spawn_sharded(published(3), ServiceConfig { shards: 3 });
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let h = handle.clone();
+                std::thread::spawn(move || {
+                    (0..3)
+                        .map(|_| h.create_campaign(published(3)).unwrap())
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        let mut ids: Vec<CampaignId> = threads
+            .into_iter()
+            .flat_map(|t| t.join().unwrap())
+            .collect();
+        ids.push(handle.default_campaign());
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 13, "12 created + 1 default, all distinct");
+        drop(handle);
+        assert_eq!(service.join_all().len(), 13);
     }
 }

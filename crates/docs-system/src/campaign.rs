@@ -1,12 +1,103 @@
-//! Running a full simulated crowdsourcing campaign through the system —
-//! the glue used by the examples and the end-to-end experiments.
+//! Campaigns: the multi-requester registry plus the single-campaign
+//! simulation loop used by the examples and the end-to-end experiments.
+//!
+//! The paper's deployment serves exactly one requester batch; the service
+//! runtime hosts many. [`CampaignRegistry`] owns the concurrent [`Docs`]
+//! instances keyed by [`CampaignId`], allocates ids densely, and exposes the
+//! deterministic campaign→shard mapping the service's shard pool routes by.
+//! The registry itself is single-threaded state — the service runs one
+//! registry per shard thread, so a campaign's state machine is only ever
+//! touched by its owning shard (share-nothing, no locks).
 
 use crate::{Docs, DocsConfig, WorkRequest};
 use docs_crowd::{AnswerModel, WorkerPopulation};
 use docs_kb::KnowledgeBase;
-use docs_types::{Answer, Result, Task, WorkerId};
+use docs_types::{Answer, CampaignId, Error, Result, Task, WorkerId};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Owner of many concurrent campaigns, keyed by [`CampaignId`].
+#[derive(Debug, Default)]
+pub struct CampaignRegistry {
+    campaigns: HashMap<CampaignId, Docs>,
+    /// Next id to allocate (monotone; ids of removed campaigns are not
+    /// reused, so routing stays stable for a campaign's whole life).
+    next_id: u32,
+}
+
+impl CampaignRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a published system under a freshly allocated id.
+    ///
+    /// For *standalone* registries (one registry owning all campaigns).
+    /// Inside the sharded service, ids must come from the service's
+    /// central allocator and land on the shard `CampaignId::shard` names —
+    /// shard loops therefore use [`CampaignRegistry::insert`] with the
+    /// pre-routed id, never this method: an id allocated by one shard's
+    /// local counter would generally hash to a *different* shard, making
+    /// the campaign unroutable.
+    pub fn create(&mut self, docs: Docs) -> CampaignId {
+        let id = CampaignId(self.next_id);
+        self.next_id += 1;
+        self.campaigns.insert(id, docs);
+        id
+    }
+
+    /// Registers a published system under a caller-chosen id (the service
+    /// allocates ids centrally but shards insert locally). Fails on reuse.
+    pub fn insert(&mut self, id: CampaignId, docs: Docs) -> Result<()> {
+        if self.campaigns.contains_key(&id) {
+            return Err(Error::Storage(format!("campaign {id} already exists")));
+        }
+        self.next_id = self.next_id.max(id.0 + 1);
+        self.campaigns.insert(id, docs);
+        Ok(())
+    }
+
+    /// Read access to one campaign.
+    pub fn get(&self, id: CampaignId) -> Option<&Docs> {
+        self.campaigns.get(&id)
+    }
+
+    /// Write access to one campaign (request handling mutates TI state).
+    pub fn get_mut(&mut self, id: CampaignId) -> Option<&mut Docs> {
+        self.campaigns.get_mut(&id)
+    }
+
+    /// Removes a finished campaign, returning its final state.
+    pub fn remove(&mut self, id: CampaignId) -> Option<Docs> {
+        self.campaigns.remove(&id)
+    }
+
+    /// Registered campaign ids, ascending.
+    pub fn ids(&self) -> Vec<CampaignId> {
+        let mut ids: Vec<CampaignId> = self.campaigns.keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Number of live campaigns.
+    pub fn len(&self) -> usize {
+        self.campaigns.len()
+    }
+
+    /// True when no campaigns are registered.
+    pub fn is_empty(&self) -> bool {
+        self.campaigns.is_empty()
+    }
+
+    /// Drains the registry into `(id, state)` pairs, ascending by id.
+    pub fn into_campaigns(mut self) -> Vec<(CampaignId, Docs)> {
+        let mut out: Vec<(CampaignId, Docs)> = self.campaigns.drain().collect();
+        out.sort_unstable_by_key(|(id, _)| *id);
+        out
+    }
+}
 
 /// Outcome of a simulated campaign.
 #[derive(Debug, Clone)]
@@ -96,6 +187,116 @@ mod tests {
     use super::*;
     use docs_datasets::pools::domains::SPORTS;
     use docs_types::TaskBuilder;
+
+    fn tiny_docs() -> Docs {
+        let kb = docs_kb::table2_example_kb();
+        let tasks: Vec<Task> = (0..4)
+            .map(|i| {
+                TaskBuilder::new(i, format!("Is Kobe Bryant great? ({i})"))
+                    .yes_no()
+                    .with_ground_truth(i % 2)
+                    .with_true_domain(1)
+                    .build()
+                    .unwrap()
+            })
+            .collect();
+        Docs::publish(
+            &kb,
+            tasks,
+            DocsConfig {
+                num_golden: 2,
+                k_per_hit: 2,
+                answers_per_task: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn registry_allocates_dense_ids_and_owns_state() {
+        let mut reg = CampaignRegistry::new();
+        assert!(reg.is_empty());
+        let a = reg.create(tiny_docs());
+        let b = reg.create(tiny_docs());
+        assert_eq!((a, b), (CampaignId(0), CampaignId(1)));
+        assert_eq!(reg.len(), 2);
+        assert_eq!(reg.ids(), vec![a, b]);
+        // Request handling goes through get_mut.
+        let req = reg.get_mut(a).unwrap().request_tasks(WorkerId(0));
+        assert!(matches!(req, WorkRequest::Golden(_)));
+        // Removal returns the state and frees the slot without id reuse.
+        let docs = reg.remove(a).unwrap();
+        assert_eq!(docs.tasks().len(), 4);
+        assert!(reg.get(a).is_none());
+        assert_eq!(reg.create(tiny_docs()), CampaignId(2));
+    }
+
+    #[test]
+    fn insert_rejects_duplicate_ids_and_advances_allocation() {
+        let mut reg = CampaignRegistry::new();
+        reg.insert(CampaignId(7), tiny_docs()).unwrap();
+        assert!(reg.insert(CampaignId(7), tiny_docs()).is_err());
+        // Central allocation continues past explicitly inserted ids.
+        assert_eq!(reg.create(tiny_docs()), CampaignId(8));
+        let drained = reg.into_campaigns();
+        assert_eq!(
+            drained.iter().map(|(id, _)| *id).collect::<Vec<_>>(),
+            vec![CampaignId(7), CampaignId(8)]
+        );
+    }
+
+    #[test]
+    fn campaign_truths_are_identical_for_every_task_shard_count() {
+        // The acceptance bar of the sharded runtime: same seeded workload,
+        // byte-identical truths regardless of how the scan is partitioned.
+        let kb = docs_datasets::curated_kb();
+        let players = ["Michael Jordan", "Kobe Bryant", "Stephen Curry"];
+        let tasks: Vec<Task> = (0..30)
+            .map(|i| {
+                TaskBuilder::new(i, format!("Is {} a great player?", players[i % 3]))
+                    .yes_no()
+                    .with_ground_truth(i % 2)
+                    .with_true_domain(SPORTS)
+                    .build()
+                    .unwrap()
+            })
+            .collect();
+        let population = WorkerPopulation::from_qualities(
+            (0..12)
+                .map(|i| {
+                    let mut q = vec![0.6; 26];
+                    q[SPORTS] = [0.95, 0.9, 0.6, 0.55][i % 4];
+                    q
+                })
+                .collect(),
+        );
+        let base = DocsConfig {
+            num_golden: 4,
+            k_per_hit: 4,
+            answers_per_task: 5,
+            ..Default::default()
+        };
+        let report_for = |task_shards: usize| {
+            run_campaign(
+                &kb,
+                tasks.clone(),
+                &population,
+                DocsConfig {
+                    task_shards,
+                    ..base.clone()
+                },
+                0xC0FFEE,
+            )
+            .unwrap()
+        };
+        let flat = report_for(1);
+        for shards in [2, 4, 8] {
+            let sharded = report_for(shards);
+            assert_eq!(sharded.truths, flat.truths, "task_shards = {shards}");
+            assert_eq!(sharded.answers_collected, flat.answers_collected);
+        }
+    }
 
     #[test]
     fn campaign_on_curated_kb_reaches_high_accuracy() {

@@ -30,6 +30,11 @@ pub struct DocsConfig {
     /// assignments even before the `answers_per_task` cap, releasing budget
     /// for harder tasks. `None` reproduces the paper's uniform protocol.
     pub stopping: Option<StoppingPolicy>,
+    /// Number of shards the per-campaign task state is hash-partitioned
+    /// into for the OTA benefit scan and TI ingestion accounting. Purely a
+    /// walk-order/parallelism knob: truths are byte-identical for every
+    /// value. `1` reproduces the paper's flat scan.
+    pub task_shards: usize,
 }
 
 impl Default for DocsConfig {
@@ -47,6 +52,7 @@ impl Default for DocsConfig {
             answers_per_task: 10,
             storage_dir: None,
             stopping: None,
+            task_shards: 1,
         }
     }
 }
@@ -65,5 +71,6 @@ mod tests {
         assert_eq!(c.answers_per_task, 10);
         assert!(c.storage_dir.is_none());
         assert!(c.stopping.is_none(), "uniform protocol by default");
+        assert_eq!(c.task_shards, 1, "flat scan by default");
     }
 }

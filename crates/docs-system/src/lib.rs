@@ -20,6 +20,6 @@ mod campaign;
 mod config;
 mod system;
 
-pub use campaign::{run_campaign, CampaignReport};
+pub use campaign::{run_campaign, CampaignRegistry, CampaignReport};
 pub use config::DocsConfig;
 pub use system::{Docs, RequesterReport, WorkRequest};

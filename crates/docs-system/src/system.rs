@@ -90,7 +90,8 @@ impl Docs {
                 }
             }
         }
-        let engine = IncrementalTi::new(tasks, registry, config.z);
+        let engine =
+            IncrementalTi::new(tasks, registry, config.z).with_shards(config.task_shards.max(1));
         Ok(Docs {
             engine,
             golden_ids,
@@ -113,6 +114,16 @@ impl Docs {
     /// The inference engine (read access for experiment harnesses).
     pub fn engine(&self) -> &IncrementalTi {
         &self.engine
+    }
+
+    /// Answers ingested per task shard (length = `task_shards`): the
+    /// ingestion-balance view runtimes use to check that the hash partition
+    /// spreads TI load before trusting the sharded scan's parallelism.
+    pub fn shard_ingestion(&self) -> Vec<u64> {
+        let sharding = self.engine.sharding();
+        (0..sharding.num_shards())
+            .map(|s| sharding.ingested(s))
+            .collect()
     }
 
     /// Total (non-golden) answers collected so far.
@@ -168,10 +179,14 @@ impl Docs {
         let log = self.engine.log();
         let stopping = self.config.stopping;
         let states = self.engine.states();
-        let picks = assigner.assign(
+        // The sharded scan: per-shard benefit computation merged by
+        // `merge_top_k`. With `task_shards == 1` this walks the flat list;
+        // either way the picks match the paper's single scan exactly.
+        let picks = assigner.assign_sharded(
             &quality,
             self.engine.tasks(),
             states,
+            self.engine.sharding(),
             |t| {
                 // Adaptive stopping excludes confident tasks the same way
                 // an already-answered task is excluded.
@@ -484,6 +499,28 @@ mod tests {
         assert!(docs.budget_exhausted());
         assert_eq!(docs.answers_collected(), 6);
         assert!(matches!(docs.request_tasks(WorkerId(9)), WorkRequest::Done));
+    }
+
+    #[test]
+    fn shard_ingestion_accounts_for_every_answer() {
+        let kb = table2_example_kb();
+        let config = DocsConfig {
+            task_shards: 3,
+            ..small_config()
+        };
+        let mut docs = Docs::publish(&kb, example_tasks(6), config).unwrap();
+        assert_eq!(docs.shard_ingestion(), vec![0, 0, 0]);
+        for t in 0..6usize {
+            docs.submit_answer(Answer {
+                task: TaskId::from(t),
+                worker: WorkerId(0),
+                choice: 0,
+            })
+            .unwrap();
+        }
+        let ingestion = docs.shard_ingestion();
+        assert_eq!(ingestion.len(), 3);
+        assert_eq!(ingestion.iter().sum::<u64>(), 6);
     }
 
     #[test]

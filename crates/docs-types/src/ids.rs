@@ -7,6 +7,18 @@
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
+/// SplitMix64-style shard assignment shared by every sharded id type:
+/// dense ids spread evenly across shards instead of striping, and keeping
+/// one definition guarantees all layers agree on ownership.
+#[inline]
+fn splitmix_shard(v: u64, shards: usize) -> usize {
+    assert!(shards > 0, "need at least one shard");
+    let mut z = v.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    ((z ^ (z >> 31)) % shards as u64) as usize
+}
+
 /// Identifier of a task `t_i` within one requester batch.
 ///
 /// Task ids are dense: the `i`-th published task has id `i`, which lets the
@@ -19,6 +31,15 @@ impl TaskId {
     #[inline]
     pub fn index(self) -> usize {
         self.0 as usize
+    }
+
+    /// Deterministic shard owner for this task among `shards` shards.
+    ///
+    /// The OTA benefit scan and TI ingestion partition task state with this
+    /// mapping (same mix as [`CampaignId::shard`], via [`splitmix_shard`]).
+    #[inline]
+    pub fn shard(self, shards: usize) -> usize {
+        splitmix_shard(self.0 as u64, shards)
     }
 }
 
@@ -61,6 +82,44 @@ impl From<usize> for WorkerId {
     }
 }
 
+/// Identifier of a requester campaign (one published task batch).
+///
+/// The paper's deployment serves a single requester batch; the service
+/// runtime hosts many concurrent campaigns, each owning its own `Docs`
+/// state machine, keyed by this id. Campaign ids are allocated densely by
+/// the registry/service, which lets shard routing hash them cheaply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct CampaignId(pub u32);
+
+impl CampaignId {
+    /// Returns the id as a vector index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Deterministic shard owner for this campaign among `shards` shards.
+    ///
+    /// The service router and each shard's registry must agree on this
+    /// mapping, so it lives here with the id type (via [`splitmix_shard`]).
+    #[inline]
+    pub fn shard(self, shards: usize) -> usize {
+        splitmix_shard(self.0 as u64, shards)
+    }
+}
+
+impl fmt::Display for CampaignId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+impl From<usize> for CampaignId {
+    fn from(v: usize) -> Self {
+        CampaignId(v as u32)
+    }
+}
+
 /// Zero-based index of one of the `ℓ_{t_i}` choices of a task.
 ///
 /// The paper numbers choices `1..=ℓ`; we use `0..ℓ` throughout and only
@@ -92,5 +151,31 @@ mod tests {
     fn ids_are_ordered_by_value() {
         assert!(TaskId(1) < TaskId(2));
         assert!(WorkerId(0) < WorkerId(10));
+        assert!(CampaignId(0) < CampaignId(3));
+    }
+
+    #[test]
+    fn campaign_id_roundtrip() {
+        let id = CampaignId::from(5usize);
+        assert_eq!(id.index(), 5);
+        assert_eq!(id.to_string(), "c5");
+    }
+
+    #[test]
+    fn campaign_sharding_is_deterministic_and_total() {
+        for shards in 1..8 {
+            for c in 0..100u32 {
+                let s = CampaignId(c).shard(shards);
+                assert!(s < shards);
+                assert_eq!(s, CampaignId(c).shard(shards), "stable mapping");
+            }
+        }
+        // Dense ids spread across shards rather than collapsing onto one.
+        let shards = 4;
+        let mut seen = [false; 4];
+        for c in 0..32u32 {
+            seen[CampaignId(c).shard(shards)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all shards receive campaigns");
     }
 }

@@ -27,6 +27,6 @@ mod vectors;
 pub use answers::{Answer, AnswerLog, TaskAnswers, WorkerAnswers};
 pub use domain::DomainSet;
 pub use error::{Error, Result};
-pub use ids::{ChoiceIndex, DomainIndex, TaskId, WorkerId};
+pub use ids::{CampaignId, ChoiceIndex, DomainIndex, TaskId, WorkerId};
 pub use task::{Task, TaskBuilder};
 pub use vectors::{DomainVector, QualityVector};

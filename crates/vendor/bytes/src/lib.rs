@@ -1,0 +1,143 @@
+//! Offline stand-in for the `bytes` crate subset this workspace uses:
+//! [`BytesMut`] as a growable write buffer (via [`BufMut`]) and [`Buf`] as a
+//! little-endian cursor over `&[u8]`.
+
+use std::ops::{Deref, DerefMut};
+
+/// Growable byte buffer.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer with `cap` bytes preallocated.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Copies the contents into a fresh `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data.clone()
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+}
+
+/// Append-style writing.
+pub trait BufMut {
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8);
+    /// Appends a `u32` in little-endian order.
+    fn put_u32_le(&mut self, v: u32);
+    /// Appends a `u64` in little-endian order.
+    fn put_u64_le(&mut self, v: u64);
+    /// Appends a byte slice.
+    fn put_slice(&mut self, src: &[u8]);
+}
+
+impl BufMut for BytesMut {
+    fn put_u8(&mut self, v: u8) {
+        self.data.push(v);
+    }
+
+    fn put_u32_le(&mut self, v: u32) {
+        self.data.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_u64_le(&mut self, v: u64) {
+        self.data.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+/// Cursor-style reading; implemented on `&[u8]`, which advances in place.
+///
+/// # Panics
+/// Like the real crate, reads past the end of the buffer panic.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+    /// Skips `n` bytes.
+    fn advance(&mut self, n: usize);
+    /// Reads one byte.
+    fn get_u8(&mut self) -> u8;
+    /// Reads a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32;
+    /// Reads a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64;
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn advance(&mut self, n: usize) {
+        *self = &self[n..];
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        let v = self[0];
+        *self = &self[1..];
+        v
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        let v = u32::from_le_bytes(self[..4].try_into().expect("4 bytes"));
+        *self = &self[4..];
+        v
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        let v = u64::from_le_bytes(self[..8].try_into().expect("8 bytes"));
+        *self = &self[8..];
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_then_read_roundtrip() {
+        let mut buf = BytesMut::with_capacity(16);
+        buf.put_u8(7);
+        buf.put_u32_le(0xDEAD_BEEF);
+        buf.put_u64_le(42);
+        buf.put_slice(b"xyz");
+        let mut cursor: &[u8] = &buf;
+        assert_eq!(cursor.remaining(), 16);
+        assert_eq!(cursor.get_u8(), 7);
+        assert_eq!(cursor.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(cursor.get_u64_le(), 42);
+        assert_eq!(cursor, b"xyz");
+        cursor.advance(3);
+        assert_eq!(cursor.remaining(), 0);
+    }
+
+    #[test]
+    fn temporaries_can_read_without_consuming() {
+        let data = [1u8, 0, 0, 0, 9, 9];
+        let first = (&data[0..4]).get_u32_le();
+        assert_eq!(first, 1);
+        assert_eq!(data[4], 9);
+    }
+}

@@ -1,0 +1,236 @@
+//! `#[derive(Serialize, Deserialize)]` for the in-tree serde stand-in.
+//!
+//! Hand-rolled token parsing (no `syn`/`quote` available offline) covering
+//! exactly the shapes this workspace declares: non-generic structs with
+//! named fields, newtype structs, and tuple structs. Enums or generic
+//! structs panic at compile time with a clear message rather than
+//! miscompiling.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The parsed shape of the deriving struct.
+enum Shape {
+    /// `struct X { a: A, b: B }` — field names in declaration order.
+    Named(Vec<String>),
+    /// `struct X(A, B, ...);` — number of fields.
+    Tuple(usize),
+}
+
+struct Input {
+    name: String,
+    shape: Shape,
+}
+
+/// Skips one `#[...]` attribute if the cursor is on one.
+fn skip_attr(tokens: &[TokenTree], i: &mut usize) -> bool {
+    if let Some(TokenTree::Punct(p)) = tokens.get(*i) {
+        if p.as_char() == '#' {
+            if let Some(TokenTree::Group(g)) = tokens.get(*i + 1) {
+                if g.delimiter() == Delimiter::Bracket {
+                    *i += 2;
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+/// Skips `pub`, `pub(crate)`, `pub(in ...)` if present.
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = tokens.get(*i) {
+        if id.to_string() == "pub" {
+            *i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1;
+                }
+            }
+        }
+    }
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    while skip_attr(&tokens, &mut i) {}
+    skip_visibility(&tokens, &mut i);
+    match tokens.get(i) {
+        Some(TokenTree::Ident(kw)) if kw.to_string() == "struct" => i += 1,
+        other => panic!("serde stub derive supports only structs, found {other:?}"),
+    }
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected struct name, found {other:?}"),
+    };
+    i += 1;
+    match tokens.get(i) {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            panic!("serde stub derive does not support generic structs ({name})")
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Input {
+            name,
+            shape: Shape::Named(parse_named_fields(g.stream())),
+        },
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Input {
+            name,
+            shape: Shape::Tuple(count_tuple_fields(g.stream())),
+        },
+        other => panic!("unsupported struct body for {name}: {other:?}"),
+    }
+}
+
+/// Collects field names from `a: A, b: B, ...`, tracking `<...>` depth so
+/// commas inside generic types (e.g. `HashMap<K, V>`) don't split fields.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        while skip_attr(&tokens, &mut i) {}
+        if i >= tokens.len() {
+            break;
+        }
+        skip_visibility(&tokens, &mut i);
+        let field = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("expected field name, found {other:?}"),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("expected `:` after field `{field}`, found {other:?}"),
+        }
+        let mut angle_depth = 0i32;
+        while let Some(tok) = tokens.get(i) {
+            if let TokenTree::Punct(p) = tok {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        fields.push(field);
+    }
+    fields
+}
+
+/// Counts top-level comma-separated entries of a tuple-struct body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle_depth = 0i32;
+    let mut saw_trailing_comma = false;
+    for (idx, tok) in tokens.iter().enumerate() {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    if idx == tokens.len() - 1 {
+                        saw_trailing_comma = true;
+                    } else {
+                        count += 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    let _ = saw_trailing_comma;
+    count
+}
+
+/// `#[derive(Serialize)]` — renders the struct into `serde::Value`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    let name = &parsed.name;
+    let body = match &parsed.shape {
+        Shape::Named(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})),"))
+                .collect();
+            format!("::serde::Value::Map(vec![{}])", entries.join(""))
+        }
+        Shape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i}),"))
+                .collect();
+            format!("::serde::Value::Seq(vec![{}])", items.join(""))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+/// `#[derive(Deserialize)]` — rebuilds the struct from `serde::Value`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    let name = &parsed.name;
+    let body = match &parsed.shape {
+        Shape::Named(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(\
+                             ::serde::map_get(__map, \"{f}\")\
+                                 .unwrap_or(&::serde::Value::Null))\
+                             .map_err(|e| e.in_field(\"{f}\"))?,"
+                    )
+                })
+                .collect();
+            format!(
+                "let __map = v.as_map()\
+                     .ok_or_else(|| ::serde::DeError::expected(\"map for {name}\", v))?;\n\
+                 Ok({name} {{ {} }})",
+                inits.join("")
+            )
+        }
+        Shape::Tuple(1) => {
+            format!("Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__seq[{i}])?,"))
+                .collect();
+            format!(
+                "let __seq = v.as_seq()\
+                     .ok_or_else(|| ::serde::DeError::expected(\"sequence for {name}\", v))?;\n\
+                 if __seq.len() != {n} {{\n\
+                     return Err(::serde::DeError(format!(\
+                         \"expected {n} elements for {name}, found {{}}\", __seq.len())));\n\
+                 }}\n\
+                 Ok({name}({}))",
+                items.join("")
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Deserialize impl parses")
+}

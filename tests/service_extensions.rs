@@ -154,14 +154,9 @@ fn full_system_campaign_with_stopping_policy_ends_early() {
         z: 200,
         ..Default::default()
     };
-    let uniform = docs_system::run_campaign(
-        &dataset.kb,
-        dataset.tasks.clone(),
-        &pop,
-        base.clone(),
-        0x42,
-    )
-    .unwrap();
+    let uniform =
+        docs_system::run_campaign(&dataset.kb, dataset.tasks.clone(), &pop, base.clone(), 0x42)
+            .unwrap();
     let adaptive = docs_system::run_campaign(
         &dataset.kb,
         dataset.tasks.clone(),
