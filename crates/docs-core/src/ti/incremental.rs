@@ -13,6 +13,42 @@ use super::sharded::ShardedTiState;
 use super::state::TaskState;
 use super::stats::WorkerRegistry;
 use docs_types::{Answer, AnswerLog, ChoiceIndex, Result, Task, TaskId, WorkerId};
+use serde::{Deserialize, Serialize};
+
+/// The full serializable state of an [`IncrementalTi`] engine — everything
+/// Section 4.2 stores in the parameter database plus the bookkeeping the
+/// engine needs to resume mid-stream (`submissions` for the periodic full
+/// inference, the sharded-scan geometry, the iterative-approach knobs).
+///
+/// Restoring a snapshot and continuing a submission stream produces the
+/// same states as never having stopped: every field either round-trips
+/// exactly (floats use shortest-round-trip JSON) or is a pure function of
+/// the others.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TiSnapshot {
+    /// Published tasks with their DVE-filled domain vectors.
+    pub tasks: Vec<Task>,
+    /// Per-task inference state (`M̂`, `M`, `s`).
+    pub states: Vec<TaskState>,
+    /// Live worker statistics.
+    pub registry: WorkerRegistry,
+    /// Golden-only statistics feeding periodic full re-inference.
+    pub golden_registry: WorkerRegistry,
+    /// The full answer log.
+    pub log: AnswerLog,
+    /// Full-inference period.
+    pub z: usize,
+    /// Submissions processed so far.
+    pub submissions: usize,
+    /// Task-shard count of the sharded scan.
+    pub task_shards: usize,
+    /// Per-task-shard ingestion counters.
+    pub shard_ingested: Vec<u64>,
+    /// Iteration cap of the iterative approach.
+    pub max_iterations: usize,
+    /// Convergence threshold of the iterative approach.
+    pub epsilon: f64,
+}
 
 /// Online inference engine maintaining per-task state and worker statistics
 /// across a stream of answer submissions.
@@ -198,6 +234,48 @@ impl IncrementalTi {
         result
     }
 
+    /// Captures the engine's full state for the durable runtime.
+    pub fn snapshot(&self) -> TiSnapshot {
+        let config = self.ti.config();
+        TiSnapshot {
+            tasks: self.tasks.clone(),
+            states: self.states.clone(),
+            registry: self.registry.clone(),
+            golden_registry: self.golden_registry.clone(),
+            log: self.log.clone(),
+            z: self.z,
+            submissions: self.submissions,
+            task_shards: self.sharding.num_shards(),
+            shard_ingested: self.sharding.ingestion_counters().to_vec(),
+            max_iterations: config.max_iterations,
+            epsilon: config.epsilon,
+        }
+    }
+
+    /// Rebuilds an engine from a snapshot, byte-identical to the captured
+    /// one (continuing the same submission stream yields the same states).
+    pub fn restore(snapshot: TiSnapshot) -> Self {
+        let sharding = ShardedTiState::restore(
+            snapshot.tasks.len(),
+            snapshot.task_shards.max(1),
+            snapshot.shard_ingested,
+        );
+        IncrementalTi {
+            tasks: snapshot.tasks,
+            states: snapshot.states,
+            registry: snapshot.registry,
+            golden_registry: snapshot.golden_registry,
+            log: snapshot.log,
+            z: snapshot.z,
+            submissions: snapshot.submissions,
+            ti: TruthInference::new(TiConfig {
+                max_iterations: snapshot.max_iterations,
+                epsilon: snapshot.epsilon,
+            }),
+            sharding,
+        }
+    }
+
     /// Inferred truths under the current (incremental) states.
     pub fn truths(&self) -> Vec<ChoiceIndex> {
         self.states.iter().map(|st| st.truth()).collect()
@@ -373,6 +451,45 @@ mod tests {
             }
         }
         assert_eq!(inc.accuracy(), 1.0);
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrips_through_json_and_stays_byte_identical() {
+        let tasks = make_tasks(6, 2);
+        let mut inc = IncrementalTi::new(tasks, WorkerRegistry::new(2, 0.7), 4).with_shards(3);
+        let golden_info = |_tid: TaskId| (DomainVector::one_hot(2, 0), 0usize);
+        inc.init_worker_from_golden(WorkerId(0), &[(TaskId(0), 0)], golden_info, 1.0);
+        let stream = [ans(0, 0, 0), ans(1, 1, 1), ans(2, 0, 0), ans(0, 1, 0)];
+        for a in stream {
+            inc.submit(a).unwrap();
+        }
+        // Snapshot → JSON → restore must reproduce every float exactly.
+        let json = serde_json::to_vec(&inc.snapshot()).unwrap();
+        let mut restored = IncrementalTi::restore(serde_json::from_slice(&json).unwrap());
+        assert_eq!(restored.submissions(), inc.submissions());
+        assert_eq!(restored.log().len(), inc.log().len());
+        assert_eq!(restored.sharding().num_shards(), 3);
+        assert_eq!(
+            restored.sharding().ingestion_counters(),
+            inc.sharding().ingestion_counters()
+        );
+        for (a, b) in inc.states().iter().zip(restored.states()) {
+            assert_eq!(a.s(), b.s(), "restored s_i must be byte-identical");
+        }
+        // Continuing the same stream on both engines diverges nowhere —
+        // including the z-periodic full inference (z = 4 fires here).
+        let tail = [ans(3, 0, 1), ans(4, 2, 0), ans(5, 1, 1)];
+        for a in tail {
+            inc.submit(a).unwrap();
+            restored.submit(a).unwrap();
+        }
+        assert_eq!(inc.truths(), restored.truths());
+        for (a, b) in inc.states().iter().zip(restored.states()) {
+            assert_eq!(a.s(), b.s());
+        }
+        for (w, stats) in inc.registry().iter() {
+            assert_eq!(stats, restored.registry().get(w).unwrap());
+        }
     }
 
     #[test]

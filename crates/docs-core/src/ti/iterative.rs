@@ -91,6 +91,12 @@ impl TruthInference {
         TruthInference { config }
     }
 
+    /// The configuration the algorithm runs with (snapshots persist it so a
+    /// restored engine converges identically).
+    pub fn config(&self) -> TiConfig {
+        self.config
+    }
+
     /// Runs inference over the collected answers.
     ///
     /// * `tasks` — the published tasks; each must carry its domain vector

@@ -27,7 +27,7 @@ mod state;
 mod stats;
 pub mod stopping;
 
-pub use incremental::IncrementalTi;
+pub use incremental::{IncrementalTi, TiSnapshot};
 pub use iterative::{TiConfig, TiResult, TruthInference};
 pub use sharded::ShardedTiState;
 pub use state::{clamp_quality, TaskState};

@@ -42,6 +42,25 @@ impl ShardedTiState {
         }
     }
 
+    /// Rebuilds a partition with previously recorded ingestion counters —
+    /// the snapshot/restore path of the durable runtime. The index is
+    /// recomputed (it is a pure function of `num_tasks` and `num_shards`);
+    /// only the counters are observable state worth persisting.
+    ///
+    /// # Panics
+    /// Panics if `ingested.len() != num_shards`.
+    pub fn restore(num_tasks: usize, num_shards: usize, ingested: Vec<u64>) -> Self {
+        assert_eq!(ingested.len(), num_shards, "one counter per shard");
+        let mut view = Self::new(num_tasks, num_shards);
+        view.ingested = ingested;
+        view
+    }
+
+    /// The per-shard ingestion counters, in shard order (for snapshots).
+    pub fn ingestion_counters(&self) -> &[u64] {
+        &self.ingested
+    }
+
     /// Number of shards.
     #[inline]
     pub fn num_shards(&self) -> usize {

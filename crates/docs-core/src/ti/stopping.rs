@@ -21,9 +21,10 @@
 
 use crate::ti::TaskState;
 use docs_types::{prob, ChoiceIndex};
+use serde::{Deserialize, Serialize};
 
 /// A per-task confidence criterion over the probabilistic truth `s_i`.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum StoppingRule {
     /// Stop when the entropy `H(s_i)` drops to or below this many nats —
     /// the same ambiguity measure OTA's benefit function uses
@@ -61,7 +62,7 @@ impl StoppingRule {
 /// A stopping rule with answer-count guards: never stop before
 /// `min_answers` (a lone confident expert is not enough evidence), always
 /// stop at `max_answers` (the paper's hard budget, 10 on every dataset).
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct StoppingPolicy {
     /// The confidence criterion.
     pub rule: StoppingRule,

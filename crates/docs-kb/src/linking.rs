@@ -13,9 +13,10 @@
 //!   toward the basketball player).
 
 use crate::{ConceptId, IndicatorVector, KnowledgeBase};
+use serde::{Deserialize, Serialize};
 
 /// Configuration of the entity linker.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct LinkerConfig {
     /// Keep at most this many candidate concepts per mention — the paper's
     /// Wikifier deployment keeps the top 20, and Table 3 evaluates the

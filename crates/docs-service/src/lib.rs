@@ -19,8 +19,19 @@
 //!   the owning shard and enqueues there directly; every call is
 //!   synchronous request/response. The un-suffixed methods target the
 //!   default campaign, keeping the seed's single-campaign API intact,
-//! * [`ServiceMetrics`] records per-operation latency (count/mean/max) and
-//!   per-shard queue depth / service time ([`ShardStats`]), so the
+//! * **Durability** ([`ServiceConfig::durability`]): each shard owns a
+//!   `docs_storage::CampaignLog`; campaigns that opt in (per campaign, via
+//!   `DocsConfig::durable_flush` or
+//!   [`ServiceHandle::create_campaign_with`]) have every mutation
+//!   validated, logged as a `docs_types::CampaignEvent` (group-committed
+//!   per their `FlushPolicy`), and only then applied.
+//!   [`DocsService::recover`] rebuilds the whole registry from snapshots +
+//!   log replay — byte-identical reports, even across a shard-count change
+//!   (see ARCHITECTURE.md, "Durability & recovery"),
+//! * [`ServiceMetrics`] records per-operation latency (count/mean/max),
+//!   per-shard queue depth / service time ([`ShardStats`]), and the
+//!   durability counters ([`DurabilityStats`]: events logged/replayed,
+//!   snapshots written/loaded, flush latency, per-shard log bytes), so the
 //!   Figure 8(b) "worst-case assignment time" measurement works under real
 //!   concurrency and the pool's balance is observable,
 //! * [`drive_workers`] / [`drive_workers_on`] run a whole simulated crowd
@@ -35,5 +46,5 @@ mod server;
 
 pub use client::{drive_workers, drive_workers_on, DriveOutcome, DriveReport};
 pub use message::{Request, Response};
-pub use metrics::{OpKind, OpStats, ServiceMetrics, ShardStats};
-pub use server::{DocsService, ServiceConfig, ServiceError, ServiceHandle};
+pub use metrics::{DurabilityStats, OpKind, OpStats, ServiceMetrics, ShardStats};
+pub use server::{DocsService, DurabilityConfig, ServiceConfig, ServiceError, ServiceHandle};

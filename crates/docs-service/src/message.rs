@@ -8,6 +8,7 @@
 //! service handle, so [`Request::CreateCampaign`] carries the pre-assigned
 //! id to the owning shard.
 
+use docs_storage::FlushPolicy;
 use docs_system::{Docs, RequesterReport, WorkRequest};
 use docs_types::{Answer, CampaignId, ChoiceIndex, TaskId, WorkerId};
 
@@ -22,6 +23,12 @@ pub enum Request {
         campaign: CampaignId,
         /// The published system to serve.
         docs: Box<Docs>,
+        /// Per-campaign persistence override. `None` follows the published
+        /// system's own `DocsConfig::durable_flush`; `Some(policy)` forces
+        /// event-log persistence under `policy` regardless of the config.
+        /// Either way persistence is a *per-campaign* choice carried on the
+        /// wire — not a process-global switch.
+        persistence: Option<FlushPolicy>,
     },
     /// "A worker comes and requests tasks" (Figure 1, arrow ④).
     RequestWork {

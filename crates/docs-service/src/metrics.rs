@@ -83,6 +83,16 @@ struct ShardCounters {
     busy_nanos: AtomicU64,
     /// Worst single-request service time, in nanoseconds.
     max_nanos: AtomicU64,
+    /// Events appended to this shard's campaign log (gauge).
+    events_logged: AtomicU64,
+    /// Group-commit flushes this shard's log has performed (gauge).
+    log_flushes: AtomicU64,
+    /// Wall time of the most recent flush, in nanoseconds (gauge).
+    last_flush_nanos: AtomicU64,
+    /// Worst single flush, in nanoseconds.
+    max_flush_nanos: AtomicU64,
+    /// Bytes across this shard's on-disk log segments (gauge).
+    log_bytes: AtomicU64,
 }
 
 /// Snapshot of one shard's counters.
@@ -98,6 +108,50 @@ pub struct ShardStats {
     pub busy: Duration,
     /// Worst single-request service time on this shard.
     pub max_latency: Duration,
+    /// Events appended to this shard's campaign log.
+    pub events_logged: u64,
+    /// Group-commit flushes performed by this shard's log.
+    pub log_flushes: u64,
+    /// Wall time of the shard's most recent log flush.
+    pub last_flush: Duration,
+    /// Worst single log flush on this shard.
+    pub max_flush: Duration,
+    /// Bytes across the shard's on-disk log segments.
+    pub log_bytes: u64,
+}
+
+/// Service-wide durability counters (replay happens before the pool runs,
+/// snapshots on shard threads; both are low-frequency).
+#[derive(Debug, Default)]
+struct DurabilityCounters {
+    events_replayed: AtomicU64,
+    replay_rejected: AtomicU64,
+    snapshots_loaded: AtomicU64,
+    snapshots_written: AtomicU64,
+}
+
+/// Aggregate durability/recovery view across the whole service.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DurabilityStats {
+    /// Events appended across every shard's campaign log.
+    pub events_logged: u64,
+    /// Group-commit flushes across every shard.
+    pub log_flushes: u64,
+    /// Most recent flush among the shards (max of the per-shard gauges).
+    pub last_flush: Duration,
+    /// Worst flush across all shards.
+    pub max_flush: Duration,
+    /// Total on-disk log bytes across shards.
+    pub log_bytes: u64,
+    /// Events replayed during [`recovery`](crate::DocsService::recover).
+    pub events_replayed: u64,
+    /// Replayed events whose application was (deterministically) rejected.
+    pub replay_rejected: u64,
+    /// Campaign snapshots loaded during recovery.
+    pub snapshots_loaded: u64,
+    /// Campaign snapshots written while serving (creation, cadence,
+    /// recovery re-baseline).
+    pub snapshots_written: u64,
 }
 
 impl ShardStats {
@@ -118,6 +172,7 @@ impl ShardStats {
 pub struct ServiceMetrics {
     ops: Arc<Mutex<[OpStats; NUM_KINDS]>>,
     shards: Arc<Vec<ShardCounters>>,
+    durability: Arc<DurabilityCounters>,
 }
 
 impl Default for ServiceMetrics {
@@ -133,6 +188,7 @@ impl ServiceMetrics {
         ServiceMetrics {
             ops: Arc::new(Mutex::new([OpStats::default(); NUM_KINDS])),
             shards: Arc::new((0..shards).map(|_| ShardCounters::default()).collect()),
+            durability: Arc::new(DurabilityCounters::default()),
         }
     }
 
@@ -183,6 +239,76 @@ impl ServiceMetrics {
         c.max_nanos.fetch_max(nanos, Ordering::Relaxed);
     }
 
+    /// Publishes a shard's campaign-log gauges (called by the shard thread
+    /// on flush boundaries and at shutdown).
+    pub fn shard_log_observed(
+        &self,
+        shard: usize,
+        events_logged: u64,
+        flushes: u64,
+        last_flush: Duration,
+        max_flush: Duration,
+        log_bytes: u64,
+    ) {
+        let c = &self.shards[shard];
+        c.events_logged.store(events_logged, Ordering::Relaxed);
+        c.log_flushes.store(flushes, Ordering::Relaxed);
+        c.last_flush_nanos.store(
+            last_flush.as_nanos().min(u64::MAX as u128) as u64,
+            Ordering::Relaxed,
+        );
+        c.max_flush_nanos.fetch_max(
+            max_flush.as_nanos().min(u64::MAX as u128) as u64,
+            Ordering::Relaxed,
+        );
+        c.log_bytes.store(log_bytes, Ordering::Relaxed);
+    }
+
+    /// Records events (and deterministic rejections) replayed during
+    /// recovery.
+    pub fn replay_recorded(&self, applied: u64, rejected: u64) {
+        self.durability
+            .events_replayed
+            .fetch_add(applied, Ordering::Relaxed);
+        self.durability
+            .replay_rejected
+            .fetch_add(rejected, Ordering::Relaxed);
+    }
+
+    /// Records one campaign snapshot loaded during recovery.
+    pub fn snapshot_loaded(&self) {
+        self.durability
+            .snapshots_loaded
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one campaign snapshot written while serving.
+    pub fn snapshot_written(&self) {
+        self.durability
+            .snapshots_written
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Aggregate durability view: per-shard log gauges summed (last-flush
+    /// reported as the max across shards) plus the recovery counters.
+    pub fn durability(&self) -> DurabilityStats {
+        let mut stats = DurabilityStats {
+            events_replayed: self.durability.events_replayed.load(Ordering::Relaxed),
+            replay_rejected: self.durability.replay_rejected.load(Ordering::Relaxed),
+            snapshots_loaded: self.durability.snapshots_loaded.load(Ordering::Relaxed),
+            snapshots_written: self.durability.snapshots_written.load(Ordering::Relaxed),
+            ..Default::default()
+        };
+        for shard in self.all_shards() {
+            stats.events_logged += shard.events_logged;
+            stats.log_flushes += shard.log_flushes;
+            stats.log_bytes += shard.log_bytes;
+            stats.last_flush = stats.last_flush.max(shard.last_flush);
+            stats.max_flush = stats.max_flush.max(shard.max_flush);
+        }
+        stats
+    }
+
     /// Snapshot of one shard's counters.
     pub fn shard(&self, shard: usize) -> ShardStats {
         let c = &self.shards[shard];
@@ -192,6 +318,11 @@ impl ServiceMetrics {
             processed: c.processed.load(Ordering::Relaxed),
             busy: Duration::from_nanos(c.busy_nanos.load(Ordering::Relaxed)),
             max_latency: Duration::from_nanos(c.max_nanos.load(Ordering::Relaxed)),
+            events_logged: c.events_logged.load(Ordering::Relaxed),
+            log_flushes: c.log_flushes.load(Ordering::Relaxed),
+            last_flush: Duration::from_nanos(c.last_flush_nanos.load(Ordering::Relaxed)),
+            max_flush: Duration::from_nanos(c.max_flush_nanos.load(Ordering::Relaxed)),
+            log_bytes: c.log_bytes.load(Ordering::Relaxed),
         }
     }
 
@@ -256,6 +387,42 @@ mod tests {
         m.shard_enqueue_failed(1);
         assert_eq!(m.shard(1).queued, 0);
         assert_eq!(m.all_shards().len(), 2);
+    }
+
+    #[test]
+    fn durability_gauges_aggregate_across_shards() {
+        let m = ServiceMetrics::new(2);
+        m.shard_log_observed(
+            0,
+            10,
+            3,
+            Duration::from_micros(40),
+            Duration::from_micros(90),
+            1024,
+        );
+        m.shard_log_observed(
+            1,
+            5,
+            5,
+            Duration::from_micros(70),
+            Duration::from_micros(70),
+            512,
+        );
+        m.replay_recorded(7, 1);
+        m.snapshot_loaded();
+        m.snapshot_written();
+        m.snapshot_written();
+        let d = m.durability();
+        assert_eq!(d.events_logged, 15);
+        assert_eq!(d.log_flushes, 8);
+        assert_eq!(d.log_bytes, 1536);
+        assert_eq!(d.last_flush, Duration::from_micros(70));
+        assert_eq!(d.max_flush, Duration::from_micros(90));
+        assert_eq!(d.events_replayed, 7);
+        assert_eq!(d.replay_rejected, 1);
+        assert_eq!(d.snapshots_loaded, 1);
+        assert_eq!(d.snapshots_written, 2);
+        assert_eq!(m.shard(0).log_bytes, 1024);
     }
 
     #[test]

@@ -14,6 +14,16 @@
 //! * **The router is the handle**: [`ServiceHandle`] computes the owning
 //!   shard client-side and enqueues directly on that shard's channel —
 //!   routing adds no extra hop or thread.
+//! * **Durability is event-sourced**: when [`ServiceConfig::durability`] is
+//!   set, each shard owns a [`CampaignLog`] under `dir/shard-<i>`. For a
+//!   campaign that opted in (per-campaign, via
+//!   `DocsConfig::durable_flush` or a wire-level override), every mutating
+//!   request is validated, rendered into a [`CampaignEvent`], appended to
+//!   the log (group-committed per the campaign's [`FlushPolicy`]), and only
+//!   then applied. Periodic snapshots (`snapshot_every`) re-baseline every
+//!   campaign on the shard and prune old segments.
+//!   [`DocsService::recover`] rebuilds the whole registry from snapshots +
+//!   log replay — across restarts that change the shard count.
 //! * **Backward compatibility**: [`DocsService::spawn`] registers its
 //!   `Docs` as the *default campaign* and the un-suffixed handle methods
 //!   target it, so single-campaign callers are unchanged.
@@ -21,10 +31,15 @@
 use crate::message::{Request, Response};
 use crate::metrics::{OpKind, ServiceMetrics};
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use docs_storage::{recover_tree, CampaignLog, FlushPolicy};
 use docs_system::{CampaignRegistry, Docs, RequesterReport, WorkRequest};
-use docs_types::{Answer, CampaignId, ChoiceIndex, TaskId, WorkerId};
+use docs_types::{
+    Answer, CampaignEvent, CampaignId, ChoiceIndex, PublishedEvent, TaskId, WorkerId,
+};
+use std::collections::{BTreeSet, HashMap};
 use std::fmt;
-use std::sync::atomic::{AtomicU32, Ordering};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
@@ -50,19 +65,66 @@ impl fmt::Display for ServiceError {
 
 impl std::error::Error for ServiceError {}
 
+/// Where and how the service persists campaign events.
+#[derive(Debug, Clone)]
+pub struct DurabilityConfig {
+    /// Root directory; each shard logs under `dir/shard-<i>`.
+    pub dir: PathBuf,
+    /// Flush policy for campaigns created durable without naming one.
+    pub default_flush: FlushPolicy,
+    /// After this many logged events, a shard snapshots every campaign it
+    /// owns and prunes its log segments (bounds replay cost).
+    pub snapshot_every: u64,
+}
+
+impl DurabilityConfig {
+    /// Durability rooted at `dir` with group commit (`Batch(64)`) and a
+    /// 1024-event snapshot cadence.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        DurabilityConfig {
+            dir: dir.into(),
+            default_flush: FlushPolicy::Batch(64),
+            snapshot_every: 1024,
+        }
+    }
+}
+
 /// Deployment knobs of the service runtime.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Default)]
 pub struct ServiceConfig {
     /// Number of shard worker threads. Campaigns are hash-partitioned
     /// across them; `1` reproduces the seed's single-server-thread runtime.
+    /// `0` is treated as `1`.
     pub shards: usize,
+    /// Event-log durability; `None` keeps every campaign memory-only.
+    pub durability: Option<DurabilityConfig>,
 }
 
-impl Default for ServiceConfig {
-    fn default() -> Self {
-        ServiceConfig { shards: 1 }
+impl ServiceConfig {
+    /// A memory-only pool of `shards` shard threads.
+    pub fn sharded(shards: usize) -> Self {
+        ServiceConfig {
+            shards,
+            durability: None,
+        }
+    }
+
+    /// A pool of `shards` shard threads with durability rooted at `dir`.
+    pub fn durable(shards: usize, dir: impl Into<PathBuf>) -> Self {
+        ServiceConfig {
+            shards,
+            durability: Some(DurabilityConfig::new(dir)),
+        }
+    }
+
+    fn num_shards(&self) -> usize {
+        self.shards.max(1)
     }
 }
+
+/// Per-shard spawn seeds: the registry each shard starts with plus, per
+/// persisted campaign, its flush policy and last durable sequence number.
+type PoolSeeds = Vec<(CampaignRegistry, Vec<(CampaignId, FlushPolicy, u64)>)>;
 
 struct Envelope {
     request: Request,
@@ -81,6 +143,8 @@ pub struct ServiceHandle {
     next_campaign: Arc<AtomicU32>,
     metrics: ServiceMetrics,
     default_campaign: CampaignId,
+    default_flush: Option<FlushPolicy>,
+    crash: Arc<AtomicBool>,
 }
 
 impl ServiceHandle {
@@ -101,12 +165,16 @@ impl ServiceHandle {
         reply_rx.recv().map_err(|_| ServiceError::Disconnected)
     }
 
-    /// Registers a published system as a new campaign and returns its id.
-    pub fn create_campaign(&self, docs: Docs) -> Result<CampaignId, ServiceError> {
+    fn create_campaign_inner(
+        &self,
+        docs: Docs,
+        persistence: Option<FlushPolicy>,
+    ) -> Result<CampaignId, ServiceError> {
         let campaign = CampaignId(self.next_campaign.fetch_add(1, Ordering::Relaxed));
         match self.call(Request::CreateCampaign {
             campaign,
             docs: Box::new(docs),
+            persistence,
         })? {
             Response::CampaignCreated(id) => Ok(id),
             Response::Failed(msg) => Err(ServiceError::Rejected(msg)),
@@ -114,9 +182,46 @@ impl ServiceHandle {
         }
     }
 
+    /// Registers a published system as a new campaign and returns its id.
+    /// The campaign is persisted iff its own `DocsConfig::durable_flush`
+    /// asks for it (and the service was spawned with durability).
+    pub fn create_campaign(&self, docs: Docs) -> Result<CampaignId, ServiceError> {
+        self.create_campaign_inner(docs, None)
+    }
+
+    /// Registers a campaign with an explicit persistence override: the
+    /// campaign's events are logged under `policy` regardless of what its
+    /// `DocsConfig` says. Fails if the service has no durability directory.
+    pub fn create_campaign_with(
+        &self,
+        docs: Docs,
+        policy: FlushPolicy,
+    ) -> Result<CampaignId, ServiceError> {
+        self.create_campaign_inner(docs, Some(policy))
+    }
+
+    /// Registers a durable campaign under the service's default flush
+    /// policy ([`DurabilityConfig::default_flush`]).
+    pub fn create_campaign_durable(&self, docs: Docs) -> Result<CampaignId, ServiceError> {
+        let policy = self.default_flush.ok_or_else(|| {
+            ServiceError::Rejected("service was spawned without durability".to_string())
+        })?;
+        self.create_campaign_inner(docs, Some(policy))
+    }
+
     /// The campaign the un-suffixed convenience methods target.
     pub fn default_campaign(&self) -> CampaignId {
         self.default_campaign
+    }
+
+    /// Fault injection: makes every shard behave as if the process died —
+    /// each shard thread stops at its next loop turn *without* flushing its
+    /// group-commit buffer, so acknowledged-but-unsynced events are lost
+    /// exactly as a real `kill -9` would lose them. Drop all handles
+    /// afterwards to unblock shards waiting on their queues; then recover
+    /// with [`DocsService::recover`].
+    pub fn simulate_crash(&self) {
+        self.crash.store(true, Ordering::SeqCst);
     }
 
     /// "A worker comes and requests tasks" on one campaign.
@@ -197,7 +302,7 @@ impl ServiceHandle {
         self.finish_in(self.default_campaign)
     }
 
-    /// The shared latency/queue metrics.
+    /// The shared latency/queue/durability metrics.
     pub fn metrics(&self) -> &ServiceMetrics {
         &self.metrics
     }
@@ -222,19 +327,180 @@ fn on_campaign(
     }
 }
 
-fn shard_loop(shard: usize, rx: Receiver<Envelope>, metrics: ServiceMetrics) -> CampaignRegistry {
-    let mut registry = CampaignRegistry::new();
-    // The loop ends when every handle (every sender) is dropped.
+/// One shard's durability state: its campaign log plus the set of campaigns
+/// whose events it records.
+struct ShardDurability {
+    log: CampaignLog,
+    persisted: BTreeSet<CampaignId>,
+    /// Sequence each campaign's latest snapshot covers — clean campaigns
+    /// (no events since) are skipped by the snapshot cycle.
+    snapshotted_at: HashMap<CampaignId, u64>,
+    snapshot_every: u64,
+    events_since_snapshot: u64,
+    observed_flushes: u64,
+}
+
+impl ShardDurability {
+    fn snapshot_campaign(
+        &mut self,
+        campaign: CampaignId,
+        docs: &Docs,
+        metrics: &ServiceMetrics,
+    ) -> docs_types::Result<()> {
+        let bytes = serde_json::to_vec(&docs.snapshot())
+            .map_err(|e| docs_types::Error::Storage(format!("encode snapshot: {e}")))?;
+        let seq = self.log.write_snapshot(campaign, &bytes)?;
+        self.snapshotted_at.insert(campaign, seq);
+        metrics.snapshot_written();
+        Ok(())
+    }
+
+    /// Re-baselines the *dirty* persisted campaigns on the shard (those
+    /// with events beyond their latest snapshot) and prunes the log
+    /// segments the snapshots superseded. Clean campaigns keep their
+    /// existing snapshot — it already covers every event they have, so
+    /// pruning stays safe without re-serializing idle state.
+    fn snapshot_cycle(
+        &mut self,
+        registry: &CampaignRegistry,
+        metrics: &ServiceMetrics,
+    ) -> docs_types::Result<()> {
+        let campaigns: Vec<CampaignId> = self.persisted.iter().copied().collect();
+        for campaign in campaigns {
+            if self.log.last_seq(campaign)
+                == self.snapshotted_at.get(&campaign).copied().unwrap_or(0)
+            {
+                continue;
+            }
+            if let Some(docs) = registry.get(campaign) {
+                self.snapshot_campaign(campaign, docs, metrics)?;
+            }
+        }
+        self.log.prune_segments()?;
+        self.events_since_snapshot = 0;
+        Ok(())
+    }
+
+    /// Publishes flush gauges when the log flushed since the last look.
+    fn observe(&mut self, shard: usize, metrics: &ServiceMetrics) {
+        let stats = self.log.stats();
+        if stats.flushes == self.observed_flushes {
+            return;
+        }
+        self.observed_flushes = stats.flushes;
+        metrics.shard_log_observed(
+            shard,
+            stats.appended,
+            stats.flushes,
+            stats.last_flush,
+            stats.max_flush,
+            self.log.on_disk_bytes(),
+        );
+    }
+}
+
+/// Validates, logs (for persisted campaigns), and applies one event, then
+/// builds the success response. The write-ahead discipline: nothing is
+/// applied before it is in the log buffer, and nothing rejected ever
+/// reaches the log.
+fn apply_event(
+    registry: &mut CampaignRegistry,
+    durability: &mut Option<ShardDurability>,
+    metrics: &ServiceMetrics,
+    shard: usize,
+    campaign: CampaignId,
+    event: CampaignEvent,
+    success: impl FnOnce(&mut Docs) -> Response,
+) -> Response {
+    let Some(docs) = registry.get_mut(campaign) else {
+        return Response::Failed(format!("unknown campaign {campaign}"));
+    };
+    if let Some(d) = durability
+        .as_mut()
+        .filter(|d| d.persisted.contains(&campaign))
+    {
+        if let Err(e) = docs.validate_event(&event) {
+            return Response::Failed(e.to_string());
+        }
+        let bytes = match serde_json::to_vec(&event) {
+            Ok(bytes) => bytes,
+            Err(e) => return Response::Failed(format!("encode event: {e}")),
+        };
+        if let Err(e) = d.log.append_event(campaign, &bytes) {
+            return Response::Failed(e.to_string());
+        }
+        d.events_since_snapshot += 1;
+        d.observe(shard, metrics);
+    }
+    match docs.apply(&event) {
+        Ok(()) => success(docs),
+        Err(e) => Response::Failed(e.to_string()),
+    }
+}
+
+/// What a shard starts with: its pre-built registry (empty on a fresh
+/// spawn, replayed on recovery) and, per persisted campaign, the flush
+/// policy plus the last durable sequence number.
+struct ShardSeed {
+    registry: CampaignRegistry,
+    persisted: Vec<(CampaignId, FlushPolicy, u64)>,
+    log: Option<CampaignLog>,
+    snapshot_every: u64,
+}
+
+fn shard_loop(
+    shard: usize,
+    seed: ShardSeed,
+    rx: Receiver<Envelope>,
+    metrics: ServiceMetrics,
+    crash: Arc<AtomicBool>,
+) -> CampaignRegistry {
+    let mut registry = seed.registry;
+    let mut durability = seed.log.map(|log| ShardDurability {
+        log,
+        persisted: BTreeSet::new(),
+        snapshotted_at: HashMap::new(),
+        snapshot_every: seed.snapshot_every,
+        events_since_snapshot: 0,
+        observed_flushes: 0,
+    });
+    // Recovered campaigns: seed sequence counters and write a fresh
+    // baseline snapshot into *this* epoch's directory, so the next recovery
+    // replays only events from now on.
+    if let Some(d) = durability.as_mut() {
+        for (campaign, policy, last_seq) in seed.persisted {
+            d.log.register(campaign, policy, last_seq);
+            d.persisted.insert(campaign);
+            if let Some(docs) = registry.get(campaign) {
+                d.snapshot_campaign(campaign, docs, &metrics)
+                    .expect("write recovery baseline snapshot");
+            }
+        }
+    }
+
+    // The loop ends when every handle (every sender) is dropped — or
+    // instantly once a simulated crash is flagged.
     while let Ok(env) = rx.recv() {
+        if crash.load(Ordering::SeqCst) {
+            break;
+        }
         let start = Instant::now();
         let campaign = env.request.campaign();
         let (kind, response) = match env.request {
-            Request::CreateCampaign { campaign, docs } => (
+            Request::CreateCampaign {
+                campaign,
+                docs,
+                persistence,
+            } => (
                 OpKind::Create,
-                match registry.insert(campaign, *docs) {
-                    Ok(()) => Response::CampaignCreated(campaign),
-                    Err(e) => Response::Failed(e.to_string()),
-                },
+                create_campaign(
+                    &mut registry,
+                    &mut durability,
+                    &metrics,
+                    campaign,
+                    *docs,
+                    persistence,
+                ),
             ),
             Request::RequestWork { worker, .. } => (
                 OpKind::Assign,
@@ -246,37 +512,123 @@ fn shard_loop(shard: usize, rx: Receiver<Envelope>, metrics: ServiceMetrics) -> 
                 worker, answers, ..
             } => (
                 OpKind::Golden,
-                on_campaign(&mut registry, campaign, |docs| {
-                    match docs.submit_golden(worker, &answers) {
-                        Ok(()) => Response::Ack,
-                        Err(e) => Response::Failed(e.to_string()),
-                    }
-                }),
+                apply_event(
+                    &mut registry,
+                    &mut durability,
+                    &metrics,
+                    shard,
+                    campaign,
+                    CampaignEvent::golden(worker, answers),
+                    |_| Response::Ack,
+                ),
             ),
             Request::SubmitAnswer { answer, .. } => (
                 OpKind::Submit,
-                on_campaign(&mut registry, campaign, |docs| {
-                    match docs.submit_answer(answer) {
-                        Ok(()) => Response::Ack,
-                        Err(e) => Response::Failed(e.to_string()),
-                    }
-                }),
+                apply_event(
+                    &mut registry,
+                    &mut durability,
+                    &metrics,
+                    shard,
+                    campaign,
+                    CampaignEvent::answer(answer),
+                    |_| Response::Ack,
+                ),
             ),
             Request::Finish { .. } => (
                 OpKind::Finish,
-                on_campaign(&mut registry, campaign, |docs| match docs.finish() {
-                    Ok(r) => Response::Report(Box::new(r)),
-                    Err(e) => Response::Failed(e.to_string()),
-                }),
+                apply_event(
+                    &mut registry,
+                    &mut durability,
+                    &metrics,
+                    shard,
+                    campaign,
+                    CampaignEvent::finished(),
+                    |docs| Response::Report(Box::new(docs.report())),
+                ),
             ),
         };
+        // Snapshot cadence: after enough logged events, re-baseline every
+        // campaign on this shard and prune the log.
+        if let Some(d) = durability.as_mut() {
+            if d.snapshot_every > 0 && d.events_since_snapshot >= d.snapshot_every {
+                if let Err(e) = d.snapshot_cycle(&registry, &metrics) {
+                    // Keep serving; the log keeps growing until the next
+                    // cycle succeeds.
+                    eprintln!("docs-shard-{shard}: snapshot cycle failed: {e}");
+                }
+                d.observe(shard, &metrics);
+            }
+        }
         let elapsed = start.elapsed();
         metrics.record(kind, elapsed);
         metrics.shard_processed(shard, elapsed);
         // A client that hung up after sending is fine.
         let _ = env.reply.send(response);
     }
+    if let Some(d) = durability.as_mut() {
+        if crash.load(Ordering::SeqCst) {
+            // Simulated kill: drop the unflushed group-commit buffer.
+            d.log.abandon();
+        } else {
+            let _ = d.log.flush();
+            d.observe(shard, &metrics);
+        }
+    }
     registry
+}
+
+/// Handles `CreateCampaign` on the owning shard: plain insert for
+/// memory-only campaigns; for persisted ones, the baseline snapshot and the
+/// `Published` event are durable *before* the creation is acknowledged.
+fn create_campaign(
+    registry: &mut CampaignRegistry,
+    durability: &mut Option<ShardDurability>,
+    metrics: &ServiceMetrics,
+    campaign: CampaignId,
+    mut docs: Docs,
+    persistence: Option<FlushPolicy>,
+) -> Response {
+    let policy = persistence.or(docs.config().durable_flush);
+    let Some(policy) = policy else {
+        return match registry.insert(campaign, docs) {
+            Ok(()) => Response::CampaignCreated(campaign),
+            Err(e) => Response::Failed(e.to_string()),
+        };
+    };
+    let Some(d) = durability.as_mut() else {
+        return Response::Failed(format!(
+            "campaign {campaign} requests durability but the service was \
+             spawned without a durability directory"
+        ));
+    };
+    // Pin the effective policy into the campaign's own config so every
+    // snapshot records the policy it actually runs with.
+    docs.set_durable_flush(Some(policy));
+    d.log.register(campaign, policy, 0);
+    let result = d
+        .snapshot_campaign(campaign, &docs, metrics)
+        .and_then(|()| {
+            let event = CampaignEvent::Published(PublishedEvent {
+                campaign,
+                num_tasks: docs.tasks().len() as u32,
+                num_golden: docs.golden_ids().len() as u32,
+            });
+            let bytes = serde_json::to_vec(&event)
+                .map_err(|e| docs_types::Error::Storage(format!("encode event: {e}")))?;
+            d.log.append_event(campaign, &bytes)?;
+            // Control-plane creation is always synced immediately, whatever
+            // the campaign's data-plane policy.
+            d.log.flush()?;
+            Ok(())
+        });
+    if let Err(e) = result {
+        return Response::Failed(e.to_string());
+    }
+    d.persisted.insert(campaign);
+    match registry.insert(campaign, docs) {
+        Ok(()) => Response::CampaignCreated(campaign),
+        Err(e) => Response::Failed(e.to_string()),
+    }
 }
 
 impl DocsService {
@@ -288,39 +640,149 @@ impl DocsService {
 
     /// Spawns the shard pool, registers `docs` as the default campaign, and
     /// returns the service plus its first routing handle.
+    ///
+    /// # Panics
+    /// Panics if the durability directory (when configured) cannot be
+    /// opened, or if the default campaign is rejected (e.g. it requests
+    /// durability on a memory-only pool).
     pub fn spawn_sharded(docs: Docs, config: ServiceConfig) -> (DocsService, ServiceHandle) {
-        assert!(config.shards >= 1, "need at least one shard");
-        let metrics = ServiceMetrics::new(config.shards);
-        let mut senders = Vec::with_capacity(config.shards);
-        let mut joins = Vec::with_capacity(config.shards);
-        for shard in 0..config.shards {
+        let shards = config.num_shards();
+        let seeds = (0..shards)
+            .map(|_| (CampaignRegistry::new(), Vec::new()))
+            .collect();
+        let (service, handle) = Self::spawn_pool(&config, seeds, 0, CampaignId(0))
+            .expect("open durability directory for the shard pool");
+        let default_campaign = handle
+            .create_campaign(docs)
+            .expect("fresh shard pool accepts the default campaign");
+        debug_assert_eq!(default_campaign, CampaignId(0));
+        (service, handle)
+    }
+
+    /// Rebuilds the full multi-campaign service from its durability
+    /// directory: every persisted campaign is restored from its latest
+    /// snapshot and the replayed event suffix, then the pool resumes
+    /// serving (and logging) exactly where the durable prefix ended.
+    ///
+    /// The recovering pool may use a different shard count than the one
+    /// that wrote the directory — campaigns are re-homed by
+    /// [`CampaignId::shard`] and the logs of every past epoch are merged by
+    /// per-campaign sequence number.
+    pub fn recover(config: ServiceConfig) -> Result<(DocsService, ServiceHandle), ServiceError> {
+        let durability = config.durability.clone().ok_or_else(|| {
+            ServiceError::Rejected("recover needs a durability directory".to_string())
+        })?;
+        let tree =
+            recover_tree(&durability.dir).map_err(|e| ServiceError::Rejected(e.to_string()))?;
+        let shards = config.num_shards();
+        let metrics = ServiceMetrics::new(shards);
+        let mut seeds: PoolSeeds = (0..shards)
+            .map(|_| (CampaignRegistry::new(), Vec::new()))
+            .collect();
+        let mut max_id: Option<u32> = None;
+        for (id, campaign) in &tree.campaigns {
+            let Some((_, snapshot)) = &campaign.snapshot else {
+                // A crash between registering the campaign and writing its
+                // baseline snapshot: the creation was never acknowledged,
+                // so there is nothing to resurrect.
+                continue;
+            };
+            let shard = id.shard(shards);
+            let events: Vec<Vec<u8>> = campaign
+                .events
+                .iter()
+                .map(|(_, payload)| payload.clone())
+                .collect();
+            let stats = seeds[shard]
+                .0
+                .replay(*id, snapshot, &events)
+                .map_err(|e| ServiceError::Rejected(e.to_string()))?;
+            metrics.replay_recorded(stats.applied, stats.rejected);
+            metrics.snapshot_loaded();
+            let policy = seeds[shard]
+                .0
+                .get(*id)
+                .and_then(|docs| docs.config().durable_flush)
+                .unwrap_or(durability.default_flush);
+            seeds[shard].1.push((*id, policy, campaign.last_seq));
+            max_id = Some(max_id.map_or(id.0, |m| m.max(id.0)));
+        }
+        Self::spawn_pool_with_metrics(
+            &config,
+            seeds,
+            max_id.map_or(0, |m| m + 1),
+            // The un-suffixed handle API keeps pointing at campaign 0. If
+            // the original default campaign was not durable, those calls
+            // fail with "unknown campaign c0" — a clear diagnostic —
+            // instead of silently re-targeting some other recovered
+            // campaign.
+            CampaignId(0),
+            metrics,
+        )
+    }
+
+    fn spawn_pool(
+        config: &ServiceConfig,
+        seeds: PoolSeeds,
+        next_campaign: u32,
+        default_campaign: CampaignId,
+    ) -> Result<(DocsService, ServiceHandle), ServiceError> {
+        let metrics = ServiceMetrics::new(config.num_shards());
+        Self::spawn_pool_with_metrics(config, seeds, next_campaign, default_campaign, metrics)
+    }
+
+    fn spawn_pool_with_metrics(
+        config: &ServiceConfig,
+        seeds: PoolSeeds,
+        next_campaign: u32,
+        default_campaign: CampaignId,
+        metrics: ServiceMetrics,
+    ) -> Result<(DocsService, ServiceHandle), ServiceError> {
+        let shards = config.num_shards();
+        debug_assert_eq!(seeds.len(), shards);
+        let crash = Arc::new(AtomicBool::new(false));
+        let mut senders = Vec::with_capacity(shards);
+        let mut joins = Vec::with_capacity(shards);
+        for (shard, (registry, persisted)) in seeds.into_iter().enumerate() {
+            let log = match &config.durability {
+                Some(d) => Some(
+                    CampaignLog::open(d.dir.join(format!("shard-{shard}")))
+                        .map_err(|e| ServiceError::Rejected(e.to_string()))?,
+                ),
+                None => None,
+            };
+            let seed = ShardSeed {
+                registry,
+                persisted,
+                log,
+                snapshot_every: config.durability.as_ref().map_or(0, |d| d.snapshot_every),
+            };
             let (tx, rx) = unbounded::<Envelope>();
             let shard_metrics = metrics.clone();
+            let shard_crash = Arc::clone(&crash);
             senders.push(tx);
             joins.push(
                 std::thread::Builder::new()
                     .name(format!("docs-shard-{shard}"))
-                    .spawn(move || shard_loop(shard, rx, shard_metrics))
+                    .spawn(move || shard_loop(shard, seed, rx, shard_metrics, shard_crash))
                     .expect("spawn docs shard thread"),
             );
         }
         let handle = ServiceHandle {
             shards: Arc::new(senders),
-            next_campaign: Arc::new(AtomicU32::new(0)),
+            next_campaign: Arc::new(AtomicU32::new(next_campaign)),
             metrics,
-            default_campaign: CampaignId(0),
+            default_campaign,
+            default_flush: config.durability.as_ref().map(|d| d.default_flush),
+            crash,
         };
-        let default_campaign = handle
-            .create_campaign(docs)
-            .expect("fresh shard pool accepts the default campaign");
-        debug_assert_eq!(default_campaign, CampaignId(0));
-        (
+        Ok((
             DocsService {
                 joins,
                 default_campaign,
             },
             handle,
-        )
+        ))
     }
 
     /// Waits for every shard to drain and stop, returning all campaigns'
@@ -386,6 +848,13 @@ mod tests {
 
     fn service() -> (DocsService, ServiceHandle) {
         DocsService::spawn(published(9))
+    }
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("docs-server-test-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
     }
 
     /// Answers golden tasks correctly (ground truth is i % 2 by id).
@@ -506,8 +975,7 @@ mod tests {
 
     #[test]
     fn campaigns_route_to_stable_shards_and_stay_isolated() {
-        let (service, handle) =
-            DocsService::spawn_sharded(published(9), ServiceConfig { shards: 4 });
+        let (service, handle) = DocsService::spawn_sharded(published(9), ServiceConfig::sharded(4));
         // Two extra campaigns with different task counts.
         let c1 = handle.create_campaign(published(6)).unwrap();
         let c2 = handle.create_campaign(published(12)).unwrap();
@@ -553,8 +1021,7 @@ mod tests {
 
     #[test]
     fn create_campaign_ids_are_unique_under_concurrency() {
-        let (service, handle) =
-            DocsService::spawn_sharded(published(3), ServiceConfig { shards: 3 });
+        let (service, handle) = DocsService::spawn_sharded(published(3), ServiceConfig::sharded(3));
         let threads: Vec<_> = (0..4)
             .map(|_| {
                 let h = handle.clone();
@@ -575,5 +1042,63 @@ mod tests {
         assert_eq!(ids.len(), 13, "12 created + 1 default, all distinct");
         drop(handle);
         assert_eq!(service.join_all().len(), 13);
+    }
+
+    #[test]
+    fn durable_campaign_on_memory_only_pool_is_rejected() {
+        let (service, handle) = service();
+        let err = handle.create_campaign_durable(published(3)).unwrap_err();
+        assert!(matches!(err, ServiceError::Rejected(_)));
+        let err = handle
+            .create_campaign_with(published(3), FlushPolicy::EveryEvent)
+            .unwrap_err();
+        assert!(matches!(err, ServiceError::Rejected(_)));
+        drop(handle);
+        service.join();
+    }
+
+    #[test]
+    fn durable_round_trip_writes_events_and_snapshots() {
+        let dir = tmp_dir("durable-roundtrip");
+        let (service, handle) =
+            DocsService::spawn_sharded(published(9), ServiceConfig::durable(2, &dir));
+        let c = handle
+            .create_campaign_with(published(6), FlushPolicy::EveryEvent)
+            .unwrap();
+        let w = WorkerId(0);
+        if let WorkRequest::Golden(g) = handle.request_tasks_in(c, w).unwrap() {
+            pass_golden_in(&handle, c, w, &g);
+        }
+        handle
+            .submit_answer_in(c, Answer::new(w, TaskId(0), 0))
+            .unwrap();
+        let d = handle.metrics().durability();
+        assert!(
+            d.events_logged >= 3,
+            "published + golden + answer logged, got {d:?}"
+        );
+        assert!(d.snapshots_written >= 1);
+        assert!(d.log_bytes > 0);
+        drop(handle);
+        service.join();
+        // The on-disk tree recovers the campaign with its events.
+        let tree = recover_tree(&dir).unwrap();
+        let rec = &tree.campaigns[&c];
+        assert!(rec.snapshot.is_some());
+        assert_eq!(rec.events.len(), 3, "published + golden + answer");
+    }
+
+    #[test]
+    fn recover_on_empty_directory_yields_an_empty_pool() {
+        let dir = tmp_dir("recover-empty");
+        let (service, handle) = DocsService::recover(ServiceConfig::durable(2, &dir)).unwrap();
+        // No campaigns recovered: the default campaign does not exist.
+        let err = handle.request_tasks(WorkerId(0)).unwrap_err();
+        assert!(matches!(err, ServiceError::Rejected(_)));
+        // But new campaigns can be created (durably) right away.
+        let c = handle.create_campaign_durable(published(3)).unwrap();
+        assert_eq!(c, CampaignId(0));
+        drop(handle);
+        assert_eq!(service.join_all().len(), 1);
     }
 }

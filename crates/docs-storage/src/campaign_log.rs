@@ -1,0 +1,734 @@
+//! The per-shard campaign event log: group-commit WAL segments plus
+//! per-campaign snapshots — the durability substrate of the event-sourced
+//! service runtime.
+//!
+//! One [`CampaignLog`] belongs to one service shard and records the events
+//! of every persisted campaign that shard owns, interleaved, each tagged
+//! with its campaign id and a per-campaign sequence number:
+//!
+//! ```text
+//! shard-dir/
+//!   events-000007.wal      current segment (older ones pruned after snapshots)
+//!   snap-3.bin             latest snapshot of campaign 3: [seq][crc][payload]
+//!   snap-9.bin
+//! ```
+//!
+//! **Group commit.** Appends buffer in memory; a flush writes the whole
+//! batch in one syscall and `fdatasync`s once. [`FlushPolicy`] decides when:
+//! `EveryEvent` syncs per append (strict durability, slow), `Batch(n)`
+//! amortizes the sync over `n` events, `IntervalMs` over a time window.
+//! Policies are per campaign — one strict campaign forces a flush that
+//! opportunistically hardens every buffered neighbor's events too.
+//!
+//! **Snapshots and truncation.** Snapshots use the same atomic
+//! tmp-file-then-rename pattern as `KvStore`. After snapshotting every
+//! campaign it owns, a shard calls [`CampaignLog::prune_segments`]: a fresh
+//! segment starts and all older ones are deleted — replay cost stays
+//! bounded by the snapshot cadence, not by campaign lifetime.
+//!
+//! **Recovery.** [`recover_tree`] scans a whole durability directory (every
+//! shard subdirectory — the writing epoch may have used a different shard
+//! count than the recovering one), keeps each campaign's highest-sequence
+//! intact snapshot, and merges the event suffix beyond it from all
+//! segments. A torn record at a segment tail is the expected crash artifact
+//! and ends that segment's scan cleanly; a CRC-corrupt *complete* record is
+//! data loss and fails recovery loudly instead of serving wrong state.
+
+use crate::{crc32, io_err, Wal, WalTail};
+use bytes::{Buf, BufMut, BytesMut};
+use docs_types::{CampaignId, Error, Result};
+use std::collections::{BTreeMap, HashMap};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+/// When a shard's buffered events are written and `fdatasync`ed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum FlushPolicy {
+    /// Sync after every event — strongest durability, one fsync per answer.
+    EveryEvent,
+    /// Group commit: sync once per `n` buffered events. Events are
+    /// acknowledged before they are synced, so a crash can lose up to
+    /// `n - 1` acknowledged events (they are never *reordered* or
+    /// half-applied — recovery sees a clean prefix).
+    Batch(usize),
+    /// Group commit on a timer: sync when this many milliseconds have
+    /// passed since the previous sync (checked at append time).
+    IntervalMs(u64),
+}
+
+impl FlushPolicy {
+    /// Short label for metrics and bench output.
+    pub fn label(&self) -> String {
+        match self {
+            FlushPolicy::EveryEvent => "every_event".to_string(),
+            FlushPolicy::Batch(n) => format!("batch_{n}"),
+            FlushPolicy::IntervalMs(ms) => format!("interval_{ms}ms"),
+        }
+    }
+}
+
+/// Cumulative flush accounting of one [`CampaignLog`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FlushStats {
+    /// Events appended (buffered) so far.
+    pub appended: u64,
+    /// Flush (write + `fdatasync`) calls that hit the disk.
+    pub flushes: u64,
+    /// Events made durable across those flushes.
+    pub flushed_events: u64,
+    /// Wall time of the most recent flush.
+    pub last_flush: Duration,
+    /// Worst single flush.
+    pub max_flush: Duration,
+}
+
+/// Per-shard group-commit event log (see the module docs).
+#[derive(Debug)]
+pub struct CampaignLog {
+    dir: PathBuf,
+    segment: Wal,
+    segment_index: u64,
+    pending: BytesMut,
+    pending_events: usize,
+    last_flush_at: Instant,
+    policies: HashMap<CampaignId, FlushPolicy>,
+    /// Last assigned sequence number per campaign (0 = none yet).
+    seqs: HashMap<CampaignId, u64>,
+    stats: FlushStats,
+    /// Bytes across this log's on-disk segments, tracked so hot paths can
+    /// publish the gauge without re-scanning the directory.
+    disk_bytes: u64,
+}
+
+/// `fsync`s a directory so freshly created or renamed entries survive
+/// power loss — file-content `fdatasync` alone does not pin the name.
+fn sync_dir(dir: &Path) -> Result<()> {
+    std::fs::File::open(dir)
+        .and_then(|f| f.sync_all())
+        .map_err(io_err)
+}
+
+fn segment_path(dir: &Path, index: u64) -> PathBuf {
+    dir.join(format!("events-{index:06}.wal"))
+}
+
+fn snapshot_path(dir: &Path, campaign: CampaignId) -> PathBuf {
+    dir.join(format!("snap-{}.bin", campaign.0))
+}
+
+/// Parses `events-<idx>.wal` names back into indices.
+fn parse_segment_index(name: &str) -> Option<u64> {
+    name.strip_prefix("events-")?
+        .strip_suffix(".wal")?
+        .parse()
+        .ok()
+}
+
+/// Parses `snap-<campaign>.bin` names back into campaign ids.
+fn parse_snapshot_id(name: &str) -> Option<CampaignId> {
+    name.strip_prefix("snap-")?
+        .strip_suffix(".bin")?
+        .parse()
+        .map(CampaignId)
+        .ok()
+}
+
+/// Lists the segment indices present in a directory, ascending.
+fn segment_indices(dir: &Path) -> Result<Vec<u64>> {
+    let mut indices = Vec::new();
+    match std::fs::read_dir(dir) {
+        Ok(entries) => {
+            for entry in entries {
+                let entry = entry.map_err(io_err)?;
+                if let Some(idx) = entry.file_name().to_str().and_then(parse_segment_index) {
+                    indices.push(idx);
+                }
+            }
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+        Err(e) => return Err(io_err(e)),
+    }
+    indices.sort_unstable();
+    Ok(indices)
+}
+
+impl CampaignLog {
+    /// Opens the log rooted at `dir`, starting a *new* segment after the
+    /// highest existing one. Recovered segments are never appended to: a
+    /// torn record at an old tail must stay the last thing in its file, or
+    /// everything appended after it would be unreachable to replay.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir).map_err(io_err)?;
+        let existing = segment_indices(&dir)?;
+        let mut disk_bytes = 0;
+        for &idx in &existing {
+            disk_bytes += std::fs::metadata(segment_path(&dir, idx))
+                .map_err(io_err)?
+                .len();
+        }
+        let segment_index = existing.last().map_or(0, |last| last + 1);
+        let segment = Wal::open(segment_path(&dir, segment_index))?;
+        sync_dir(&dir)?;
+        Ok(CampaignLog {
+            dir,
+            segment,
+            segment_index,
+            pending: BytesMut::new(),
+            pending_events: 0,
+            last_flush_at: Instant::now(),
+            policies: HashMap::new(),
+            seqs: HashMap::new(),
+            stats: FlushStats::default(),
+            disk_bytes,
+        })
+    }
+
+    /// Root directory of the log.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Registers a campaign with its flush policy and the last sequence
+    /// number already durable for it (`0` for a fresh campaign).
+    pub fn register(&mut self, campaign: CampaignId, policy: FlushPolicy, last_seq: u64) {
+        self.policies.insert(campaign, policy);
+        self.seqs.insert(campaign, last_seq);
+    }
+
+    /// The flush policy a campaign was registered with.
+    pub fn policy(&self, campaign: CampaignId) -> Option<FlushPolicy> {
+        self.policies.get(&campaign).copied()
+    }
+
+    /// Last assigned sequence number of a campaign (0 = none).
+    pub fn last_seq(&self, campaign: CampaignId) -> u64 {
+        self.seqs.get(&campaign).copied().unwrap_or(0)
+    }
+
+    /// Appends one event for a campaign, assigning and returning its
+    /// sequence number, then flushes if the campaign's policy demands it.
+    /// Unregistered campaigns default to [`FlushPolicy::EveryEvent`].
+    pub fn append_event(&mut self, campaign: CampaignId, payload: &[u8]) -> Result<u64> {
+        let seq = self.last_seq(campaign) + 1;
+        self.seqs.insert(campaign, seq);
+        let mut record = BytesMut::with_capacity(12 + payload.len());
+        record.put_u32_le(campaign.0);
+        record.put_u64_le(seq);
+        record.put_slice(payload);
+        Wal::encode_record(&record, &mut self.pending);
+        self.pending_events += 1;
+        self.stats.appended += 1;
+        let due = match self.policy(campaign).unwrap_or(FlushPolicy::EveryEvent) {
+            FlushPolicy::EveryEvent => true,
+            FlushPolicy::Batch(n) => self.pending_events >= n.max(1),
+            FlushPolicy::IntervalMs(ms) => {
+                self.last_flush_at.elapsed() >= Duration::from_millis(ms)
+            }
+        };
+        if due {
+            self.flush()?;
+        }
+        Ok(seq)
+    }
+
+    /// Events buffered but not yet written + synced.
+    pub fn pending_events(&self) -> usize {
+        self.pending_events
+    }
+
+    /// Writes and `fdatasync`s everything buffered — the group commit.
+    pub fn flush(&mut self) -> Result<()> {
+        if self.pending_events == 0 {
+            return Ok(());
+        }
+        let started = Instant::now();
+        self.segment.write_raw(&self.pending)?;
+        self.segment.sync()?;
+        let elapsed = started.elapsed();
+        self.stats.flushes += 1;
+        self.stats.flushed_events += self.pending_events as u64;
+        self.stats.last_flush = elapsed;
+        self.stats.max_flush = self.stats.max_flush.max(elapsed);
+        self.disk_bytes += self.pending.len() as u64;
+        self.pending.clear();
+        self.pending_events = 0;
+        self.last_flush_at = Instant::now();
+        Ok(())
+    }
+
+    /// Drops every buffered (unflushed) event without writing it — the
+    /// fault-injection hook that makes an in-process "kill" behave like a
+    /// real crash: acknowledged-but-unsynced events vanish.
+    pub fn abandon(&mut self) {
+        self.pending.clear();
+        self.pending_events = 0;
+    }
+
+    /// Flush accounting so far.
+    pub fn stats(&self) -> FlushStats {
+        self.stats
+    }
+
+    /// Bytes currently on disk across this shard's segments (excluding
+    /// buffered, unflushed bytes) — tracked, no directory scan.
+    pub fn on_disk_bytes(&self) -> u64 {
+        self.disk_bytes
+    }
+
+    /// Like [`CampaignLog::on_disk_bytes`] but measured from the
+    /// filesystem (tests cross-check the tracked counter against this).
+    pub fn segment_bytes(&self) -> Result<u64> {
+        let mut total = 0;
+        for idx in segment_indices(&self.dir)? {
+            total += std::fs::metadata(segment_path(&self.dir, idx))
+                .map_err(io_err)?
+                .len();
+        }
+        Ok(total)
+    }
+
+    /// Atomically writes a campaign's snapshot, stamped with its current
+    /// last sequence number (everything at or below it is superseded).
+    /// Buffered events are flushed first so the snapshot never claims a
+    /// sequence number that could vanish in a crash.
+    pub fn write_snapshot(&mut self, campaign: CampaignId, payload: &[u8]) -> Result<u64> {
+        self.flush()?;
+        let seq = self.last_seq(campaign);
+        let mut bytes = BytesMut::with_capacity(12 + payload.len());
+        bytes.put_u64_le(seq);
+        bytes.put_u32_le(crc32(payload));
+        bytes.put_slice(payload);
+        let dst = snapshot_path(&self.dir, campaign);
+        let tmp = dst.with_extension("bin.tmp");
+        let mut f = std::fs::File::create(&tmp).map_err(io_err)?;
+        f.write_all(&bytes).map_err(io_err)?;
+        f.sync_data().map_err(io_err)?;
+        std::fs::rename(&tmp, &dst).map_err(io_err)?;
+        // Pin the rename itself: without the directory fsync a power loss
+        // can drop the new name even though its contents were synced.
+        sync_dir(&self.dir)?;
+        Ok(seq)
+    }
+
+    /// Starts a fresh segment and deletes all older ones. Call only after
+    /// [`CampaignLog::write_snapshot`] has covered every campaign this
+    /// shard owns — pruned events are gone for good.
+    pub fn prune_segments(&mut self) -> Result<()> {
+        self.flush()?;
+        let new_index = self.segment_index + 1;
+        let new_segment = Wal::open(segment_path(&self.dir, new_index))?;
+        let old_indices = segment_indices(&self.dir)?;
+        self.segment = new_segment;
+        self.segment_index = new_index;
+        for idx in old_indices {
+            if idx < new_index {
+                std::fs::remove_file(segment_path(&self.dir, idx)).map_err(io_err)?;
+            }
+        }
+        // The new segment's creation (and the deletions) must survive
+        // power loss before replay cost is considered bounded.
+        sync_dir(&self.dir)?;
+        self.disk_bytes = 0;
+        Ok(())
+    }
+}
+
+impl Drop for CampaignLog {
+    /// Normal shutdown flushes the tail batch; crashes are simulated by
+    /// calling [`CampaignLog::abandon`] first.
+    fn drop(&mut self) {
+        let _ = self.flush();
+    }
+}
+
+/// One campaign's recovered durable state.
+#[derive(Debug, Clone, Default)]
+pub struct CampaignRecovery {
+    /// Highest-sequence intact snapshot payload, if any snapshot was taken.
+    pub snapshot: Option<(u64, Vec<u8>)>,
+    /// Event payloads with sequence numbers strictly beyond the snapshot,
+    /// ascending and gap-free.
+    pub events: Vec<(u64, Vec<u8>)>,
+    /// Highest durable sequence number (snapshot or event).
+    pub last_seq: u64,
+}
+
+/// Everything recovered from a durability directory tree.
+#[derive(Debug, Clone, Default)]
+pub struct TreeRecovery {
+    /// Recovered campaigns, ascending by id (`BTreeMap` keeps recovery
+    /// deterministic).
+    pub campaigns: BTreeMap<CampaignId, CampaignRecovery>,
+    /// Log segments scanned across shard directories.
+    pub segments_scanned: u64,
+    /// Segments that ended in a torn record (crash artifacts, tolerated).
+    pub torn_tails: u64,
+}
+
+fn read_snapshot_file(path: &Path) -> Result<(u64, Vec<u8>)> {
+    let data = std::fs::read(path).map_err(io_err)?;
+    if data.len() < 12 {
+        return Err(Error::Storage(format!(
+            "snapshot {} truncated ({} bytes)",
+            path.display(),
+            data.len()
+        )));
+    }
+    let mut cursor = &data[..];
+    let seq = cursor.get_u64_le();
+    let crc = cursor.get_u32_le();
+    if crc32(cursor) != crc {
+        return Err(Error::Storage(format!(
+            "snapshot {} failed its CRC check",
+            path.display()
+        )));
+    }
+    Ok((seq, cursor.to_vec()))
+}
+
+fn decode_event_record(record: &[u8], path: &Path) -> Result<(CampaignId, u64, Vec<u8>)> {
+    if record.len() < 12 {
+        return Err(Error::Storage(format!(
+            "malformed event record in {}",
+            path.display()
+        )));
+    }
+    let mut cursor = record;
+    let campaign = CampaignId(cursor.get_u32_le());
+    let seq = cursor.get_u64_le();
+    Ok((campaign, seq, cursor.to_vec()))
+}
+
+/// Recovers every campaign under `base`: the directory itself plus each
+/// immediate subdirectory is scanned as one shard log. Shard counts may
+/// differ between the writing and the recovering service — events are
+/// merged per campaign by sequence number, duplicates (identical records
+/// reachable through two epochs' directories) collapse, and a sequence gap
+/// or a mid-segment CRC failure aborts recovery with a clean error.
+pub fn recover_tree(base: impl AsRef<Path>) -> Result<TreeRecovery> {
+    let base = base.as_ref();
+    let mut dirs = vec![base.to_path_buf()];
+    match std::fs::read_dir(base) {
+        Ok(entries) => {
+            for entry in entries {
+                let entry = entry.map_err(io_err)?;
+                let path = entry.path();
+                if path.is_dir() {
+                    dirs.push(path);
+                }
+            }
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(TreeRecovery::default()),
+        Err(e) => return Err(io_err(e)),
+    }
+    dirs.sort();
+
+    let mut recovery = TreeRecovery::default();
+    let mut raw_events: HashMap<CampaignId, Vec<(u64, Vec<u8>)>> = HashMap::new();
+    for dir in &dirs {
+        // Snapshots: keep the highest sequence per campaign.
+        let entries = match std::fs::read_dir(dir) {
+            Ok(entries) => entries,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => continue,
+            Err(e) => return Err(io_err(e)),
+        };
+        for entry in entries {
+            let entry = entry.map_err(io_err)?;
+            let Some(name) = entry.file_name().to_str().map(str::to_owned) else {
+                continue;
+            };
+            if let Some(campaign) = parse_snapshot_id(&name) {
+                let (seq, payload) = read_snapshot_file(&entry.path())?;
+                let slot = recovery.campaigns.entry(campaign).or_default();
+                if slot.snapshot.as_ref().is_none_or(|(s, _)| *s < seq) {
+                    slot.snapshot = Some((seq, payload));
+                }
+            }
+        }
+        // Segments: collect every event, tolerating torn tails.
+        for idx in segment_indices(dir)? {
+            let path = segment_path(dir, idx);
+            let (entries, tail) = Wal::replay_all(&path)?;
+            recovery.segments_scanned += 1;
+            match tail {
+                WalTail::Clean => {}
+                WalTail::Torn => recovery.torn_tails += 1,
+                WalTail::Corrupt(offset) => {
+                    return Err(Error::Storage(format!(
+                        "corrupt event record at byte {offset} of {} — refusing to \
+                         recover past silent data loss",
+                        path.display()
+                    )));
+                }
+            }
+            for entry in entries {
+                let (campaign, seq, payload) = decode_event_record(&entry.0, &path)?;
+                raw_events.entry(campaign).or_default().push((seq, payload));
+            }
+        }
+    }
+
+    for (campaign, mut events) in raw_events {
+        let slot = recovery.campaigns.entry(campaign).or_default();
+        events.sort_by_key(|(seq, _)| *seq);
+        let snapshot_seq = slot.snapshot.as_ref().map_or(0, |(seq, _)| *seq);
+        let mut kept: Vec<(u64, Vec<u8>)> = Vec::new();
+        for (seq, payload) in events {
+            if seq <= snapshot_seq {
+                continue;
+            }
+            match kept.last() {
+                Some((prev, prev_payload)) if *prev == seq => {
+                    if *prev_payload != payload {
+                        return Err(Error::Storage(format!(
+                            "campaign {campaign} has two different events with sequence {seq}"
+                        )));
+                    }
+                }
+                _ => kept.push((seq, payload)),
+            }
+        }
+        if let Some((first, _)) = kept.first() {
+            if *first != snapshot_seq + 1 {
+                return Err(Error::Storage(format!(
+                    "campaign {campaign} log gap: snapshot at {snapshot_seq}, first event {first}"
+                )));
+            }
+        }
+        for window in kept.windows(2) {
+            if window[1].0 != window[0].0 + 1 {
+                return Err(Error::Storage(format!(
+                    "campaign {campaign} log gap between sequences {} and {}",
+                    window[0].0, window[1].0
+                )));
+            }
+        }
+        slot.last_seq = kept.last().map_or(snapshot_seq, |(seq, _)| *seq);
+        slot.events = kept;
+    }
+    // Campaigns known only from a snapshot still carry their sequence.
+    for slot in recovery.campaigns.values_mut() {
+        if slot.events.is_empty() {
+            if let Some((seq, _)) = &slot.snapshot {
+                slot.last_seq = slot.last_seq.max(*seq);
+            }
+        }
+    }
+    Ok(recovery)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("docs-clog-test-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    const C0: CampaignId = CampaignId(0);
+    const C1: CampaignId = CampaignId(1);
+
+    #[test]
+    fn append_flush_recover_roundtrip() {
+        let base = tmp_dir("roundtrip");
+        {
+            let mut log = CampaignLog::open(base.join("shard-0")).unwrap();
+            log.register(C0, FlushPolicy::EveryEvent, 0);
+            log.register(C1, FlushPolicy::EveryEvent, 0);
+            assert_eq!(log.append_event(C0, b"a0").unwrap(), 1);
+            assert_eq!(log.append_event(C1, b"b0").unwrap(), 1);
+            assert_eq!(log.append_event(C0, b"a1").unwrap(), 2);
+        }
+        let rec = recover_tree(&base).unwrap();
+        assert_eq!(rec.campaigns.len(), 2);
+        let c0 = &rec.campaigns[&C0];
+        assert_eq!(c0.last_seq, 2);
+        assert_eq!(
+            c0.events,
+            vec![(1, b"a0".to_vec()), (2, b"a1".to_vec())],
+            "per-campaign sequences interleave cleanly"
+        );
+        assert_eq!(rec.campaigns[&C1].events, vec![(1, b"b0".to_vec())]);
+    }
+
+    #[test]
+    fn batch_policy_defers_the_sync_and_abandon_loses_the_tail() {
+        let base = tmp_dir("batch");
+        let mut log = CampaignLog::open(base.join("shard-0")).unwrap();
+        log.register(C0, FlushPolicy::Batch(3), 0);
+        log.append_event(C0, b"e1").unwrap();
+        log.append_event(C0, b"e2").unwrap();
+        assert_eq!(log.pending_events(), 2, "batch of 3 not yet due");
+        assert_eq!(log.stats().flushes, 0);
+        log.append_event(C0, b"e3").unwrap();
+        assert_eq!(log.pending_events(), 0, "third event triggers the flush");
+        assert_eq!(log.stats().flushes, 1);
+        assert_eq!(log.stats().flushed_events, 3);
+        // Two more, then crash: the unflushed tail must vanish.
+        log.append_event(C0, b"e4").unwrap();
+        log.append_event(C0, b"e5").unwrap();
+        log.abandon();
+        drop(log);
+        let rec = recover_tree(&base).unwrap();
+        let c0 = &rec.campaigns[&C0];
+        assert_eq!(c0.last_seq, 3);
+        assert_eq!(c0.events.len(), 3);
+    }
+
+    #[test]
+    fn snapshot_supersedes_events_and_pruning_bounds_replay() {
+        let base = tmp_dir("snapshot");
+        {
+            let mut log = CampaignLog::open(base.join("shard-0")).unwrap();
+            log.register(C0, FlushPolicy::EveryEvent, 0);
+            for i in 0..5 {
+                log.append_event(C0, format!("e{i}").as_bytes()).unwrap();
+            }
+            assert_eq!(log.write_snapshot(C0, b"state-at-5").unwrap(), 5);
+            log.prune_segments().unwrap();
+            log.append_event(C0, b"e5").unwrap();
+            assert!(log.segment_bytes().unwrap() > 0);
+            assert_eq!(
+                log.on_disk_bytes(),
+                log.segment_bytes().unwrap(),
+                "tracked byte gauge matches the filesystem"
+            );
+        }
+        let rec = recover_tree(&base).unwrap();
+        let c0 = &rec.campaigns[&C0];
+        assert_eq!(c0.snapshot, Some((5, b"state-at-5".to_vec())));
+        assert_eq!(c0.events, vec![(6, b"e5".to_vec())]);
+        assert_eq!(c0.last_seq, 6);
+    }
+
+    #[test]
+    fn torn_tail_is_tolerated_but_mid_log_corruption_is_fatal() {
+        let base = tmp_dir("torn-vs-corrupt");
+        let shard = base.join("shard-0");
+        {
+            let mut log = CampaignLog::open(&shard).unwrap();
+            log.register(C0, FlushPolicy::EveryEvent, 0);
+            log.append_event(C0, b"keep-1").unwrap();
+            log.append_event(C0, b"keep-2").unwrap();
+        }
+        let segment = segment_path(&shard, 0);
+        // Torn tail: a partial record appended by a dying writer.
+        {
+            let mut f = std::fs::OpenOptions::new()
+                .append(true)
+                .open(&segment)
+                .unwrap();
+            f.write_all(&[60, 0, 0, 0, 1, 2, 3]).unwrap();
+        }
+        let rec = recover_tree(&base).unwrap();
+        assert_eq!(rec.torn_tails, 1);
+        assert_eq!(rec.campaigns[&C0].events.len(), 2);
+        // Corruption: flip a payload byte of the *first* (complete) record.
+        let mut data = std::fs::read(&segment).unwrap();
+        data[8 + 12] ^= 0xFF; // past the wal header + campaign/seq tag
+        std::fs::write(&segment, &data).unwrap();
+        let err = recover_tree(&base).unwrap_err();
+        assert!(err.to_string().contains("corrupt"), "{err}");
+    }
+
+    #[test]
+    fn reopening_never_appends_to_a_recovered_segment() {
+        let base = tmp_dir("fresh-segment");
+        let shard = base.join("shard-0");
+        {
+            let mut log = CampaignLog::open(&shard).unwrap();
+            log.register(C0, FlushPolicy::EveryEvent, 0);
+            log.append_event(C0, b"epoch-1").unwrap();
+        }
+        {
+            let mut log = CampaignLog::open(&shard).unwrap();
+            // Seed the sequence as a recovering service would.
+            log.register(C0, FlushPolicy::EveryEvent, 1);
+            log.append_event(C0, b"epoch-2").unwrap();
+        }
+        assert!(segment_path(&shard, 0).exists());
+        assert!(segment_path(&shard, 1).exists());
+        let rec = recover_tree(&base).unwrap();
+        assert_eq!(
+            rec.campaigns[&C0].events,
+            vec![(1, b"epoch-1".to_vec()), (2, b"epoch-2".to_vec())]
+        );
+    }
+
+    #[test]
+    fn cross_shard_epochs_merge_by_sequence() {
+        let base = tmp_dir("cross-shard");
+        // Epoch 1: a 1-shard service wrote campaign 0 to shard-0.
+        {
+            let mut log = CampaignLog::open(base.join("shard-0")).unwrap();
+            log.register(C0, FlushPolicy::EveryEvent, 0);
+            log.append_event(C0, b"s1").unwrap();
+            log.append_event(C0, b"s2").unwrap();
+        }
+        // Epoch 2: a 4-shard service owns campaign 0 on shard-2 and
+        // continues from the recovered sequence.
+        {
+            let mut log = CampaignLog::open(base.join("shard-2")).unwrap();
+            log.register(C0, FlushPolicy::EveryEvent, 2);
+            log.append_event(C0, b"s3").unwrap();
+        }
+        let rec = recover_tree(&base).unwrap();
+        assert_eq!(
+            rec.campaigns[&C0].events,
+            vec![
+                (1, b"s1".to_vec()),
+                (2, b"s2".to_vec()),
+                (3, b"s3".to_vec())
+            ]
+        );
+    }
+
+    #[test]
+    fn truncated_snapshot_tmp_is_ignored_but_truncated_snapshot_fails() {
+        let base = tmp_dir("snap-truncated");
+        let shard = base.join("shard-0");
+        {
+            let mut log = CampaignLog::open(&shard).unwrap();
+            log.register(C0, FlushPolicy::EveryEvent, 0);
+            log.append_event(C0, b"e").unwrap();
+            log.write_snapshot(C0, b"good").unwrap();
+        }
+        // A crash mid-snapshot leaves a half-written tmp file: harmless.
+        std::fs::write(shard.join("snap-0.bin.tmp"), b"half").unwrap();
+        assert!(recover_tree(&base).unwrap().campaigns[&C0]
+            .snapshot
+            .is_some());
+        // But a truncated *renamed* snapshot must fail loudly.
+        std::fs::write(shard.join("snap-0.bin"), b"short").unwrap();
+        let err = recover_tree(&base).unwrap_err();
+        assert!(err.to_string().contains("truncated"), "{err}");
+    }
+
+    #[test]
+    fn missing_base_directory_recovers_empty() {
+        let rec = recover_tree(tmp_dir("missing").join("nope")).unwrap();
+        assert!(rec.campaigns.is_empty());
+        assert_eq!(rec.segments_scanned, 0);
+    }
+
+    #[test]
+    fn sequence_gap_is_a_clean_error() {
+        let base = tmp_dir("gap");
+        let shard = base.join("shard-0");
+        {
+            let mut log = CampaignLog::open(&shard).unwrap();
+            log.register(C0, FlushPolicy::EveryEvent, 0);
+            log.append_event(C0, b"one").unwrap();
+            // Simulate a pruning bug / lost middle segment by skipping ahead.
+            log.register(C0, FlushPolicy::EveryEvent, 5);
+            log.append_event(C0, b"six").unwrap();
+        }
+        let err = recover_tree(&base).unwrap_err();
+        assert!(err.to_string().contains("gap"), "{err}");
+    }
+}

@@ -11,21 +11,30 @@
 //! * [`KvStore`] — a keyed byte store: in-memory index + WAL of mutations +
 //!   atomic JSON snapshots with log truncation (compaction),
 //! * [`ParamStore`] — a typed façade with the key scheme DOCS uses
-//!   (`worker/<id>`, `task/<id>`), generic over any `serde` value.
+//!   (`worker/<id>`, `task/<id>`), generic over any `serde` value,
+//! * [`CampaignLog`] — the per-service-shard event log of the event-sourced
+//!   runtime: group-commit WAL segments ([`FlushPolicy`]), per-campaign
+//!   sequence numbers and snapshots, segment pruning, and whole-tree crash
+//!   recovery ([`recover_tree`]).
 //!
 //! Concurrency follows the paper's server model: many platform threads hit
-//! the store, so every public type is `Send + Sync` (interior
-//! `parking_lot` locking).
+//! the store, so the shared stores are `Send + Sync` (interior
+//! `parking_lot` locking); a `CampaignLog` is owned by exactly one shard
+//! thread and needs no lock.
 
+mod campaign_log;
 mod crc;
 mod kv;
 mod params;
 mod wal;
 
+pub use campaign_log::{
+    recover_tree, CampaignLog, CampaignRecovery, FlushPolicy, FlushStats, TreeRecovery,
+};
 pub use crc::crc32;
 pub use kv::KvStore;
 pub use params::ParamStore;
-pub use wal::{Wal, WalEntry};
+pub use wal::{Wal, WalEntry, WalTail};
 
 use docs_types::Error;
 

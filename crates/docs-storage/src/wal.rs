@@ -16,6 +16,24 @@ use std::path::{Path, PathBuf};
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WalEntry(pub Vec<u8>);
 
+/// How a [`Wal::replay_all`] scan ended.
+///
+/// The distinction matters to recovery policy: a torn tail is the expected
+/// artifact of a crash mid-append (the durable prefix is complete and
+/// replay may continue with later segments), while a CRC mismatch on a
+/// *complete* record means the medium corrupted data that was once durable
+/// — silently dropping it would serve wrong state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WalTail {
+    /// The file ended exactly at a record boundary.
+    Clean,
+    /// The final record is incomplete (fewer bytes than its header
+    /// promises, or a partial header) — a crash mid-append.
+    Torn,
+    /// A complete record failed its CRC check at this byte offset.
+    Corrupt(usize),
+}
+
 /// The write-ahead log.
 #[derive(Debug)]
 pub struct Wal {
@@ -36,43 +54,79 @@ impl Wal {
         Ok(Wal { path, file })
     }
 
-    /// Appends one record and flushes it to the OS.
-    pub fn append(&mut self, payload: &[u8]) -> Result<()> {
-        let mut buf = BytesMut::with_capacity(8 + payload.len());
+    /// Encodes one record (`[len][crc][payload]`) into `buf`. Group-commit
+    /// callers batch several encoded records and hand them to
+    /// [`Wal::write_raw`] in one write.
+    pub fn encode_record(payload: &[u8], buf: &mut BytesMut) {
         buf.put_u32_le(payload.len() as u32);
         buf.put_u32_le(crc32(payload));
         buf.put_slice(payload);
-        self.file.write_all(&buf).map_err(io_err)?;
+    }
+
+    /// Writes pre-encoded record bytes and flushes them to the OS (one
+    /// write syscall regardless of how many records `bytes` holds).
+    pub fn write_raw(&mut self, bytes: &[u8]) -> Result<()> {
+        self.file.write_all(bytes).map_err(io_err)?;
         self.file.flush().map_err(io_err)
+    }
+
+    /// Forces written records to stable storage (`fdatasync`). Group commit
+    /// amortizes this call across a batch of records.
+    pub fn sync(&mut self) -> Result<()> {
+        self.file.sync_data().map_err(io_err)
+    }
+
+    /// Appends one record and flushes it to the OS.
+    pub fn append(&mut self, payload: &[u8]) -> Result<()> {
+        let mut buf = BytesMut::with_capacity(8 + payload.len());
+        Self::encode_record(payload, &mut buf);
+        self.write_raw(&buf)
     }
 
     /// Replays all intact records from the start of the log. Stops silently
     /// at the first torn or corrupt record (crash-recovery semantics).
     pub fn replay(path: impl AsRef<Path>) -> Result<Vec<WalEntry>> {
+        Ok(Self::replay_all(path)?.0)
+    }
+
+    /// Replays all intact records and reports how the scan ended, letting
+    /// callers distinguish a crash artifact ([`WalTail::Torn`]) from data
+    /// corruption ([`WalTail::Corrupt`]). A missing file reads as empty and
+    /// clean.
+    pub fn replay_all(path: impl AsRef<Path>) -> Result<(Vec<WalEntry>, WalTail)> {
         let mut data = Vec::new();
         match File::open(path.as_ref()) {
             Ok(mut f) => {
                 f.read_to_end(&mut data).map_err(io_err)?;
             }
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Ok((Vec::new(), WalTail::Clean))
+            }
             Err(e) => return Err(io_err(e)),
         }
         let mut entries = Vec::new();
-        let mut cursor = &data[..];
-        while cursor.len() >= 8 {
+        let mut offset = 0usize;
+        let tail = loop {
+            let cursor = &data[offset..];
+            if cursor.is_empty() {
+                break WalTail::Clean;
+            }
+            if cursor.len() < 8 {
+                break WalTail::Torn; // partial header
+            }
             let len = (&cursor[0..4]).get_u32_le() as usize;
             let crc = (&cursor[4..8]).get_u32_le();
             if cursor.len() < 8 + len {
-                break; // torn tail
+                break WalTail::Torn; // record promises more bytes than exist
             }
             let payload = &cursor[8..8 + len];
             if crc32(payload) != crc {
-                break; // corrupt record: stop replay here
+                break WalTail::Corrupt(offset);
             }
             entries.push(WalEntry(payload.to_vec()));
-            cursor = &cursor[8 + len..];
-        }
-        Ok(entries)
+            offset += 8 + len;
+        };
+        Ok((entries, tail))
     }
 
     /// Truncates the log to empty (after a snapshot has captured its
@@ -166,6 +220,56 @@ mod tests {
         let entries = Wal::replay(&path).unwrap();
         // Only the first record survives; corruption halts recovery.
         assert_eq!(entries, vec![WalEntry(b"good".to_vec())]);
+    }
+
+    #[test]
+    fn replay_all_classifies_the_tail() {
+        let path = tmp("tails");
+        let mut wal = Wal::open(&path).unwrap();
+        wal.append(b"a").unwrap();
+        wal.append(b"b").unwrap();
+        drop(wal);
+        let (entries, tail) = Wal::replay_all(&path).unwrap();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(tail, WalTail::Clean);
+        // Torn: partial header.
+        let mut raw = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .unwrap();
+        raw.write_all(&[9, 0, 0]).unwrap();
+        drop(raw);
+        let (entries, tail) = Wal::replay_all(&path).unwrap();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(tail, WalTail::Torn);
+        // Corrupt: flip a payload byte of the first (complete) record.
+        let mut data = std::fs::read(&path).unwrap();
+        data[8] ^= 0xFF;
+        std::fs::write(&path, &data).unwrap();
+        let (entries, tail) = Wal::replay_all(&path).unwrap();
+        assert!(entries.is_empty());
+        assert_eq!(tail, WalTail::Corrupt(0));
+    }
+
+    #[test]
+    fn batched_raw_writes_replay_like_single_appends() {
+        let path = tmp("batched");
+        let mut wal = Wal::open(&path).unwrap();
+        let mut buf = BytesMut::new();
+        Wal::encode_record(b"one", &mut buf);
+        Wal::encode_record(b"two", &mut buf);
+        Wal::encode_record(b"three", &mut buf);
+        wal.write_raw(&buf).unwrap();
+        wal.sync().unwrap();
+        let entries = Wal::replay(&path).unwrap();
+        assert_eq!(
+            entries,
+            vec![
+                WalEntry(b"one".to_vec()),
+                WalEntry(b"two".to_vec()),
+                WalEntry(b"three".to_vec()),
+            ]
+        );
     }
 
     #[test]

@@ -9,13 +9,24 @@
 //! registry per shard thread, so a campaign's state machine is only ever
 //! touched by its owning shard (share-nothing, no locks).
 
-use crate::{Docs, DocsConfig, WorkRequest};
+use crate::{CampaignSnapshot, Docs, DocsConfig, WorkRequest};
 use docs_crowd::{AnswerModel, WorkerPopulation};
 use docs_kb::KnowledgeBase;
-use docs_types::{Answer, CampaignId, Error, Result, Task, WorkerId};
+use docs_types::{Answer, CampaignEvent, CampaignId, Error, Result, Task, WorkerId};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
+
+/// Outcome of replaying one campaign's snapshot + log suffix.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplayStats {
+    /// Events applied to the restored state.
+    pub applied: u64,
+    /// Events whose application was rejected (deterministic rejections —
+    /// e.g. a duplicate answer that was already rejected live; a healthy
+    /// log contains none because commands are validated before logging).
+    pub rejected: u64,
+}
 
 /// Owner of many concurrent campaigns, keyed by [`CampaignId`].
 #[derive(Debug, Default)]
@@ -89,6 +100,55 @@ impl CampaignRegistry {
     /// True when no campaigns are registered.
     pub fn is_empty(&self) -> bool {
         self.campaigns.is_empty()
+    }
+
+    /// Rebuilds one campaign from its serialized snapshot plus the ordered
+    /// event suffix the write-ahead log recovered after it, and registers
+    /// the result under `id` — the recovery path of the durable service.
+    ///
+    /// Event payloads are the JSON-encoded [`CampaignEvent`]s the service
+    /// logged; malformed bytes fail loudly ([`Error::Storage`]), while
+    /// events whose *application* is rejected are counted and skipped (the
+    /// same rejection happened live, deterministically).
+    pub fn replay(
+        &mut self,
+        id: CampaignId,
+        snapshot: &[u8],
+        events: &[Vec<u8>],
+    ) -> Result<ReplayStats> {
+        let snapshot: CampaignSnapshot = serde_json::from_slice(snapshot)
+            .map_err(|e| Error::Storage(format!("campaign {id} snapshot: {e}")))?;
+        let mut docs = Docs::restore(snapshot)?;
+        let mut stats = ReplayStats::default();
+        for (i, raw) in events.iter().enumerate() {
+            let event: CampaignEvent = serde_json::from_slice(raw)
+                .map_err(|e| Error::Storage(format!("campaign {id} event {i}: {e}")))?;
+            // A `Published` marker pins the shape the snapshot must
+            // satisfy — a mismatch means the snapshot and log belong to
+            // different campaigns (mispaired files, tampering).
+            if let CampaignEvent::Published(p) = &event {
+                if p.num_tasks as usize != docs.tasks().len() {
+                    return Err(Error::Storage(format!(
+                        "campaign {id} snapshot/log mismatch: log published {} tasks, \
+                         snapshot holds {}",
+                        p.num_tasks,
+                        docs.tasks().len()
+                    )));
+                }
+            }
+            match docs.apply(&event) {
+                Ok(()) => stats.applied += 1,
+                Err(Error::Storage(msg)) => {
+                    // A storage failure during replay (e.g. the campaign's
+                    // parameter database is unwritable) is not deterministic
+                    // rejection — surface it.
+                    return Err(Error::Storage(format!("campaign {id} event {i}: {msg}")));
+                }
+                Err(_) => stats.rejected += 1,
+            }
+        }
+        self.insert(id, docs)?;
+        Ok(stats)
     }
 
     /// Drains the registry into `(id, state)` pairs, ascending by id.

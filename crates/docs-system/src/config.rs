@@ -2,10 +2,16 @@
 
 use docs_core::ti::StoppingPolicy;
 use docs_kb::LinkerConfig;
+use docs_storage::FlushPolicy;
+use serde::{Deserialize, Serialize};
 use std::path::PathBuf;
 
 /// Deployment knobs of the DOCS system, defaulting to the paper's values.
-#[derive(Debug, Clone)]
+///
+/// The config is serializable because it is part of a campaign's snapshot:
+/// a recovered campaign must resume with the exact knobs (budget, stopping
+/// policy, shard geometry, …) it was published with.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct DocsConfig {
     /// Entity-linker configuration for DVE (top-20 concepts by default).
     pub linker: LinkerConfig,
@@ -35,6 +41,13 @@ pub struct DocsConfig {
     /// walk-order/parallelism knob: truths are byte-identical for every
     /// value. `1` reproduces the paper's flat scan.
     pub task_shards: usize,
+    /// Per-campaign opt-in to the service's event-sourced durability:
+    /// `Some(policy)` makes the owning shard write this campaign's events
+    /// to its write-ahead log (group-committed per `policy`) so the
+    /// campaign survives a service crash. `None` keeps the campaign
+    /// memory-only (the paper's deployment). Orthogonal to `storage_dir`,
+    /// which persists *cross-requester* worker statistics.
+    pub durable_flush: Option<FlushPolicy>,
 }
 
 impl Default for DocsConfig {
@@ -53,6 +66,7 @@ impl Default for DocsConfig {
             storage_dir: None,
             stopping: None,
             task_shards: 1,
+            durable_flush: None,
         }
     }
 }
@@ -72,5 +86,6 @@ mod tests {
         assert!(c.storage_dir.is_none());
         assert!(c.stopping.is_none(), "uniform protocol by default");
         assert_eq!(c.task_shards, 1, "flat scan by default");
+        assert!(c.durable_flush.is_none(), "memory-only by default");
     }
 }

@@ -20,6 +20,6 @@ mod campaign;
 mod config;
 mod system;
 
-pub use campaign::{run_campaign, CampaignRegistry, CampaignReport};
+pub use campaign::{run_campaign, CampaignRegistry, CampaignReport, ReplayStats};
 pub use config::DocsConfig;
-pub use system::{Docs, RequesterReport, WorkRequest};
+pub use system::{CampaignSnapshot, Docs, RequesterReport, WorkRequest};

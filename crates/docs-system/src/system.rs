@@ -1,13 +1,23 @@
 //! The [`Docs`] system object: requester API + platform request handlers.
+//!
+//! Since the durable-runtime refactor, every state change flows through the
+//! deterministic [`Docs::apply`] transition over [`CampaignEvent`]s: the
+//! public command methods ([`Docs::submit_answer`], [`Docs::submit_golden`],
+//! [`Docs::finish`]) are thin wrappers that render their input into an
+//! event and apply it. A campaign is therefore fully described by its
+//! initial [`CampaignSnapshot`] plus the ordered event sequence — which is
+//! exactly what the service's write-ahead log records, and what
+//! [`Docs::restore`] + replay rebuild after a crash.
 
 use crate::DocsConfig;
 use docs_core::dve;
 use docs_core::golden::select_golden_tasks;
 use docs_core::ota::{Assigner, AssignerConfig};
-use docs_core::ti::{IncrementalTi, WorkerRegistry, WorkerStats};
+use docs_core::ti::{IncrementalTi, TiSnapshot, WorkerRegistry, WorkerStats};
 use docs_kb::{EntityLinker, KnowledgeBase};
 use docs_storage::ParamStore;
-use docs_types::{Answer, ChoiceIndex, Error, Result, Task, TaskId, WorkerId};
+use docs_types::{Answer, CampaignEvent, ChoiceIndex, Error, Result, Task, TaskId, WorkerId};
+use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 
 /// Response to a worker's task request.
@@ -33,6 +43,25 @@ pub struct RequesterReport {
     pub answers_collected: usize,
     /// Accuracy against ground truth where available (evaluation only).
     pub accuracy: f64,
+}
+
+/// The full serializable state of a campaign's [`Docs`] state machine —
+/// what the durable runtime writes as the base of a campaign's log and
+/// periodically refreshes to truncate it.
+///
+/// `seen_workers` is stored sorted so snapshots of equal states are
+/// byte-identical regardless of insertion history.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CampaignSnapshot {
+    /// The inference engine's state (tasks, per-task state, registries,
+    /// answer log, scan geometry).
+    pub engine: TiSnapshot,
+    /// The selected golden task ids.
+    pub golden_ids: Vec<TaskId>,
+    /// Workers seen this session, ascending.
+    pub seen_workers: Vec<WorkerId>,
+    /// The publish-time configuration.
+    pub config: DocsConfig,
 }
 
 /// The deployed DOCS system for one requester batch.
@@ -104,6 +133,18 @@ impl Docs {
     /// The published tasks (with DVE-filled domain vectors).
     pub fn tasks(&self) -> &[Task] {
         self.engine.tasks()
+    }
+
+    /// The publish-time configuration.
+    pub fn config(&self) -> &DocsConfig {
+        &self.config
+    }
+
+    /// Overrides the per-campaign durability opt-in after publish — the
+    /// service applies a wire-level persistence override here so the policy
+    /// a campaign actually runs with is the one its snapshots record.
+    pub fn set_durable_flush(&mut self, flush: Option<docs_storage::FlushPolicy>) {
+        self.config.durable_flush = flush;
     }
 
     /// The selected golden task ids.
@@ -205,16 +246,95 @@ impl Docs {
     }
 
     /// Receives a new worker's golden answers and initializes her quality
-    /// (Section 5.2).
+    /// (Section 5.2). Command wrapper over
+    /// [`CampaignEvent::GoldenSubmitted`].
     pub fn submit_golden(
         &mut self,
         worker: WorkerId,
         answers: &[(TaskId, ChoiceIndex)],
     ) -> Result<()> {
+        self.apply(&CampaignEvent::golden(worker, answers.to_vec()))
+    }
+
+    /// Handles "a worker accomplishes tasks and submits answers"
+    /// (Figure 1, arrow ⑤): incremental TI plus periodic full inference.
+    /// Command wrapper over [`CampaignEvent::AnswerSubmitted`].
+    pub fn submit_answer(&mut self, answer: Answer) -> Result<()> {
+        self.apply(&CampaignEvent::answer(answer))
+    }
+
+    /// Finalizes the batch: one last full inference, state persisted, report
+    /// returned to the requester. Command wrapper over
+    /// [`CampaignEvent::Finished`].
+    pub fn finish(&mut self) -> Result<RequesterReport> {
+        self.apply(&CampaignEvent::finished())?;
+        Ok(self.report())
+    }
+
+    /// Checks whether an event would be accepted by [`Docs::apply`], without
+    /// touching any state. The durable runtime calls this *before* logging a
+    /// command so rejected requests (duplicate answers, unknown tasks) never
+    /// reach the write-ahead log.
+    pub fn validate_event(&self, event: &CampaignEvent) -> Result<()> {
+        match event {
+            CampaignEvent::Published(_) | CampaignEvent::Finished(_) => Ok(()),
+            CampaignEvent::GoldenSubmitted(g) => {
+                for &(tid, choice) in &g.answers {
+                    let task = self
+                        .engine
+                        .tasks()
+                        .get(tid.index())
+                        .ok_or(Error::UnknownTask(tid))?;
+                    task.check_choice(choice)?;
+                    if task.ground_truth.is_none() {
+                        return Err(Error::UnknownTask(tid));
+                    }
+                }
+                Ok(())
+            }
+            CampaignEvent::AnswerSubmitted(a) => {
+                let answer = a.answer;
+                let task = self
+                    .engine
+                    .tasks()
+                    .get(answer.task.index())
+                    .ok_or(Error::UnknownTask(answer.task))?;
+                task.check_choice(answer.choice)?;
+                if self.engine.log().has_answered(answer.worker, answer.task) {
+                    return Err(Error::DuplicateAnswer {
+                        task: answer.task,
+                        worker: answer.worker,
+                    });
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// The deterministic state transition: applies one event to the state
+    /// machine. Replaying a logged event sequence over a restored snapshot
+    /// reproduces the live state exactly — the transition reads no clock, no
+    /// randomness, and no iteration order of unordered containers.
+    pub fn apply(&mut self, event: &CampaignEvent) -> Result<()> {
+        match event {
+            // `Published` marks the birth of the log; the state it describes
+            // is the snapshot it rides with, so applying it is a no-op.
+            CampaignEvent::Published(_) => Ok(()),
+            CampaignEvent::GoldenSubmitted(g) => self.apply_golden(g.worker, &g.answers),
+            CampaignEvent::AnswerSubmitted(a) => self.apply_answer(a.answer),
+            CampaignEvent::Finished(_) => self.apply_finished(),
+        }
+    }
+
+    fn apply_golden(&mut self, worker: WorkerId, answers: &[(TaskId, ChoiceIndex)]) -> Result<()> {
         let infos: Vec<(TaskId, (docs_types::DomainVector, ChoiceIndex))> = answers
             .iter()
             .map(|&(tid, _)| {
-                let t = &self.engine.tasks()[tid.index()];
+                let t = self
+                    .engine
+                    .tasks()
+                    .get(tid.index())
+                    .ok_or(Error::UnknownTask(tid))?;
                 Ok((
                     tid,
                     (
@@ -238,19 +358,17 @@ impl Docs {
         Ok(())
     }
 
-    /// Handles "a worker accomplishes tasks and submits answers"
-    /// (Figure 1, arrow ⑤): incremental TI plus periodic full inference.
-    pub fn submit_answer(&mut self, answer: Answer) -> Result<()> {
-        self.seen_workers.insert(answer.worker);
+    fn apply_answer(&mut self, answer: Answer) -> Result<()> {
+        // The engine validates before mutating, so a rejected answer leaves
+        // the state untouched; only then is the worker marked as seen.
         self.engine.submit(answer)?;
+        self.seen_workers.insert(answer.worker);
         self.persist_worker(answer.worker)?;
         self.persist_task(answer.task)?;
         Ok(())
     }
 
-    /// Finalizes the batch: one last full inference, state persisted, report
-    /// returned to the requester.
-    pub fn finish(&mut self) -> Result<RequesterReport> {
+    fn apply_finished(&mut self) -> Result<()> {
         self.engine.run_full();
         if let Some(store) = &self.store {
             for (w, stats) in self.engine.registry().iter() {
@@ -261,9 +379,18 @@ impl Docs {
             }
             store.compact()?;
         }
+        Ok(())
+    }
+
+    /// The requester report under the current state — a pure read. The
+    /// report after [`CampaignEvent::Finished`] depends only on the tasks,
+    /// the answer log, and the golden registry (the full inference
+    /// recomputes everything from them), so a recovered campaign that
+    /// reaches the same log reports byte-identical truths.
+    pub fn report(&self) -> RequesterReport {
         let truths = self.engine.truths();
         let accuracy = docs_crowd::accuracy_of(&truths, self.engine.tasks());
-        Ok(RequesterReport {
+        RequesterReport {
             truth_distributions: self
                 .engine
                 .states()
@@ -273,6 +400,36 @@ impl Docs {
             answers_collected: self.answers_collected(),
             truths,
             accuracy,
+        }
+    }
+
+    /// Captures the campaign's full state for the durable runtime.
+    pub fn snapshot(&self) -> CampaignSnapshot {
+        let mut seen_workers: Vec<WorkerId> = self.seen_workers.iter().copied().collect();
+        seen_workers.sort_unstable();
+        CampaignSnapshot {
+            engine: self.engine.snapshot(),
+            golden_ids: self.golden_ids.clone(),
+            seen_workers,
+            config: self.config.clone(),
+        }
+    }
+
+    /// Rebuilds a campaign from a snapshot. The parameter database is
+    /// reopened from `config.storage_dir` when one was configured; its
+    /// contents are *not* re-merged into the registry — the snapshot already
+    /// carries the exact live statistics.
+    pub fn restore(snapshot: CampaignSnapshot) -> Result<Self> {
+        let store = match &snapshot.config.storage_dir {
+            Some(dir) => Some(ParamStore::open(dir)?),
+            None => None,
+        };
+        Ok(Docs {
+            engine: IncrementalTi::restore(snapshot.engine),
+            golden_ids: snapshot.golden_ids,
+            seen_workers: snapshot.seen_workers.into_iter().collect(),
+            config: snapshot.config,
+            store,
         })
     }
 
@@ -552,6 +709,156 @@ mod tests {
         assert_eq!(report.truths.len(), 4);
         assert_eq!(report.accuracy, 1.0);
         assert_eq!(report.answers_collected, 12);
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip_is_byte_identical() {
+        let kb = table2_example_kb();
+        let mut docs = Docs::publish(&kb, example_tasks(6), small_config()).unwrap();
+        let w = WorkerId(0);
+        if let WorkRequest::Golden(g) = docs.request_tasks(w) {
+            let answers: Vec<_> = g
+                .iter()
+                .map(|&gid| (gid, docs.tasks()[gid.index()].ground_truth.unwrap()))
+                .collect();
+            docs.submit_golden(w, &answers).unwrap();
+        }
+        docs.submit_answer(Answer {
+            task: TaskId(0),
+            worker: w,
+            choice: 0,
+        })
+        .unwrap();
+        // Snapshot → JSON → restore: every probability must round-trip
+        // exactly, and the restored machine must serve identically.
+        let json = serde_json::to_vec(&docs.snapshot()).unwrap();
+        let mut restored = Docs::restore(serde_json::from_slice(&json).unwrap()).unwrap();
+        assert_eq!(restored.answers_collected(), docs.answers_collected());
+        assert_eq!(restored.golden_ids(), docs.golden_ids());
+        for (a, b) in docs
+            .engine()
+            .states()
+            .iter()
+            .zip(restored.engine().states())
+        {
+            assert_eq!(a.s(), b.s());
+        }
+        // A returning worker is still known; assignments match exactly.
+        assert_eq!(restored.request_tasks(w), docs.request_tasks(w));
+        let ra = restored.finish().unwrap();
+        let rb = docs.finish().unwrap();
+        assert_eq!(ra.truths, rb.truths);
+        assert_eq!(ra.truth_distributions, rb.truth_distributions);
+    }
+
+    #[test]
+    fn registry_replays_snapshot_plus_event_suffix() {
+        use docs_types::{CampaignEvent, CampaignId};
+        let kb = table2_example_kb();
+        let mut live = Docs::publish(&kb, example_tasks(6), small_config()).unwrap();
+        let w = WorkerId(0);
+        let golden_answers: Vec<_> = live
+            .golden_ids()
+            .to_vec()
+            .iter()
+            .map(|&gid| (gid, live.tasks()[gid.index()].ground_truth.unwrap()))
+            .collect();
+        let snapshot = serde_json::to_vec(&live.snapshot()).unwrap();
+        // Events after the snapshot: golden init, one answer, one duplicate
+        // (a deterministic rejection), finish.
+        let events = [
+            CampaignEvent::golden(w, golden_answers.clone()),
+            CampaignEvent::answer(Answer {
+                task: TaskId(1),
+                worker: w,
+                choice: 1,
+            }),
+            CampaignEvent::answer(Answer {
+                task: TaskId(1),
+                worker: w,
+                choice: 0,
+            }),
+            CampaignEvent::finished(),
+        ];
+        let payloads: Vec<Vec<u8>> = events
+            .iter()
+            .map(|e| serde_json::to_vec(e).unwrap())
+            .collect();
+        // Drive the live machine through the same (accepted) transitions.
+        live.submit_golden(w, &golden_answers).unwrap();
+        live.submit_answer(Answer {
+            task: TaskId(1),
+            worker: w,
+            choice: 1,
+        })
+        .unwrap();
+        let reference = live.finish().unwrap();
+
+        let mut registry = crate::CampaignRegistry::new();
+        let stats = registry
+            .replay(CampaignId(3), &snapshot, &payloads)
+            .unwrap();
+        assert_eq!(stats.applied, 3);
+        assert_eq!(stats.rejected, 1, "duplicate answer skipped");
+        let replayed = registry.get(CampaignId(3)).unwrap().report();
+        assert_eq!(replayed.truths, reference.truths);
+        assert_eq!(replayed.truth_distributions, reference.truth_distributions);
+        // Garbage event bytes fail loudly.
+        let err = registry
+            .replay(CampaignId(4), &snapshot, &[b"not json".to_vec()])
+            .unwrap_err();
+        assert!(matches!(err, Error::Storage(_)), "{err}");
+        // A `Published` marker disagreeing with the snapshot's task count
+        // means the snapshot and log are mispaired — refuse to replay.
+        let mispaired = serde_json::to_vec(&CampaignEvent::Published(docs_types::PublishedEvent {
+            campaign: CampaignId(5),
+            num_tasks: 999,
+            num_golden: 2,
+        }))
+        .unwrap();
+        let err = registry
+            .replay(CampaignId(5), &snapshot, &[mispaired])
+            .unwrap_err();
+        assert!(err.to_string().contains("mismatch"), "{err}");
+    }
+
+    #[test]
+    fn validate_event_rejects_without_mutating() {
+        let kb = table2_example_kb();
+        let mut docs = Docs::publish(&kb, example_tasks(4), small_config()).unwrap();
+        let good = Answer {
+            task: TaskId(0),
+            worker: WorkerId(0),
+            choice: 0,
+        };
+        docs.submit_answer(good).unwrap();
+        let before = docs.answers_collected();
+        // Duplicate, unknown task, out-of-range choice.
+        assert!(docs
+            .validate_event(&docs_types::CampaignEvent::answer(good))
+            .is_err());
+        assert!(docs
+            .validate_event(&docs_types::CampaignEvent::answer(Answer {
+                task: TaskId(99),
+                worker: WorkerId(1),
+                choice: 0,
+            }))
+            .is_err());
+        assert!(docs
+            .validate_event(&docs_types::CampaignEvent::answer(Answer {
+                task: TaskId(1),
+                worker: WorkerId(1),
+                choice: 9,
+            }))
+            .is_err());
+        assert!(docs
+            .validate_event(&docs_types::CampaignEvent::answer(Answer {
+                task: TaskId(1),
+                worker: WorkerId(1),
+                choice: 1,
+            }))
+            .is_ok());
+        assert_eq!(docs.answers_collected(), before, "validation is pure");
     }
 
     #[test]

@@ -10,7 +10,14 @@
 //! * [`Answer`] / [`AnswerLog`] — worker answers `v^w_i` and the bookkeeping
 //!   views over them (`V(i)` per task, `T(w)` per worker, Definition 4),
 //! * [`prob`] — small numeric helpers (entropy, KL divergence, normalization)
-//!   used by every inference and assignment module.
+//!   used by every inference and assignment module,
+//! * [`CampaignEvent`] — the event model of the durable service runtime:
+//!   every state change of a served campaign (`Published`,
+//!   `GoldenSubmitted`, `AnswerSubmitted`, `Finished`) as a serializable
+//!   fact. Commands are validated, logged, then applied; replaying the
+//!   event sequence over a campaign snapshot is the crash-recovery path,
+//!   so each payload carries the *complete* input of its deterministic
+//!   transition (see the `events` module docs for the determinism rules).
 //!
 //! Everything downstream (`docs-kb`, `docs-core`, `docs-baselines`,
 //! `docs-crowd`, ...) builds on these types, so they deliberately stay free of
@@ -19,6 +26,7 @@
 mod answers;
 pub mod domain;
 mod error;
+mod events;
 mod ids;
 pub mod prob;
 mod task;
@@ -27,6 +35,9 @@ mod vectors;
 pub use answers::{Answer, AnswerLog, TaskAnswers, WorkerAnswers};
 pub use domain::DomainSet;
 pub use error::{Error, Result};
+pub use events::{
+    AnswerSubmittedEvent, CampaignEvent, FinishedEvent, GoldenSubmittedEvent, PublishedEvent,
+};
 pub use ids::{CampaignId, ChoiceIndex, DomainIndex, TaskId, WorkerId};
 pub use task::{Task, TaskBuilder};
 pub use vectors::{DomainVector, QualityVector};

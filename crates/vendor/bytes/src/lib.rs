@@ -11,6 +11,11 @@ pub struct BytesMut {
 }
 
 impl BytesMut {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
     /// Creates an empty buffer with `cap` bytes preallocated.
     pub fn with_capacity(cap: usize) -> Self {
         BytesMut {
@@ -21,6 +26,12 @@ impl BytesMut {
     /// Copies the contents into a fresh `Vec<u8>`.
     pub fn to_vec(&self) -> Vec<u8> {
         self.data.clone()
+    }
+
+    /// Empties the buffer, keeping its allocation (group-commit buffers are
+    /// reused across flushes).
+    pub fn clear(&mut self) {
+        self.data.clear();
     }
 }
 

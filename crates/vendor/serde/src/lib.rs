@@ -229,6 +229,23 @@ impl Serialize for str {
     }
 }
 
+impl Serialize for std::path::PathBuf {
+    fn to_value(&self) -> Value {
+        // Lossy for non-UTF-8 paths; the workspace only builds paths from
+        // UTF-8 strings.
+        Value::Str(self.to_string_lossy().into_owned())
+    }
+}
+
+impl Deserialize for std::path::PathBuf {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(std::path::PathBuf::from(s)),
+            _ => Err(DeError::expected("path string", v)),
+        }
+    }
+}
+
 impl<T: Serialize + ?Sized> Serialize for &T {
     fn to_value(&self) -> Value {
         (**self).to_value()

@@ -2,9 +2,10 @@
 //!
 //! Hand-rolled token parsing (no `syn`/`quote` available offline) covering
 //! exactly the shapes this workspace declares: non-generic structs with
-//! named fields, newtype structs, and tuple structs. Enums or generic
-//! structs panic at compile time with a clear message rather than
-//! miscompiling.
+//! named fields, newtype structs, tuple structs, and non-generic enums
+//! (unit, newtype, tuple, and named-field variants, encoded externally
+//! tagged exactly like real serde). Generic types panic at compile time
+//! with a clear message rather than miscompiling.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
@@ -14,6 +15,20 @@ enum Shape {
     Named(Vec<String>),
     /// `struct X(A, B, ...);` — number of fields.
     Tuple(usize),
+    /// `enum X { ... }` — variants in declaration order.
+    Enum(Vec<(String, VariantShape)>),
+}
+
+/// The data carried by one enum variant.
+enum VariantShape {
+    /// `Variant` — no payload; encoded as the bare string `"Variant"`.
+    Unit,
+    /// `Variant(T)` — encoded as `{"Variant": <T>}`.
+    Newtype,
+    /// `Variant(A, B, ...)` — encoded as `{"Variant": [<A>, <B>, ...]}`.
+    Tuple(usize),
+    /// `Variant { a: A, ... }` — encoded as `{"Variant": {"a": ..., ...}}`.
+    Named(Vec<String>),
 }
 
 struct Input {
@@ -55,29 +70,83 @@ fn parse_input(input: TokenStream) -> Input {
     let mut i = 0;
     while skip_attr(&tokens, &mut i) {}
     skip_visibility(&tokens, &mut i);
-    match tokens.get(i) {
-        Some(TokenTree::Ident(kw)) if kw.to_string() == "struct" => i += 1,
-        other => panic!("serde stub derive supports only structs, found {other:?}"),
-    }
+    let is_enum = match tokens.get(i) {
+        Some(TokenTree::Ident(kw)) if kw.to_string() == "struct" => {
+            i += 1;
+            false
+        }
+        Some(TokenTree::Ident(kw)) if kw.to_string() == "enum" => {
+            i += 1;
+            true
+        }
+        other => panic!("serde stub derive supports only structs and enums, found {other:?}"),
+    };
     let name = match tokens.get(i) {
         Some(TokenTree::Ident(id)) => id.to_string(),
-        other => panic!("expected struct name, found {other:?}"),
+        other => panic!("expected type name, found {other:?}"),
     };
     i += 1;
     match tokens.get(i) {
         Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
-            panic!("serde stub derive does not support generic structs ({name})")
+            panic!("serde stub derive does not support generic types ({name})")
         }
         Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Input {
+            shape: if is_enum {
+                Shape::Enum(parse_variants(g.stream(), &name))
+            } else {
+                Shape::Named(parse_named_fields(g.stream()))
+            },
             name,
-            shape: Shape::Named(parse_named_fields(g.stream())),
         },
-        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Input {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis && !is_enum => Input {
             name,
             shape: Shape::Tuple(count_tuple_fields(g.stream())),
         },
-        other => panic!("unsupported struct body for {name}: {other:?}"),
+        other => panic!("unsupported body for {name}: {other:?}"),
     }
+}
+
+/// Parses `Variant`, `Variant(T, ...)`, and `Variant { a: A, ... }` entries
+/// of an enum body.
+fn parse_variants(stream: TokenStream, enum_name: &str) -> Vec<(String, VariantShape)> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        while skip_attr(&tokens, &mut i) {}
+        if i >= tokens.len() {
+            break;
+        }
+        let variant = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("expected variant name in {enum_name}, found {other:?}"),
+        };
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                match count_tuple_fields(g.stream()) {
+                    1 => VariantShape::Newtype,
+                    n => VariantShape::Tuple(n),
+                }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantShape::Named(parse_named_fields(g.stream()))
+            }
+            _ => VariantShape::Unit,
+        };
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                panic!("serde stub derive does not support explicit discriminants ({enum_name}::{variant})")
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            None => {}
+            other => panic!("expected `,` after {enum_name}::{variant}, found {other:?}"),
+        }
+        variants.push((variant, shape));
+    }
+    variants
 }
 
 /// Collects field names from `a: A, b: B, ...`, tracking `<...>` depth so
@@ -170,6 +239,47 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
                 .collect();
             format!("::serde::Value::Seq(vec![{}])", items.join(""))
         }
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(v, shape)| match shape {
+                    VariantShape::Unit => {
+                        format!("{name}::{v} => ::serde::Value::Str(\"{v}\".to_string()),")
+                    }
+                    VariantShape::Newtype => format!(
+                        "{name}::{v}(__f0) => ::serde::Value::Map(vec![(\"{v}\".to_string(), \
+                             ::serde::Serialize::to_value(__f0))]),"
+                    ),
+                    VariantShape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Serialize::to_value(__f{i}),"))
+                            .collect();
+                        format!(
+                            "{name}::{v}({}) => ::serde::Value::Map(vec![(\"{v}\".to_string(), \
+                                 ::serde::Value::Seq(vec![{}]))]),",
+                            binds.join(","),
+                            items.join("")
+                        )
+                    }
+                    VariantShape::Named(fields) => {
+                        let binds = fields.join(",");
+                        let entries: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!("(\"{f}\".to_string(), ::serde::Serialize::to_value({f})),")
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{v} {{ {binds} }} => ::serde::Value::Map(vec![(\
+                                 \"{v}\".to_string(), ::serde::Value::Map(vec![{}]))]),",
+                            entries.join("")
+                        )
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(""))
+        }
     };
     format!(
         "impl ::serde::Serialize for {name} {{\n\
@@ -221,6 +331,82 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
                  }}\n\
                  Ok({name}({}))",
                 items.join("")
+            )
+        }
+        Shape::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, shape)| matches!(shape, VariantShape::Unit))
+                .map(|(v, _)| format!("\"{v}\" => Ok({name}::{v}),"))
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|(v, shape)| match shape {
+                    VariantShape::Unit => None,
+                    VariantShape::Newtype => Some(format!(
+                        "\"{v}\" => Ok({name}::{v}(::serde::Deserialize::from_value(__inner)\
+                             .map_err(|e| e.in_field(\"{v}\"))?)),"
+                    )),
+                    VariantShape::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&__seq[{i}])\
+                                 .map_err(|e| e.in_field(\"{v}\"))?,"))
+                            .collect();
+                        Some(format!(
+                            "\"{v}\" => {{\n\
+                                 let __seq = __inner.as_seq().ok_or_else(|| \
+                                     ::serde::DeError::expected(\"sequence for {name}::{v}\", __inner))?;\n\
+                                 if __seq.len() != {n} {{\n\
+                                     return Err(::serde::DeError(format!(\
+                                         \"expected {n} elements for {name}::{v}, found {{}}\", __seq.len())));\n\
+                                 }}\n\
+                                 Ok({name}::{v}({}))\n\
+                             }}",
+                            items.join("")
+                        ))
+                    }
+                    VariantShape::Named(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::Deserialize::from_value(\
+                                         ::serde::map_get(__fields, \"{f}\")\
+                                             .unwrap_or(&::serde::Value::Null))\
+                                         .map_err(|e| e.in_field(\"{f}\"))?,"
+                                )
+                            })
+                            .collect();
+                        Some(format!(
+                            "\"{v}\" => {{\n\
+                                 let __fields = __inner.as_map().ok_or_else(|| \
+                                     ::serde::DeError::expected(\"map for {name}::{v}\", __inner))?;\n\
+                                 Ok({name}::{v} {{ {} }})\n\
+                             }}",
+                            inits.join("")
+                        ))
+                    }
+                })
+                .collect();
+            format!(
+                "match v {{\n\
+                     ::serde::Value::Str(__tag) => match __tag.as_str() {{\n\
+                         {unit}\n\
+                         __other => Err(::serde::DeError(format!(\
+                             \"unknown {name} variant `{{__other}}`\"))),\n\
+                     }},\n\
+                     ::serde::Value::Map(__entries) if __entries.len() == 1 => {{\n\
+                         let (__tag, __inner) = &__entries[0];\n\
+                         match __tag.as_str() {{\n\
+                             {tagged}\n\
+                             __other => Err(::serde::DeError(format!(\
+                                 \"unknown {name} variant `{{__other}}`\"))),\n\
+                         }}\n\
+                     }}\n\
+                     __other => Err(::serde::DeError::expected(\"{name} variant\", __other)),\n\
+                 }}",
+                unit = unit_arms.join("\n"),
+                tagged = tagged_arms.join("\n"),
             )
         }
     };

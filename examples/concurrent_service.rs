@@ -52,7 +52,7 @@ fn publish_campaign(task_shards: usize) -> (Docs, Arc<Vec<Task>>, usize) {
 /// shard count; returns (wall time seconds, total answers collected).
 fn run_pool(shards: usize) -> (f64, usize, docs_service::ServiceMetrics) {
     let (first_docs, first_tasks, m) = publish_campaign(shards);
-    let (service, handle) = DocsService::spawn_sharded(first_docs, ServiceConfig { shards });
+    let (service, handle) = DocsService::spawn_sharded(first_docs, ServiceConfig::sharded(shards));
     let mut campaigns = vec![(handle.default_campaign(), first_tasks)];
     for _ in 1..CAMPAIGNS {
         let (docs, tasks, _) = publish_campaign(shards);

@@ -75,7 +75,7 @@ fn drive_campaign(
 #[test]
 fn concurrent_multi_campaign_drive_loses_no_answers() {
     let (service, handle) =
-        DocsService::spawn_sharded(publish(18, 4, 1), ServiceConfig { shards: 3 });
+        DocsService::spawn_sharded(publish(18, 4, 1), ServiceConfig::sharded(3));
     let c1 = handle.default_campaign();
     let c2 = handle.create_campaign(publish(24, 3, 1)).unwrap();
     let tasks1 = Arc::new(published_tasks(18));
@@ -162,7 +162,7 @@ fn sharded_truths_equal_single_shard_truths() {
     // partitioned benefit scan, driven concurrently.
     let (service, handle) = DocsService::spawn_sharded(
         publish(campaign_specs[0].0, 3, 4),
-        ServiceConfig { shards: 4 },
+        ServiceConfig::sharded(4),
     );
     let mut ids = vec![handle.default_campaign()];
     for &(n_tasks, _) in &campaign_specs[1..] {
