@@ -1,0 +1,235 @@
+//! OTA request-path bench: the paper's flat benefit scan vs the
+//! incremental benefit index, on a warm task pool at 10k/100k tasks.
+//!
+//! ```text
+//! cargo bench -p docs-bench --bench ota_index          # full sizes
+//! OTA_SMOKE=1 cargo bench -p docs-bench --bench ota_index   # CI smoke
+//! ```
+//!
+//! The pool models the steady state OTA itself drives toward: most tasks
+//! have collected several answers from strong workers (confident, tiny
+//! entropy), a small fraction are fresh or contested (high entropy). The
+//! flat scan still pays one benefit evaluation per task per request; the
+//! index pops only the candidates whose entropy bound can reach the
+//! top-`k`. Every measured request asserts the two paths pick identical
+//! tasks — the bench is also an equivalence check at sizes the unit tests
+//! do not reach.
+//!
+//! Headline numbers merge into `BENCH_ota.json` at the workspace root
+//! (`ota_request_{scan,index}_<n>_tasks_ms`, `ota_index_speedup_<n>_tasks_x`,
+//! plus the per-answer index maintenance cost).
+
+use criterion::{black_box, criterion_group, BenchmarkId, Criterion};
+use docs_core::ota::{Assigner, AssignerConfig, BenefitIndex};
+use docs_core::ti::{ShardedTiState, TaskState};
+use docs_types::{DomainVector, Task, TaskBuilder, TaskId};
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::time::Instant;
+
+const M: usize = 3;
+const K: usize = 20;
+
+fn smoke() -> bool {
+    std::env::var_os("OTA_SMOKE").is_some()
+}
+
+fn sizes() -> Vec<usize> {
+    if smoke() {
+        vec![2_000]
+    } else {
+        vec![10_000, 100_000]
+    }
+}
+
+struct Pool {
+    tasks: Vec<Task>,
+    states: Vec<TaskState>,
+    sharding: ShardedTiState,
+}
+
+/// A warm pool: ~99% of tasks confident after 4–8 consistent strong
+/// answers, 1% fresh (never assigned yet) — entropies spread over orders
+/// of magnitude, as they are mid-campaign.
+fn warm_pool(n: usize, task_shards: usize) -> Pool {
+    let tasks: Vec<Task> = (0..n)
+        .map(|i| {
+            TaskBuilder::new(i, format!("t{i}"))
+                .yes_no()
+                .with_domain_vector(DomainVector::one_hot(M, i % M))
+                .build()
+                .unwrap()
+        })
+        .collect();
+    let states: Vec<TaskState> = (0..n)
+        .map(|i| {
+            let mut st = TaskState::new(M, 2);
+            if i % 100 != 0 {
+                let r = DomainVector::one_hot(M, i % M);
+                for _ in 0..(4 + i % 5) {
+                    st.apply_answer(&r, &[0.92, 0.9, 0.88], i % 2);
+                }
+            }
+            st
+        })
+        .collect();
+    Pool {
+        sharding: ShardedTiState::new(n, task_shards),
+        tasks,
+        states,
+    }
+}
+
+/// Rotating worker profiles so requests are not identical.
+fn quality_of(request: usize) -> Vec<f64> {
+    let base = [0.9, 0.75, 0.6];
+    (0..M).map(|k| base[(request + k) % base.len()]).collect()
+}
+
+fn assigner() -> Assigner {
+    Assigner::new(AssignerConfig {
+        k: K,
+        ..Default::default()
+    })
+}
+
+fn scan_request(pool: &Pool, quality: &[f64]) -> Vec<TaskId> {
+    assigner().assign_sharded(
+        quality,
+        &pool.tasks,
+        &pool.states,
+        &pool.sharding,
+        |_| false,
+        |_| 0,
+    )
+}
+
+fn indexed_request(pool: &Pool, index: &mut BenefitIndex, quality: &[f64]) -> Vec<TaskId> {
+    assigner().assign_indexed(
+        quality,
+        &pool.tasks,
+        &pool.states,
+        &pool.sharding,
+        index,
+        |_| false,
+        |_| 0,
+    )
+}
+
+/// Mean request latency (ms) over `requests` rotated-quality requests.
+fn measure(pool: &Pool, index: Option<&mut BenefitIndex>, requests: usize) -> f64 {
+    let started = Instant::now();
+    match index {
+        Some(index) => {
+            for r in 0..requests {
+                black_box(indexed_request(pool, index, &quality_of(r)));
+            }
+        }
+        None => {
+            for r in 0..requests {
+                black_box(scan_request(pool, &quality_of(r)));
+            }
+        }
+    }
+    started.elapsed().as_secs_f64() * 1e3 / requests as f64
+}
+
+fn ota_request(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ota_request");
+    for n in sizes() {
+        let pool = warm_pool(n, 1);
+        let mut index = BenefitIndex::new(&pool.states, &pool.sharding);
+        // Equivalence at bench scale before timing anything.
+        for r in 0..3 {
+            assert_eq!(
+                indexed_request(&pool, &mut index, &quality_of(r)),
+                scan_request(&pool, &quality_of(r)),
+                "index diverged from the scan at n = {n}"
+            );
+        }
+        group.bench_with_input(BenchmarkId::new("scan", n), &n, |b, _| {
+            let mut r = 0;
+            b.iter(|| {
+                r += 1;
+                black_box(scan_request(&pool, &quality_of(r)))
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("index", n), &n, |b, _| {
+            let mut r = 0;
+            b.iter(|| {
+                r += 1;
+                black_box(indexed_request(&pool, &mut index, &quality_of(r)))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ota_request);
+
+/// Merges headline numbers into `BENCH_ota.json` at the workspace root.
+fn write_bench_json() {
+    let mut updates: Vec<(String, f64)> = Vec::new();
+    for n in sizes() {
+        let pool = warm_pool(n, 1);
+        let mut index = BenefitIndex::new(&pool.states, &pool.sharding);
+        for r in 0..3 {
+            assert_eq!(
+                indexed_request(&pool, &mut index, &quality_of(r)),
+                scan_request(&pool, &quality_of(r)),
+                "index diverged from the scan at n = {n}"
+            );
+        }
+        // Enough requests to smooth noise without letting the 100k scan run
+        // for minutes.
+        let scan_requests = (2_000_000 / n).clamp(3, 50);
+        let index_requests = 200;
+        let scan_ms = measure(&pool, None, scan_requests);
+        let index_ms = measure(&pool, Some(&mut index), index_requests);
+        updates.push((format!("ota_request_scan_{n}_tasks_ms"), scan_ms));
+        updates.push((format!("ota_request_index_{n}_tasks_ms"), index_ms));
+        updates.push((format!("ota_index_speedup_{n}_tasks_x"), scan_ms / index_ms));
+        println!(
+            "n = {n}: scan {scan_ms:.3} ms/request, index {index_ms:.3} ms/request \
+             ({:.1}x)",
+            scan_ms / index_ms
+        );
+    }
+    // Index maintenance: the write-path cost of keeping the index current,
+    // one bump per ingested answer.
+    {
+        let n = *sizes().last().unwrap();
+        let pool = warm_pool(n, 1);
+        let mut index = BenefitIndex::new(&pool.states, &pool.sharding);
+        let bumps = 200_000usize;
+        let started = Instant::now();
+        for i in 0..bumps {
+            let task = (i * 7919) % n;
+            index.bump(task, pool.states[task].entropy());
+        }
+        let ns = started.elapsed().as_secs_f64() * 1e9 / bumps as f64;
+        updates.push(("ota_index_bump_per_answer_ns".to_string(), ns));
+        println!("index maintenance: {ns:.0} ns per ingested answer");
+    }
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_ota.json");
+    let mut map: HashMap<String, f64> = std::fs::read(&path)
+        .ok()
+        .and_then(|bytes| serde_json::from_slice(&bytes).ok())
+        .unwrap_or_default();
+    for (key, value) in &updates {
+        map.insert(key.clone(), *value);
+    }
+    let mut entries: Vec<(String, f64)> = map.into_iter().collect();
+    entries.sort_by(|a, b| a.0.cmp(&b.0));
+    let body: Vec<String> = entries
+        .iter()
+        .map(|(k, v)| format!("  \"{k}\": {v}"))
+        .collect();
+    std::fs::write(&path, format!("{{\n{}\n}}\n", body.join(",\n"))).expect("write bench json");
+    println!("OTA numbers merged into {}", path.display());
+}
+
+fn main() {
+    benches();
+    write_bench_json();
+}

@@ -9,11 +9,15 @@
 
 mod benefit;
 pub mod budget;
+mod index;
 mod select;
 
 pub use benefit::{answer_probabilities, benefit, expected_posterior_entropy};
 pub use budget::{BudgetPlanner, Plan};
-pub use select::{merge_top_k, top_k_by_sort, top_k_linear, top_k_linear_pairs};
+pub use index::BenefitIndex;
+pub use select::{
+    merge_top_k, merge_top_k_checked, top_k_by_sort, top_k_linear, top_k_linear_pairs,
+};
 
 use crate::ti::{ShardedTiState, TaskState};
 use docs_types::{Task, TaskId};
@@ -96,9 +100,34 @@ impl Assigner {
         }
     }
 
-    /// The shared candidate walk: filters answered/capped tasks and scores
-    /// the rest with the benefit function — one body for the flat scan and
-    /// every shard of the sharded scan, so the two paths cannot diverge.
+    /// Filters and scores one candidate task: `None` when the task is
+    /// excluded (already answered, answer cap reached), otherwise its
+    /// benefit for the requesting worker — the one shared body of the flat
+    /// scan, every shard of the sharded scan, and the indexed
+    /// pop-and-revalidate, so the three paths cannot diverge.
+    fn score_task(
+        &self,
+        quality: &[f64],
+        tasks: &[Task],
+        states: &[TaskState],
+        i: usize,
+        answered: &mut impl FnMut(TaskId) -> bool,
+        answer_count: &mut impl FnMut(TaskId) -> usize,
+    ) -> Option<f64> {
+        let task = &tasks[i];
+        if answered(task.id) {
+            return None;
+        }
+        if let Some(cap) = self.config.max_answers_per_task {
+            if answer_count(task.id) >= cap {
+                return None;
+            }
+        }
+        Some(benefit(&states[i], task.domain_vector(), quality))
+    }
+
+    /// The candidate walk over a set of task indices, built on
+    /// [`Assigner::score_task`].
     fn scan_candidates(
         &self,
         quality: &[f64],
@@ -111,17 +140,9 @@ impl Assigner {
         let indices = indices.into_iter();
         let mut candidates = Vec::with_capacity(indices.size_hint().0);
         for i in indices {
-            let task = &tasks[i];
-            if answered(task.id) {
-                continue;
+            if let Some(b) = self.score_task(quality, tasks, states, i, answered, answer_count) {
+                candidates.push((b, tasks[i].id));
             }
-            if let Some(cap) = self.config.max_answers_per_task {
-                if answer_count(task.id) >= cap {
-                    continue;
-                }
-            }
-            let b = benefit(&states[i], task.domain_vector(), quality);
-            candidates.push((b, task.id));
         }
         candidates
     }
@@ -150,7 +171,7 @@ impl Assigner {
         debug_assert_eq!(tasks.len(), states.len());
         debug_assert_eq!(tasks.len(), sharding.num_tasks());
         let k = self.config.k;
-        let scan_shard = |shard: usize| -> Vec<(f64, TaskId)> {
+        let scan_shard = |shard: usize| -> (Vec<(f64, TaskId)>, usize) {
             // Re-borrow the shared `Fn` filters as fresh `FnMut`s so every
             // shard (possibly on its own thread) walks the same shared body.
             let mut answered = |t| answered(t);
@@ -163,10 +184,11 @@ impl Assigner {
                 &mut answered,
                 &mut answer_count,
             );
-            top_k_linear_pairs(candidates, k)
+            let available = candidates.len();
+            (top_k_linear_pairs(candidates, k), available)
         };
         let shards = sharding.num_shards();
-        let per_shard: Vec<Vec<(f64, TaskId)>> = if shards > 1
+        let scanned: Vec<(Vec<(f64, TaskId)>, usize)> = if shards > 1
             && tasks.len() / shards >= PARALLEL_SCAN_MIN_TASKS_PER_SHARD
         {
             std::thread::scope(|scope| {
@@ -180,7 +202,73 @@ impl Assigner {
         } else {
             (0..shards).map(scan_shard).collect()
         };
-        merge_top_k(&per_shard, k)
+        let (per_shard, counts): (Vec<_>, Vec<_>) = scanned.into_iter().unzip();
+        merge_top_k_checked(&per_shard, &counts, k)
+            .expect("per-shard top-k lists are well-formed by construction")
+    }
+
+    /// Indexed assignment: per-shard pop-and-revalidate over a
+    /// [`BenefitIndex`] followed by the same k-way merge as the sharded
+    /// scan.
+    ///
+    /// Produces exactly [`Assigner::assign`]'s picks (same benefits, same
+    /// tie-breaks) for every shard count — see the exactness argument in
+    /// the [`index`] module docs — while evaluating the benefit function
+    /// only for tasks whose entropy bound can still reach the top-`k`.
+    ///
+    /// The index must be current: every state mutation since it was built
+    /// must have been [`BenefitIndex::bump`]ed (answer ingestion) or
+    /// followed by a [`BenefitIndex::rebuild`] (periodic full inference) —
+    /// the maintenance `IncrementalTi` performs.
+    #[allow(clippy::too_many_arguments)]
+    pub fn assign_indexed(
+        &self,
+        quality: &[f64],
+        tasks: &[Task],
+        states: &[TaskState],
+        sharding: &ShardedTiState,
+        index: &mut BenefitIndex,
+        answered: impl Fn(TaskId) -> bool,
+        answer_count: impl Fn(TaskId) -> usize,
+    ) -> Vec<TaskId> {
+        debug_assert_eq!(tasks.len(), states.len());
+        debug_assert_eq!(tasks.len(), sharding.num_tasks());
+        assert_eq!(
+            index.num_tasks(),
+            tasks.len(),
+            "benefit index covers a different task set"
+        );
+        assert_eq!(
+            index.num_shards(),
+            sharding.num_shards(),
+            "benefit index partitioned differently from the scan geometry"
+        );
+        let k = self.config.k;
+        let mut answered = |t| answered(t);
+        let mut answer_count = |t| answer_count(t);
+        let mut per_shard = Vec::with_capacity(sharding.num_shards());
+        let mut counts = Vec::with_capacity(sharding.num_shards());
+        for shard in 0..sharding.num_shards() {
+            let (pairs, candidates) = index.select_top_k(shard, k, |t| {
+                self.score_task(
+                    quality,
+                    tasks,
+                    states,
+                    t.index(),
+                    &mut answered,
+                    &mut answer_count,
+                )
+            });
+            per_shard.push(pairs);
+            counts.push(candidates);
+        }
+        // `counts` are *evaluated*-candidate counts (the index's whole point
+        // is not knowing the full pool size), so the checked merge's
+        // under-fill guard is structural here — it enforces arity and
+        // sortedness, while top-k completeness rests on the entropy-bound
+        // argument in [`index`] plus the scan/index equivalence tests.
+        merge_top_k_checked(&per_shard, &counts, k)
+            .expect("indexed per-shard lists are sorted and counted by construction")
     }
 }
 
@@ -318,6 +406,41 @@ mod tests {
             let sharding = ShardedTiState::new(n, shards);
             let sharded = assigner.assign_sharded(&q, &tasks, &states, &sharding, answered, count);
             assert_eq!(sharded, flat, "shards = {shards}");
+        }
+    }
+
+    #[test]
+    fn indexed_assignment_equals_flat_scan_for_every_shard_count() {
+        use crate::ti::ShardedTiState;
+        let m = 3;
+        let n = 200;
+        let tasks: Vec<Task> = (0..n).map(|i| task(i, i % m, m)).collect();
+        let r: Vec<DomainVector> = tasks.iter().map(|t| t.domain_vector().clone()).collect();
+        let mut states: Vec<TaskState> = (0..n).map(|_| TaskState::new(m, 2)).collect();
+        for (i, st) in states.iter_mut().enumerate() {
+            for _ in 0..(i % 9) {
+                st.apply_answer(&r[i], &[0.85, 0.6, 0.72], i % 2);
+            }
+        }
+        let q = vec![0.9, 0.55, 0.7];
+        let assigner = Assigner::new(AssignerConfig {
+            k: 9,
+            max_answers_per_task: Some(6),
+            ..Default::default()
+        });
+        let answered = |t: TaskId| t.index().is_multiple_of(11);
+        let count = |t: TaskId| t.index() % 7;
+        let flat = assigner.assign(&q, &tasks, &states, answered, count);
+        for shards in [1, 2, 4, 7] {
+            let sharding = ShardedTiState::new(n, shards);
+            let mut index = BenefitIndex::new(&states, &sharding);
+            let picks = assigner
+                .assign_indexed(&q, &tasks, &states, &sharding, &mut index, answered, count);
+            assert_eq!(picks, flat, "shards = {shards}");
+            // And again: selection must not consume the index.
+            let again = assigner
+                .assign_indexed(&q, &tasks, &states, &sharding, &mut index, answered, count);
+            assert_eq!(again, flat, "shards = {shards}, second request");
         }
     }
 

@@ -12,7 +12,7 @@
 //! global winners, and the merge reproduces the single-scan selection
 //! bit-for-bit (same ordering, same tie-breaks).
 
-use docs_types::TaskId;
+use docs_types::{Error, Result, TaskId};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -83,6 +83,49 @@ impl Ord for MergeHead {
         // first": higher benefit, then lower task id.
         by_benefit_desc(&(other.benefit, other.task), &(self.benefit, self.task))
     }
+}
+
+/// [`merge_top_k`] with its documented precondition *enforced* instead of
+/// assumed: `shard_candidates[s]` is the number of candidates shard `s` had
+/// available, so its list must contribute `min(k, shard_candidates[s])`
+/// entries, sorted by descending benefit with ties toward lower task ids.
+///
+/// An under-filled list would make the merge silently diverge from the flat
+/// scan (a shard's missing candidate can be a global winner); this variant
+/// turns that silent divergence into a loud [`Error::Storage`].
+pub fn merge_top_k_checked(
+    per_shard: &[Vec<(f64, TaskId)>],
+    shard_candidates: &[usize],
+    k: usize,
+) -> Result<Vec<TaskId>> {
+    if per_shard.len() != shard_candidates.len() {
+        return Err(Error::Storage(format!(
+            "merge_top_k: {} shard lists but {} candidate counts",
+            per_shard.len(),
+            shard_candidates.len()
+        )));
+    }
+    for (shard, (list, &available)) in per_shard.iter().zip(shard_candidates).enumerate() {
+        let required = k.min(available);
+        if list.len() < required {
+            return Err(Error::Storage(format!(
+                "merge_top_k precondition violated: shard {shard} contributed {} of \
+                 min(k = {k}, {available} available) = {required} candidates — the \
+                 merged top-{k} would silently diverge from the flat scan",
+                list.len()
+            )));
+        }
+        if !list
+            .windows(2)
+            .all(|w| by_benefit_desc(&w[0], &w[1]) != Ordering::Greater)
+        {
+            return Err(Error::Storage(format!(
+                "merge_top_k precondition violated: shard {shard}'s list is not sorted \
+                 by descending benefit with ties toward lower task ids"
+            )));
+        }
+    }
+    Ok(merge_top_k(per_shard, k))
 }
 
 /// Merges per-shard descending top-`k` lists into the global top-`k`.
@@ -212,6 +255,27 @@ mod tests {
         assert!(merge_top_k(&[], 5).is_empty());
         // Asking for more than exists returns everything in order.
         assert_eq!(merge_top_k(&shards, 10).len(), 4);
+    }
+
+    #[test]
+    fn checked_merge_rejects_under_filled_and_unsorted_shard_lists() {
+        let shards = vec![cand(&[(0.9, 0), (0.4, 2)]), cand(&[(0.8, 1)])];
+        // Well-formed: shard 0 had 3 candidates but k = 2 only requires 2;
+        // shard 1 had exactly 1.
+        let ok = merge_top_k_checked(&shards, &[3, 1], 2).unwrap();
+        assert_eq!(ok, merge_top_k(&shards, 2));
+        assert_eq!(ok, vec![TaskId(0), TaskId(1)]);
+        // Under-filled: shard 1 had 4 candidates available but contributed
+        // only 1 of the min(k, 4) = 2 required — its second-best candidate
+        // could have been a global winner.
+        let err = merge_top_k_checked(&shards, &[3, 4], 2).unwrap_err();
+        assert!(err.to_string().contains("precondition"), "{err}");
+        // Count/list arity mismatch.
+        assert!(merge_top_k_checked(&shards, &[3], 2).is_err());
+        // Unsorted shard list.
+        let unsorted = vec![cand(&[(0.1, 0), (0.9, 1)])];
+        let err = merge_top_k_checked(&unsorted, &[2], 2).unwrap_err();
+        assert!(err.to_string().contains("sorted"), "{err}");
     }
 
     #[test]

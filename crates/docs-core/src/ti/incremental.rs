@@ -12,6 +12,7 @@ use super::iterative::{TiConfig, TiResult, TruthInference};
 use super::sharded::ShardedTiState;
 use super::state::TaskState;
 use super::stats::WorkerRegistry;
+use crate::ota::BenefitIndex;
 use docs_types::{Answer, AnswerLog, ChoiceIndex, Result, Task, TaskId, WorkerId};
 use serde::{Deserialize, Serialize};
 
@@ -71,6 +72,11 @@ pub struct IncrementalTi {
     /// ingestion is recorded against the owning shard, and the OTA scan
     /// partitions its candidate walk along the same mapping.
     sharding: ShardedTiState,
+    /// Optional incremental benefit index over the same partition. Derived
+    /// state (a pure function of `states` + `sharding`): re-keyed on every
+    /// ingested answer, rebuilt after periodic full inference, and excluded
+    /// from snapshots — restore rebuilds it.
+    index: Option<BenefitIndex>,
 }
 
 impl IncrementalTi {
@@ -94,6 +100,7 @@ impl IncrementalTi {
             submissions: 0,
             ti: TruthInference::new(TiConfig::default()),
             sharding,
+            index: None,
         }
     }
 
@@ -104,7 +111,27 @@ impl IncrementalTi {
     /// model is untouched, so truths are identical for every shard count.
     pub fn with_shards(mut self, shards: usize) -> Self {
         self.sharding = ShardedTiState::new(self.tasks.len(), shards);
+        if let Some(index) = &mut self.index {
+            index.rebuild(&self.states, &self.sharding);
+        }
         self
+    }
+
+    /// Enables (or drops) the incremental benefit index (builder-style).
+    ///
+    /// Like sharding, the index changes how candidates are *found*, never
+    /// what is found: `Assigner::assign_indexed` over it returns exactly
+    /// the flat scan's picks. Maintenance costs one O(log n) heap re-key
+    /// per ingested answer and one O(n) rebuild per periodic full
+    /// inference.
+    pub fn with_benefit_index(mut self, enabled: bool) -> Self {
+        self.index = enabled.then(|| BenefitIndex::new(&self.states, &self.sharding));
+        self
+    }
+
+    /// Whether the benefit index is maintained.
+    pub fn has_benefit_index(&self) -> bool {
+        self.index.is_some()
     }
 
     /// The shard view over the task state space.
@@ -135,6 +162,29 @@ impl IncrementalTi {
     /// The answer log accumulated so far.
     pub fn log(&self) -> &AnswerLog {
         &self.log
+    }
+
+    /// Split-borrow view for the assignment path: everything a request
+    /// needs to score candidates, plus mutable access to the benefit index
+    /// (whose pop-and-revalidate re-keys entries) — disjoint fields, so one
+    /// `&mut self` serves them all simultaneously.
+    #[allow(clippy::type_complexity)]
+    pub fn assign_view(
+        &mut self,
+    ) -> (
+        &[Task],
+        &[TaskState],
+        &AnswerLog,
+        &ShardedTiState,
+        Option<&mut BenefitIndex>,
+    ) {
+        (
+            &self.tasks,
+            &self.states,
+            &self.log,
+            &self.sharding,
+            self.index.as_mut(),
+        )
     }
 
     /// Number of submissions processed.
@@ -178,6 +228,11 @@ impl IncrementalTi {
         // Step 1 (incremental): update M̂^{(i)}, M^{(i)}, s_i.
         let q_w = self.registry.quality(answer.worker);
         self.states[i].apply_answer(&r, &q_w, answer.choice);
+        // The task's entropy (the index's benefit bound) just moved:
+        // re-key its heap entry.
+        if let Some(index) = &mut self.index {
+            index.bump(i, self.states[i].entropy());
+        }
         let s_after = self.states[i].s().to_vec();
 
         // Step 2 (incremental): the submitting worker absorbs the new task…
@@ -198,6 +253,53 @@ impl IncrementalTi {
             return Ok(true);
         }
         Ok(false)
+    }
+
+    /// Processes a batch of answers with **one index-repair pass** instead
+    /// of a heap re-key per answer: a batch that hits the same task several
+    /// times re-keys it once, with its final entropy.
+    ///
+    /// Answers are applied strictly in order through [`IncrementalTi::submit`]
+    /// (so the z-periodic full inference fires at exactly the same points
+    /// as individual submissions — replaying a logged batch is
+    /// byte-identical to having served it live). The first rejected answer
+    /// aborts the batch with its error; the already-applied prefix stays
+    /// applied and the index is repaired for it. Callers that must not see
+    /// a partial batch validate every answer first (the durable service
+    /// does).
+    pub fn submit_batch(&mut self, answers: &[Answer]) -> Result<()> {
+        // Detach the index so per-answer bumps (and mid-batch full-run
+        // rebuilds) are skipped; one repair pass follows.
+        let index = self.index.take();
+        let mut touched: Vec<usize> = Vec::with_capacity(answers.len());
+        let mut full_ran = false;
+        let mut result = Ok(());
+        for &answer in answers {
+            match self.submit(answer) {
+                Ok(ran) => {
+                    full_ran |= ran;
+                    touched.push(answer.task.index());
+                }
+                Err(e) => {
+                    result = Err(e);
+                    break;
+                }
+            }
+        }
+        self.index = index;
+        if let Some(index) = &mut self.index {
+            if full_ran {
+                // A periodic full inference replaced every state mid-batch.
+                index.rebuild(&self.states, &self.sharding);
+            } else {
+                touched.sort_unstable();
+                touched.dedup();
+                for i in touched {
+                    index.bump(i, self.states[i].entropy());
+                }
+            }
+        }
+        result
     }
 
     /// Runs the full iterative approach over everything received so far and
@@ -230,6 +332,10 @@ impl IncrementalTi {
                     weight,
                 },
             );
+        }
+        // Every task state was just replaced: one rebuild beats n bumps.
+        if let Some(index) = &mut self.index {
+            index.rebuild(&self.states, &self.sharding);
         }
         result
     }
@@ -273,6 +379,9 @@ impl IncrementalTi {
                 epsilon: snapshot.epsilon,
             }),
             sharding,
+            // Derived state: the restoring owner re-enables it
+            // (`with_benefit_index`) when its config asks for the index.
+            index: None,
         }
     }
 
@@ -489,6 +598,111 @@ mod tests {
         }
         for (w, stats) in inc.registry().iter() {
             assert_eq!(stats, restored.registry().get(w).unwrap());
+        }
+    }
+
+    #[test]
+    fn submit_batch_matches_individual_submissions_exactly() {
+        let tasks = make_tasks(6, 2);
+        // z = 4: the periodic full inference fires *inside* the batch.
+        let mut one_by_one = IncrementalTi::new(tasks.clone(), WorkerRegistry::new(2, 0.7), 4);
+        let mut batched = IncrementalTi::new(tasks, WorkerRegistry::new(2, 0.7), 4)
+            .with_benefit_index(true)
+            .with_shards(3);
+        let stream = [
+            ans(0, 0, 0),
+            ans(1, 1, 1),
+            ans(0, 1, 0),
+            ans(2, 0, 1),
+            ans(1, 0, 1),
+            ans(3, 2, 0),
+        ];
+        for a in stream {
+            one_by_one.submit(a).unwrap();
+        }
+        batched.submit_batch(&stream).unwrap();
+        assert_eq!(batched.submissions(), one_by_one.submissions());
+        assert_eq!(batched.truths(), one_by_one.truths());
+        for (a, b) in one_by_one.states().iter().zip(batched.states()) {
+            assert_eq!(a.s(), b.s(), "batch application must be byte-identical");
+        }
+        for (w, stats) in one_by_one.registry().iter() {
+            assert_eq!(stats, batched.registry().get(w).unwrap());
+        }
+    }
+
+    #[test]
+    fn submit_batch_stops_at_the_first_rejection_and_repairs_the_index() {
+        let tasks = make_tasks(4, 2);
+        let mut inc =
+            IncrementalTi::new(tasks, WorkerRegistry::new(2, 0.7), 0).with_benefit_index(true);
+        let stream = [
+            ans(0, 0, 0),
+            ans(0, 0, 1), // duplicate: aborts here
+            ans(1, 0, 0), // never applied
+        ];
+        assert!(inc.submit_batch(&stream).is_err());
+        assert_eq!(inc.submissions(), 1, "prefix before the rejection applied");
+        assert_eq!(inc.log().len(), 1);
+        // The index was repaired for the applied prefix: an indexed
+        // assignment over it matches a fresh flat scan.
+        let assigner = crate::ota::Assigner::new(crate::ota::AssignerConfig {
+            k: 4,
+            ..Default::default()
+        });
+        let (tasks, states, _, sharding, index) = inc.assign_view();
+        let indexed = assigner.assign_indexed(
+            &[0.8, 0.8],
+            tasks,
+            states,
+            sharding,
+            index.expect("index enabled"),
+            |_| false,
+            |_| 0,
+        );
+        let flat = assigner.assign(&[0.8, 0.8], tasks, states, |_| false, |_| 0);
+        assert_eq!(indexed, flat);
+    }
+
+    #[test]
+    fn maintained_index_tracks_every_mutation_path() {
+        // Interleave single submissions, batches, and z-periodic full runs;
+        // after each step the maintained index must assign exactly like the
+        // flat scan (i.e. like an index rebuilt from scratch).
+        let tasks = make_tasks(8, 2);
+        let mut inc = IncrementalTi::new(tasks, WorkerRegistry::new(2, 0.7), 3)
+            .with_shards(2)
+            .with_benefit_index(true);
+        assert!(inc.has_benefit_index());
+        let assigner = crate::ota::Assigner::new(crate::ota::AssignerConfig {
+            k: 5,
+            ..Default::default()
+        });
+        let steps: Vec<Vec<Answer>> = vec![
+            vec![ans(0, 0, 0)],
+            vec![ans(1, 0, 1), ans(2, 1, 0), ans(3, 1, 1)], // crosses z = 3
+            vec![ans(4, 0, 0)],
+            vec![ans(5, 2, 1), ans(0, 2, 0)],
+        ];
+        for (step, batch) in steps.into_iter().enumerate() {
+            if batch.len() == 1 {
+                inc.submit(batch[0]).unwrap();
+            } else {
+                inc.submit_batch(&batch).unwrap();
+            }
+            let q = [0.9, 0.6];
+            let (tasks, states, _, sharding, index) = inc.assign_view();
+            let indexed = assigner.assign_indexed(
+                &q,
+                tasks,
+                states,
+                sharding,
+                index.expect("index enabled"),
+                |_| false,
+                |_| 0,
+            );
+            let flat = assigner.assign(&q, tasks, states, |_| false, |_| 0);
+            assert_eq!(indexed, flat, "step {step}");
         }
     }
 

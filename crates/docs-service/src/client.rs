@@ -175,14 +175,25 @@ fn drive_shard(
                 }
             }
             Ok(WorkRequest::Tasks(hit)) => {
+                // The whole HIT goes back in one batched round-trip — the
+                // deployment's submit path. Per-answer acceptance matches
+                // individual submissions exactly (same validation, same
+                // order), so the drive's accounting is unchanged.
                 let worker = population.worker(w);
-                for tid in hit {
-                    let choice = worker.answer(&tasks[tid.index()], model, &mut rng);
-                    match handle.submit_answer_in(campaign, Answer::new(w, tid, choice)) {
-                        Ok(()) => outcome.answers += 1,
-                        Err(ServiceError::Rejected(_)) => outcome.rejected += 1,
-                        Err(e) => panic!("service failed: {e}"),
+                let answers: Vec<Answer> = hit
+                    .iter()
+                    .map(|&tid| {
+                        let choice = worker.answer(&tasks[tid.index()], model, &mut rng);
+                        Answer::new(w, tid, choice)
+                    })
+                    .collect();
+                match handle.submit_answer_batch_in(campaign, answers) {
+                    Ok(batch) => {
+                        outcome.answers += batch.accepted;
+                        outcome.rejected += batch.rejected.len();
                     }
+                    Err(ServiceError::Rejected(_)) => outcome.rejected += hit.len(),
+                    Err(e) => panic!("service failed: {e}"),
                 }
             }
             Ok(WorkRequest::Done) => break,

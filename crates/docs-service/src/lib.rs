@@ -45,6 +45,6 @@ mod metrics;
 mod server;
 
 pub use client::{drive_workers, drive_workers_on, DriveOutcome, DriveReport};
-pub use message::{Request, Response};
+pub use message::{BatchOutcome, Request, Response};
 pub use metrics::{DurabilityStats, OpKind, OpStats, ServiceMetrics, ShardStats};
 pub use server::{DocsService, DurabilityConfig, ServiceConfig, ServiceError, ServiceHandle};

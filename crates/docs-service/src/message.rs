@@ -53,6 +53,18 @@ pub enum Request {
         /// The submitted answer.
         answer: Answer,
     },
+    /// A whole HIT's worth of answers in one round-trip: the batched
+    /// ingestion path. The shard validates every answer up front, logs the
+    /// accepted sub-batch as **one** write-ahead-log record (one group
+    /// commit, one `fdatasync`), applies it with one benefit-index repair
+    /// pass, and reports the per-answer outcome in
+    /// [`Response::BatchAck`].
+    SubmitAnswerBatch {
+        /// Campaign the answered tasks belong to.
+        campaign: CampaignId,
+        /// The submitted answers, in submission order.
+        answers: Vec<Answer>,
+    },
     /// Requester-side: finalize one campaign's inference and produce its
     /// report. The campaign keeps serving afterwards (reports are
     /// repeatable), matching the single-campaign service's behavior.
@@ -70,9 +82,22 @@ impl Request {
             | Request::RequestWork { campaign, .. }
             | Request::SubmitGolden { campaign, .. }
             | Request::SubmitAnswer { campaign, .. }
+            | Request::SubmitAnswerBatch { campaign, .. }
             | Request::Finish { campaign } => *campaign,
         }
     }
+}
+
+/// Per-answer outcome of a [`Request::SubmitAnswerBatch`]: a batch
+/// round-trip *succeeds* even when some answers are rejected (duplicates
+/// when the same worker raced on two HITs, say) — rejection is per answer,
+/// exactly as if the answers had been submitted individually.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BatchOutcome {
+    /// Answers accepted and applied, in submission order.
+    pub accepted: usize,
+    /// Rejected answers: position in the submitted batch and the reason.
+    pub rejected: Vec<(usize, String)>,
 }
 
 /// A response from the DOCS service.
@@ -84,6 +109,8 @@ pub enum Response {
     Work(WorkRequest),
     /// Successful submission.
     Ack,
+    /// Reply to [`Request::SubmitAnswerBatch`].
+    BatchAck(BatchOutcome),
     /// Reply to [`Request::Finish`].
     Report(Box<RequesterReport>),
     /// The request failed inside the system (e.g. duplicate answer, unknown

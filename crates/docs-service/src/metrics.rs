@@ -17,6 +17,14 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+/// Decrements a gauge without wrapping below zero; returns the value seen
+/// before a successful decrement (`None` when the gauge was already zero).
+fn saturating_dec(counter: &AtomicUsize) -> Option<usize> {
+    counter
+        .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |d| d.checked_sub(1))
+        .ok()
+}
+
 /// The operation kinds the service distinguishes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum OpKind {
@@ -26,13 +34,15 @@ pub enum OpKind {
     Golden,
     /// Answer submission (incremental TI).
     Submit,
+    /// Batched answer submission (one round-trip, one log record).
+    SubmitBatch,
     /// Final inference + report.
     Finish,
     /// Campaign registration (control plane).
     Create,
 }
 
-const NUM_KINDS: usize = 5;
+const NUM_KINDS: usize = 6;
 
 impl OpKind {
     #[inline]
@@ -41,8 +51,9 @@ impl OpKind {
             OpKind::Assign => 0,
             OpKind::Golden => 1,
             OpKind::Submit => 2,
-            OpKind::Finish => 3,
-            OpKind::Create => 4,
+            OpKind::SubmitBatch => 3,
+            OpKind::Finish => 4,
+            OpKind::Create => 5,
         }
     }
 }
@@ -217,22 +228,44 @@ impl ServiceMetrics {
     }
 
     /// Notes a request entering a shard's queue (called by handles before
-    /// sending).
-    pub fn shard_enqueued(&self, shard: usize) {
-        let c = &self.shards[shard];
-        let depth = c.depth.fetch_add(1, Ordering::Relaxed) + 1;
-        c.max_depth.fetch_max(depth, Ordering::Relaxed);
+    /// sending); returns the queue depth including it.
+    ///
+    /// The depth is *provisional* until the send outcome is known: publish
+    /// it as the high-water mark with [`ServiceMetrics::shard_send_recorded`]
+    /// once the request actually reached the queue, or roll it back with
+    /// [`ServiceMetrics::shard_enqueue_failed`]. Recording the mark eagerly
+    /// here was the read-after-add race: a failed send left a phantom
+    /// `max_depth` no real request ever reached.
+    pub fn shard_enqueued(&self, shard: usize) -> usize {
+        self.shards[shard].depth.fetch_add(1, Ordering::Relaxed) + 1
     }
 
-    /// Rolls back [`ServiceMetrics::shard_enqueued`] when the send failed.
+    /// Publishes the high-water mark for a request that was successfully
+    /// enqueued at `depth` (the value [`ServiceMetrics::shard_enqueued`]
+    /// returned).
+    pub fn shard_send_recorded(&self, shard: usize, depth: usize) {
+        self.shards[shard]
+            .max_depth
+            .fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// Rolls back [`ServiceMetrics::shard_enqueued`] when the send failed:
+    /// the request never entered the queue, so neither the depth nor the
+    /// high-water mark may keep counting it.
     pub fn shard_enqueue_failed(&self, shard: usize) {
-        self.shards[shard].depth.fetch_sub(1, Ordering::Relaxed);
+        // Saturating: a stray rollback on an empty gauge must not wrap to
+        // usize::MAX (a wrapped depth would also poison every later
+        // high-water mark).
+        saturating_dec(&self.shards[shard].depth);
     }
 
     /// Notes a request fully processed by its shard thread.
     pub fn shard_processed(&self, shard: usize, elapsed: Duration) {
         let c = &self.shards[shard];
-        c.depth.fetch_sub(1, Ordering::Relaxed);
+        // Saturating for the same reason as in `shard_enqueue_failed`: the
+        // gauge must degrade to "slightly wrong", never to a wrapped
+        // usize::MAX queue depth.
+        saturating_dec(&c.depth);
         c.processed.fetch_add(1, Ordering::Relaxed);
         let nanos = elapsed.as_nanos().min(u64::MAX as u128) as u64;
         c.busy_nanos.fetch_add(nanos, Ordering::Relaxed);
@@ -368,12 +401,18 @@ mod tests {
         assert_eq!(m.shard(1).queued, 1);
     }
 
+    /// Successful enqueue: provisional depth, then recorded mark.
+    fn enqueue_ok(m: &ServiceMetrics, shard: usize) {
+        let depth = m.shard_enqueued(shard);
+        m.shard_send_recorded(shard, depth);
+    }
+
     #[test]
     fn shard_queue_depth_tracks_enqueue_dequeue() {
         let m = ServiceMetrics::new(2);
-        m.shard_enqueued(0);
-        m.shard_enqueued(0);
-        m.shard_enqueued(1);
+        enqueue_ok(&m, 0);
+        enqueue_ok(&m, 0);
+        enqueue_ok(&m, 1);
         assert_eq!(m.shard(0).queued, 2);
         assert_eq!(m.shard(0).max_queued, 2);
         assert_eq!(m.shard(1).queued, 1);
@@ -387,6 +426,34 @@ mod tests {
         m.shard_enqueue_failed(1);
         assert_eq!(m.shard(1).queued, 0);
         assert_eq!(m.all_shards().len(), 2);
+
+        // The error path end to end: a failed enqueue rolls back the depth
+        // and records no phantom high-water mark.
+        let m = ServiceMetrics::new(1);
+        let _provisional = m.shard_enqueued(0);
+        m.shard_enqueue_failed(0);
+        let s = m.shard(0);
+        assert_eq!(s.queued, 0, "failed send rolled back");
+        assert_eq!(s.max_queued, 0, "no phantom high-water mark");
+        // A real high-water mark earned earlier survives later failures.
+        enqueue_ok(&m, 0);
+        m.shard_processed(0, Duration::ZERO);
+        let _provisional = m.shard_enqueued(0);
+        m.shard_enqueue_failed(0);
+        assert_eq!(m.shard(0).max_queued, 1);
+
+        // Saturating decrements: stray rollbacks on an empty gauge must not
+        // wrap to usize::MAX (a wrapped depth would also poison the next
+        // enqueue's high-water mark).
+        let m = ServiceMetrics::new(1);
+        m.shard_enqueue_failed(0);
+        m.shard_processed(0, Duration::from_micros(1));
+        assert_eq!(m.shard(0).queued, 0, "no underflow wrap");
+        assert_eq!(m.shard(0).processed, 1, "processing still counted");
+        enqueue_ok(&m, 0);
+        let s = m.shard(0);
+        assert_eq!(s.queued, 1);
+        assert_eq!(s.max_queued, 1, "max not poisoned by a wrapped depth");
     }
 
     #[test]

@@ -28,9 +28,9 @@
 //!   `Docs` as the *default campaign* and the un-suffixed handle methods
 //!   target it, so single-campaign callers are unchanged.
 
-use crate::message::{Request, Response};
+use crate::message::{BatchOutcome, Request, Response};
 use crate::metrics::{OpKind, ServiceMetrics};
-use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
 use docs_storage::{recover_tree, CampaignLog, FlushPolicy};
 use docs_system::{CampaignRegistry, Docs, RequesterReport, WorkRequest};
 use docs_types::{
@@ -42,7 +42,7 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Errors surfaced to service clients.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -151,7 +151,7 @@ impl ServiceHandle {
     fn call(&self, request: Request) -> Result<Response, ServiceError> {
         let shard = request.campaign().shard(self.shards.len());
         let (reply_tx, reply_rx) = bounded(1);
-        self.metrics.shard_enqueued(shard);
+        let depth = self.metrics.shard_enqueued(shard);
         if self.shards[shard]
             .send(Envelope {
                 request,
@@ -162,6 +162,9 @@ impl ServiceHandle {
             self.metrics.shard_enqueue_failed(shard);
             return Err(ServiceError::Disconnected);
         }
+        // High-water mark only once the request is really in the queue — a
+        // failed send must not leave a phantom depth behind.
+        self.metrics.shard_send_recorded(shard, depth);
         reply_rx.recv().map_err(|_| ServiceError::Disconnected)
     }
 
@@ -268,6 +271,23 @@ impl ServiceHandle {
         }
     }
 
+    /// Submits a whole HIT's answers on one campaign in a single
+    /// round-trip (one WAL record, one group-commit sync, one
+    /// benefit-index repair on the owning shard). Rejection is per answer:
+    /// the returned [`BatchOutcome`] names which answers were refused and
+    /// why, exactly as individual submissions would have been.
+    pub fn submit_answer_batch_in(
+        &self,
+        campaign: CampaignId,
+        answers: Vec<Answer>,
+    ) -> Result<BatchOutcome, ServiceError> {
+        match self.call(Request::SubmitAnswerBatch { campaign, answers })? {
+            Response::BatchAck(outcome) => Ok(outcome),
+            Response::Failed(msg) => Err(ServiceError::Rejected(msg)),
+            other => unreachable!("protocol violation: {other:?}"),
+        }
+    }
+
     /// Finalizes one campaign's inference and returns its report.
     pub fn finish_in(&self, campaign: CampaignId) -> Result<RequesterReport, ServiceError> {
         match self.call(Request::Finish { campaign })? {
@@ -294,6 +314,11 @@ impl ServiceHandle {
     /// Submits one answer (default campaign).
     pub fn submit_answer(&self, answer: Answer) -> Result<(), ServiceError> {
         self.submit_answer_in(self.default_campaign, answer)
+    }
+
+    /// Submits an answer batch (default campaign).
+    pub fn submit_answer_batch(&self, answers: Vec<Answer>) -> Result<BatchOutcome, ServiceError> {
+        self.submit_answer_batch_in(self.default_campaign, answers)
     }
 
     /// Finalizes inference and returns the requester report (default
@@ -438,6 +463,46 @@ fn apply_event(
     }
 }
 
+/// Validates and applies one answer batch: the accepted sub-batch becomes
+/// **one** [`CampaignEvent::AnswerBatchSubmitted`] — one WAL record, one
+/// group-commit decision, one `fdatasync` — while rejected answers are
+/// reported per position without ever reaching the log. The event itself
+/// goes through [`apply_event`], so the batch path shares the exact
+/// write-ahead discipline (whole-event validation before logging included)
+/// rather than re-implementing it.
+fn apply_answer_batch(
+    registry: &mut CampaignRegistry,
+    durability: &mut Option<ShardDurability>,
+    metrics: &ServiceMetrics,
+    shard: usize,
+    campaign: CampaignId,
+    answers: Vec<Answer>,
+) -> Response {
+    let Some(docs) = registry.get(campaign) else {
+        return Response::Failed(format!("unknown campaign {campaign}"));
+    };
+    let (accepted, rejected) = docs.validate_answer_batch(&answers);
+    let outcome = BatchOutcome {
+        accepted: accepted.len(),
+        rejected: rejected
+            .into_iter()
+            .map(|(i, e)| (i, e.to_string()))
+            .collect(),
+    };
+    if accepted.is_empty() {
+        return Response::BatchAck(outcome);
+    }
+    apply_event(
+        registry,
+        durability,
+        metrics,
+        shard,
+        campaign,
+        CampaignEvent::answer_batch(accepted),
+        move |_| Response::BatchAck(outcome),
+    )
+}
+
 /// What a shard starts with: its pre-built registry (empty on a fresh
 /// spawn, replayed on recovery) and, per persisted campaign, the flush
 /// policy plus the last durable sequence number.
@@ -480,13 +545,63 @@ fn shard_loop(
 
     // The loop ends when every handle (every sender) is dropped — or
     // instantly once a simulated crash is flagged.
-    while let Ok(env) = rx.recv() {
+    //
+    // After a *failed* idle flush, the buffer stays pending and its
+    // deadline stays at zero; retry only once per interval window instead
+    // of busy-spinning on a disk that keeps erroring.
+    let mut idle_flush_retry_at: Option<Instant> = None;
+    loop {
+        // `IntervalMs`'s elapsed check only runs at append time, so an
+        // *idle* shard would keep acknowledged events buffered
+        // indefinitely; when such a deadline is pending, wait with a
+        // timeout and harden the buffer the moment the window elapses.
+        let deadline = durability
+            .as_ref()
+            .and_then(|d| d.log.idle_flush_due_in())
+            .map(|due| match idle_flush_retry_at {
+                Some(retry) => due.max(retry.saturating_duration_since(Instant::now())),
+                None => due,
+            });
+        let env = match deadline {
+            Some(due) => match rx.recv_timeout(due.max(Duration::from_millis(1))) {
+                Ok(env) => env,
+                Err(RecvTimeoutError::Timeout) => {
+                    // A simulated kill must not be defeated by the idle
+                    // timer hardening the buffer it is meant to lose.
+                    if crash.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let d = durability.as_mut().expect("deadline implies durability");
+                    match d.log.flush_if_due() {
+                        Ok(_) => idle_flush_retry_at = None,
+                        Err(e) => {
+                            eprintln!("docs-shard-{shard}: idle interval flush failed: {e}");
+                            // Floored: IntervalMs(0) must not turn a broken
+                            // disk into a ~1 kHz retry spin.
+                            let backoff = d
+                                .log
+                                .min_interval()
+                                .unwrap_or(Duration::from_secs(1))
+                                .max(Duration::from_millis(100));
+                            idle_flush_retry_at = Some(Instant::now() + backoff);
+                        }
+                    }
+                    d.observe(shard, &metrics);
+                    continue;
+                }
+                Err(RecvTimeoutError::Disconnected) => break,
+            },
+            None => match rx.recv() {
+                Ok(env) => env,
+                Err(_) => break,
+            },
+        };
         if crash.load(Ordering::SeqCst) {
             break;
         }
         let start = Instant::now();
         let campaign = env.request.campaign();
-        let (kind, response) = match env.request {
+        let (kind, mut response) = match env.request {
             Request::CreateCampaign {
                 campaign,
                 docs,
@@ -534,6 +649,17 @@ fn shard_loop(
                     |_| Response::Ack,
                 ),
             ),
+            Request::SubmitAnswerBatch { answers, .. } => (
+                OpKind::SubmitBatch,
+                apply_answer_batch(
+                    &mut registry,
+                    &mut durability,
+                    &metrics,
+                    shard,
+                    campaign,
+                    answers,
+                ),
+            ),
             Request::Finish { .. } => (
                 OpKind::Finish,
                 apply_event(
@@ -547,6 +673,26 @@ fn shard_loop(
                 ),
             ),
         };
+        // `finish` is the requester's "my report is final" moment: harden
+        // everything buffered for it, whatever the campaign's flush policy.
+        // A failed sync fails the finish — handing back a Report while its
+        // events are still only in memory would be a silent durability lie
+        // (the requester can retry; events stay buffered for the resumed
+        // flush).
+        if matches!(kind, OpKind::Finish) {
+            if let Some(d) = durability
+                .as_mut()
+                .filter(|d| d.persisted.contains(&campaign))
+            {
+                if let Err(e) = d.log.flush() {
+                    response = Response::Failed(format!(
+                        "campaign {campaign} report is not durable — flush on finish \
+                         failed: {e}"
+                    ));
+                }
+                d.observe(shard, &metrics);
+            }
+        }
         // Snapshot cadence: after enough logged events, re-baseline every
         // campaign on this shard and prune the log.
         if let Some(d) = durability.as_mut() {
@@ -1086,6 +1232,73 @@ mod tests {
         let rec = &tree.campaigns[&c];
         assert!(rec.snapshot.is_some());
         assert_eq!(rec.events.len(), 3, "published + golden + answer");
+    }
+
+    #[test]
+    fn batched_submission_round_trip_with_per_answer_rejections() {
+        let (service, handle) = service();
+        let w = WorkerId(0);
+        if let WorkRequest::Golden(g) = handle.request_tasks(w).unwrap() {
+            pass_golden(&handle, w, &g);
+        }
+        handle.submit_answer(Answer::new(w, TaskId(0), 0)).unwrap();
+        let batch = vec![
+            Answer::new(w, TaskId(0), 1), // duplicate against the log
+            Answer::new(w, TaskId(1), 1),
+            Answer::new(w, TaskId(1), 0), // duplicate within the batch
+            Answer::new(w, TaskId(2), 0),
+        ];
+        let outcome = handle.submit_answer_batch(batch).unwrap();
+        assert_eq!(outcome.accepted, 2);
+        assert_eq!(
+            outcome.rejected.iter().map(|(i, _)| *i).collect::<Vec<_>>(),
+            vec![0, 2]
+        );
+        assert!(outcome.rejected[0].1.contains("already answered"));
+        assert_eq!(handle.metrics().stats(OpKind::SubmitBatch).count, 1);
+        let report = handle.finish().unwrap();
+        assert_eq!(report.answers_collected, 3);
+        drop(handle);
+        service.join();
+    }
+
+    #[test]
+    fn durable_batch_is_one_log_record_and_one_flush() {
+        let dir = tmp_dir("durable-batch");
+        let (service, handle) =
+            DocsService::spawn_sharded(published(9), ServiceConfig::durable(1, &dir));
+        // EveryEvent: the strictest policy — yet a whole batch must cost
+        // one append + one fdatasync, not one per answer.
+        let c = handle
+            .create_campaign_with(published(9), FlushPolicy::EveryEvent)
+            .unwrap();
+        let w = WorkerId(0);
+        if let WorkRequest::Golden(g) = handle.request_tasks_in(c, w).unwrap() {
+            pass_golden_in(&handle, c, w, &g);
+        }
+        let flushes_before = handle.metrics().durability().log_flushes;
+        let batch: Vec<Answer> = (0..6).map(|t| Answer::new(w, TaskId(t), 0)).collect();
+        let outcome = handle.submit_answer_batch_in(c, batch).unwrap();
+        assert_eq!(outcome.accepted, 6);
+        let flushes_after = handle.metrics().durability().log_flushes;
+        assert_eq!(
+            flushes_after - flushes_before,
+            1,
+            "six answers, one group commit"
+        );
+        drop(handle);
+        service.join();
+        // On disk: published + golden + ONE batch record; recovery replays
+        // the batch and yields every answer.
+        let tree = recover_tree(&dir).unwrap();
+        let rec = &tree.campaigns[&c];
+        assert_eq!(rec.events.len(), 3, "published + golden + one batch");
+        let (service, handle) = DocsService::recover(ServiceConfig::durable(1, &dir)).unwrap();
+        let report = handle.finish_in(c).unwrap();
+        assert_eq!(report.answers_collected, 6);
+        drop(handle);
+        service.join_all();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -90,6 +90,10 @@ pub struct CampaignLog {
     segment: Wal,
     segment_index: u64,
     pending: BytesMut,
+    /// Bytes of `pending` already accepted by the OS during a flush that
+    /// then failed — the next flush resumes here instead of re-writing
+    /// (which would duplicate records in the segment).
+    pending_written: usize,
     pending_events: usize,
     last_flush_at: Instant,
     policies: HashMap<CampaignId, FlushPolicy>,
@@ -176,6 +180,7 @@ impl CampaignLog {
             segment,
             segment_index,
             pending: BytesMut::new(),
+            pending_written: 0,
             pending_events: 0,
             last_flush_at: Instant::now(),
             policies: HashMap::new(),
@@ -238,13 +243,65 @@ impl CampaignLog {
         self.pending_events
     }
 
+    /// The smallest [`FlushPolicy::IntervalMs`] window among registered
+    /// campaigns, if any campaign uses one.
+    pub fn min_interval(&self) -> Option<Duration> {
+        self.policies
+            .values()
+            .filter_map(|p| match p {
+                FlushPolicy::IntervalMs(ms) => Some(Duration::from_millis(*ms)),
+                _ => None,
+            })
+            .min()
+    }
+
+    /// How long until buffered events must be hardened for an
+    /// `IntervalMs` campaign: `Some(ZERO)` means overdue, `None` means no
+    /// deadline (nothing buffered, or no interval policy registered).
+    ///
+    /// The append-path interval check only runs on the *next* append, so an
+    /// idle shard would otherwise keep acknowledged events buffered
+    /// indefinitely; owners poll this between requests and call
+    /// [`CampaignLog::flush_if_due`] when it reaches zero.
+    pub fn idle_flush_due_in(&self) -> Option<Duration> {
+        if self.pending_events == 0 {
+            return None;
+        }
+        let interval = self.min_interval()?;
+        Some(interval.saturating_sub(self.last_flush_at.elapsed()))
+    }
+
+    /// Flushes iff an interval window has elapsed with events still
+    /// buffered; returns whether a flush happened.
+    pub fn flush_if_due(&mut self) -> Result<bool> {
+        match self.idle_flush_due_in() {
+            Some(due) if due.is_zero() => {
+                self.flush()?;
+                Ok(true)
+            }
+            _ => Ok(false),
+        }
+    }
+
     /// Writes and `fdatasync`s everything buffered — the group commit.
+    ///
+    /// Failure-safe against retries: the write phase tracks how many bytes
+    /// the OS has accepted, so a flush that failed midway (partial write,
+    /// failed sync) is *resumed* on the next attempt — whether that comes
+    /// from the next append, the idle-flush timer, or shutdown — never
+    /// restarted, which would append the already-accepted prefix a second
+    /// time and corrupt the segment with duplicate records.
     pub fn flush(&mut self) -> Result<()> {
         if self.pending_events == 0 {
             return Ok(());
         }
         let started = Instant::now();
-        self.segment.write_raw(&self.pending)?;
+        while self.pending_written < self.pending.len() {
+            let accepted = self
+                .segment
+                .write_some(&self.pending[self.pending_written..])?;
+            self.pending_written += accepted;
+        }
         self.segment.sync()?;
         let elapsed = started.elapsed();
         self.stats.flushes += 1;
@@ -253,6 +310,7 @@ impl CampaignLog {
         self.stats.max_flush = self.stats.max_flush.max(elapsed);
         self.disk_bytes += self.pending.len() as u64;
         self.pending.clear();
+        self.pending_written = 0;
         self.pending_events = 0;
         self.last_flush_at = Instant::now();
         Ok(())
@@ -260,10 +318,28 @@ impl CampaignLog {
 
     /// Drops every buffered (unflushed) event without writing it — the
     /// fault-injection hook that makes an in-process "kill" behave like a
-    /// real crash: acknowledged-but-unsynced events vanish.
+    /// real crash: acknowledged-but-unsynced events vanish. (Bytes a failed
+    /// flush already handed to the OS stay in the file unsynced, exactly
+    /// like a real crash's torn tail.)
     pub fn abandon(&mut self) {
         self.pending.clear();
+        self.pending_written = 0;
         self.pending_events = 0;
+    }
+
+    /// Test hook: behaves like a flush that wrote `bytes` of the buffer and
+    /// then died before the sync — the state a real partial-write failure
+    /// leaves behind, which the next [`CampaignLog::flush`] must resume.
+    #[cfg(test)]
+    fn simulate_partial_flush(&mut self, bytes: usize) {
+        let target = bytes.min(self.pending.len());
+        while self.pending_written < target {
+            let accepted = self
+                .segment
+                .write_some(&self.pending[self.pending_written..target])
+                .expect("test segment accepts writes");
+            self.pending_written += accepted;
+        }
     }
 
     /// Flush accounting so far.
@@ -578,6 +654,63 @@ mod tests {
         let c0 = &rec.campaigns[&C0];
         assert_eq!(c0.last_seq, 3);
         assert_eq!(c0.events.len(), 3);
+    }
+
+    #[test]
+    fn failed_flush_resumes_instead_of_duplicating_records() {
+        let base = tmp_dir("flush-resume");
+        let mut log = CampaignLog::open(base.join("shard-0")).unwrap();
+        log.register(C0, FlushPolicy::Batch(100), 0);
+        log.append_event(C0, b"one").unwrap();
+        log.append_event(C0, b"two").unwrap();
+        log.append_event(C0, b"three").unwrap();
+        // A flush died after handing a partial prefix to the OS (mid-record:
+        // 5 bytes is inside "one"'s header+payload)…
+        log.simulate_partial_flush(5);
+        // …and more events can arrive before the retry.
+        log.append_event(C0, b"four").unwrap();
+        // The retried flush must resume at the accepted prefix — not
+        // rewrite it — or the segment would hold duplicate records.
+        log.flush().unwrap();
+        drop(log);
+        let rec = recover_tree(&base).unwrap();
+        let c0 = &rec.campaigns[&C0];
+        assert_eq!(
+            c0.events,
+            vec![
+                (1, b"one".to_vec()),
+                (2, b"two".to_vec()),
+                (3, b"three".to_vec()),
+                (4, b"four".to_vec()),
+            ],
+            "every record exactly once, in order"
+        );
+    }
+
+    #[test]
+    fn idle_flush_deadline_tracks_interval_policies() {
+        let base = tmp_dir("idle-deadline");
+        let mut log = CampaignLog::open(base.join("shard-0")).unwrap();
+        // No interval policy: never a deadline, even with events buffered.
+        log.register(C0, FlushPolicy::Batch(100), 0);
+        log.append_event(C0, b"e1").unwrap();
+        assert_eq!(log.idle_flush_due_in(), None);
+        assert!(!log.flush_if_due().unwrap());
+        assert_eq!(log.pending_events(), 1);
+        // An interval campaign joins: its window now bounds the buffer age
+        // of *everything* pending (group commit hardens neighbors too).
+        log.register(C1, FlushPolicy::IntervalMs(10_000), 0);
+        assert_eq!(log.min_interval(), Some(Duration::from_secs(10)));
+        let due = log.idle_flush_due_in().expect("deadline exists");
+        assert!(due <= Duration::from_secs(10) && due > Duration::from_secs(9));
+        assert!(!log.flush_if_due().unwrap(), "window has not elapsed");
+        // A zero-length interval is immediately overdue.
+        log.register(C1, FlushPolicy::IntervalMs(0), 0);
+        assert_eq!(log.idle_flush_due_in(), Some(Duration::ZERO));
+        assert!(log.flush_if_due().unwrap());
+        assert_eq!(log.pending_events(), 0);
+        assert_eq!(log.idle_flush_due_in(), None, "nothing left to harden");
+        assert_eq!(log.stats().flushes, 1);
     }
 
     #[test]

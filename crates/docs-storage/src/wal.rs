@@ -70,6 +70,24 @@ impl Wal {
         self.file.flush().map_err(io_err)
     }
 
+    /// Hands `bytes` to the OS with a single `write` call and returns how
+    /// many were accepted — the resumable building block of group-commit
+    /// flushing. Callers track the accepted prefix so a flush that failed
+    /// midway is *resumed*, never restarted: re-writing already-accepted
+    /// bytes would duplicate records in the segment.
+    pub fn write_some(&mut self, bytes: &[u8]) -> Result<usize> {
+        loop {
+            match self.file.write(bytes) {
+                Ok(0) if !bytes.is_empty() => {
+                    return Err(io_err(std::io::Error::from(std::io::ErrorKind::WriteZero)))
+                }
+                Ok(n) => return Ok(n),
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(io_err(e)),
+            }
+        }
+    }
+
     /// Forces written records to stable storage (`fdatasync`). Group commit
     /// amortizes this call across a batch of records.
     pub fn sync(&mut self) -> Result<()> {

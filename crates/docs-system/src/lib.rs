@@ -22,4 +22,4 @@ mod system;
 
 pub use campaign::{run_campaign, CampaignRegistry, CampaignReport, ReplayStats};
 pub use config::DocsConfig;
-pub use system::{CampaignSnapshot, Docs, RequesterReport, WorkRequest};
+pub use system::{BatchSubmitReport, CampaignSnapshot, Docs, RequesterReport, WorkRequest};

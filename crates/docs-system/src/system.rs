@@ -45,6 +45,15 @@ pub struct RequesterReport {
     pub accuracy: f64,
 }
 
+/// Per-answer outcome of [`Docs::submit_answer_batch`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BatchSubmitReport {
+    /// Answers accepted and applied, in submission order.
+    pub accepted: usize,
+    /// Rejected answers: their position in the submitted batch and why.
+    pub rejected: Vec<(usize, Error)>,
+}
+
 /// The full serializable state of a campaign's [`Docs`] state machine —
 /// what the durable runtime writes as the base of a campaign's log and
 /// periodically refreshes to truncate it.
@@ -119,8 +128,9 @@ impl Docs {
                 }
             }
         }
-        let engine =
-            IncrementalTi::new(tasks, registry, config.z).with_shards(config.task_shards.max(1));
+        let engine = IncrementalTi::new(tasks, registry, config.z)
+            .with_shards(config.task_shards.max(1))
+            .with_benefit_index(config.use_benefit_index);
         Ok(Docs {
             engine,
             golden_ids,
@@ -217,27 +227,35 @@ impl Docs {
             },
             linear_select: true,
         });
-        let log = self.engine.log();
         let stopping = self.config.stopping;
-        let states = self.engine.states();
-        // The sharded scan: per-shard benefit computation merged by
-        // `merge_top_k`. With `task_shards == 1` this walks the flat list;
-        // either way the picks match the paper's single scan exactly.
-        let picks = assigner.assign_sharded(
-            &quality,
-            self.engine.tasks(),
-            states,
-            self.engine.sharding(),
-            |t| {
-                // Adaptive stopping excludes confident tasks the same way
-                // an already-answered task is excluded.
-                log.has_answered(worker, t)
-                    || stopping.is_some_and(|policy| {
-                        policy.should_stop(&states[t.index()], log.answer_count(t))
-                    })
-            },
-            |t| log.answer_count(t),
-        );
+        let (tasks, states, log, sharding, index) = self.engine.assign_view();
+        // Adaptive stopping excludes confident tasks the same way an
+        // already-answered task is excluded.
+        let answered = |t: docs_types::TaskId| {
+            log.has_answered(worker, t)
+                || stopping.is_some_and(|policy| {
+                    policy.should_stop(&states[t.index()], log.answer_count(t))
+                })
+        };
+        let answer_count = |t: docs_types::TaskId| log.answer_count(t);
+        // Two ways to find the same candidates: the indexed
+        // pop-and-revalidate (`use_benefit_index`) and the sharded scan
+        // merged by `merge_top_k` (flat list when `task_shards == 1`).
+        // Either way the picks match the paper's single scan exactly.
+        let picks = match index {
+            Some(index) => assigner.assign_indexed(
+                &quality,
+                tasks,
+                states,
+                sharding,
+                index,
+                answered,
+                answer_count,
+            ),
+            None => {
+                assigner.assign_sharded(&quality, tasks, states, sharding, answered, answer_count)
+            }
+        };
         if picks.is_empty() {
             WorkRequest::Done
         } else {
@@ -261,6 +279,74 @@ impl Docs {
     /// Command wrapper over [`CampaignEvent::AnswerSubmitted`].
     pub fn submit_answer(&mut self, answer: Answer) -> Result<()> {
         self.apply(&CampaignEvent::answer(answer))
+    }
+
+    /// Batched ingestion: validates every answer up front (against the log
+    /// *and* the earlier answers of the same batch), applies the accepted
+    /// ones as a single [`CampaignEvent::AnswerBatchSubmitted`] transition,
+    /// and reports the per-answer outcome. Applying a batch is
+    /// byte-identical to submitting its accepted answers one by one — only
+    /// the bookkeeping (one event, one index-repair pass, one WAL record in
+    /// the durable service) is amortized.
+    pub fn submit_answer_batch(&mut self, answers: &[Answer]) -> Result<BatchSubmitReport> {
+        let (accepted, rejected) = self.validate_answer_batch(answers);
+        let accepted_count = accepted.len();
+        if !accepted.is_empty() {
+            self.apply(&CampaignEvent::answer_batch(accepted))?;
+        }
+        Ok(BatchSubmitReport {
+            accepted: accepted_count,
+            rejected,
+        })
+    }
+
+    /// Partitions a batch into the answers that would be accepted (in
+    /// order) and the rejected ones with their positions and errors — the
+    /// validation front of the batched ingestion path, shared by
+    /// [`Docs::submit_answer_batch`] and the durable service (which logs
+    /// only the accepted sub-batch). Pure: no state is touched.
+    pub fn validate_answer_batch(&self, answers: &[Answer]) -> (Vec<Answer>, Vec<(usize, Error)>) {
+        let mut accepted = Vec::with_capacity(answers.len());
+        let mut rejected = Vec::new();
+        let mut seen: HashSet<(WorkerId, TaskId)> = HashSet::with_capacity(answers.len());
+        for (i, &answer) in answers.iter().enumerate() {
+            if let Err(e) = self.validate_answer(&answer) {
+                rejected.push((i, e));
+                continue;
+            }
+            // A duplicate *within* the batch is rejected exactly like a
+            // duplicate against the log: the earlier answer wins.
+            if !seen.insert((answer.worker, answer.task)) {
+                rejected.push((
+                    i,
+                    Error::DuplicateAnswer {
+                        task: answer.task,
+                        worker: answer.worker,
+                    },
+                ));
+                continue;
+            }
+            accepted.push(answer);
+        }
+        (accepted, rejected)
+    }
+
+    /// Validates one answer against the current state: known task, in-range
+    /// choice, not a duplicate of a logged answer.
+    fn validate_answer(&self, answer: &Answer) -> Result<()> {
+        let task = self
+            .engine
+            .tasks()
+            .get(answer.task.index())
+            .ok_or(Error::UnknownTask(answer.task))?;
+        task.check_choice(answer.choice)?;
+        if self.engine.log().has_answered(answer.worker, answer.task) {
+            return Err(Error::DuplicateAnswer {
+                task: answer.task,
+                worker: answer.worker,
+            });
+        }
+        Ok(())
     }
 
     /// Finalizes the batch: one last full inference, state persisted, report
@@ -292,19 +378,21 @@ impl Docs {
                 }
                 Ok(())
             }
-            CampaignEvent::AnswerSubmitted(a) => {
-                let answer = a.answer;
-                let task = self
-                    .engine
-                    .tasks()
-                    .get(answer.task.index())
-                    .ok_or(Error::UnknownTask(answer.task))?;
-                task.check_choice(answer.choice)?;
-                if self.engine.log().has_answered(answer.worker, answer.task) {
-                    return Err(Error::DuplicateAnswer {
-                        task: answer.task,
-                        worker: answer.worker,
-                    });
+            CampaignEvent::AnswerSubmitted(a) => self.validate_answer(&a.answer),
+            CampaignEvent::AnswerBatchSubmitted(b) => {
+                // A loggable batch must apply *in full*: every answer valid
+                // against the state and no duplicates within the batch
+                // (the service pre-filters with `validate_answer_batch`, so
+                // a failure here means a mispaired or tampered log).
+                let mut seen: HashSet<(WorkerId, TaskId)> = HashSet::new();
+                for answer in &b.answers {
+                    self.validate_answer(answer)?;
+                    if !seen.insert((answer.worker, answer.task)) {
+                        return Err(Error::DuplicateAnswer {
+                            task: answer.task,
+                            worker: answer.worker,
+                        });
+                    }
                 }
                 Ok(())
             }
@@ -322,6 +410,7 @@ impl Docs {
             CampaignEvent::Published(_) => Ok(()),
             CampaignEvent::GoldenSubmitted(g) => self.apply_golden(g.worker, &g.answers),
             CampaignEvent::AnswerSubmitted(a) => self.apply_answer(a.answer),
+            CampaignEvent::AnswerBatchSubmitted(b) => self.apply_answer_batch(&b.answers),
             CampaignEvent::Finished(_) => self.apply_finished(),
         }
     }
@@ -365,6 +454,28 @@ impl Docs {
         self.seen_workers.insert(answer.worker);
         self.persist_worker(answer.worker)?;
         self.persist_task(answer.task)?;
+        Ok(())
+    }
+
+    fn apply_answer_batch(&mut self, answers: &[Answer]) -> Result<()> {
+        // One engine pass (single index repair), then one parameter-store
+        // write per distinct worker/task — the same final store contents
+        // as per-answer persistence, without rewriting a hot task's state
+        // once per answer. BTreeSets keep the write order deterministic.
+        self.engine.submit_batch(answers)?;
+        let mut workers: std::collections::BTreeSet<WorkerId> = std::collections::BTreeSet::new();
+        let mut tasks: std::collections::BTreeSet<TaskId> = std::collections::BTreeSet::new();
+        for answer in answers {
+            self.seen_workers.insert(answer.worker);
+            workers.insert(answer.worker);
+            tasks.insert(answer.task);
+        }
+        for worker in workers {
+            self.persist_worker(worker)?;
+        }
+        for task in tasks {
+            self.persist_task(task)?;
+        }
         Ok(())
     }
 
@@ -425,7 +536,10 @@ impl Docs {
             None => None,
         };
         Ok(Docs {
-            engine: IncrementalTi::restore(snapshot.engine),
+            // The benefit index is derived state: rebuilt here rather than
+            // snapshotted, per the campaign's own config.
+            engine: IncrementalTi::restore(snapshot.engine)
+                .with_benefit_index(snapshot.config.use_benefit_index),
             golden_ids: snapshot.golden_ids,
             seen_workers: snapshot.seen_workers.into_iter().collect(),
             config: snapshot.config,
@@ -709,6 +823,157 @@ mod tests {
         assert_eq!(report.truths.len(), 4);
         assert_eq!(report.accuracy, 1.0);
         assert_eq!(report.answers_collected, 12);
+    }
+
+    #[test]
+    fn batched_submission_is_byte_identical_to_individual_submissions() {
+        let kb = table2_example_kb();
+        let config = DocsConfig {
+            z: 3, // the periodic full inference fires mid-batch
+            ..small_config()
+        };
+        let mut one_by_one = Docs::publish(&kb, example_tasks(6), config.clone()).unwrap();
+        let mut batched = Docs::publish(&kb, example_tasks(6), config).unwrap();
+        let answers: Vec<Answer> = (0..6)
+            .flat_map(|t| {
+                (0..2u32).map(move |w| Answer {
+                    task: TaskId::from(t),
+                    worker: WorkerId(w),
+                    choice: (t + w as usize) % 2,
+                })
+            })
+            .collect();
+        for &a in &answers {
+            one_by_one.submit_answer(a).unwrap();
+        }
+        let report = batched.submit_answer_batch(&answers).unwrap();
+        assert_eq!(report.accepted, answers.len());
+        assert!(report.rejected.is_empty());
+        let (a, b) = (one_by_one.finish().unwrap(), batched.finish().unwrap());
+        assert_eq!(a.truths, b.truths);
+        assert_eq!(a.truth_distributions, b.truth_distributions);
+        assert_eq!(a.answers_collected, b.answers_collected);
+    }
+
+    #[test]
+    fn batch_rejects_bad_answers_and_applies_the_rest() {
+        let kb = table2_example_kb();
+        let mut docs = Docs::publish(&kb, example_tasks(4), small_config()).unwrap();
+        let w = WorkerId(0);
+        docs.submit_answer(Answer {
+            task: TaskId(0),
+            worker: w,
+            choice: 0,
+        })
+        .unwrap();
+        let batch = [
+            Answer {
+                task: TaskId(0),
+                worker: w,
+                choice: 1,
+            }, // duplicate against the log
+            Answer {
+                task: TaskId(1),
+                worker: w,
+                choice: 0,
+            }, // fine
+            Answer {
+                task: TaskId(1),
+                worker: w,
+                choice: 1,
+            }, // duplicate within the batch
+            Answer {
+                task: TaskId(99),
+                worker: w,
+                choice: 0,
+            }, // unknown task
+            Answer {
+                task: TaskId(2),
+                worker: w,
+                choice: 9,
+            }, // out-of-range choice
+            Answer {
+                task: TaskId(3),
+                worker: WorkerId(1),
+                choice: 1,
+            }, // fine
+        ];
+        let report = docs.submit_answer_batch(&batch).unwrap();
+        assert_eq!(report.accepted, 2);
+        assert_eq!(
+            report.rejected.iter().map(|(i, _)| *i).collect::<Vec<_>>(),
+            vec![0, 2, 3, 4]
+        );
+        assert_eq!(docs.answers_collected(), 3);
+        // validate_event mirrors the same rules for a whole logged batch.
+        assert!(docs
+            .validate_event(&CampaignEvent::answer_batch(batch.to_vec()))
+            .is_err());
+        assert!(docs
+            .validate_event(&CampaignEvent::answer_batch(vec![Answer {
+                task: TaskId(2),
+                worker: WorkerId(2),
+                choice: 1,
+            }]))
+            .is_ok());
+        // An empty batch is a no-op, not an error.
+        let empty = docs.submit_answer_batch(&[]).unwrap();
+        assert_eq!((empty.accepted, empty.rejected.len()), (0, 0));
+        assert_eq!(docs.answers_collected(), 3);
+    }
+
+    #[test]
+    fn indexed_campaign_serves_identically_to_the_scan_campaign() {
+        // The DocsConfig switch: same request stream, byte-identical HITs,
+        // answers, and final report — the index only changes how candidates
+        // are found.
+        let kb = table2_example_kb();
+        let run = |use_benefit_index: bool| {
+            let config = DocsConfig {
+                use_benefit_index,
+                task_shards: 2,
+                ..small_config()
+            };
+            let mut docs = Docs::publish(&kb, example_tasks(9), config).unwrap();
+            let mut trace: Vec<WorkRequest> = Vec::new();
+            for round in 0..6 {
+                for w in 0..3u32 {
+                    let w = WorkerId(w);
+                    let req = docs.request_tasks(w);
+                    match &req {
+                        WorkRequest::Golden(g) => {
+                            let answers: Vec<_> = g
+                                .iter()
+                                .map(|&gid| (gid, docs.tasks()[gid.index()].ground_truth.unwrap()))
+                                .collect();
+                            docs.submit_golden(w, &answers).unwrap();
+                        }
+                        WorkRequest::Tasks(hit) => {
+                            let answers: Vec<Answer> = hit
+                                .iter()
+                                .map(|&t| Answer {
+                                    task: t,
+                                    worker: w,
+                                    choice: (t.index() + round) % 2,
+                                })
+                                .collect();
+                            docs.submit_answer_batch(&answers).unwrap();
+                        }
+                        WorkRequest::Done => {}
+                    }
+                    trace.push(req);
+                }
+            }
+            (trace, docs.finish().unwrap())
+        };
+        let (scan_trace, scan_report) = run(false);
+        let (index_trace, index_report) = run(true);
+        assert_eq!(index_trace, scan_trace, "assignments diverged");
+        assert_eq!(index_report.truths, scan_report.truths);
+        assert_eq!(
+            index_report.truth_distributions,
+            scan_report.truth_distributions
+        );
     }
 
     #[test]

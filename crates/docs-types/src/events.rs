@@ -49,6 +49,21 @@ pub struct AnswerSubmittedEvent {
     pub answer: Answer,
 }
 
+/// A batch of already-validated answers ingested as one transition — the
+/// batched ingestion path: one wire round-trip, one write-ahead-log record
+/// (one group-commit `fdatasync`), one benefit-index repair pass.
+///
+/// The answers are applied strictly in order, so replaying the batch is
+/// byte-identical to having submitted its answers individually (including
+/// where the z-periodic full inference fires mid-batch). The service logs
+/// only pre-validated batches: every answer in a logged batch applies
+/// cleanly.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AnswerBatchSubmittedEvent {
+    /// The accepted answers, in submission order.
+    pub answers: Vec<Answer>,
+}
+
 /// The requester finalized the campaign: one full inference pass ran and a
 /// report was produced. Campaigns keep serving afterwards (reports are
 /// repeatable), so this event may appear more than once in a log.
@@ -64,6 +79,8 @@ pub enum CampaignEvent {
     GoldenSubmitted(GoldenSubmittedEvent),
     /// One incremental truth-inference update.
     AnswerSubmitted(AnswerSubmittedEvent),
+    /// A validated answer batch applied in order as one transition.
+    AnswerBatchSubmitted(AnswerBatchSubmittedEvent),
     /// Full inference + report production.
     Finished(FinishedEvent),
 }
@@ -72,6 +89,11 @@ impl CampaignEvent {
     /// Convenience constructor for [`CampaignEvent::AnswerSubmitted`].
     pub fn answer(answer: Answer) -> Self {
         CampaignEvent::AnswerSubmitted(AnswerSubmittedEvent { answer })
+    }
+
+    /// Convenience constructor for [`CampaignEvent::AnswerBatchSubmitted`].
+    pub fn answer_batch(answers: Vec<Answer>) -> Self {
+        CampaignEvent::AnswerBatchSubmitted(AnswerBatchSubmittedEvent { answers })
     }
 
     /// Convenience constructor for [`CampaignEvent::GoldenSubmitted`].
@@ -90,6 +112,7 @@ impl CampaignEvent {
             CampaignEvent::Published(_) => "published",
             CampaignEvent::GoldenSubmitted(_) => "golden_submitted",
             CampaignEvent::AnswerSubmitted(_) => "answer_submitted",
+            CampaignEvent::AnswerBatchSubmitted(_) => "answer_batch_submitted",
             CampaignEvent::Finished(_) => "finished",
         }
     }
@@ -113,6 +136,11 @@ mod tests {
             }),
             CampaignEvent::golden(WorkerId(7), vec![(TaskId(0), 1), (TaskId(2), 0)]),
             CampaignEvent::answer(Answer::new(WorkerId(1), TaskId(9), 2)),
+            CampaignEvent::answer_batch(vec![
+                Answer::new(WorkerId(2), TaskId(3), 0),
+                Answer::new(WorkerId(4), TaskId(5), 1),
+            ]),
+            CampaignEvent::answer_batch(Vec::new()),
             CampaignEvent::finished(),
         ];
         for event in &events {
@@ -130,6 +158,10 @@ mod tests {
         assert_eq!(
             CampaignEvent::golden(WorkerId(0), Vec::new()).kind(),
             "golden_submitted"
+        );
+        assert_eq!(
+            CampaignEvent::answer_batch(Vec::new()).kind(),
+            "answer_batch_submitted"
         );
         let published = CampaignEvent::Published(PublishedEvent {
             campaign: CampaignId(0),

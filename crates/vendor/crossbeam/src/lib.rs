@@ -20,6 +20,8 @@ pub mod channel {
 
     /// Error returned by [`Receiver::recv`] when all senders are gone.
     pub use std::sync::mpsc::RecvError;
+    /// Error returned by [`Receiver::recv_timeout`].
+    pub use std::sync::mpsc::RecvTimeoutError;
     /// Error returned by [`Receiver::try_recv`].
     pub use std::sync::mpsc::TryRecvError;
 
@@ -74,6 +76,12 @@ pub mod channel {
         /// Non-blocking receive.
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
             self.rx.try_recv()
+        }
+
+        /// Blocks for the next message at most `timeout`, distinguishing a
+        /// timeout from disconnection.
+        pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+            self.rx.recv_timeout(timeout)
         }
 
         /// Iterator draining the channel until disconnection.
@@ -141,5 +149,23 @@ mod tests {
         let (tx, rx) = unbounded::<u8>();
         drop(rx);
         assert!(tx.send(1).is_err());
+    }
+
+    #[test]
+    fn recv_timeout_distinguishes_timeout_from_disconnect() {
+        use super::channel::RecvTimeoutError;
+        use std::time::Duration;
+        let (tx, rx) = unbounded::<u8>();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        tx.send(3).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(5)), Ok(3));
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Disconnected)
+        );
     }
 }

@@ -11,6 +11,15 @@ use docs_types::{CampaignId, Task, TaskBuilder};
 use std::sync::Arc;
 
 fn publish(n_tasks: usize, answers_per_task: usize, task_shards: usize) -> Docs {
+    publish_indexed(n_tasks, answers_per_task, task_shards, false)
+}
+
+fn publish_indexed(
+    n_tasks: usize,
+    answers_per_task: usize,
+    task_shards: usize,
+    use_benefit_index: bool,
+) -> Docs {
     let kb = docs_kb::table2_example_kb();
     let subjects = ["Michael Jordan", "Kobe Bryant", "NBA"];
     let tasks: Vec<Task> = (0..n_tasks)
@@ -32,6 +41,7 @@ fn publish(n_tasks: usize, answers_per_task: usize, task_shards: usize) -> Docs 
             answers_per_task,
             z: 25,
             task_shards,
+            use_benefit_index,
             ..Default::default()
         },
     )
@@ -203,6 +213,53 @@ fn sharded_truths_equal_single_shard_truths() {
     }
     drop(handle);
     service.join_all();
+}
+
+/// The scan/index equivalence bar of the incremental benefit index, at the
+/// service level: the same deterministically driven campaign must produce
+/// **byte-identical** truths and truth distributions with the benefit index
+/// on and off, for every `service shards × task_shards` combination in
+/// {1,4} × {1,4}. One client thread per campaign keeps the request stream
+/// deterministic, so any divergence is the index picking different tasks —
+/// exactly what the invariant forbids.
+#[test]
+fn indexed_truths_equal_scan_truths_for_every_shard_combination() {
+    let n_tasks = 21;
+    let seed = 0xD0C5;
+    let run = |service_shards: usize, task_shards: usize, use_index: bool| {
+        let (service, handle) = DocsService::spawn_sharded(
+            publish_indexed(n_tasks, 3, task_shards, use_index),
+            ServiceConfig::sharded(service_shards),
+        );
+        let campaign = handle.default_campaign();
+        let tasks = Arc::new(published_tasks(n_tasks));
+        let pop = population(10, seed);
+        drive_workers_on(
+            &handle,
+            campaign,
+            tasks,
+            &pop,
+            AnswerModel::DomainUniform,
+            1,
+            seed,
+        );
+        let report = handle.finish_in(campaign).unwrap();
+        drop(handle);
+        service.join();
+        (report.truths, report.truth_distributions)
+    };
+    let reference = run(1, 1, false);
+    for service_shards in [1usize, 4] {
+        for task_shards in [1usize, 4] {
+            for use_index in [false, true] {
+                let (truths, dists) = run(service_shards, task_shards, use_index);
+                let label =
+                    format!("shards={service_shards} task_shards={task_shards} index={use_index}");
+                assert_eq!(truths, reference.0, "truths diverged: {label}");
+                assert_eq!(dists, reference.1, "distributions diverged: {label}");
+            }
+        }
+    }
 }
 
 /// The published (DVE-filled) task list of an `n`-task campaign, so the
