@@ -14,7 +14,6 @@ use criterion::{black_box, criterion_group, BenchmarkId, Criterion};
 use docs_storage::{recover_tree, CampaignLog, FlushPolicy};
 use docs_system::{CampaignRegistry, Docs, DocsConfig};
 use docs_types::{Answer, CampaignEvent, CampaignId, Task, TaskBuilder, TaskId, WorkerId};
-use std::collections::HashMap;
 use std::path::PathBuf;
 use std::time::Instant;
 
@@ -179,23 +178,7 @@ fn write_bench_json() {
             replay_latency(&snapshot, &events) * 1e3,
         ));
     }
-    // Anchor at the workspace root whatever cargo set as the bench CWD.
-    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_durability.json");
-    let mut map: HashMap<String, f64> = std::fs::read(&path)
-        .ok()
-        .and_then(|bytes| serde_json::from_slice(&bytes).ok())
-        .unwrap_or_default();
-    for (key, value) in &updates {
-        map.insert(key.clone(), *value);
-    }
-    let mut entries: Vec<(String, f64)> = map.into_iter().collect();
-    entries.sort_by(|a, b| a.0.cmp(&b.0));
-    let body: Vec<String> = entries
-        .iter()
-        .map(|(k, v)| format!("  \"{k}\": {v}"))
-        .collect();
-    std::fs::write(&path, format!("{{\n{}\n}}\n", body.join(",\n"))).expect("write bench json");
-    println!("durability numbers merged into {}", path.display());
+    docs_bench::merge_bench_json("BENCH_durability.json", &updates);
 }
 
 fn main() {

@@ -23,8 +23,6 @@ use criterion::{black_box, criterion_group, BenchmarkId, Criterion};
 use docs_core::ota::{Assigner, AssignerConfig, BenefitIndex};
 use docs_core::ti::{ShardedTiState, TaskState};
 use docs_types::{DomainVector, Task, TaskBuilder, TaskId};
-use std::collections::HashMap;
-use std::path::PathBuf;
 use std::time::Instant;
 
 const M: usize = 3;
@@ -211,22 +209,7 @@ fn write_bench_json() {
         updates.push(("ota_index_bump_per_answer_ns".to_string(), ns));
         println!("index maintenance: {ns:.0} ns per ingested answer");
     }
-    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_ota.json");
-    let mut map: HashMap<String, f64> = std::fs::read(&path)
-        .ok()
-        .and_then(|bytes| serde_json::from_slice(&bytes).ok())
-        .unwrap_or_default();
-    for (key, value) in &updates {
-        map.insert(key.clone(), *value);
-    }
-    let mut entries: Vec<(String, f64)> = map.into_iter().collect();
-    entries.sort_by(|a, b| a.0.cmp(&b.0));
-    let body: Vec<String> = entries
-        .iter()
-        .map(|(k, v)| format!("  \"{k}\": {v}"))
-        .collect();
-    std::fs::write(&path, format!("{{\n{}\n}}\n", body.join(",\n"))).expect("write bench json");
-    println!("OTA numbers merged into {}", path.display());
+    docs_bench::merge_bench_json("BENCH_ota.json", &updates);
 }
 
 fn main() {

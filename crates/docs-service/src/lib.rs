@@ -7,7 +7,8 @@
 //! the assignment path latency-critical ("online task assignment is required
 //! to achieve instant assignment"). This crate reproduces that serving
 //! architecture in-process and scales it out as a **sharded multi-campaign
-//! runtime** (see ARCHITECTURE.md at the workspace root):
+//! runtime** with a **pipelined submission/completion API** (see
+//! ARCHITECTURE.md at the workspace root):
 //!
 //! * [`DocsService`] runs a pool of shard threads; each shard owns a
 //!   [`docs_system::CampaignRegistry`] of the campaigns hashed to it
@@ -15,10 +16,25 @@
 //!   arrival order on its owning shard — the same serialization a
 //!   single-writer web backend provides — while different campaigns
 //!   progress in parallel on different shards,
-//! * [`ServiceHandle`] is a cheaply cloneable routing client: it computes
-//!   the owning shard and enqueues there directly; every call is
-//!   synchronous request/response. The un-suffixed methods target the
-//!   default campaign, keeping the seed's single-campaign API intact,
+//! * [`ServiceHandle`] is a cheaply cloneable routing client with two API
+//!   styles over one wire protocol: blocking methods (`request_tasks_in`,
+//!   `submit_answer_batch_in`, …: submit + wait, one synchronous
+//!   round-trip) and pipelined submissions (`*_ticket_in` / `try_*_in`)
+//!   that enqueue a correlation-tagged envelope and return a [`Ticket`] —
+//!   a one-shot completion handle with [`Ticket::wait`],
+//!   [`Ticket::wait_timeout`], and [`Ticket::try_take`] — so one client
+//!   thread can keep many requests in flight per shard,
+//! * **Backpressure**: per-shard ingress queues are bounded
+//!   ([`ServiceConfig::queue_capacity`]); blocking submissions park on a
+//!   full queue while the `try_*` forms fail fast with
+//!   [`ServiceError::Busy`] and bump the shard's `busy_rejections`
+//!   counter,
+//! * **Typed errors**: every refusal carries a matchable
+//!   [`RejectReason`](docs_types::RejectReason)
+//!   (`DuplicateAnswer`, `UnknownCampaign`, `BudgetExhausted`, …) whose
+//!   `Display` output preserves the pre-taxonomy message text, end to end
+//!   from docs-system validation through the wire to
+//!   [`ServiceError::Rejected`] and the per-answer [`BatchOutcome`],
 //! * **Durability** ([`ServiceConfig::durability`]): each shard owns a
 //!   `docs_storage::CampaignLog`; campaigns that opt in (per campaign, via
 //!   `DocsConfig::durable_flush` or
@@ -29,22 +45,34 @@
 //!   log replay — byte-identical reports, even across a shard-count change
 //!   (see ARCHITECTURE.md, "Durability & recovery"),
 //! * [`ServiceMetrics`] records per-operation latency (count/mean/max),
-//!   per-shard queue depth / service time ([`ShardStats`]), and the
-//!   durability counters ([`DurabilityStats`]: events logged/replayed,
-//!   snapshots written/loaded, flush latency, per-shard log bytes), so the
-//!   Figure 8(b) "worst-case assignment time" measurement works under real
-//!   concurrency and the pool's balance is observable,
+//!   per-shard queue depth / in-flight tickets / busy rejections / service
+//!   time ([`ShardStats`]), and the durability counters
+//!   ([`DurabilityStats`]), so the Figure 8(b) "worst-case assignment
+//!   time" measurement works under real concurrency and the pool's
+//!   balance and admission pressure are observable,
 //! * [`drive_workers`] / [`drive_workers_on`] run a whole simulated crowd
 //!   (from `docs-crowd`) against one campaign from `threads` parallel
-//!   clients until the budget is consumed — the harness behind the
-//!   `concurrent_service` example and the cross-crate stress tests.
+//!   clients until the budget is consumed, **pipelining** each client's
+//!   next HIT request behind its in-flight submission;
+//!   [`drive_workers_blocking_on`] keeps the strict request/response loop
+//!   as the seed-architecture reference (byte-identical truths, measurably
+//!   lower throughput — see the `service_pipeline` bench).
 
 mod client;
 mod message;
 mod metrics;
 mod server;
+mod ticket;
 
-pub use client::{drive_workers, drive_workers_on, DriveOutcome, DriveReport};
-pub use message::{BatchOutcome, Request, Response};
+pub use client::{
+    drive_workers, drive_workers_blocking, drive_workers_blocking_on, drive_workers_on,
+    DriveOutcome, DriveReport,
+};
+pub use message::{BatchOutcome, Completion, CorrelationId, Request, RequestEnvelope, Response};
 pub use metrics::{DurabilityStats, OpKind, OpStats, ServiceMetrics, ShardStats};
 pub use server::{DocsService, DurabilityConfig, ServiceConfig, ServiceError, ServiceHandle};
+pub use ticket::{Ticket, TicketWait};
+
+// The rejection taxonomy travels the wire, so clients match on it next to
+// `ServiceError`; re-exported for convenience.
+pub use docs_types::RejectReason;

@@ -1,5 +1,7 @@
 //! The service wire protocol: campaign-scoped worker requests (Figure 1's
-//! arrows ④/⑤ per campaign) plus requester-side control operations.
+//! arrows ④/⑤ per campaign) plus requester-side control operations, carried
+//! in correlation-id envelopes so a client can keep many requests in
+//! flight per shard.
 //!
 //! Every data-plane request names the [`CampaignId`] it targets; the shard
 //! pool routes it to the shard owning that campaign
@@ -7,10 +9,43 @@
 //! processes it without locks. Campaign ids are allocated centrally by the
 //! service handle, so [`Request::CreateCampaign`] carries the pre-assigned
 //! id to the owning shard.
+//!
+//! The submission/completion split: a client *submits* a
+//! [`RequestEnvelope`] (a [`Request`] tagged with a client-chosen
+//! correlation id) and later harvests the matching [`Completion`] from its
+//! completion slot. The shard echoes the correlation id verbatim, so
+//! pipelined clients can pair out-of-band completions with the operations
+//! that caused them. Failures travel as data: [`Response::Rejected`]
+//! carries a matchable [`RejectReason`] instead of the string blob the
+//! pre-pipelining protocol used.
 
 use docs_storage::FlushPolicy;
 use docs_system::{Docs, RequesterReport, WorkRequest};
-use docs_types::{Answer, CampaignId, ChoiceIndex, TaskId, WorkerId};
+use docs_types::{Answer, CampaignId, ChoiceIndex, RejectReason, TaskId, WorkerId};
+
+/// Client-assigned tag pairing a submission with its completion. Allocated
+/// monotonically per handle; the shard never interprets it, only echoes it.
+pub type CorrelationId = u64;
+
+/// One submitted operation: the request plus the correlation id its
+/// completion must carry.
+#[derive(Debug)]
+pub struct RequestEnvelope {
+    /// Tag echoed verbatim in the matching [`Completion`].
+    pub correlation: CorrelationId,
+    /// The operation to run on the owning shard.
+    pub request: Request,
+}
+
+/// One completed operation, as delivered to the submitter's completion
+/// slot.
+#[derive(Debug)]
+pub struct Completion {
+    /// The correlation id of the [`RequestEnvelope`] this answers.
+    pub correlation: CorrelationId,
+    /// The shard's response.
+    pub response: Response,
+}
 
 /// A request to the DOCS service.
 #[derive(Debug)]
@@ -91,13 +126,14 @@ impl Request {
 /// Per-answer outcome of a [`Request::SubmitAnswerBatch`]: a batch
 /// round-trip *succeeds* even when some answers are rejected (duplicates
 /// when the same worker raced on two HITs, say) — rejection is per answer,
-/// exactly as if the answers had been submitted individually.
+/// exactly as if the answers had been submitted individually, and each
+/// refusal carries its matchable [`RejectReason`].
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct BatchOutcome {
     /// Answers accepted and applied, in submission order.
     pub accepted: usize,
     /// Rejected answers: position in the submitted batch and the reason.
-    pub rejected: Vec<(usize, String)>,
+    pub rejected: Vec<(usize, RejectReason)>,
 }
 
 /// A response from the DOCS service.
@@ -113,7 +149,8 @@ pub enum Response {
     BatchAck(BatchOutcome),
     /// Reply to [`Request::Finish`].
     Report(Box<RequesterReport>),
-    /// The request failed inside the system (e.g. duplicate answer, unknown
-    /// campaign).
-    Failed(String),
+    /// The system refused the request; the reason is matchable data, not
+    /// prose (e.g. `RejectReason::DuplicateAnswer`,
+    /// `RejectReason::UnknownCampaign`).
+    Rejected(RejectReason),
 }

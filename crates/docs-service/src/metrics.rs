@@ -84,10 +84,21 @@ impl OpStats {
 /// these on every request).
 #[derive(Debug, Default)]
 struct ShardCounters {
-    /// Requests currently enqueued for (or being processed by) the shard.
+    /// Requests currently enqueued for (or being processed by) the shard,
+    /// *plus* blocking submitters parked on its bounded ingress queue —
+    /// the increment happens at admission-attempt time, so the gauge
+    /// measures total demand on the shard and can exceed the configured
+    /// queue capacity while backpressure is engaged.
     depth: AtomicUsize,
     /// High-water mark of `depth`.
     max_depth: AtomicUsize,
+    /// Tickets issued against this shard and not yet resolved (gauge):
+    /// completions the shard still owes, or that clients have not yet
+    /// harvested/dropped.
+    in_flight: AtomicUsize,
+    /// Fail-fast submissions refused because the shard's bounded ingress
+    /// queue was full (counter).
+    busy_rejections: AtomicU64,
     /// Requests the shard has finished processing.
     processed: AtomicU64,
     /// Total busy time, in nanoseconds.
@@ -109,10 +120,19 @@ struct ShardCounters {
 /// Snapshot of one shard's counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ShardStats {
-    /// Requests currently queued on (or executing at) the shard.
+    /// Requests currently queued on (or executing at) the shard, plus
+    /// blocking submitters parked on its bounded ingress queue — total
+    /// demand, which can exceed `ServiceConfig::queue_capacity` while
+    /// backpressure is engaged.
     pub queued: usize,
-    /// Deepest the shard's queue has ever been.
+    /// Deepest `queued` has ever been (demand high-water mark; same
+    /// parked-submitter caveat as `queued`).
     pub max_queued: usize,
+    /// Tickets issued against the shard and not yet resolved.
+    pub in_flight: usize,
+    /// Fail-fast submissions refused with `Busy` because the shard's
+    /// bounded ingress queue was full.
+    pub busy_rejections: u64,
     /// Requests processed by the shard.
     pub processed: u64,
     /// Cumulative busy time.
@@ -259,6 +279,29 @@ impl ServiceMetrics {
         saturating_dec(&self.shards[shard].depth);
     }
 
+    /// Notes a ticket issued against `shard` (one operation entering
+    /// flight). Paired with [`ServiceMetrics::ticket_resolved`] when the
+    /// ticket resolves or is dropped.
+    pub fn ticket_issued(&self, shard: usize) {
+        self.shards[shard].in_flight.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Notes a ticket resolved (completion taken, ticket dropped, or the
+    /// submission rolled back). Saturating for the same reason as the
+    /// queue-depth gauge: a stray decrement must degrade to "slightly
+    /// wrong", never wrap to `usize::MAX` in-flight tickets.
+    pub fn ticket_resolved(&self, shard: usize) {
+        saturating_dec(&self.shards[shard].in_flight);
+    }
+
+    /// Counts one fail-fast submission refused because `shard`'s bounded
+    /// ingress queue was full.
+    pub fn busy_rejection(&self, shard: usize) {
+        self.shards[shard]
+            .busy_rejections
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Notes a request fully processed by its shard thread.
     pub fn shard_processed(&self, shard: usize, elapsed: Duration) {
         let c = &self.shards[shard];
@@ -348,6 +391,8 @@ impl ServiceMetrics {
         ShardStats {
             queued: c.depth.load(Ordering::Relaxed),
             max_queued: c.max_depth.load(Ordering::Relaxed),
+            in_flight: c.in_flight.load(Ordering::Relaxed),
+            busy_rejections: c.busy_rejections.load(Ordering::Relaxed),
             processed: c.processed.load(Ordering::Relaxed),
             busy: Duration::from_nanos(c.busy_nanos.load(Ordering::Relaxed)),
             max_latency: Duration::from_nanos(c.max_nanos.load(Ordering::Relaxed)),
@@ -454,6 +499,27 @@ mod tests {
         let s = m.shard(0);
         assert_eq!(s.queued, 1);
         assert_eq!(s.max_queued, 1, "max not poisoned by a wrapped depth");
+    }
+
+    #[test]
+    fn in_flight_gauge_and_busy_counter_track_tickets() {
+        let m = ServiceMetrics::new(2);
+        m.ticket_issued(0);
+        m.ticket_issued(0);
+        m.ticket_issued(1);
+        assert_eq!(m.shard(0).in_flight, 2);
+        assert_eq!(m.shard(1).in_flight, 1);
+        m.ticket_resolved(0);
+        assert_eq!(m.shard(0).in_flight, 1);
+        // Saturating: a stray resolve on an empty gauge must not wrap.
+        m.ticket_resolved(1);
+        m.ticket_resolved(1);
+        assert_eq!(m.shard(1).in_flight, 0, "no underflow wrap");
+        // Busy rejections are a monotone per-shard counter.
+        m.busy_rejection(0);
+        m.busy_rejection(0);
+        assert_eq!(m.shard(0).busy_rejections, 2);
+        assert_eq!(m.shard(1).busy_rejections, 0);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The sharded service runtime: a pool of shard threads, each owning a
 //! [`CampaignRegistry`] of the campaigns hashed to it, plus a cloneable
-//! routing handle.
+//! routing handle speaking the submission/completion protocol.
 //!
 //! The paper's deployment is one Django backend serving one requester batch;
 //! the seed mirrored that with a single server thread owning a single
@@ -14,6 +14,20 @@
 //! * **The router is the handle**: [`ServiceHandle`] computes the owning
 //!   shard client-side and enqueues directly on that shard's channel —
 //!   routing adds no extra hop or thread.
+//! * **Submission and completion are split**: every operation has a
+//!   non-blocking `*_ticket_in` form that enqueues a correlation-tagged
+//!   [`RequestEnvelope`](crate::message::RequestEnvelope) and returns a
+//!   [`Ticket`] immediately, so one client thread can keep many requests
+//!   pipelined per shard. The blocking methods are thin `submit().wait()`
+//!   wrappers over the same path.
+//! * **Ingress is bounded**: each shard's queue admits at most
+//!   [`ServiceConfig::queue_capacity`] requests. Blocking submissions park
+//!   until a slot frees (backpressure); the `try_*` forms fail fast with
+//!   [`ServiceError::Busy`] and bump the shard's `busy_rejections` counter
+//!   instead of letting the queue grow without limit.
+//! * **Failures are data**: every refusal carries a matchable
+//!   [`RejectReason`] ([`ServiceError::Rejected`]) whose `Display` output
+//!   reproduces the pre-taxonomy message text.
 //! * **Durability is event-sourced**: when [`ServiceConfig::durability`] is
 //!   set, each shard owns a [`CampaignLog`] under `dir/shard-<i>`. For a
 //!   campaign that opted in (per-campaign, via
@@ -28,18 +42,19 @@
 //!   `Docs` as the *default campaign* and the un-suffixed handle methods
 //!   target it, so single-campaign callers are unchanged.
 
-use crate::message::{BatchOutcome, Request, Response};
+use crate::message::{BatchOutcome, Completion, Request, RequestEnvelope, Response};
 use crate::metrics::{OpKind, ServiceMetrics};
-use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+use crate::ticket::Ticket;
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender, TrySendError};
 use docs_storage::{recover_tree, CampaignLog, FlushPolicy};
 use docs_system::{CampaignRegistry, Docs, RequesterReport, WorkRequest};
 use docs_types::{
-    Answer, CampaignEvent, CampaignId, ChoiceIndex, PublishedEvent, TaskId, WorkerId,
+    Answer, CampaignEvent, CampaignId, ChoiceIndex, PublishedEvent, RejectReason, TaskId, WorkerId,
 };
 use std::collections::{BTreeSet, HashMap};
 use std::fmt;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -49,16 +64,36 @@ use std::time::{Duration, Instant};
 pub enum ServiceError {
     /// The owning shard thread is gone (shut down or panicked).
     Disconnected,
-    /// The system rejected the request (duplicate answer, unknown task,
-    /// unknown campaign, …).
-    Rejected(String),
+    /// Fail-fast admission refused the submission: the owning shard's
+    /// bounded ingress queue is at capacity. The request was *not*
+    /// enqueued; retry later or fall back to a blocking submission.
+    Busy {
+        /// The shard whose queue was full.
+        shard: usize,
+    },
+    /// The system rejected the request; the reason is matchable data
+    /// (duplicate answer, unknown campaign, exhausted budget, …).
+    Rejected(RejectReason),
+}
+
+impl ServiceError {
+    /// The structured rejection, when this error is one.
+    pub fn reason(&self) -> Option<&RejectReason> {
+        match self {
+            ServiceError::Rejected(reason) => Some(reason),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for ServiceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ServiceError::Disconnected => write!(f, "DOCS service disconnected"),
-            ServiceError::Rejected(msg) => write!(f, "request rejected: {msg}"),
+            ServiceError::Busy { shard } => {
+                write!(f, "shard {shard} ingress queue is full")
+            }
+            ServiceError::Rejected(reason) => write!(f, "request rejected: {reason}"),
         }
     }
 }
@@ -90,7 +125,7 @@ impl DurabilityConfig {
 }
 
 /// Deployment knobs of the service runtime.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct ServiceConfig {
     /// Number of shard worker threads. Campaigns are hash-partitioned
     /// across them; `1` reproduces the seed's single-server-thread runtime.
@@ -98,14 +133,37 @@ pub struct ServiceConfig {
     pub shards: usize,
     /// Event-log durability; `None` keeps every campaign memory-only.
     pub durability: Option<DurabilityConfig>,
+    /// Per-shard ingress-queue bound: at most this many requests can sit
+    /// in a shard's queue (one more may already be executing on the shard
+    /// thread, so worst-case in-shard demand is `queue_capacity + 1`).
+    /// Blocking submissions park until a slot frees; `try_*` submissions
+    /// fail fast with [`ServiceError::Busy`]. `0` removes the bound (the
+    /// pre-backpressure behavior, kept as an escape hatch for harnesses
+    /// that measure raw queue growth).
+    pub queue_capacity: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            shards: 0,
+            durability: None,
+            queue_capacity: Self::DEFAULT_QUEUE_CAPACITY,
+        }
+    }
 }
 
 impl ServiceConfig {
+    /// Default per-shard ingress bound: deep enough that pipelined clients
+    /// never notice it, shallow enough that a stalled shard pushes back
+    /// instead of buffering unboundedly.
+    pub const DEFAULT_QUEUE_CAPACITY: usize = 1024;
+
     /// A memory-only pool of `shards` shard threads.
     pub fn sharded(shards: usize) -> Self {
         ServiceConfig {
             shards,
-            durability: None,
+            ..Default::default()
         }
     }
 
@@ -114,7 +172,14 @@ impl ServiceConfig {
         ServiceConfig {
             shards,
             durability: Some(DurabilityConfig::new(dir)),
+            ..Default::default()
         }
+    }
+
+    /// Overrides the per-shard ingress bound (`0` = unbounded).
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity;
+        self
     }
 
     fn num_shards(&self) -> usize {
@@ -126,21 +191,41 @@ impl ServiceConfig {
 /// persisted campaign, its flush policy and last durable sequence number.
 type PoolSeeds = Vec<(CampaignRegistry, Vec<(CampaignId, FlushPolicy, u64)>)>;
 
-struct Envelope {
-    request: Request,
-    reply: Sender<Response>,
+/// One admitted submission on a shard's ingress queue: the wire envelope
+/// plus the sender of the submitter's one-shot completion slot.
+struct Inbound {
+    envelope: RequestEnvelope,
+    completions: Sender<Completion>,
+}
+
+/// How a submission behaves when the shard's ingress queue is full.
+#[derive(Clone, Copy)]
+enum Admission {
+    /// Park until a slot frees — backpressure, the blocking API's choice.
+    Block,
+    /// Fail fast with [`ServiceError::Busy`].
+    FailFast,
 }
 
 /// Cloneable routing client for a running [`DocsService`].
 ///
-/// Every method is synchronous: it enqueues the request on the owning
-/// shard's channel and blocks for that shard's response, exactly like an
-/// HTTP round-trip to the paper's Django backend. Handles are cheap to
-/// clone and safe to use from many threads.
+/// Two API styles over one wire protocol:
+///
+/// * the **blocking** methods ([`ServiceHandle::request_tasks_in`],
+///   [`ServiceHandle::submit_answer_batch_in`], …) submit and immediately
+///   [`Ticket::wait`] — one synchronous round-trip, exactly like an HTTP
+///   call to the paper's Django backend;
+/// * the **pipelined** methods (`*_ticket_in` to park on a full queue,
+///   `try_*_in` to fail fast with [`ServiceError::Busy`]) return the
+///   [`Ticket`] itself, letting one client thread keep many operations in
+///   flight per shard and harvest completions when it pleases.
+///
+/// Handles are cheap to clone and safe to use from many threads.
 #[derive(Clone)]
 pub struct ServiceHandle {
-    shards: Arc<Vec<Sender<Envelope>>>,
+    shards: Arc<Vec<Sender<Inbound>>>,
     next_campaign: Arc<AtomicU32>,
+    next_correlation: Arc<AtomicU64>,
     metrics: ServiceMetrics,
     default_campaign: CampaignId,
     default_flush: Option<FlushPolicy>,
@@ -148,24 +233,54 @@ pub struct ServiceHandle {
 }
 
 impl ServiceHandle {
-    fn call(&self, request: Request) -> Result<Response, ServiceError> {
+    /// The submission half of every operation: tags the request with a
+    /// fresh correlation id, admits it onto the owning shard's bounded
+    /// queue under `admission`, and returns the typed completion handle.
+    fn submit_with<T>(
+        &self,
+        request: Request,
+        admission: Admission,
+        decode: fn(Response) -> Result<T, ServiceError>,
+    ) -> Result<Ticket<T>, ServiceError> {
         let shard = request.campaign().shard(self.shards.len());
-        let (reply_tx, reply_rx) = bounded(1);
-        let depth = self.metrics.shard_enqueued(shard);
-        if self.shards[shard]
-            .send(Envelope {
+        let correlation = self.next_correlation.fetch_add(1, Ordering::Relaxed);
+        let (completion_tx, completion_rx) = bounded(1);
+        let inbound = Inbound {
+            envelope: RequestEnvelope {
+                correlation,
                 request,
-                reply: reply_tx,
-            })
-            .is_err()
-        {
+            },
+            completions: completion_tx,
+        };
+        let depth = self.metrics.shard_enqueued(shard);
+        let outcome = match admission {
+            Admission::Block => self.shards[shard]
+                .send(inbound)
+                .map_err(|_| ServiceError::Disconnected),
+            Admission::FailFast => self.shards[shard].try_send(inbound).map_err(|e| match e {
+                TrySendError::Full(_) => {
+                    self.metrics.busy_rejection(shard);
+                    ServiceError::Busy { shard }
+                }
+                TrySendError::Disconnected(_) => ServiceError::Disconnected,
+            }),
+        };
+        if let Err(e) = outcome {
+            // The request never entered the queue: roll the depth back so
+            // no phantom high-water mark survives.
             self.metrics.shard_enqueue_failed(shard);
-            return Err(ServiceError::Disconnected);
+            return Err(e);
         }
-        // High-water mark only once the request is really in the queue — a
-        // failed send must not leave a phantom depth behind.
+        // High-water mark only once the request is really in the queue.
         self.metrics.shard_send_recorded(shard, depth);
-        reply_rx.recv().map_err(|_| ServiceError::Disconnected)
+        self.metrics.ticket_issued(shard);
+        Ok(Ticket::new(
+            completion_rx,
+            correlation,
+            shard,
+            decode,
+            self.metrics.clone(),
+        ))
     }
 
     fn create_campaign_inner(
@@ -174,15 +289,16 @@ impl ServiceHandle {
         persistence: Option<FlushPolicy>,
     ) -> Result<CampaignId, ServiceError> {
         let campaign = CampaignId(self.next_campaign.fetch_add(1, Ordering::Relaxed));
-        match self.call(Request::CreateCampaign {
-            campaign,
-            docs: Box::new(docs),
-            persistence,
-        })? {
-            Response::CampaignCreated(id) => Ok(id),
-            Response::Failed(msg) => Err(ServiceError::Rejected(msg)),
-            other => unreachable!("protocol violation: {other:?}"),
-        }
+        self.submit_with(
+            Request::CreateCampaign {
+                campaign,
+                docs: Box::new(docs),
+                persistence,
+            },
+            Admission::Block,
+            decode_created,
+        )?
+        .wait()
     }
 
     /// Registers a published system as a new campaign and returns its id.
@@ -206,9 +322,9 @@ impl ServiceHandle {
     /// Registers a durable campaign under the service's default flush
     /// policy ([`DurabilityConfig::default_flush`]).
     pub fn create_campaign_durable(&self, docs: Docs) -> Result<CampaignId, ServiceError> {
-        let policy = self.default_flush.ok_or_else(|| {
-            ServiceError::Rejected("service was spawned without durability".to_string())
-        })?;
+        let policy = self.default_flush.ok_or(ServiceError::Rejected(
+            RejectReason::DurabilityUnavailable { campaign: None },
+        ))?;
         self.create_campaign_inner(docs, Some(policy))
     }
 
@@ -227,17 +343,166 @@ impl ServiceHandle {
         self.crash.store(true, Ordering::SeqCst);
     }
 
+    // ------------------------------------------------------------------
+    // Pipelined submissions: enqueue now, harvest the completion later.
+    // ------------------------------------------------------------------
+
+    /// Submits "a worker requests tasks" on one campaign and returns the
+    /// completion handle without waiting. Parks if the shard's ingress
+    /// queue is full.
+    pub fn request_tasks_ticket_in(
+        &self,
+        campaign: CampaignId,
+        worker: WorkerId,
+    ) -> Result<Ticket<WorkRequest>, ServiceError> {
+        self.submit_with(
+            Request::RequestWork { campaign, worker },
+            Admission::Block,
+            decode_work,
+        )
+    }
+
+    /// Fail-fast form of [`ServiceHandle::request_tasks_ticket_in`]:
+    /// returns [`ServiceError::Busy`] instead of parking when the shard's
+    /// ingress queue is at capacity.
+    pub fn try_request_tasks_in(
+        &self,
+        campaign: CampaignId,
+        worker: WorkerId,
+    ) -> Result<Ticket<WorkRequest>, ServiceError> {
+        self.submit_with(
+            Request::RequestWork { campaign, worker },
+            Admission::FailFast,
+            decode_work,
+        )
+    }
+
+    /// Submits a golden HIT on one campaign without waiting for the ack.
+    pub fn submit_golden_ticket_in(
+        &self,
+        campaign: CampaignId,
+        worker: WorkerId,
+        answers: Vec<(TaskId, ChoiceIndex)>,
+    ) -> Result<Ticket<()>, ServiceError> {
+        self.submit_with(
+            Request::SubmitGolden {
+                campaign,
+                worker,
+                answers,
+            },
+            Admission::Block,
+            decode_ack,
+        )
+    }
+
+    /// Fail-fast form of [`ServiceHandle::submit_golden_ticket_in`].
+    pub fn try_submit_golden_in(
+        &self,
+        campaign: CampaignId,
+        worker: WorkerId,
+        answers: Vec<(TaskId, ChoiceIndex)>,
+    ) -> Result<Ticket<()>, ServiceError> {
+        self.submit_with(
+            Request::SubmitGolden {
+                campaign,
+                worker,
+                answers,
+            },
+            Admission::FailFast,
+            decode_ack,
+        )
+    }
+
+    /// Submits one answer on one campaign without waiting for the ack.
+    pub fn submit_answer_ticket_in(
+        &self,
+        campaign: CampaignId,
+        answer: Answer,
+    ) -> Result<Ticket<()>, ServiceError> {
+        self.submit_with(
+            Request::SubmitAnswer { campaign, answer },
+            Admission::Block,
+            decode_ack,
+        )
+    }
+
+    /// Fail-fast form of [`ServiceHandle::submit_answer_ticket_in`].
+    pub fn try_submit_answer_in(
+        &self,
+        campaign: CampaignId,
+        answer: Answer,
+    ) -> Result<Ticket<()>, ServiceError> {
+        self.submit_with(
+            Request::SubmitAnswer { campaign, answer },
+            Admission::FailFast,
+            decode_ack,
+        )
+    }
+
+    /// Submits a whole HIT's answers on one campaign without waiting for
+    /// the per-answer outcome — the pipelined driver's hot path: the next
+    /// HIT request can ride the wire while this batch is still being
+    /// validated, logged, and applied.
+    pub fn submit_answer_batch_ticket_in(
+        &self,
+        campaign: CampaignId,
+        answers: Vec<Answer>,
+    ) -> Result<Ticket<BatchOutcome>, ServiceError> {
+        self.submit_with(
+            Request::SubmitAnswerBatch { campaign, answers },
+            Admission::Block,
+            decode_batch,
+        )
+    }
+
+    /// Fail-fast form of [`ServiceHandle::submit_answer_batch_ticket_in`].
+    pub fn try_submit_answer_batch_in(
+        &self,
+        campaign: CampaignId,
+        answers: Vec<Answer>,
+    ) -> Result<Ticket<BatchOutcome>, ServiceError> {
+        self.submit_with(
+            Request::SubmitAnswerBatch { campaign, answers },
+            Admission::FailFast,
+            decode_batch,
+        )
+    }
+
+    /// Submits a finish (final inference + report) without waiting.
+    pub fn finish_ticket_in(
+        &self,
+        campaign: CampaignId,
+    ) -> Result<Ticket<RequesterReport>, ServiceError> {
+        self.submit_with(
+            Request::Finish { campaign },
+            Admission::Block,
+            decode_report,
+        )
+    }
+
+    /// Fail-fast form of [`ServiceHandle::finish_ticket_in`].
+    pub fn try_finish_in(
+        &self,
+        campaign: CampaignId,
+    ) -> Result<Ticket<RequesterReport>, ServiceError> {
+        self.submit_with(
+            Request::Finish { campaign },
+            Admission::FailFast,
+            decode_report,
+        )
+    }
+
+    // ------------------------------------------------------------------
+    // Blocking API: submit + wait, one synchronous round-trip.
+    // ------------------------------------------------------------------
+
     /// "A worker comes and requests tasks" on one campaign.
     pub fn request_tasks_in(
         &self,
         campaign: CampaignId,
         worker: WorkerId,
     ) -> Result<WorkRequest, ServiceError> {
-        match self.call(Request::RequestWork { campaign, worker })? {
-            Response::Work(w) => Ok(w),
-            Response::Failed(msg) => Err(ServiceError::Rejected(msg)),
-            other => unreachable!("protocol violation: {other:?}"),
-        }
+        self.request_tasks_ticket_in(campaign, worker)?.wait()
     }
 
     /// Submits a new worker's golden-HIT answers on one campaign.
@@ -247,15 +512,8 @@ impl ServiceHandle {
         worker: WorkerId,
         answers: Vec<(TaskId, ChoiceIndex)>,
     ) -> Result<(), ServiceError> {
-        match self.call(Request::SubmitGolden {
-            campaign,
-            worker,
-            answers,
-        })? {
-            Response::Ack => Ok(()),
-            Response::Failed(msg) => Err(ServiceError::Rejected(msg)),
-            other => unreachable!("protocol violation: {other:?}"),
-        }
+        self.submit_golden_ticket_in(campaign, worker, answers)?
+            .wait()
     }
 
     /// Submits one answer on one campaign.
@@ -264,11 +522,7 @@ impl ServiceHandle {
         campaign: CampaignId,
         answer: Answer,
     ) -> Result<(), ServiceError> {
-        match self.call(Request::SubmitAnswer { campaign, answer })? {
-            Response::Ack => Ok(()),
-            Response::Failed(msg) => Err(ServiceError::Rejected(msg)),
-            other => unreachable!("protocol violation: {other:?}"),
-        }
+        self.submit_answer_ticket_in(campaign, answer)?.wait()
     }
 
     /// Submits a whole HIT's answers on one campaign in a single
@@ -281,20 +535,13 @@ impl ServiceHandle {
         campaign: CampaignId,
         answers: Vec<Answer>,
     ) -> Result<BatchOutcome, ServiceError> {
-        match self.call(Request::SubmitAnswerBatch { campaign, answers })? {
-            Response::BatchAck(outcome) => Ok(outcome),
-            Response::Failed(msg) => Err(ServiceError::Rejected(msg)),
-            other => unreachable!("protocol violation: {other:?}"),
-        }
+        self.submit_answer_batch_ticket_in(campaign, answers)?
+            .wait()
     }
 
     /// Finalizes one campaign's inference and returns its report.
     pub fn finish_in(&self, campaign: CampaignId) -> Result<RequesterReport, ServiceError> {
-        match self.call(Request::Finish { campaign })? {
-            Response::Report(r) => Ok(*r),
-            Response::Failed(msg) => Err(ServiceError::Rejected(msg)),
-            other => unreachable!("protocol violation: {other:?}"),
-        }
+        self.finish_ticket_in(campaign)?.wait()
     }
 
     /// "A worker comes and requests tasks" (default campaign).
@@ -333,6 +580,50 @@ impl ServiceHandle {
     }
 }
 
+// Completion decoders: one per operation kind. Rejections pass through as
+// typed errors; a cross-typed response is a protocol violation (the shard
+// echoed the wrong correlation's payload), which per-ticket one-shot slots
+// make impossible short of a bug.
+fn decode_created(response: Response) -> Result<CampaignId, ServiceError> {
+    match response {
+        Response::CampaignCreated(id) => Ok(id),
+        Response::Rejected(reason) => Err(ServiceError::Rejected(reason)),
+        other => unreachable!("protocol violation: {other:?}"),
+    }
+}
+
+fn decode_work(response: Response) -> Result<WorkRequest, ServiceError> {
+    match response {
+        Response::Work(w) => Ok(w),
+        Response::Rejected(reason) => Err(ServiceError::Rejected(reason)),
+        other => unreachable!("protocol violation: {other:?}"),
+    }
+}
+
+fn decode_ack(response: Response) -> Result<(), ServiceError> {
+    match response {
+        Response::Ack => Ok(()),
+        Response::Rejected(reason) => Err(ServiceError::Rejected(reason)),
+        other => unreachable!("protocol violation: {other:?}"),
+    }
+}
+
+fn decode_batch(response: Response) -> Result<BatchOutcome, ServiceError> {
+    match response {
+        Response::BatchAck(outcome) => Ok(outcome),
+        Response::Rejected(reason) => Err(ServiceError::Rejected(reason)),
+        other => unreachable!("protocol violation: {other:?}"),
+    }
+}
+
+fn decode_report(response: Response) -> Result<RequesterReport, ServiceError> {
+    match response {
+        Response::Report(r) => Ok(*r),
+        Response::Rejected(reason) => Err(ServiceError::Rejected(reason)),
+        other => unreachable!("protocol violation: {other:?}"),
+    }
+}
+
 /// A running DOCS service (the shard-thread pool).
 pub struct DocsService {
     joins: Vec<JoinHandle<CampaignRegistry>>,
@@ -340,7 +631,8 @@ pub struct DocsService {
 }
 
 /// Runs a data-plane handler against one campaign's state; an unknown id
-/// gets the one uniformly worded rejection every request kind shares.
+/// gets the one [`RejectReason::UnknownCampaign`] every request kind
+/// shares.
 fn on_campaign(
     registry: &mut CampaignRegistry,
     campaign: CampaignId,
@@ -348,7 +640,7 @@ fn on_campaign(
 ) -> Response {
     match registry.get_mut(campaign) {
         Some(docs) => f(docs),
-        None => Response::Failed(format!("unknown campaign {campaign}")),
+        None => Response::Rejected(RejectReason::UnknownCampaign(campaign)),
     }
 }
 
@@ -438,28 +730,30 @@ fn apply_event(
     success: impl FnOnce(&mut Docs) -> Response,
 ) -> Response {
     let Some(docs) = registry.get_mut(campaign) else {
-        return Response::Failed(format!("unknown campaign {campaign}"));
+        return Response::Rejected(RejectReason::UnknownCampaign(campaign));
     };
     if let Some(d) = durability
         .as_mut()
         .filter(|d| d.persisted.contains(&campaign))
     {
         if let Err(e) = docs.validate_event(&event) {
-            return Response::Failed(e.to_string());
+            return Response::Rejected(e.into());
         }
         let bytes = match serde_json::to_vec(&event) {
             Ok(bytes) => bytes,
-            Err(e) => return Response::Failed(format!("encode event: {e}")),
+            Err(e) => {
+                return Response::Rejected(RejectReason::Storage(format!("encode event: {e}")))
+            }
         };
         if let Err(e) = d.log.append_event(campaign, &bytes) {
-            return Response::Failed(e.to_string());
+            return Response::Rejected(e.into());
         }
         d.events_since_snapshot += 1;
         d.observe(shard, metrics);
     }
     match docs.apply(&event) {
         Ok(()) => success(docs),
-        Err(e) => Response::Failed(e.to_string()),
+        Err(e) => Response::Rejected(e.into()),
     }
 }
 
@@ -479,15 +773,12 @@ fn apply_answer_batch(
     answers: Vec<Answer>,
 ) -> Response {
     let Some(docs) = registry.get(campaign) else {
-        return Response::Failed(format!("unknown campaign {campaign}"));
+        return Response::Rejected(RejectReason::UnknownCampaign(campaign));
     };
     let (accepted, rejected) = docs.validate_answer_batch(&answers);
     let outcome = BatchOutcome {
         accepted: accepted.len(),
-        rejected: rejected
-            .into_iter()
-            .map(|(i, e)| (i, e.to_string()))
-            .collect(),
+        rejected: rejected.into_iter().map(|(i, e)| (i, e.into())).collect(),
     };
     if accepted.is_empty() {
         return Response::BatchAck(outcome);
@@ -516,7 +807,7 @@ struct ShardSeed {
 fn shard_loop(
     shard: usize,
     seed: ShardSeed,
-    rx: Receiver<Envelope>,
+    rx: Receiver<Inbound>,
     metrics: ServiceMetrics,
     crash: Arc<AtomicBool>,
 ) -> CampaignRegistry {
@@ -562,9 +853,9 @@ fn shard_loop(
                 Some(retry) => due.max(retry.saturating_duration_since(Instant::now())),
                 None => due,
             });
-        let env = match deadline {
+        let inbound = match deadline {
             Some(due) => match rx.recv_timeout(due.max(Duration::from_millis(1))) {
-                Ok(env) => env,
+                Ok(inbound) => inbound,
                 Err(RecvTimeoutError::Timeout) => {
                     // A simulated kill must not be defeated by the idle
                     // timer hardening the buffer it is meant to lose.
@@ -592,7 +883,7 @@ fn shard_loop(
                 Err(RecvTimeoutError::Disconnected) => break,
             },
             None => match rx.recv() {
-                Ok(env) => env,
+                Ok(inbound) => inbound,
                 Err(_) => break,
             },
         };
@@ -600,8 +891,12 @@ fn shard_loop(
             break;
         }
         let start = Instant::now();
-        let campaign = env.request.campaign();
-        let (kind, mut response) = match env.request {
+        let RequestEnvelope {
+            correlation,
+            request,
+        } = inbound.envelope;
+        let campaign = request.campaign();
+        let (kind, mut response) = match request {
             Request::CreateCampaign {
                 campaign,
                 docs,
@@ -685,10 +980,10 @@ fn shard_loop(
                 .filter(|d| d.persisted.contains(&campaign))
             {
                 if let Err(e) = d.log.flush() {
-                    response = Response::Failed(format!(
-                        "campaign {campaign} report is not durable — flush on finish \
-                         failed: {e}"
-                    ));
+                    response = Response::Rejected(RejectReason::ReportNotDurable {
+                        campaign,
+                        cause: e.to_string(),
+                    });
                 }
                 d.observe(shard, &metrics);
             }
@@ -708,8 +1003,12 @@ fn shard_loop(
         let elapsed = start.elapsed();
         metrics.record(kind, elapsed);
         metrics.shard_processed(shard, elapsed);
-        // A client that hung up after sending is fine.
-        let _ = env.reply.send(response);
+        // The completion echoes the submission's correlation id. A client
+        // that dropped its ticket after submitting is fine.
+        let _ = inbound.completions.send(Completion {
+            correlation,
+            response,
+        });
     }
     if let Some(d) = durability.as_mut() {
         if crash.load(Ordering::SeqCst) {
@@ -738,14 +1037,13 @@ fn create_campaign(
     let Some(policy) = policy else {
         return match registry.insert(campaign, docs) {
             Ok(()) => Response::CampaignCreated(campaign),
-            Err(e) => Response::Failed(e.to_string()),
+            Err(e) => Response::Rejected(e.into()),
         };
     };
     let Some(d) = durability.as_mut() else {
-        return Response::Failed(format!(
-            "campaign {campaign} requests durability but the service was \
-             spawned without a durability directory"
-        ));
+        return Response::Rejected(RejectReason::DurabilityUnavailable {
+            campaign: Some(campaign),
+        });
     };
     // Pin the effective policy into the campaign's own config so every
     // snapshot records the policy it actually runs with.
@@ -768,12 +1066,12 @@ fn create_campaign(
             Ok(())
         });
     if let Err(e) = result {
-        return Response::Failed(e.to_string());
+        return Response::Rejected(e.into());
     }
     d.persisted.insert(campaign);
     match registry.insert(campaign, docs) {
         Ok(()) => Response::CampaignCreated(campaign),
-        Err(e) => Response::Failed(e.to_string()),
+        Err(e) => Response::Rejected(e.into()),
     }
 }
 
@@ -815,11 +1113,10 @@ impl DocsService {
     /// [`CampaignId::shard`] and the logs of every past epoch are merged by
     /// per-campaign sequence number.
     pub fn recover(config: ServiceConfig) -> Result<(DocsService, ServiceHandle), ServiceError> {
-        let durability = config.durability.clone().ok_or_else(|| {
-            ServiceError::Rejected("recover needs a durability directory".to_string())
-        })?;
-        let tree =
-            recover_tree(&durability.dir).map_err(|e| ServiceError::Rejected(e.to_string()))?;
+        let durability = config.durability.clone().ok_or(ServiceError::Rejected(
+            RejectReason::RecoverWithoutDurability,
+        ))?;
+        let tree = recover_tree(&durability.dir).map_err(|e| ServiceError::Rejected(e.into()))?;
         let shards = config.num_shards();
         let metrics = ServiceMetrics::new(shards);
         let mut seeds: PoolSeeds = (0..shards)
@@ -842,7 +1139,7 @@ impl DocsService {
             let stats = seeds[shard]
                 .0
                 .replay(*id, snapshot, &events)
-                .map_err(|e| ServiceError::Rejected(e.to_string()))?;
+                .map_err(|e| ServiceError::Rejected(e.into()))?;
             metrics.replay_recorded(stats.applied, stats.rejected);
             metrics.snapshot_loaded();
             let policy = seeds[shard]
@@ -893,7 +1190,7 @@ impl DocsService {
             let log = match &config.durability {
                 Some(d) => Some(
                     CampaignLog::open(d.dir.join(format!("shard-{shard}")))
-                        .map_err(|e| ServiceError::Rejected(e.to_string()))?,
+                        .map_err(|e| ServiceError::Rejected(e.into()))?,
                 ),
                 None => None,
             };
@@ -903,7 +1200,12 @@ impl DocsService {
                 log,
                 snapshot_every: config.durability.as_ref().map_or(0, |d| d.snapshot_every),
             };
-            let (tx, rx) = unbounded::<Envelope>();
+            // The ingress bound is the pool's admission control: blocking
+            // submissions park on a full queue, fail-fast ones bounce.
+            let (tx, rx) = match config.queue_capacity {
+                0 => unbounded::<Inbound>(),
+                cap => bounded::<Inbound>(cap),
+            };
             let shard_metrics = metrics.clone();
             let shard_crash = Arc::clone(&crash);
             senders.push(tx);
@@ -917,6 +1219,7 @@ impl DocsService {
         let handle = ServiceHandle {
             shards: Arc::new(senders),
             next_campaign: Arc::new(AtomicU32::new(next_campaign)),
+            next_correlation: Arc::new(AtomicU64::new(0)),
             metrics,
             default_campaign,
             default_flush: config.durability.as_ref().map(|d| d.default_flush),
@@ -965,6 +1268,7 @@ impl DocsService {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ticket::TicketWait;
     use docs_kb::table2_example_kb;
     use docs_system::DocsConfig;
     use docs_types::TaskBuilder;
@@ -994,6 +1298,23 @@ mod tests {
 
     fn service() -> (DocsService, ServiceHandle) {
         DocsService::spawn(published(9))
+    }
+
+    /// A handle whose single "shard" is a queue the test holds the
+    /// receiving end of — nothing is ever served, which makes admission
+    /// control and pending-ticket behavior deterministic.
+    fn stub_handle(capacity: usize) -> (ServiceHandle, Receiver<Inbound>) {
+        let (tx, rx) = bounded(capacity);
+        let handle = ServiceHandle {
+            shards: Arc::new(vec![tx]),
+            next_campaign: Arc::new(AtomicU32::new(1)),
+            next_correlation: Arc::new(AtomicU64::new(0)),
+            metrics: ServiceMetrics::new(1),
+            default_campaign: CampaignId(0),
+            default_flush: None,
+            crash: Arc::new(AtomicBool::new(false)),
+        };
+        (handle, rx)
     }
 
     fn tmp_dir(name: &str) -> PathBuf {
@@ -1047,7 +1368,7 @@ mod tests {
     }
 
     #[test]
-    fn duplicate_answer_is_rejected_not_fatal() {
+    fn duplicate_answer_is_rejected_with_a_matchable_reason() {
         let (service, handle) = service();
         let w = WorkerId(1);
         if let WorkRequest::Golden(g) = handle.request_tasks(w).unwrap() {
@@ -1056,11 +1377,144 @@ mod tests {
         let answer = Answer::new(w, TaskId(0), 0);
         handle.submit_answer(answer).unwrap();
         let err = handle.submit_answer(answer).unwrap_err();
-        assert!(matches!(err, ServiceError::Rejected(_)));
+        // The rejection is typed end to end…
+        assert_eq!(
+            err,
+            ServiceError::Rejected(RejectReason::DuplicateAnswer {
+                worker: w,
+                task: TaskId(0),
+            })
+        );
+        // …and its rendering matches the pre-taxonomy message.
+        assert_eq!(
+            err.to_string(),
+            "request rejected: worker w1 already answered task t0"
+        );
         // The service keeps serving after the rejection.
         assert!(handle.request_tasks(w).is_ok());
         drop(handle);
         service.join();
+    }
+
+    #[test]
+    fn pipelined_tickets_complete_in_submission_order() {
+        let (service, handle) = service();
+        let w = WorkerId(0);
+        // Golden first (blocking), so the pipelined requests get task HITs.
+        if let WorkRequest::Golden(g) = handle.request_tasks(w).unwrap() {
+            pass_golden(&handle, w, &g);
+        }
+        // Pipeline: a HIT request, its answers, and the next HIT request —
+        // all in flight before the first completion is harvested.
+        let first = handle
+            .request_tasks_ticket_in(handle.default_campaign(), w)
+            .unwrap();
+        assert!(handle.metrics().shard(0).in_flight >= 1);
+        let hit = match first.wait().unwrap() {
+            WorkRequest::Tasks(t) => t,
+            other => panic!("expected tasks, got {other:?}"),
+        };
+        let answers: Vec<Answer> = hit
+            .iter()
+            .map(|&t| Answer::new(w, t, t.index() % 2))
+            .collect();
+        let batch_ticket = handle
+            .submit_answer_batch_ticket_in(handle.default_campaign(), answers)
+            .unwrap();
+        let next_ticket = handle
+            .request_tasks_ticket_in(handle.default_campaign(), w)
+            .unwrap();
+        assert!(
+            batch_ticket.correlation() < next_ticket.correlation(),
+            "correlation ids are monotone per handle"
+        );
+        // FIFO per shard: once the later request completed, the earlier
+        // batch ack must already be in its slot.
+        let work = next_ticket.wait().unwrap();
+        assert!(matches!(work, WorkRequest::Tasks(_) | WorkRequest::Done));
+        match batch_ticket.try_take() {
+            TicketWait::Ready(Ok(outcome)) => assert_eq!(outcome.accepted, hit.len()),
+            other => panic!(
+                "batch ack must be ready once a later completion arrived: {:?}",
+                other.ready().map(|r| r.map(|o| o.accepted))
+            ),
+        }
+        assert_eq!(
+            handle.metrics().shard(0).in_flight,
+            0,
+            "all tickets resolved"
+        );
+        drop(handle);
+        service.join();
+    }
+
+    #[test]
+    fn try_submit_fails_fast_with_busy_when_the_queue_is_full() {
+        let (handle, rx) = stub_handle(2);
+        let c = handle.default_campaign();
+        // Two admissions fill the queue; nothing serves it.
+        let _t1 = handle.try_request_tasks_in(c, WorkerId(0)).unwrap();
+        let _t2 = handle.try_request_tasks_in(c, WorkerId(1)).unwrap();
+        let err = handle.try_request_tasks_in(c, WorkerId(2)).unwrap_err();
+        assert_eq!(err, ServiceError::Busy { shard: 0 });
+        assert_eq!(err.to_string(), "shard 0 ingress queue is full");
+        let stats = handle.metrics().shard(0);
+        assert_eq!(stats.busy_rejections, 1, "refusal counted");
+        assert_eq!(stats.queued, 2, "refused request rolled its depth back");
+        assert_eq!(stats.max_queued, 2, "no phantom high-water mark");
+        assert_eq!(stats.in_flight, 2, "no ticket issued for the refusal");
+        // Draining one slot re-opens admission.
+        let served = rx.recv().unwrap();
+        handle
+            .metrics()
+            .shard_processed(0, Duration::from_micros(1));
+        let _t3 = handle.try_request_tasks_in(c, WorkerId(2)).unwrap();
+        assert_eq!(handle.metrics().shard(0).busy_rejections, 1);
+        // A dead shard is Disconnected, not Busy.
+        drop(rx);
+        drop(served);
+        let err = handle.try_request_tasks_in(c, WorkerId(3)).unwrap_err();
+        assert_eq!(err, ServiceError::Disconnected);
+    }
+
+    #[test]
+    fn pending_tickets_time_out_and_resolve_once_served() {
+        let (handle, rx) = stub_handle(4);
+        let c = handle.default_campaign();
+        let ticket = handle.request_tasks_ticket_in(c, WorkerId(0)).unwrap();
+        assert_eq!(handle.metrics().shard(0).in_flight, 1);
+        // Nothing serves the queue: the wait elapses and hands the ticket
+        // back, still pending, still counted in flight.
+        let ticket = match ticket.wait_timeout(Duration::from_millis(10)) {
+            TicketWait::Pending(t) => t,
+            TicketWait::Ready(r) => panic!("unserved ticket completed: {r:?}"),
+        };
+        let ticket = match ticket.try_take() {
+            TicketWait::Pending(t) => t,
+            TicketWait::Ready(r) => panic!("unserved ticket completed: {r:?}"),
+        };
+        assert_eq!(handle.metrics().shard(0).in_flight, 1);
+        // Serve it by hand: the completion must echo the correlation id.
+        let inbound = rx.recv().unwrap();
+        assert_eq!(inbound.envelope.correlation, ticket.correlation());
+        inbound
+            .completions
+            .send(Completion {
+                correlation: inbound.envelope.correlation,
+                response: Response::Work(WorkRequest::Done),
+            })
+            .unwrap();
+        assert_eq!(ticket.wait().unwrap(), WorkRequest::Done);
+        assert_eq!(handle.metrics().shard(0).in_flight, 0);
+        // A ticket whose shard died reports Disconnected.
+        let orphan = handle.request_tasks_ticket_in(c, WorkerId(1)).unwrap();
+        drop(rx);
+        assert_eq!(orphan.wait().unwrap_err(), ServiceError::Disconnected);
+        // Dropping a pending ticket is fire-and-forget and still resolves
+        // the in-flight gauge.
+        let ticket = handle.request_tasks_ticket_in(c, WorkerId(2));
+        assert!(matches!(ticket, Err(ServiceError::Disconnected)));
+        assert_eq!(handle.metrics().shard(0).in_flight, 0);
     }
 
     #[test]
@@ -1145,9 +1599,13 @@ mod tests {
             assert_eq!(report.truths.len(), tasks_n);
         }
 
-        // Unknown campaigns are rejected, not fatal.
+        // Unknown campaigns are rejected with the campaign id, not fatal.
         let err = handle.request_tasks_in(CampaignId(99), w).unwrap_err();
-        assert!(matches!(err, ServiceError::Rejected(_)));
+        assert_eq!(
+            err,
+            ServiceError::Rejected(RejectReason::UnknownCampaign(CampaignId(99)))
+        );
+        assert_eq!(err.to_string(), "request rejected: unknown campaign c99");
 
         // Per-shard accounting saw every processed request.
         let processed: u64 = handle
@@ -1194,11 +1652,17 @@ mod tests {
     fn durable_campaign_on_memory_only_pool_is_rejected() {
         let (service, handle) = service();
         let err = handle.create_campaign_durable(published(3)).unwrap_err();
-        assert!(matches!(err, ServiceError::Rejected(_)));
+        assert_eq!(
+            err,
+            ServiceError::Rejected(RejectReason::DurabilityUnavailable { campaign: None })
+        );
         let err = handle
             .create_campaign_with(published(3), FlushPolicy::EveryEvent)
             .unwrap_err();
-        assert!(matches!(err, ServiceError::Rejected(_)));
+        assert!(matches!(
+            err,
+            ServiceError::Rejected(RejectReason::DurabilityUnavailable { campaign: Some(_) })
+        ));
         drop(handle);
         service.join();
     }
@@ -1254,7 +1718,18 @@ mod tests {
             outcome.rejected.iter().map(|(i, _)| *i).collect::<Vec<_>>(),
             vec![0, 2]
         );
-        assert!(outcome.rejected[0].1.contains("already answered"));
+        // Per-answer rejections are typed and keep their message text.
+        assert_eq!(
+            outcome.rejected[0].1,
+            RejectReason::DuplicateAnswer {
+                worker: w,
+                task: TaskId(0),
+            }
+        );
+        assert!(outcome.rejected[0]
+            .1
+            .to_string()
+            .contains("already answered"));
         assert_eq!(handle.metrics().stats(OpKind::SubmitBatch).count, 1);
         let report = handle.finish().unwrap();
         assert_eq!(report.answers_collected, 3);
@@ -1307,7 +1782,10 @@ mod tests {
         let (service, handle) = DocsService::recover(ServiceConfig::durable(2, &dir)).unwrap();
         // No campaigns recovered: the default campaign does not exist.
         let err = handle.request_tasks(WorkerId(0)).unwrap_err();
-        assert!(matches!(err, ServiceError::Rejected(_)));
+        assert_eq!(
+            err,
+            ServiceError::Rejected(RejectReason::UnknownCampaign(CampaignId(0)))
+        );
         // But new campaigns can be created (durably) right away.
         let c = handle.create_campaign_durable(published(3)).unwrap();
         assert_eq!(c, CampaignId(0));

@@ -1,0 +1,146 @@
+//! One-shot completion handles for the submission/completion service API.
+//!
+//! A [`Ticket`] is the client half of one in-flight operation: submitting a
+//! request enqueues it on the owning shard and returns immediately with a
+//! ticket; the shard's [`Completion`] lands in the ticket's slot whenever
+//! the shard gets to it. A client that holds many tickets has that many
+//! requests pipelined on the wire — the shard serves them strictly in
+//! arrival order, so per-client ordering is exactly what a blocking caller
+//! would have seen, minus the idle round-trip gaps.
+//!
+//! Tickets are consumed by value: [`Ticket::wait`] blocks until the
+//! completion arrives, while [`Ticket::wait_timeout`] and
+//! [`Ticket::try_take`] return a [`TicketWait`] that either carries the
+//! decoded result or hands the still-pending ticket back. No method
+//! panics, no completion can be taken twice, and dropping a pending ticket
+//! is a clean fire-and-forget (the shard's completion send is simply
+//! discarded).
+
+use crate::message::{Completion, CorrelationId, Response};
+use crate::metrics::ServiceMetrics;
+use crate::server::ServiceError;
+use crossbeam::channel::{Receiver, RecvTimeoutError, TryRecvError};
+use std::time::Duration;
+
+/// Decrements the per-shard in-flight gauge exactly once, however the
+/// ticket resolves (taken, timed out forever, or dropped unresolved).
+struct InFlightGuard {
+    metrics: ServiceMetrics,
+    shard: usize,
+}
+
+impl Drop for InFlightGuard {
+    fn drop(&mut self) {
+        self.metrics.ticket_resolved(self.shard);
+    }
+}
+
+/// A one-shot handle to one submitted operation's completion.
+///
+/// `T` is the operation's typed result (`WorkRequest` for an assignment,
+/// `BatchOutcome` for a batch submission, …); the rejection side is always
+/// [`ServiceError`], so `ticket.wait()` returns exactly what the blocking
+/// method for the same operation returns.
+pub struct Ticket<T> {
+    slot: Receiver<Completion>,
+    correlation: CorrelationId,
+    shard: usize,
+    decode: fn(Response) -> Result<T, ServiceError>,
+    _gauge: InFlightGuard,
+}
+
+/// Outcome of a non-blocking completion poll: either the operation's
+/// decoded result, or the still-pending ticket handed back to the caller.
+pub enum TicketWait<T> {
+    /// The completion arrived (or the shard is gone); the ticket is spent.
+    Ready(Result<T, ServiceError>),
+    /// Nothing yet — keep the ticket and poll or wait again.
+    Pending(Ticket<T>),
+}
+
+impl<T> TicketWait<T> {
+    /// The result, if the completion had arrived; `None` discards a
+    /// pending ticket (fire-and-forget).
+    pub fn ready(self) -> Option<Result<T, ServiceError>> {
+        match self {
+            TicketWait::Ready(result) => Some(result),
+            TicketWait::Pending(_) => None,
+        }
+    }
+}
+
+impl<T> Ticket<T> {
+    pub(crate) fn new(
+        slot: Receiver<Completion>,
+        correlation: CorrelationId,
+        shard: usize,
+        decode: fn(Response) -> Result<T, ServiceError>,
+        metrics: ServiceMetrics,
+    ) -> Self {
+        Ticket {
+            slot,
+            correlation,
+            shard,
+            decode,
+            _gauge: InFlightGuard { metrics, shard },
+        }
+    }
+
+    /// The correlation id the shard will echo in this ticket's completion.
+    pub fn correlation(&self) -> CorrelationId {
+        self.correlation
+    }
+
+    /// The shard the operation was submitted to.
+    pub fn shard(&self) -> usize {
+        self.shard
+    }
+
+    fn decode(&self, completion: Completion) -> Result<T, ServiceError> {
+        debug_assert_eq!(
+            completion.correlation, self.correlation,
+            "completion correlation mismatch: per-ticket slots are one-shot"
+        );
+        (self.decode)(completion.response)
+    }
+
+    /// Blocks until the completion arrives and returns the decoded result —
+    /// the rendezvous the blocking API methods are thin wrappers over.
+    pub fn wait(self) -> Result<T, ServiceError> {
+        match self.slot.recv() {
+            Ok(completion) => self.decode(completion),
+            Err(_) => Err(ServiceError::Disconnected),
+        }
+    }
+
+    /// Waits at most `timeout` for the completion. On timeout the ticket
+    /// comes back untouched in [`TicketWait::Pending`] — the operation is
+    /// still in flight and can be waited on again.
+    pub fn wait_timeout(self, timeout: Duration) -> TicketWait<T> {
+        match self.slot.recv_timeout(timeout) {
+            Ok(completion) => TicketWait::Ready(self.decode(completion)),
+            Err(RecvTimeoutError::Timeout) => TicketWait::Pending(self),
+            Err(RecvTimeoutError::Disconnected) => {
+                TicketWait::Ready(Err(ServiceError::Disconnected))
+            }
+        }
+    }
+
+    /// Non-blocking completion poll.
+    pub fn try_take(self) -> TicketWait<T> {
+        match self.slot.try_recv() {
+            Ok(completion) => TicketWait::Ready(self.decode(completion)),
+            Err(TryRecvError::Empty) => TicketWait::Pending(self),
+            Err(TryRecvError::Disconnected) => TicketWait::Ready(Err(ServiceError::Disconnected)),
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for Ticket<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ticket")
+            .field("correlation", &self.correlation)
+            .field("shard", &self.shard)
+            .finish()
+    }
+}

@@ -50,6 +50,21 @@ pub struct DocsConfig {
     /// a warm pool vs the paper's O(n) scan). `false` reproduces the
     /// paper's scan.
     pub use_benefit_index: bool,
+    /// Strict budget admission: when `true`, answers arriving after the
+    /// collection budget is consumed are rejected
+    /// ([`docs_types::Error::BudgetExhausted`]) instead of absorbed. The
+    /// paper's deployment absorbs late answers (workers who raced on the
+    /// final HITs still get paid), so the default is `false`; a
+    /// cost-strict requester flips it on and the service surfaces the
+    /// refusal as a matchable `RejectReason::BudgetExhausted`.
+    ///
+    /// Within one batch, admission is per answer against the **flat cap**
+    /// (a straddling batch truncates exactly where sequential submission
+    /// would). When combined with an adaptive [`StoppingPolicy`], the
+    /// stopping condition is evaluated against the state *before* the
+    /// batch — a batch whose earlier answers would tip every task into
+    /// its stopping condition does not refuse its own tail.
+    pub strict_budget: bool,
     /// Per-campaign opt-in to the service's event-sourced durability:
     /// `Some(policy)` makes the owning shard write this campaign's events
     /// to its write-ahead log (group-committed per `policy`) so the
@@ -76,6 +91,7 @@ impl Default for DocsConfig {
             stopping: None,
             task_shards: 1,
             use_benefit_index: false,
+            strict_budget: false,
             durable_flush: None,
         }
     }
@@ -97,6 +113,7 @@ mod tests {
         assert!(c.stopping.is_none(), "uniform protocol by default");
         assert_eq!(c.task_shards, 1, "flat scan by default");
         assert!(!c.use_benefit_index, "paper's rescan by default");
+        assert!(!c.strict_budget, "late answers absorbed by default");
         assert!(c.durable_flush.is_none(), "memory-only by default");
     }
 }

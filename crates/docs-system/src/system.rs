@@ -186,10 +186,27 @@ impl Docs {
     /// or — with an adaptive stopping policy configured — every task has
     /// satisfied its stopping condition.
     pub fn budget_exhausted(&self) -> bool {
+        self.budget_exhausted_with(0)
+    }
+
+    /// [`Docs::budget_exhausted`] as seen by the `(pending + 1)`-th answer
+    /// of one submission: the flat cap counts the `pending` answers already
+    /// admitted ahead of it (batch validation admits sequentially without
+    /// mutating state), while the adaptive-stopping condition is evaluated
+    /// against the pre-submission state.
+    ///
+    /// Scope: only the **flat cap** threads `pending` through. With an
+    /// adaptive stopping policy, a batch whose earlier answers would tip
+    /// every task into its stopping condition does not refuse the batch's
+    /// own tail — validation is pure and cannot evolve the states, so
+    /// strict per-answer admission within one batch is exact for the flat
+    /// budget and pre-state for the stopping condition (documented on
+    /// `DocsConfig::strict_budget`).
+    fn budget_exhausted_with(&self, pending: usize) -> bool {
         if self.config.answers_per_task == 0 {
             return false;
         }
-        if self.answers_collected() >= self.config.answers_per_task * self.tasks().len() {
+        if self.answers_collected() + pending >= self.config.answers_per_task * self.tasks().len() {
             return true;
         }
         if let Some(policy) = self.config.stopping {
@@ -310,7 +327,13 @@ impl Docs {
         let mut rejected = Vec::new();
         let mut seen: HashSet<(WorkerId, TaskId)> = HashSet::with_capacity(answers.len());
         for (i, &answer) in answers.iter().enumerate() {
-            if let Err(e) = self.validate_answer(&answer) {
+            // `accepted.len()` answers of this batch are already admitted
+            // ahead of this one — the log growth a sequential submission of
+            // the same batch would have seen — so a batch straddling the
+            // flat budget cap truncates at the same answer. (The adaptive
+            // stopping condition is evaluated on pre-batch state; see
+            // `budget_exhausted_with`.)
+            if let Err(e) = self.validate_answer_at(&answer, accepted.len()) {
                 rejected.push((i, e));
                 continue;
             }
@@ -332,8 +355,18 @@ impl Docs {
     }
 
     /// Validates one answer against the current state: known task, in-range
-    /// choice, not a duplicate of a logged answer.
+    /// choice, not a duplicate of a logged answer — and, on strict-budget
+    /// campaigns, that the collection budget is still open.
     fn validate_answer(&self, answer: &Answer) -> Result<()> {
+        self.validate_answer_at(answer, 0)
+    }
+
+    /// [`Docs::validate_answer`] for the answer arriving after `pending`
+    /// already-admitted answers of the same submission. Duplicate
+    /// classification outranks budget admission: a client retrying after a
+    /// lost ack must see [`Error::DuplicateAnswer`] (its idempotent-success
+    /// signal), never a spurious budget error.
+    fn validate_answer_at(&self, answer: &Answer, pending: usize) -> Result<()> {
         let task = self
             .engine
             .tasks()
@@ -345,6 +378,18 @@ impl Docs {
                 task: answer.task,
                 worker: answer.worker,
             });
+        }
+        self.check_budget_admission_at(pending)?;
+        Ok(())
+    }
+
+    /// Strict-budget admission for the `(pending + 1)`-th new answer of one
+    /// submission: a closed budget refuses further answers. Pure in the
+    /// state, so the live path, the batch validation front, and crash
+    /// replay all reach the same verdict for the same answer log.
+    fn check_budget_admission_at(&self, pending: usize) -> Result<()> {
+        if self.config.strict_budget && self.budget_exhausted_with(pending) {
+            return Err(Error::BudgetExhausted);
         }
         Ok(())
     }
@@ -373,7 +418,9 @@ impl Docs {
                         .ok_or(Error::UnknownTask(tid))?;
                     task.check_choice(choice)?;
                     if task.ground_truth.is_none() {
-                        return Err(Error::UnknownTask(tid));
+                        // A task without a manual label cannot grade a new
+                        // worker — distinct from an id that doesn't exist.
+                        return Err(Error::GoldenRequired(tid));
                     }
                 }
                 Ok(())
@@ -381,12 +428,13 @@ impl Docs {
             CampaignEvent::AnswerSubmitted(a) => self.validate_answer(&a.answer),
             CampaignEvent::AnswerBatchSubmitted(b) => {
                 // A loggable batch must apply *in full*: every answer valid
-                // against the state and no duplicates within the batch
-                // (the service pre-filters with `validate_answer_batch`, so
-                // a failure here means a mispaired or tampered log).
+                // against the state (budget capacity included, counted per
+                // position), no duplicates within the batch (the service
+                // pre-filters with `validate_answer_batch`, so a failure
+                // here means a mispaired or tampered log).
                 let mut seen: HashSet<(WorkerId, TaskId)> = HashSet::new();
-                for answer in &b.answers {
-                    self.validate_answer(answer)?;
+                for (i, answer) in b.answers.iter().enumerate() {
+                    self.validate_answer_at(answer, i)?;
                     if !seen.insert((answer.worker, answer.task)) {
                         return Err(Error::DuplicateAnswer {
                             task: answer.task,
@@ -428,7 +476,7 @@ impl Docs {
                     tid,
                     (
                         t.domain_vector().clone(),
-                        t.ground_truth.ok_or(Error::UnknownTask(tid))?,
+                        t.ground_truth.ok_or(Error::GoldenRequired(tid))?,
                     ),
                 ))
             })
@@ -448,8 +496,11 @@ impl Docs {
     }
 
     fn apply_answer(&mut self, answer: Answer) -> Result<()> {
-        // The engine validates before mutating, so a rejected answer leaves
-        // the state untouched; only then is the worker marked as seen.
+        // Full validation first (the same classification order the pure
+        // front uses — duplicate outranks budget), so a rejected answer
+        // leaves the state untouched and carries the same error whichever
+        // path refused it; the engine re-validates before mutating.
+        self.validate_answer(&answer)?;
         self.engine.submit(answer)?;
         self.seen_workers.insert(answer.worker);
         self.persist_worker(answer.worker)?;
@@ -462,6 +513,12 @@ impl Docs {
         // write per distinct worker/task — the same final store contents
         // as per-answer persistence, without rewriting a hot task's state
         // once per answer. BTreeSets keep the write order deterministic.
+        // A batch applies *in full*, so admission requires budget capacity
+        // for its last answer — the validation front truncates straddling
+        // batches to exactly this capacity.
+        if let Some(last) = answers.len().checked_sub(1) {
+            self.check_budget_admission_at(last)?;
+        }
         self.engine.submit_batch(answers)?;
         let mut workers: std::collections::BTreeSet<WorkerId> = std::collections::BTreeSet::new();
         let mut tasks: std::collections::BTreeSet<TaskId> = std::collections::BTreeSet::new();
@@ -770,6 +827,175 @@ mod tests {
         assert!(docs.budget_exhausted());
         assert_eq!(docs.answers_collected(), 6);
         assert!(matches!(docs.request_tasks(WorkerId(9)), WorkRequest::Done));
+    }
+
+    #[test]
+    fn strict_budget_rejects_late_answers_with_a_typed_error() {
+        let kb = table2_example_kb();
+        let config = DocsConfig {
+            num_golden: 2,
+            k_per_hit: 2,
+            answers_per_task: 2,
+            z: 10,
+            strict_budget: true,
+            ..Default::default()
+        };
+        let mut docs = Docs::publish(&kb, example_tasks(2), config).unwrap();
+        // Budget = 2 tasks × 2 answers.
+        for w in 0..2u32 {
+            for t in 0..2usize {
+                docs.submit_answer(Answer {
+                    task: TaskId::from(t),
+                    worker: WorkerId(w),
+                    choice: 0,
+                })
+                .unwrap();
+            }
+        }
+        assert!(docs.budget_exhausted());
+        let late = Answer {
+            task: TaskId(0),
+            worker: WorkerId(9),
+            choice: 0,
+        };
+        assert_eq!(docs.submit_answer(late), Err(Error::BudgetExhausted));
+        assert_eq!(
+            docs.validate_event(&CampaignEvent::answer(late)),
+            Err(Error::BudgetExhausted)
+        );
+        // The batch front reports the refusal per position.
+        let report = docs.submit_answer_batch(&[late]).unwrap();
+        assert_eq!(report.accepted, 0);
+        assert_eq!(report.rejected, vec![(0, Error::BudgetExhausted)]);
+        assert_eq!(docs.answers_collected(), 4, "nothing absorbed");
+        // Duplicate classification outranks budget admission: a retry of an
+        // already-accepted answer is told it's a duplicate (idempotent
+        // success), not a spurious budget error.
+        assert_eq!(
+            docs.submit_answer(Answer {
+                task: TaskId(0),
+                worker: WorkerId(0),
+                choice: 1,
+            }),
+            Err(Error::DuplicateAnswer {
+                task: TaskId(0),
+                worker: WorkerId(0),
+            })
+        );
+
+        // The paper's default still absorbs late answers.
+        let lax = DocsConfig {
+            num_golden: 2,
+            k_per_hit: 2,
+            answers_per_task: 1,
+            z: 10,
+            ..Default::default()
+        };
+        let mut docs = Docs::publish(&kb, example_tasks(2), lax).unwrap();
+        for t in 0..2usize {
+            docs.submit_answer(Answer {
+                task: TaskId::from(t),
+                worker: WorkerId(0),
+                choice: 0,
+            })
+            .unwrap();
+        }
+        assert!(docs.budget_exhausted());
+        assert!(docs.submit_answer(late).is_ok());
+    }
+
+    /// A batch straddling the budget boundary truncates at exactly the
+    /// answer a sequential submission would have refused — strict admission
+    /// is per answer, not per round-trip.
+    #[test]
+    fn strict_budget_truncates_a_straddling_batch_per_answer() {
+        let kb = table2_example_kb();
+        let config = DocsConfig {
+            num_golden: 2,
+            k_per_hit: 2,
+            answers_per_task: 2,
+            z: 10,
+            strict_budget: true,
+            ..Default::default()
+        };
+        // Budget = 2 tasks × 2 = 4; burn 3 slots, leaving room for one.
+        let mut docs = Docs::publish(&kb, example_tasks(2), config).unwrap();
+        for (w, t) in [(0u32, 0u32), (0, 1), (1, 0)] {
+            docs.submit_answer(Answer {
+                task: TaskId(t),
+                worker: WorkerId(w),
+                choice: 0,
+            })
+            .unwrap();
+        }
+        let batch = [
+            Answer {
+                task: TaskId(1),
+                worker: WorkerId(1),
+                choice: 1,
+            }, // fills the last slot
+            Answer {
+                task: TaskId(0),
+                worker: WorkerId(2),
+                choice: 0,
+            }, // over budget
+            Answer {
+                task: TaskId(1),
+                worker: WorkerId(2),
+                choice: 1,
+            }, // over budget
+        ];
+        // The full-batch event can no longer apply in full…
+        assert_eq!(
+            docs.validate_event(&CampaignEvent::answer_batch(batch.to_vec())),
+            Err(Error::BudgetExhausted)
+        );
+        // …and the validation front truncates it per position.
+        let report = docs.submit_answer_batch(&batch).unwrap();
+        assert_eq!(report.accepted, 1);
+        assert_eq!(
+            report.rejected,
+            vec![(1, Error::BudgetExhausted), (2, Error::BudgetExhausted)]
+        );
+        assert_eq!(
+            docs.answers_collected(),
+            4,
+            "exactly the budget, no overshoot"
+        );
+        assert!(docs.budget_exhausted());
+    }
+
+    #[test]
+    fn golden_submission_for_an_unlabeled_task_is_golden_required() {
+        let kb = table2_example_kb();
+        // No golden set, and task 0 deliberately unlabeled: grading against
+        // it is impossible, which must be told apart from an unknown id.
+        let mut tasks = example_tasks(4);
+        tasks[0].ground_truth = None;
+        let config = DocsConfig {
+            num_golden: 0,
+            k_per_hit: 2,
+            answers_per_task: 2,
+            z: 10,
+            ..Default::default()
+        };
+        let mut docs = Docs::publish(&kb, tasks, config).unwrap();
+        let w = WorkerId(0);
+        assert_eq!(
+            docs.validate_event(&CampaignEvent::golden(w, vec![(TaskId(0), 0)])),
+            Err(Error::GoldenRequired(TaskId(0)))
+        );
+        assert_eq!(
+            docs.submit_golden(w, &[(TaskId(0), 0)]),
+            Err(Error::GoldenRequired(TaskId(0)))
+        );
+        // An id outside the task set keeps its own classification.
+        assert_eq!(
+            docs.validate_event(&CampaignEvent::golden(w, vec![(TaskId(99), 0)])),
+            Err(Error::UnknownTask(TaskId(99)))
+        );
+        // A labeled task still grades fine.
+        assert!(docs.submit_golden(w, &[(TaskId(1), 1)]).is_ok());
     }
 
     #[test]

@@ -48,6 +48,13 @@ pub enum Error {
     },
     /// A referenced task id is outside the published task set.
     UnknownTask(crate::TaskId),
+    /// A golden submission targeted a task outside the golden set — only
+    /// manually labeled golden tasks can grade a new worker (Section 5.2).
+    GoldenRequired(crate::TaskId),
+    /// The campaign's collection budget is already consumed; surfaced by
+    /// strict-admission campaigns that refuse late answers instead of
+    /// absorbing them.
+    BudgetExhausted,
     /// A task was built with fewer than two choices.
     TooFewChoices(usize),
     /// An empty structure was supplied where at least one element is needed.
@@ -79,6 +86,13 @@ impl fmt::Display for Error {
                 write!(f, "worker {worker} already answered task {task}")
             }
             Error::UnknownTask(t) => write!(f, "unknown task {t}"),
+            Error::GoldenRequired(t) => {
+                write!(
+                    f,
+                    "task {t} is not a golden task (no manual label to grade against)"
+                )
+            }
+            Error::BudgetExhausted => write!(f, "collection budget exhausted"),
             Error::TooFewChoices(l) => {
                 write!(f, "tasks need at least 2 choices, got {l}")
             }

@@ -11,6 +11,9 @@
 //!   views over them (`V(i)` per task, `T(w)` per worker, Definition 4),
 //! * [`prob`] — small numeric helpers (entropy, KL divergence, normalization)
 //!   used by every inference and assignment module,
+//! * [`RejectReason`] — the wire-level rejection taxonomy: every way the
+//!   service can refuse a request, as a matchable value whose `Display`
+//!   output preserves the historical message text,
 //! * [`CampaignEvent`] — the event model of the durable service runtime:
 //!   every state change of a served campaign (`Published`,
 //!   `GoldenSubmitted`, `AnswerSubmitted`, `Finished`) as a serializable
@@ -29,6 +32,7 @@ mod error;
 mod events;
 mod ids;
 pub mod prob;
+mod reject;
 mod task;
 mod vectors;
 
@@ -39,5 +43,6 @@ pub use events::{
     AnswerSubmittedEvent, CampaignEvent, FinishedEvent, GoldenSubmittedEvent, PublishedEvent,
 };
 pub use ids::{CampaignId, ChoiceIndex, DomainIndex, TaskId, WorkerId};
+pub use reject::RejectReason;
 pub use task::{Task, TaskBuilder};
 pub use vectors::{DomainVector, QualityVector};

@@ -18,6 +18,28 @@ pub mod channel {
         }
     }
 
+    /// Error returned by [`Sender::try_send`]: the channel is either full
+    /// (bounded channel at capacity — the message comes back so the caller
+    /// can retry or drop it) or disconnected.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The bounded channel is at capacity.
+        Full(T),
+        /// The receiver is gone.
+        Disconnected(T),
+    }
+
+    impl<T> fmt::Display for TrySendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TrySendError::Full(_) => write!(f, "sending on a full channel"),
+                TrySendError::Disconnected(_) => {
+                    write!(f, "sending on a disconnected channel")
+                }
+            }
+        }
+    }
+
     /// Error returned by [`Receiver::recv`] when all senders are gone.
     pub use std::sync::mpsc::RecvError;
     /// Error returned by [`Receiver::recv_timeout`].
@@ -58,6 +80,21 @@ pub mod channel {
             match &self.tx {
                 Tx::Unbounded(tx) => tx.send(value).map_err(|mpsc::SendError(v)| SendError(v)),
                 Tx::Bounded(tx) => tx.send(value).map_err(|mpsc::SendError(v)| SendError(v)),
+            }
+        }
+
+        /// Non-blocking send: fails fast with [`TrySendError::Full`] instead
+        /// of parking the caller when a bounded channel is at capacity. On
+        /// an unbounded channel this never reports `Full`.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            match &self.tx {
+                Tx::Unbounded(tx) => tx
+                    .send(value)
+                    .map_err(|mpsc::SendError(v)| TrySendError::Disconnected(v)),
+                Tx::Bounded(tx) => tx.try_send(value).map_err(|e| match e {
+                    mpsc::TrySendError::Full(v) => TrySendError::Full(v),
+                    mpsc::TrySendError::Disconnected(v) => TrySendError::Disconnected(v),
+                }),
             }
         }
     }
@@ -142,6 +179,26 @@ mod tests {
         assert_eq!(rx.recv().unwrap(), "reply");
         drop(tx);
         assert!(rx.recv().is_err());
+    }
+
+    #[test]
+    fn try_send_distinguishes_full_from_disconnected() {
+        use super::channel::TrySendError;
+        let (tx, rx) = bounded::<u8>(2);
+        assert_eq!(tx.try_send(1), Ok(()));
+        assert_eq!(tx.try_send(2), Ok(()));
+        assert_eq!(tx.try_send(3), Err(TrySendError::Full(3)));
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(tx.try_send(3), Ok(()));
+        drop(rx);
+        assert_eq!(tx.try_send(4), Err(TrySendError::Disconnected(4)));
+        // Unbounded senders never report Full.
+        let (tx, rx) = unbounded::<u8>();
+        for i in 0..64 {
+            assert_eq!(tx.try_send(i), Ok(()));
+        }
+        drop(rx);
+        assert_eq!(tx.try_send(9), Err(TrySendError::Disconnected(9)));
     }
 
     #[test]

@@ -81,7 +81,8 @@ fn run_pool(shards: usize) -> (f64, usize, docs_service::ServiceMetrics) {
                     AnswerModel::DomainUniform,
                     CLIENTS_PER_CAMPAIGN,
                     0xD0C5 + i as u64,
-                );
+                )
+                .expect("drive campaign");
                 let final_report = handle.finish_in(campaign).expect("finish campaign");
                 (report.total_answers(), final_report.accuracy)
             })
@@ -150,12 +151,13 @@ fn main() {
     println!("\nper-shard load (sharded run):");
     for (i, s) in metrics.all_shards().iter().enumerate() {
         println!(
-            "  shard {i}: processed {:>6}   busy {:>9.2?}   mean {:>9.2?}   worst {:>9.2?}   peak queue {:>3}",
+            "  shard {i}: processed {:>6}   busy {:>9.2?}   mean {:>9.2?}   worst {:>9.2?}   peak queue {:>3}   busy rejections {:>3}",
             s.processed,
             s.busy,
             s.mean_latency(),
             s.max_latency,
-            s.max_queued
+            s.max_queued,
+            s.busy_rejections
         );
     }
 }

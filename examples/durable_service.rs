@@ -142,6 +142,7 @@ fn recovery_smoke(dir: &Path) {
             // not on a lucky snapshot right before the kill.
             snapshot_every: 500,
         }),
+        ..Default::default()
     };
 
     // Serve 60% of the stream durably, then die without finishing: the
@@ -222,6 +223,7 @@ fn measure(dir: &Path, flush: Option<FlushPolicy>, label: &str) -> f64 {
                 default_flush: FlushPolicy::Batch(64),
                 snapshot_every: 4096,
             }),
+            ..Default::default()
         },
         None => ServiceConfig::sharded(2),
     };
@@ -243,7 +245,8 @@ fn measure(dir: &Path, flush: Option<FlushPolicy>, label: &str) -> f64 {
         AnswerModel::DomainUniform,
         4,
         0xBEEF,
-    );
+    )
+    .expect("drive campaign");
     let wall = started.elapsed().as_secs_f64();
     let answers = report.total_answers();
     let tput = answers as f64 / wall;

@@ -140,6 +140,7 @@ fn service_config(shards: usize, dir: &Path, policy: FlushPolicy) -> ServiceConf
             // Small cadence so the run crosses snapshot + prune cycles.
             snapshot_every: 7,
         }),
+        ..Default::default()
     }
 }
 
@@ -384,6 +385,7 @@ fn interval_crash_with_unsynced_buffer_replays_to_the_last_synced_event() {
             default_flush: policy,
             snapshot_every: 100_000,
         }),
+        ..Default::default()
     };
     let (service, handle) = DocsService::spawn_sharded(publish(2, Some(policy)), config.clone());
     let campaign = handle.default_campaign();

@@ -45,7 +45,8 @@ fn concurrent_campaign_through_the_service_matches_protocol() {
         AnswerModel::DomainUniform,
         6,
         0x12,
-    );
+    )
+    .unwrap();
     // The protocol promises every method (here: the one deployed system)
     // collects its full budget.
     assert!(

@@ -74,7 +74,8 @@ fn drive_campaign(
         AnswerModel::DomainUniform,
         threads,
         seed,
-    );
+    )
+    .unwrap();
     let final_report = handle.finish_in(campaign).unwrap();
     (report, final_report.truths, final_report.answers_collected)
 }
@@ -161,7 +162,8 @@ fn sharded_truths_equal_single_shard_truths() {
             AnswerModel::DomainUniform,
             1,
             seed,
-        );
+        )
+        .unwrap();
         let report = handle.finish_in(campaign).unwrap();
         reference.push((report.truths, report.truth_distributions));
         drop(handle);
@@ -194,7 +196,8 @@ fn sharded_truths_equal_single_shard_truths() {
                     AnswerModel::DomainUniform,
                     1,
                     seed,
-                );
+                )
+                .unwrap();
                 let report = handle.finish_in(campaign).unwrap();
                 (report.truths, report.truth_distributions)
             })
@@ -242,7 +245,8 @@ fn indexed_truths_equal_scan_truths_for_every_shard_combination() {
             AnswerModel::DomainUniform,
             1,
             seed,
-        );
+        )
+        .unwrap();
         let report = handle.finish_in(campaign).unwrap();
         drop(handle);
         service.join();
