@@ -50,6 +50,19 @@
 //!   ([`DurabilityStats`]), so the Figure 8(b) "worst-case assignment
 //!   time" measurement works under real concurrency and the pool's
 //!   balance and admission pressure are observable,
+//! * **Replication** ([`ServiceConfig::role`] +
+//!   [`ServiceConfig::with_replication`]): a primary ships every durable
+//!   event and snapshot as [`docs_types::ReplicationFrame`]s
+//!   (ship-after-flush, ship-before-ack); a follower pool
+//!   ([`DocsService::spawn_replica`]) refuses mutations with
+//!   [`RejectReason::ReadOnlyReplica`](docs_types::RejectReason) while
+//!   serving the pure reads ([`ServiceHandle::status_in`],
+//!   [`ServiceHandle::peek_report_in`],
+//!   [`ServiceHandle::snapshot_state_in`]) locally, and
+//!   [`ReadRouter`] fans client reads out to replicas while pinning
+//!   writes to the primary. The streaming hub, applier, and
+//!   promotion/failover live in the `docs-replication` crate (see
+//!   ARCHITECTURE.md, "Replication & failover"),
 //! * [`drive_workers`] / [`drive_workers_on`] run a whole simulated crowd
 //!   (from `docs-crowd`) against one campaign from `threads` parallel
 //!   clients until the budget is consumed, **pipelining** each client's
@@ -61,6 +74,7 @@
 mod client;
 mod message;
 mod metrics;
+mod routing;
 mod server;
 mod ticket;
 
@@ -69,10 +83,13 @@ pub use client::{
     DriveOutcome, DriveReport,
 };
 pub use message::{BatchOutcome, Completion, CorrelationId, Request, RequestEnvelope, Response};
-pub use metrics::{DurabilityStats, OpKind, OpStats, ServiceMetrics, ShardStats};
-pub use server::{DocsService, DurabilityConfig, ServiceConfig, ServiceError, ServiceHandle};
+pub use metrics::{DurabilityStats, OpKind, OpStats, ReplicationStats, ServiceMetrics, ShardStats};
+pub use routing::{ReadRouter, ReadRoutingStats};
+pub use server::{
+    DocsService, DurabilityConfig, ReplicationSink, ServiceConfig, ServiceError, ServiceHandle,
+};
 pub use ticket::{Ticket, TicketWait};
 
-// The rejection taxonomy travels the wire, so clients match on it next to
-// `ServiceError`; re-exported for convenience.
-pub use docs_types::RejectReason;
+// The rejection taxonomy and the replica role travel the wire, so clients
+// match on them next to `ServiceError`; re-exported for convenience.
+pub use docs_types::{RejectReason, ReplicaRole};

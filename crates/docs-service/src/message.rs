@@ -20,8 +20,8 @@
 //! pre-pipelining protocol used.
 
 use docs_storage::FlushPolicy;
-use docs_system::{Docs, RequesterReport, WorkRequest};
-use docs_types::{Answer, CampaignId, ChoiceIndex, RejectReason, TaskId, WorkerId};
+use docs_system::{CampaignStatus, Docs, RequesterReport, WorkRequest};
+use docs_types::{Answer, CampaignEvent, CampaignId, ChoiceIndex, RejectReason, TaskId, WorkerId};
 
 /// Client-assigned tag pairing a submission with its completion. Allocated
 /// monotonically per handle; the shard never interprets it, only echoes it.
@@ -107,6 +107,51 @@ pub enum Request {
         /// Campaign to finalize.
         campaign: CampaignId,
     },
+    /// Pure read: the campaign's observable serving state (task/golden
+    /// counts, answers collected, worker counts, budget). Served locally
+    /// by follower replicas — status polling need not touch the primary.
+    Status {
+        /// Campaign to summarize.
+        campaign: CampaignId,
+    },
+    /// Pure read: the requester report under the *current* state, without
+    /// applying a `Finished` event (no full-inference run is forced, no
+    /// event is logged). The inferred-truths read path of a follower.
+    PeekReport {
+        /// Campaign to report on.
+        campaign: CampaignId,
+    },
+    /// Pure read: the campaign's full serialized `CampaignSnapshot` —
+    /// the byte-identity probe (a follower at watermark `w` must return
+    /// exactly the primary's bytes at `w`) and a seeding source for new
+    /// followers.
+    SnapshotState {
+        /// Campaign to serialize.
+        campaign: CampaignId,
+    },
+    /// Replication plane: install a campaign snapshot shipped from the
+    /// primary (bootstrap for a campaign this follower has never seen, or
+    /// fast-forward past a pruned prefix). Only a follower accepts this.
+    InstallSnapshot {
+        /// Campaign the snapshot belongs to.
+        campaign: CampaignId,
+        /// Per-campaign sequence number the snapshot covers.
+        seq: u64,
+        /// The serialized `CampaignSnapshot` (the primary's exact bytes).
+        snapshot: Vec<u8>,
+    },
+    /// Replication plane: apply one replicated event at its primary-
+    /// assigned sequence number through the same deterministic
+    /// `validate_event`/`apply` transition the primary ran. Only a
+    /// follower accepts this; the applier guarantees gap-free order.
+    ApplyReplicated {
+        /// Campaign the event belongs to.
+        campaign: CampaignId,
+        /// Per-campaign sequence number assigned by the primary's log.
+        seq: u64,
+        /// The event to apply.
+        event: Box<CampaignEvent>,
+    },
 }
 
 impl Request {
@@ -118,8 +163,35 @@ impl Request {
             | Request::SubmitGolden { campaign, .. }
             | Request::SubmitAnswer { campaign, .. }
             | Request::SubmitAnswerBatch { campaign, .. }
-            | Request::Finish { campaign } => *campaign,
+            | Request::Finish { campaign }
+            | Request::Status { campaign }
+            | Request::PeekReport { campaign }
+            | Request::SnapshotState { campaign }
+            | Request::InstallSnapshot { campaign, .. }
+            | Request::ApplyReplicated { campaign, .. } => *campaign,
         }
+    }
+
+    /// Whether the request mutates campaign state. Pure reads are the
+    /// operations a read-only follower serves locally; everything else is
+    /// refused there with [`RejectReason::ReadOnlyReplica`] (the
+    /// replication-plane requests mutate too, but only a follower's
+    /// applier may submit them).
+    pub fn is_read(&self) -> bool {
+        matches!(
+            self,
+            Request::Status { .. } | Request::PeekReport { .. } | Request::SnapshotState { .. }
+        )
+    }
+
+    /// Whether the request belongs to the replication plane (snapshot
+    /// install / replicated apply) — accepted only on a follower, fed only
+    /// by its applier.
+    pub fn is_replication(&self) -> bool {
+        matches!(
+            self,
+            Request::InstallSnapshot { .. } | Request::ApplyReplicated { .. }
+        )
     }
 }
 
@@ -147,8 +219,14 @@ pub enum Response {
     Ack,
     /// Reply to [`Request::SubmitAnswerBatch`].
     BatchAck(BatchOutcome),
-    /// Reply to [`Request::Finish`].
+    /// Reply to [`Request::Finish`] and [`Request::PeekReport`].
     Report(Box<RequesterReport>),
+    /// Reply to [`Request::Status`].
+    Status(Box<CampaignStatus>),
+    /// Reply to [`Request::SnapshotState`]: the campaign's serialized
+    /// `CampaignSnapshot`, byte-identical across primary and caught-up
+    /// followers.
+    State(Vec<u8>),
     /// The system refused the request; the reason is matchable data, not
     /// prose (e.g. `RejectReason::DuplicateAnswer`,
     /// `RejectReason::UnknownCampaign`).

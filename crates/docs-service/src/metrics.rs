@@ -40,9 +40,15 @@ pub enum OpKind {
     Finish,
     /// Campaign registration (control plane).
     Create,
+    /// Pure read (status, peeked report, serialized state) — the
+    /// operations a follower replica serves locally.
+    Read,
+    /// Replication plane: snapshot install or replicated event apply on a
+    /// follower.
+    Replicate,
 }
 
-const NUM_KINDS: usize = 6;
+const NUM_KINDS: usize = 8;
 
 impl OpKind {
     #[inline]
@@ -54,6 +60,8 @@ impl OpKind {
             OpKind::SubmitBatch => 3,
             OpKind::Finish => 4,
             OpKind::Create => 5,
+            OpKind::Read => 6,
+            OpKind::Replicate => 7,
         }
     }
 }
@@ -159,6 +167,35 @@ struct DurabilityCounters {
     replay_rejected: AtomicU64,
     snapshots_loaded: AtomicU64,
     snapshots_written: AtomicU64,
+    torn_tail_recoveries: AtomicU64,
+}
+
+/// Service-wide replication counters: the shipping side on a primary, the
+/// applying side on a follower (a service plays one role at a time, so the
+/// other side's counters simply stay zero).
+#[derive(Debug, Default)]
+struct ReplicationCounters {
+    frames_shipped: AtomicU64,
+    events_shipped: AtomicU64,
+    events_applied: AtomicU64,
+    snapshots_installed: AtomicU64,
+    read_only_rejections: AtomicU64,
+}
+
+/// Aggregate replication view across the whole service.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplicationStats {
+    /// Frames handed to the replication sink (primary side).
+    pub frames_shipped: u64,
+    /// Durable events shipped inside those frames (primary side).
+    pub events_shipped: u64,
+    /// Replicated events applied through the state machine (follower side).
+    pub events_applied: u64,
+    /// Snapshots installed from the stream (follower side).
+    pub snapshots_installed: u64,
+    /// Mutations refused with `RejectReason::ReadOnlyReplica` (follower
+    /// side).
+    pub read_only_rejections: u64,
 }
 
 /// Aggregate durability/recovery view across the whole service.
@@ -183,6 +220,11 @@ pub struct DurabilityStats {
     /// Campaign snapshots written while serving (creation, cadence,
     /// recovery re-baseline).
     pub snapshots_written: u64,
+    /// Log segments whose recovery scan ended in a torn record — the
+    /// expected artifact of a crash mid-append, tolerated and counted
+    /// (previously classified by `Wal::replay_all` but silently dropped
+    /// after recovery).
+    pub torn_tail_recoveries: u64,
 }
 
 impl ShardStats {
@@ -204,6 +246,7 @@ pub struct ServiceMetrics {
     ops: Arc<Mutex<[OpStats; NUM_KINDS]>>,
     shards: Arc<Vec<ShardCounters>>,
     durability: Arc<DurabilityCounters>,
+    replication: Arc<ReplicationCounters>,
 }
 
 impl Default for ServiceMetrics {
@@ -220,6 +263,7 @@ impl ServiceMetrics {
             ops: Arc::new(Mutex::new([OpStats::default(); NUM_KINDS])),
             shards: Arc::new((0..shards).map(|_| ShardCounters::default()).collect()),
             durability: Arc::new(DurabilityCounters::default()),
+            replication: Arc::new(ReplicationCounters::default()),
         }
     }
 
@@ -365,6 +409,62 @@ impl ServiceMetrics {
             .fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records log segments whose recovery scan ended in a torn record
+    /// (tolerated crash artifacts, surfaced instead of dropped).
+    pub fn torn_tail_recovered(&self, segments: u64) {
+        self.durability
+            .torn_tail_recoveries
+            .fetch_add(segments, Ordering::Relaxed);
+    }
+
+    /// Records one replication frame (carrying `events` durable events)
+    /// handed to the replication sink.
+    pub fn frame_shipped(&self, events: u64) {
+        self.replication
+            .frames_shipped
+            .fetch_add(1, Ordering::Relaxed);
+        self.replication
+            .events_shipped
+            .fetch_add(events, Ordering::Relaxed);
+    }
+
+    /// Records one replicated event applied on a follower.
+    pub fn replicated_applied(&self) {
+        self.replication
+            .events_applied
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one snapshot installed from the replication stream.
+    pub fn snapshot_installed(&self) {
+        self.replication
+            .snapshots_installed
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one mutation refused because this service is a read-only
+    /// follower.
+    pub fn read_only_rejection(&self) {
+        self.replication
+            .read_only_rejections
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Aggregate replication view (shipping side on a primary, applying
+    /// side on a follower).
+    pub fn replication(&self) -> ReplicationStats {
+        ReplicationStats {
+            frames_shipped: self.replication.frames_shipped.load(Ordering::Relaxed),
+            events_shipped: self.replication.events_shipped.load(Ordering::Relaxed),
+            events_applied: self.replication.events_applied.load(Ordering::Relaxed),
+            snapshots_installed: self.replication.snapshots_installed.load(Ordering::Relaxed),
+            read_only_rejections: self
+                .replication
+                .read_only_rejections
+                .load(Ordering::Relaxed),
+        }
+    }
+
     /// Aggregate durability view: per-shard log gauges summed (last-flush
     /// reported as the max across shards) plus the recovery counters.
     pub fn durability(&self) -> DurabilityStats {
@@ -373,6 +473,7 @@ impl ServiceMetrics {
             replay_rejected: self.durability.replay_rejected.load(Ordering::Relaxed),
             snapshots_loaded: self.durability.snapshots_loaded.load(Ordering::Relaxed),
             snapshots_written: self.durability.snapshots_written.load(Ordering::Relaxed),
+            torn_tail_recoveries: self.durability.torn_tail_recoveries.load(Ordering::Relaxed),
             ..Default::default()
         };
         for shard in self.all_shards() {
@@ -556,6 +657,28 @@ mod tests {
         assert_eq!(d.snapshots_loaded, 1);
         assert_eq!(d.snapshots_written, 2);
         assert_eq!(m.shard(0).log_bytes, 1024);
+    }
+
+    #[test]
+    fn replication_and_torn_tail_counters_accumulate() {
+        let m = ServiceMetrics::new(1);
+        assert_eq!(m.replication(), ReplicationStats::default());
+        m.frame_shipped(3);
+        m.frame_shipped(0); // a snapshot frame carries no events
+        m.replicated_applied();
+        m.replicated_applied();
+        m.snapshot_installed();
+        m.read_only_rejection();
+        let r = m.replication();
+        assert_eq!(r.frames_shipped, 2);
+        assert_eq!(r.events_shipped, 3);
+        assert_eq!(r.events_applied, 2);
+        assert_eq!(r.snapshots_installed, 1);
+        assert_eq!(r.read_only_rejections, 1);
+        // Torn tails surface in the durability view instead of vanishing.
+        assert_eq!(m.durability().torn_tail_recoveries, 0);
+        m.torn_tail_recovered(2);
+        assert_eq!(m.durability().torn_tail_recoveries, 2);
     }
 
     #[test]

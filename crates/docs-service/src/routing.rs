@@ -1,0 +1,197 @@
+//! Read-routing client for a replicated deployment: reads fan out to
+//! follower replicas round-robin, writes pin to the primary.
+//!
+//! The paper's deployment serves every request from one Django backend;
+//! with WAL-shipping replication the status/truths/stats read traffic — the
+//! kind that dominates a dashboarded crowdsourcing campaign — can be
+//! offloaded to followers while the primary keeps exclusive ownership of
+//! the mutation path (cf. the HTAP read-path offloading direction in
+//! PAPERS.md). A [`ReadRouter`] wraps one primary [`ServiceHandle`] plus
+//! any number of replica handles:
+//!
+//! * **writes** (`request_tasks_in`, `submit_*`, `finish_in`,
+//!   `create_campaign`) always go to the primary,
+//! * **reads** (`status_in`, `peek_report_in`, `snapshot_state_in`) go to
+//!   the next replica in round-robin order, **falling back to the
+//!   primary** when a replica is gone, refuses, or simply has not
+//!   bootstrapped the campaign yet (its lag shows as `UnknownCampaign`).
+//!
+//! Replicas serve *their watermark's* state: a read routed to a lagging
+//! follower is consistent-but-stale, exactly like any asynchronous read
+//! replica. Callers that need read-your-writes read from the primary.
+
+use crate::server::{ServiceError, ServiceHandle};
+use docs_system::{CampaignStatus, RequesterReport, WorkRequest};
+use docs_types::{Answer, CampaignId, ChoiceIndex, RejectReason, TaskId, WorkerId};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Where the router sent reads so far (observability for tests, examples,
+/// and capacity planning).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReadRoutingStats {
+    /// Reads served by a replica.
+    pub replica_reads: u64,
+    /// Reads served by the primary (no replicas, or fallback).
+    pub primary_reads: u64,
+    /// Reads that fell back to the primary after a replica refused or
+    /// disconnected.
+    pub fallbacks: u64,
+}
+
+/// The routing client of a primary + replicas deployment.
+#[derive(Clone)]
+pub struct ReadRouter {
+    primary: ServiceHandle,
+    replicas: Arc<Vec<ServiceHandle>>,
+    next: Arc<AtomicUsize>,
+    replica_reads: Arc<AtomicU64>,
+    primary_reads: Arc<AtomicU64>,
+    fallbacks: Arc<AtomicU64>,
+}
+
+impl ReadRouter {
+    /// Routes writes to `primary` and fans reads out across `replicas`
+    /// (an empty list degrades to an all-primary router).
+    pub fn new(primary: ServiceHandle, replicas: Vec<ServiceHandle>) -> Self {
+        ReadRouter {
+            primary,
+            replicas: Arc::new(replicas),
+            next: Arc::new(AtomicUsize::new(0)),
+            replica_reads: Arc::new(AtomicU64::new(0)),
+            primary_reads: Arc::new(AtomicU64::new(0)),
+            fallbacks: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// The write-side handle.
+    pub fn primary(&self) -> &ServiceHandle {
+        &self.primary
+    }
+
+    /// The attached replica handles.
+    pub fn replicas(&self) -> &[ServiceHandle] {
+        &self.replicas
+    }
+
+    /// Read-routing accounting so far.
+    pub fn stats(&self) -> ReadRoutingStats {
+        ReadRoutingStats {
+            replica_reads: self.replica_reads.load(Ordering::Relaxed),
+            primary_reads: self.primary_reads.load(Ordering::Relaxed),
+            fallbacks: self.fallbacks.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Whether a replica's refusal warrants retrying on the primary: the
+    /// replica is gone, lagging (campaign not bootstrapped yet), or was
+    /// promoted/demoted out from under the router.
+    fn retry_on_primary(error: &ServiceError) -> bool {
+        matches!(
+            error,
+            ServiceError::Disconnected
+                | ServiceError::Busy { .. }
+                | ServiceError::Rejected(RejectReason::UnknownCampaign(_))
+        )
+    }
+
+    /// Runs one read: next replica in round-robin order, primary fallback.
+    fn read<T>(
+        &self,
+        op: impl Fn(&ServiceHandle) -> Result<T, ServiceError>,
+    ) -> Result<T, ServiceError> {
+        if self.replicas.is_empty() {
+            self.primary_reads.fetch_add(1, Ordering::Relaxed);
+            return op(&self.primary);
+        }
+        let pick = self.next.fetch_add(1, Ordering::Relaxed) % self.replicas.len();
+        match op(&self.replicas[pick]) {
+            Ok(value) => {
+                self.replica_reads.fetch_add(1, Ordering::Relaxed);
+                Ok(value)
+            }
+            Err(e) if Self::retry_on_primary(&e) => {
+                self.fallbacks.fetch_add(1, Ordering::Relaxed);
+                self.primary_reads.fetch_add(1, Ordering::Relaxed);
+                op(&self.primary)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Reads: replica-first.
+    // ------------------------------------------------------------------
+
+    /// Campaign status, served replica-first.
+    pub fn status_in(&self, campaign: CampaignId) -> Result<CampaignStatus, ServiceError> {
+        self.read(|h| h.status_in(campaign))
+    }
+
+    /// Inferred truths under the current state, served replica-first.
+    pub fn peek_report_in(&self, campaign: CampaignId) -> Result<RequesterReport, ServiceError> {
+        self.read(|h| h.peek_report_in(campaign))
+    }
+
+    /// Serialized campaign state, served replica-first.
+    pub fn snapshot_state_in(&self, campaign: CampaignId) -> Result<Vec<u8>, ServiceError> {
+        self.read(|h| h.snapshot_state_in(campaign))
+    }
+
+    // ------------------------------------------------------------------
+    // Writes: primary-pinned.
+    // ------------------------------------------------------------------
+
+    /// "A worker comes and requests tasks" — primary only (assignment
+    /// reads *and then consumes* budget as answers flow back; a follower
+    /// refuses it).
+    pub fn request_tasks_in(
+        &self,
+        campaign: CampaignId,
+        worker: WorkerId,
+    ) -> Result<WorkRequest, ServiceError> {
+        self.primary.request_tasks_in(campaign, worker)
+    }
+
+    /// Golden-HIT submission — primary only.
+    pub fn submit_golden_in(
+        &self,
+        campaign: CampaignId,
+        worker: WorkerId,
+        answers: Vec<(TaskId, ChoiceIndex)>,
+    ) -> Result<(), ServiceError> {
+        self.primary.submit_golden_in(campaign, worker, answers)
+    }
+
+    /// Single-answer submission — primary only.
+    pub fn submit_answer_in(
+        &self,
+        campaign: CampaignId,
+        answer: Answer,
+    ) -> Result<(), ServiceError> {
+        self.primary.submit_answer_in(campaign, answer)
+    }
+
+    /// Batched answer submission — primary only.
+    pub fn submit_answer_batch_in(
+        &self,
+        campaign: CampaignId,
+        answers: Vec<Answer>,
+    ) -> Result<crate::message::BatchOutcome, ServiceError> {
+        self.primary.submit_answer_batch_in(campaign, answers)
+    }
+
+    /// Finalization (runs inference, logs `Finished`) — primary only.
+    pub fn finish_in(&self, campaign: CampaignId) -> Result<RequesterReport, ServiceError> {
+        self.primary.finish_in(campaign)
+    }
+}
+
+impl std::fmt::Debug for ReadRouter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReadRouter")
+            .field("replicas", &self.replicas.len())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}

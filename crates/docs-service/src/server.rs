@@ -47,14 +47,15 @@ use crate::metrics::{OpKind, ServiceMetrics};
 use crate::ticket::Ticket;
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender, TrySendError};
 use docs_storage::{recover_tree, CampaignLog, FlushPolicy};
-use docs_system::{CampaignRegistry, Docs, RequesterReport, WorkRequest};
+use docs_system::{CampaignRegistry, CampaignStatus, Docs, RequesterReport, WorkRequest};
 use docs_types::{
-    Answer, CampaignEvent, CampaignId, ChoiceIndex, PublishedEvent, RejectReason, TaskId, WorkerId,
+    Answer, CampaignEvent, CampaignId, ChoiceIndex, EventFrame, PublishedEvent, RejectReason,
+    ReplicaRole, ReplicationFrame, SnapshotFrame, TaskId, WorkerId,
 };
 use std::collections::{BTreeSet, HashMap};
 use std::fmt;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -100,6 +101,67 @@ impl fmt::Display for ServiceError {
 
 impl std::error::Error for ServiceError {}
 
+/// The primary's half of the replication wire: shard threads hand every
+/// frame they seal (durable event batches, snapshots) to this sink; a
+/// `docs-replication` hub on the other end encodes, CRC-stamps, and fans
+/// the frames out to subscribed followers. Shipping is strictly
+/// *post-flush*: a frame never carries an event the primary's disk has not
+/// accepted, so a follower's watermark can only reach states the primary
+/// could itself recover to.
+#[derive(Clone)]
+pub struct ReplicationSink(Sender<ReplicationFrame>);
+
+impl ReplicationSink {
+    /// Wraps the sending half of a replication stream.
+    pub fn new(tx: Sender<ReplicationFrame>) -> Self {
+        ReplicationSink(tx)
+    }
+
+    /// Ships one frame; a gone hub (every follower detached) is not an
+    /// error — the primary keeps serving unreplicated.
+    fn ship(&self, frame: ReplicationFrame) -> bool {
+        self.0.send(frame).is_ok()
+    }
+}
+
+impl fmt::Debug for ReplicationSink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ReplicationSink").finish_non_exhaustive()
+    }
+}
+
+/// Shared mutable role of a running service: shards consult it per
+/// request, promotion flips it exactly once.
+#[derive(Debug, Clone)]
+struct RoleCell(Arc<AtomicU8>);
+
+impl RoleCell {
+    fn new(role: ReplicaRole) -> Self {
+        RoleCell(Arc::new(AtomicU8::new(match role {
+            ReplicaRole::Primary => 0,
+            ReplicaRole::Follower => 1,
+        })))
+    }
+
+    fn get(&self) -> ReplicaRole {
+        if self.0.load(Ordering::SeqCst) == 0 {
+            ReplicaRole::Primary
+        } else {
+            ReplicaRole::Follower
+        }
+    }
+
+    fn set(&self, role: ReplicaRole) {
+        self.0.store(
+            match role {
+                ReplicaRole::Primary => 0,
+                ReplicaRole::Follower => 1,
+            },
+            Ordering::SeqCst,
+        );
+    }
+}
+
 /// Where and how the service persists campaign events.
 #[derive(Debug, Clone)]
 pub struct DurabilityConfig {
@@ -141,6 +203,15 @@ pub struct ServiceConfig {
     /// pre-backpressure behavior, kept as an escape hatch for harnesses
     /// that measure raw queue growth).
     pub queue_capacity: usize,
+    /// The role the pool starts in. A [`ReplicaRole::Follower`] refuses
+    /// every mutation with [`RejectReason::ReadOnlyReplica`], serves the
+    /// pure reads locally, and accepts the replication plane (snapshot
+    /// installs, replicated applies) until it is promoted.
+    pub role: ReplicaRole,
+    /// When set on a primary with durability, every snapshot written and
+    /// every flushed (durable) event is also handed to this sink as a
+    /// [`ReplicationFrame`] — the WAL-shipping feed followers apply.
+    pub replication: Option<ReplicationSink>,
 }
 
 impl Default for ServiceConfig {
@@ -149,6 +220,8 @@ impl Default for ServiceConfig {
             shards: 0,
             durability: None,
             queue_capacity: Self::DEFAULT_QUEUE_CAPACITY,
+            role: ReplicaRole::Primary,
+            replication: None,
         }
     }
 }
@@ -179,6 +252,29 @@ impl ServiceConfig {
     /// Overrides the per-shard ingress bound (`0` = unbounded).
     pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
         self.queue_capacity = capacity;
+        self
+    }
+
+    /// A memory-only follower pool of `shards` shard threads (campaigns
+    /// arrive via snapshot installs, not `create_campaign`).
+    pub fn follower(shards: usize) -> Self {
+        ServiceConfig {
+            shards,
+            role: ReplicaRole::Follower,
+            ..Default::default()
+        }
+    }
+
+    /// Sets the starting role.
+    pub fn with_role(mut self, role: ReplicaRole) -> Self {
+        self.role = role;
+        self
+    }
+
+    /// Attaches a replication sink: durable events and snapshots ship
+    /// through it as frames (see [`ReplicationSink`]).
+    pub fn with_replication(mut self, sink: ReplicationSink) -> Self {
+        self.replication = Some(sink);
         self
     }
 
@@ -230,6 +326,7 @@ pub struct ServiceHandle {
     default_campaign: CampaignId,
     default_flush: Option<FlushPolicy>,
     crash: Arc<AtomicBool>,
+    role: RoleCell,
 }
 
 impl ServiceHandle {
@@ -331,6 +428,21 @@ impl ServiceHandle {
     /// The campaign the un-suffixed convenience methods target.
     pub fn default_campaign(&self) -> CampaignId {
         self.default_campaign
+    }
+
+    /// The service's current replica role.
+    pub fn role(&self) -> ReplicaRole {
+        self.role.get()
+    }
+
+    /// Flips the service to [`ReplicaRole::Primary`]: mutations are
+    /// accepted from the next request on, and the replication plane is
+    /// refused. This is the *mechanism* of failover; the *policy* (drain
+    /// every received frame first, record the promotion watermark) lives in
+    /// `docs-replication`'s follower controller — prefer promoting through
+    /// it so no in-flight frame is abandoned below the promised watermark.
+    pub fn promote_to_primary(&self) {
+        self.role.set(ReplicaRole::Primary);
     }
 
     /// Fault injection: makes every shard behave as if the process died —
@@ -493,6 +605,106 @@ impl ServiceHandle {
     }
 
     // ------------------------------------------------------------------
+    // Pure reads: served by primaries and followers alike — the
+    // operations read-routing fans out to replicas.
+    // ------------------------------------------------------------------
+
+    /// Submits a status read on one campaign without waiting.
+    pub fn status_ticket_in(
+        &self,
+        campaign: CampaignId,
+    ) -> Result<Ticket<CampaignStatus>, ServiceError> {
+        self.submit_with(
+            Request::Status { campaign },
+            Admission::Block,
+            decode_status,
+        )
+    }
+
+    /// The campaign's observable serving state (answers collected, worker
+    /// counts, budget) — a pure read, servable by a follower.
+    pub fn status_in(&self, campaign: CampaignId) -> Result<CampaignStatus, ServiceError> {
+        self.status_ticket_in(campaign)?.wait()
+    }
+
+    /// Submits an inferred-truths read on one campaign without waiting.
+    pub fn peek_report_ticket_in(
+        &self,
+        campaign: CampaignId,
+    ) -> Result<Ticket<RequesterReport>, ServiceError> {
+        self.submit_with(
+            Request::PeekReport { campaign },
+            Admission::Block,
+            decode_report,
+        )
+    }
+
+    /// The requester report under the campaign's *current* state — unlike
+    /// [`ServiceHandle::finish_in`], no `Finished` event is applied (no
+    /// full-inference pass is forced, nothing is logged), so this is a
+    /// pure read a follower serves locally.
+    pub fn peek_report_in(&self, campaign: CampaignId) -> Result<RequesterReport, ServiceError> {
+        self.peek_report_ticket_in(campaign)?.wait()
+    }
+
+    /// The campaign's full serialized `CampaignSnapshot` — the
+    /// byte-identity probe: a follower at watermark `w` returns exactly
+    /// the bytes the primary's state had at `w`.
+    pub fn snapshot_state_in(&self, campaign: CampaignId) -> Result<Vec<u8>, ServiceError> {
+        self.submit_with(
+            Request::SnapshotState { campaign },
+            Admission::Block,
+            decode_state,
+        )?
+        .wait()
+    }
+
+    // ------------------------------------------------------------------
+    // Replication plane: fed by a follower's applier, refused elsewhere.
+    // ------------------------------------------------------------------
+
+    /// Installs a replicated campaign snapshot on this follower (bootstrap
+    /// or fast-forward), covering sequences up to `seq`.
+    pub fn replicate_install_snapshot(
+        &self,
+        campaign: CampaignId,
+        seq: u64,
+        snapshot: Vec<u8>,
+    ) -> Result<(), ServiceError> {
+        self.submit_with(
+            Request::InstallSnapshot {
+                campaign,
+                seq,
+                snapshot,
+            },
+            Admission::Block,
+            decode_ack,
+        )?
+        .wait()
+    }
+
+    /// Applies one replicated event at its primary-assigned sequence
+    /// number on this follower. The caller (the applier) guarantees
+    /// per-campaign gap-free order.
+    pub fn replicate_apply(
+        &self,
+        campaign: CampaignId,
+        seq: u64,
+        event: CampaignEvent,
+    ) -> Result<(), ServiceError> {
+        self.submit_with(
+            Request::ApplyReplicated {
+                campaign,
+                seq,
+                event: Box::new(event),
+            },
+            Admission::Block,
+            decode_ack,
+        )?
+        .wait()
+    }
+
+    // ------------------------------------------------------------------
     // Blocking API: submit + wait, one synchronous round-trip.
     // ------------------------------------------------------------------
 
@@ -624,6 +836,22 @@ fn decode_report(response: Response) -> Result<RequesterReport, ServiceError> {
     }
 }
 
+fn decode_status(response: Response) -> Result<CampaignStatus, ServiceError> {
+    match response {
+        Response::Status(s) => Ok(*s),
+        Response::Rejected(reason) => Err(ServiceError::Rejected(reason)),
+        other => unreachable!("protocol violation: {other:?}"),
+    }
+}
+
+fn decode_state(response: Response) -> Result<Vec<u8>, ServiceError> {
+    match response {
+        Response::State(bytes) => Ok(bytes),
+        Response::Rejected(reason) => Err(ServiceError::Rejected(reason)),
+        other => unreachable!("protocol violation: {other:?}"),
+    }
+}
+
 /// A running DOCS service (the shard-thread pool).
 pub struct DocsService {
     joins: Vec<JoinHandle<CampaignRegistry>>,
@@ -644,6 +872,13 @@ fn on_campaign(
     }
 }
 
+/// A sealed-but-unshipped item of one shard's replication feed, queued in
+/// append order until the group commit that hardens it completes.
+enum Unshipped {
+    Snapshot(SnapshotFrame),
+    Event(EventFrame),
+}
+
 /// One shard's durability state: its campaign log plus the set of campaigns
 /// whose events it records.
 struct ShardDurability {
@@ -655,6 +890,11 @@ struct ShardDurability {
     snapshot_every: u64,
     events_since_snapshot: u64,
     observed_flushes: u64,
+    /// Replication feed (primary side): frames queue here at append time
+    /// and ship only once the log's buffer is empty — i.e. once the events
+    /// they carry are actually on disk.
+    sink: Option<ReplicationSink>,
+    unshipped: Vec<Unshipped>,
 }
 
 impl ShardDurability {
@@ -669,7 +909,68 @@ impl ShardDurability {
         let seq = self.log.write_snapshot(campaign, &bytes)?;
         self.snapshotted_at.insert(campaign, seq);
         metrics.snapshot_written();
+        if self.sink.is_some() {
+            self.unshipped.push(Unshipped::Snapshot(SnapshotFrame {
+                campaign,
+                seq,
+                payload: bytes,
+            }));
+        }
         Ok(())
+    }
+
+    /// Queues one appended event for shipping (no-op without a sink). The
+    /// payload is the exact WAL record payload, so followers replay the
+    /// same bytes recovery would.
+    fn queue_event_for_ship(&mut self, campaign: CampaignId, seq: u64, payload: &[u8]) {
+        if self.sink.is_some() {
+            self.unshipped.push(Unshipped::Event(EventFrame {
+                campaign,
+                seq,
+                payload: payload.to_vec(),
+            }));
+        }
+    }
+
+    /// Ships everything queued, provided the log's buffer is empty (all
+    /// queued events are durable). Consecutive events coalesce into one
+    /// [`ReplicationFrame::Events`] per group commit; snapshots ship as
+    /// their own frames, in order. Called *before* a request's completion
+    /// is sent, so an acknowledged durable event is always already on the
+    /// wire to the followers.
+    fn ship(&mut self, metrics: &ServiceMetrics) {
+        let Some(sink) = &self.sink else {
+            return;
+        };
+        if self.unshipped.is_empty() || self.log.pending_events() != 0 {
+            return;
+        }
+        let mut batch: Vec<EventFrame> = Vec::new();
+        let mut frames: Vec<ReplicationFrame> = Vec::new();
+        for item in self.unshipped.drain(..) {
+            match item {
+                Unshipped::Event(event) => batch.push(event),
+                Unshipped::Snapshot(snapshot) => {
+                    if !batch.is_empty() {
+                        frames.push(ReplicationFrame::Events(std::mem::take(&mut batch)));
+                    }
+                    frames.push(ReplicationFrame::Snapshot(snapshot));
+                }
+            }
+        }
+        if !batch.is_empty() {
+            frames.push(ReplicationFrame::Events(batch));
+        }
+        for frame in frames {
+            let events = frame.num_events() as u64;
+            if !sink.ship(frame) {
+                // Hub gone: stop feeding a dead wire but keep serving.
+                self.sink = None;
+                self.unshipped.clear();
+                return;
+            }
+            metrics.frame_shipped(events);
+        }
     }
 
     /// Re-baselines the *dirty* persisted campaigns on the shard (those
@@ -745,9 +1046,11 @@ fn apply_event(
                 return Response::Rejected(RejectReason::Storage(format!("encode event: {e}")))
             }
         };
-        if let Err(e) = d.log.append_event(campaign, &bytes) {
-            return Response::Rejected(e.into());
-        }
+        let seq = match d.log.append_event(campaign, &bytes) {
+            Ok(seq) => seq,
+            Err(e) => return Response::Rejected(e.into()),
+        };
+        d.queue_event_for_ship(campaign, seq, &bytes);
         d.events_since_snapshot += 1;
         d.observe(shard, metrics);
     }
@@ -794,6 +1097,105 @@ fn apply_answer_batch(
     )
 }
 
+/// Handles a replicated snapshot install on a follower shard: restores the
+/// campaign (replacing any earlier registration — a fast-forward), and, on
+/// a durable follower whose campaign opts in, registers the local log at
+/// the shipped sequence and writes its own baseline snapshot so the
+/// follower is independently recoverable (and can itself be a shipping
+/// primary after promotion).
+fn install_snapshot(
+    registry: &mut CampaignRegistry,
+    durability: &mut Option<ShardDurability>,
+    metrics: &ServiceMetrics,
+    next_campaign: &AtomicU32,
+    campaign: CampaignId,
+    seq: u64,
+    snapshot: &[u8],
+) -> Response {
+    if let Err(e) = registry.install_snapshot(campaign, snapshot) {
+        return Response::Rejected(e.into());
+    }
+    // Keep the handle-level allocator ahead of every replicated id, so the
+    // first `create_campaign` after this follower is promoted cannot
+    // collide with a campaign it replicated.
+    next_campaign.fetch_max(campaign.0 + 1, Ordering::SeqCst);
+    metrics.snapshot_installed();
+    if let Some(d) = durability.as_mut() {
+        let policy = registry
+            .get(campaign)
+            .and_then(|docs| docs.config().durable_flush);
+        if let Some(policy) = policy {
+            d.log.register(campaign, policy, seq);
+            d.persisted.insert(campaign);
+            if let Some(docs) = registry.get(campaign) {
+                if let Err(e) = d.snapshot_campaign(campaign, docs, metrics) {
+                    return Response::Rejected(e.into());
+                }
+            }
+        }
+    }
+    Response::Ack
+}
+
+/// Applies one replicated event on a follower shard through the exact
+/// write-ahead discipline the primary used ([`apply_event`]): validated
+/// against the follower's state, appended to the follower's own log when
+/// the campaign is durable here, then applied. On a durable follower the
+/// locally assigned sequence must equal the primary's — the logs stay
+/// byte-compatible — so a misaligned stream is refused instead of forking
+/// the history.
+fn apply_replicated(
+    registry: &mut CampaignRegistry,
+    durability: &mut Option<ShardDurability>,
+    metrics: &ServiceMetrics,
+    shard: usize,
+    campaign: CampaignId,
+    seq: u64,
+    event: CampaignEvent,
+) -> Response {
+    if let Some(d) = durability
+        .as_ref()
+        .filter(|d| d.persisted.contains(&campaign))
+    {
+        let expected = d.log.last_seq(campaign) + 1;
+        if seq != expected {
+            return Response::Rejected(RejectReason::Storage(format!(
+                "replicated event for campaign {campaign} arrived at sequence {seq}; \
+                 the local log expects {expected}"
+            )));
+        }
+    }
+    let response = apply_event(
+        registry,
+        durability,
+        metrics,
+        shard,
+        campaign,
+        event,
+        |_| Response::Ack,
+    );
+    if matches!(response, Response::Ack) {
+        metrics.replicated_applied();
+    }
+    response
+}
+
+/// The metrics bucket each request kind lands in.
+fn kind_of(request: &Request) -> OpKind {
+    match request {
+        Request::CreateCampaign { .. } => OpKind::Create,
+        Request::RequestWork { .. } => OpKind::Assign,
+        Request::SubmitGolden { .. } => OpKind::Golden,
+        Request::SubmitAnswer { .. } => OpKind::Submit,
+        Request::SubmitAnswerBatch { .. } => OpKind::SubmitBatch,
+        Request::Finish { .. } => OpKind::Finish,
+        Request::Status { .. } | Request::PeekReport { .. } | Request::SnapshotState { .. } => {
+            OpKind::Read
+        }
+        Request::InstallSnapshot { .. } | Request::ApplyReplicated { .. } => OpKind::Replicate,
+    }
+}
+
 /// What a shard starts with: its pre-built registry (empty on a fresh
 /// spawn, replayed on recovery) and, per persisted campaign, the flush
 /// policy plus the last durable sequence number.
@@ -802,6 +1204,10 @@ struct ShardSeed {
     persisted: Vec<(CampaignId, FlushPolicy, u64)>,
     log: Option<CampaignLog>,
     snapshot_every: u64,
+    sink: Option<ReplicationSink>,
+    /// The handle-level campaign-id allocator, shared so snapshot installs
+    /// keep it ahead of every replicated id (see `install_snapshot`).
+    next_campaign: Arc<AtomicU32>,
 }
 
 fn shard_loop(
@@ -810,8 +1216,10 @@ fn shard_loop(
     rx: Receiver<Inbound>,
     metrics: ServiceMetrics,
     crash: Arc<AtomicBool>,
+    role: RoleCell,
 ) -> CampaignRegistry {
     let mut registry = seed.registry;
+    let seed_next_campaign = seed.next_campaign;
     let mut durability = seed.log.map(|log| ShardDurability {
         log,
         persisted: BTreeSet::new(),
@@ -819,6 +1227,8 @@ fn shard_loop(
         snapshot_every: seed.snapshot_every,
         events_since_snapshot: 0,
         observed_flushes: 0,
+        sink: seed.sink,
+        unshipped: Vec::new(),
     });
     // Recovered campaigns: seed sequence counters and write a fresh
     // baseline snapshot into *this* epoch's directory, so the next recovery
@@ -864,7 +1274,15 @@ fn shard_loop(
                     }
                     let d = durability.as_mut().expect("deadline implies durability");
                     match d.log.flush_if_due() {
-                        Ok(_) => idle_flush_retry_at = None,
+                        Ok(flushed) => {
+                            idle_flush_retry_at = None;
+                            if flushed {
+                                // Idle-hardened events are durable now:
+                                // they ship exactly like a request-path
+                                // group commit's would.
+                                d.ship(&metrics);
+                            }
+                        }
                         Err(e) => {
                             eprintln!("docs-shard-{shard}: idle interval flush failed: {e}");
                             // Floored: IntervalMs(0) must not turn a broken
@@ -896,14 +1314,30 @@ fn shard_loop(
             request,
         } = inbound.envelope;
         let campaign = request.campaign();
-        let (kind, mut response) = match request {
-            Request::CreateCampaign {
-                campaign,
-                docs,
-                persistence,
-            } => (
-                OpKind::Create,
-                create_campaign(
+        let kind = kind_of(&request);
+        // The role gate: a follower refuses every external mutation (pure
+        // reads and the replication plane pass), a primary refuses the
+        // replication plane (nothing legitimate feeds it).
+        let refusal = match role.get() {
+            ReplicaRole::Follower if !request.is_read() && !request.is_replication() => {
+                metrics.read_only_rejection();
+                Some(Response::Rejected(RejectReason::ReadOnlyReplica {
+                    campaign,
+                }))
+            }
+            ReplicaRole::Primary if request.is_replication() => {
+                Some(Response::Rejected(RejectReason::NotAFollower { campaign }))
+            }
+            _ => None,
+        };
+        let mut response = match refusal {
+            Some(response) => response,
+            None => match request {
+                Request::CreateCampaign {
+                    campaign,
+                    docs,
+                    persistence,
+                } => create_campaign(
                     &mut registry,
                     &mut durability,
                     &metrics,
@@ -911,18 +1345,14 @@ fn shard_loop(
                     *docs,
                     persistence,
                 ),
-            ),
-            Request::RequestWork { worker, .. } => (
-                OpKind::Assign,
-                on_campaign(&mut registry, campaign, |docs| {
-                    Response::Work(docs.request_tasks(worker))
-                }),
-            ),
-            Request::SubmitGolden {
-                worker, answers, ..
-            } => (
-                OpKind::Golden,
-                apply_event(
+                Request::RequestWork { worker, .. } => {
+                    on_campaign(&mut registry, campaign, |docs| {
+                        Response::Work(docs.request_tasks(worker))
+                    })
+                }
+                Request::SubmitGolden {
+                    worker, answers, ..
+                } => apply_event(
                     &mut registry,
                     &mut durability,
                     &metrics,
@@ -931,10 +1361,7 @@ fn shard_loop(
                     CampaignEvent::golden(worker, answers),
                     |_| Response::Ack,
                 ),
-            ),
-            Request::SubmitAnswer { answer, .. } => (
-                OpKind::Submit,
-                apply_event(
+                Request::SubmitAnswer { answer, .. } => apply_event(
                     &mut registry,
                     &mut durability,
                     &metrics,
@@ -943,10 +1370,7 @@ fn shard_loop(
                     CampaignEvent::answer(answer),
                     |_| Response::Ack,
                 ),
-            ),
-            Request::SubmitAnswerBatch { answers, .. } => (
-                OpKind::SubmitBatch,
-                apply_answer_batch(
+                Request::SubmitAnswerBatch { answers, .. } => apply_answer_batch(
                     &mut registry,
                     &mut durability,
                     &metrics,
@@ -954,10 +1378,7 @@ fn shard_loop(
                     campaign,
                     answers,
                 ),
-            ),
-            Request::Finish { .. } => (
-                OpKind::Finish,
-                apply_event(
+                Request::Finish { .. } => apply_event(
                     &mut registry,
                     &mut durability,
                     &metrics,
@@ -966,7 +1387,39 @@ fn shard_loop(
                     CampaignEvent::finished(),
                     |docs| Response::Report(Box::new(docs.report())),
                 ),
-            ),
+                Request::Status { .. } => on_campaign(&mut registry, campaign, |docs| {
+                    Response::Status(Box::new(docs.status()))
+                }),
+                Request::PeekReport { .. } => on_campaign(&mut registry, campaign, |docs| {
+                    Response::Report(Box::new(docs.report()))
+                }),
+                Request::SnapshotState { .. } => on_campaign(&mut registry, campaign, |docs| {
+                    match serde_json::to_vec(&docs.snapshot()) {
+                        Ok(bytes) => Response::State(bytes),
+                        Err(e) => Response::Rejected(RejectReason::Storage(format!(
+                            "encode snapshot: {e}"
+                        ))),
+                    }
+                }),
+                Request::InstallSnapshot { seq, snapshot, .. } => install_snapshot(
+                    &mut registry,
+                    &mut durability,
+                    &metrics,
+                    &seed_next_campaign,
+                    campaign,
+                    seq,
+                    &snapshot,
+                ),
+                Request::ApplyReplicated { seq, event, .. } => apply_replicated(
+                    &mut registry,
+                    &mut durability,
+                    &metrics,
+                    shard,
+                    campaign,
+                    seq,
+                    *event,
+                ),
+            },
         };
         // `finish` is the requester's "my report is final" moment: harden
         // everything buffered for it, whatever the campaign's flush policy.
@@ -999,6 +1452,11 @@ fn shard_loop(
                 }
                 d.observe(shard, &metrics);
             }
+            // Ship everything this request's group commit made durable
+            // *before* acknowledging it: once a completion is out, the
+            // event it acknowledged is either still buffered (not yet
+            // durable, so not owed to followers) or already on the wire.
+            d.ship(&metrics);
         }
         let elapsed = start.elapsed();
         metrics.record(kind, elapsed);
@@ -1012,10 +1470,14 @@ fn shard_loop(
     }
     if let Some(d) = durability.as_mut() {
         if crash.load(Ordering::SeqCst) {
-            // Simulated kill: drop the unflushed group-commit buffer.
+            // Simulated kill: drop the unflushed group-commit buffer (and
+            // the frames queued behind it — a real dead process ships
+            // nothing either).
             d.log.abandon();
         } else {
-            let _ = d.log.flush();
+            if d.log.flush().is_ok() {
+                d.ship(&metrics);
+            }
             d.observe(shard, &metrics);
         }
     }
@@ -1059,7 +1521,8 @@ fn create_campaign(
             });
             let bytes = serde_json::to_vec(&event)
                 .map_err(|e| docs_types::Error::Storage(format!("encode event: {e}")))?;
-            d.log.append_event(campaign, &bytes)?;
+            let seq = d.log.append_event(campaign, &bytes)?;
+            d.queue_event_for_ship(campaign, seq, &bytes);
             // Control-plane creation is always synced immediately, whatever
             // the campaign's data-plane policy.
             d.log.flush()?;
@@ -1103,6 +1566,27 @@ impl DocsService {
         (service, handle)
     }
 
+    /// Spawns an **empty follower pool**: no default campaign, every
+    /// mutation refused with [`RejectReason::ReadOnlyReplica`]. Campaigns
+    /// arrive through the replication plane (snapshot installs + replicated
+    /// applies, normally fed by `docs-replication`'s applier), reads are
+    /// served locally, and [`ServiceHandle::promote_to_primary`] turns the
+    /// pool into a serving primary during failover.
+    ///
+    /// `config.role` is forced to [`ReplicaRole::Follower`]; durability is
+    /// honored (a durable follower writes its own log and is itself
+    /// recoverable and promotable into a shipping primary).
+    pub fn spawn_replica(
+        mut config: ServiceConfig,
+    ) -> Result<(DocsService, ServiceHandle), ServiceError> {
+        config.role = ReplicaRole::Follower;
+        let shards = config.num_shards();
+        let seeds = (0..shards)
+            .map(|_| (CampaignRegistry::new(), Vec::new()))
+            .collect();
+        Self::spawn_pool(&config, seeds, 0, CampaignId(0))
+    }
+
     /// Rebuilds the full multi-campaign service from its durability
     /// directory: every persisted campaign is restored from its latest
     /// snapshot and the replayed event suffix, then the pool resumes
@@ -1119,6 +1603,10 @@ impl DocsService {
         let tree = recover_tree(&durability.dir).map_err(|e| ServiceError::Rejected(e.into()))?;
         let shards = config.num_shards();
         let metrics = ServiceMetrics::new(shards);
+        // Torn segment tails are tolerated crash artifacts — but they are
+        // *observations* of a crash, so they surface as a counter instead
+        // of being dropped after classification.
+        metrics.torn_tail_recovered(tree.torn_tails);
         let mut seeds: PoolSeeds = (0..shards)
             .map(|_| (CampaignRegistry::new(), Vec::new()))
             .collect();
@@ -1184,6 +1672,12 @@ impl DocsService {
         let shards = config.num_shards();
         debug_assert_eq!(seeds.len(), shards);
         let crash = Arc::new(AtomicBool::new(false));
+        let role = RoleCell::new(config.role);
+        // Shared with every shard: snapshot installs on a follower must
+        // advance the allocator past the replicated ids, or the first
+        // `create_campaign` after a promotion would collide with them
+        // (the same reason `recover` seeds `max_id + 1`).
+        let next_campaign = Arc::new(AtomicU32::new(next_campaign));
         let mut senders = Vec::with_capacity(shards);
         let mut joins = Vec::with_capacity(shards);
         for (shard, (registry, persisted)) in seeds.into_iter().enumerate() {
@@ -1199,6 +1693,8 @@ impl DocsService {
                 persisted,
                 log,
                 snapshot_every: config.durability.as_ref().map_or(0, |d| d.snapshot_every),
+                sink: config.replication.clone(),
+                next_campaign: Arc::clone(&next_campaign),
             };
             // The ingress bound is the pool's admission control: blocking
             // submissions park on a full queue, fail-fast ones bounce.
@@ -1208,22 +1704,26 @@ impl DocsService {
             };
             let shard_metrics = metrics.clone();
             let shard_crash = Arc::clone(&crash);
+            let shard_role = role.clone();
             senders.push(tx);
             joins.push(
                 std::thread::Builder::new()
                     .name(format!("docs-shard-{shard}"))
-                    .spawn(move || shard_loop(shard, seed, rx, shard_metrics, shard_crash))
+                    .spawn(move || {
+                        shard_loop(shard, seed, rx, shard_metrics, shard_crash, shard_role)
+                    })
                     .expect("spawn docs shard thread"),
             );
         }
         let handle = ServiceHandle {
             shards: Arc::new(senders),
-            next_campaign: Arc::new(AtomicU32::new(next_campaign)),
+            next_campaign,
             next_correlation: Arc::new(AtomicU64::new(0)),
             metrics,
             default_campaign,
             default_flush: config.durability.as_ref().map(|d| d.default_flush),
             crash,
+            role,
         };
         Ok((
             DocsService {
@@ -1313,6 +1813,7 @@ mod tests {
             default_campaign: CampaignId(0),
             default_flush: None,
             crash: Arc::new(AtomicBool::new(false)),
+            role: RoleCell::new(ReplicaRole::Primary),
         };
         (handle, rx)
     }

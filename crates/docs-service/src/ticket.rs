@@ -20,18 +20,37 @@ use crate::message::{Completion, CorrelationId, Response};
 use crate::metrics::ServiceMetrics;
 use crate::server::ServiceError;
 use crossbeam::channel::{Receiver, RecvTimeoutError, TryRecvError};
+use std::cell::Cell;
 use std::time::Duration;
 
 /// Decrements the per-shard in-flight gauge exactly once, however the
 /// ticket resolves (taken, timed out forever, or dropped unresolved).
+///
+/// Resolution is **idempotent**: the decode path resolves the gauge the
+/// moment a completion is taken, and the drop is a backstop for tickets
+/// that never see one. Without the `resolved` latch, a completion taken on
+/// the `wait_timeout`/`try_take` path *and* the guard's drop would each
+/// decrement — and because the gauge saturates at zero, the stray second
+/// decrement would silently steal the slot of some *other* still-pending
+/// ticket instead of underflowing visibly.
 struct InFlightGuard {
     metrics: ServiceMetrics,
     shard: usize,
+    resolved: Cell<bool>,
+}
+
+impl InFlightGuard {
+    /// Resolves the gauge; every call after the first is a no-op.
+    fn resolve(&self) {
+        if !self.resolved.replace(true) {
+            self.metrics.ticket_resolved(self.shard);
+        }
+    }
 }
 
 impl Drop for InFlightGuard {
     fn drop(&mut self) {
-        self.metrics.ticket_resolved(self.shard);
+        self.resolve();
     }
 }
 
@@ -82,7 +101,11 @@ impl<T> Ticket<T> {
             correlation,
             shard,
             decode,
-            _gauge: InFlightGuard { metrics, shard },
+            _gauge: InFlightGuard {
+                metrics,
+                shard,
+                resolved: Cell::new(false),
+            },
         }
     }
 
@@ -101,6 +124,9 @@ impl<T> Ticket<T> {
             completion.correlation, self.correlation,
             "completion correlation mismatch: per-ticket slots are one-shot"
         );
+        // The operation left flight the moment its completion was taken;
+        // the guard's drop is an idempotent backstop from here on.
+        self._gauge.resolve();
         (self.decode)(completion.response)
     }
 
@@ -142,5 +168,82 @@ impl<T> std::fmt::Debug for Ticket<T> {
             .field("correlation", &self.correlation)
             .field("shard", &self.shard)
             .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam::channel::{bounded, Sender};
+    use docs_system::WorkRequest;
+
+    fn decode_work(response: Response) -> Result<WorkRequest, ServiceError> {
+        match response {
+            Response::Work(w) => Ok(w),
+            Response::Rejected(reason) => Err(ServiceError::Rejected(reason)),
+            other => unreachable!("protocol violation: {other:?}"),
+        }
+    }
+
+    fn issue(
+        metrics: &ServiceMetrics,
+        correlation: CorrelationId,
+    ) -> (Ticket<WorkRequest>, Sender<Completion>) {
+        let (tx, rx) = bounded(1);
+        metrics.ticket_issued(0);
+        let ticket = Ticket::new(rx, correlation, 0, decode_work, metrics.clone());
+        (ticket, tx)
+    }
+
+    fn complete(tx: &Sender<Completion>, correlation: CorrelationId) {
+        tx.send(Completion {
+            correlation,
+            response: Response::Work(WorkRequest::Done),
+        })
+        .unwrap();
+    }
+
+    /// Regression: a completion taken through `wait_timeout`/`try_take`
+    /// resolves the gauge *and* the guard still drops afterwards — before
+    /// gauge updates were idempotent, that pair of decrements silently
+    /// stole the in-flight slot of another still-pending ticket (the
+    /// saturating gauge hides the underflow).
+    #[test]
+    fn timeout_then_resolve_decrements_the_gauge_exactly_once() {
+        let metrics = ServiceMetrics::new(1);
+        let (a, tx_a) = issue(&metrics, 1);
+        let (b, tx_b) = issue(&metrics, 2);
+        assert_eq!(metrics.shard(0).in_flight, 2);
+
+        // A timeout hands the pending ticket back without touching the
+        // gauge; the completion then arrives and is taken via try_take.
+        let a = match a.wait_timeout(Duration::from_millis(5)) {
+            TicketWait::Pending(t) => t,
+            TicketWait::Ready(r) => panic!("unserved ticket completed: {r:?}"),
+        };
+        assert_eq!(metrics.shard(0).in_flight, 2, "timeout resolves nothing");
+        complete(&tx_a, 1);
+        match a.try_take() {
+            TicketWait::Ready(Ok(WorkRequest::Done)) => {}
+            other => panic!("completion not taken: {:?}", other.ready()),
+        }
+        // Exactly one decrement for A: B's slot must survive.
+        assert_eq!(
+            metrics.shard(0).in_flight,
+            1,
+            "double decrement stole the other ticket's in-flight slot"
+        );
+
+        // The same invariant on the blocking rendezvous.
+        complete(&tx_b, 2);
+        assert_eq!(b.wait().unwrap(), WorkRequest::Done);
+        assert_eq!(metrics.shard(0).in_flight, 0);
+
+        // Dropping an unresolved ticket still resolves it (backstop path).
+        let (c, tx_c) = issue(&metrics, 3);
+        assert_eq!(metrics.shard(0).in_flight, 1);
+        drop(c);
+        drop(tx_c);
+        assert_eq!(metrics.shard(0).in_flight, 0);
     }
 }

@@ -77,6 +77,10 @@ pub struct FlushStats {
     pub flushes: u64,
     /// Events made durable across those flushes.
     pub flushed_events: u64,
+    /// Policy-triggered flushes that failed at append time; the buffered
+    /// events stay pending and the next flush trigger (append, idle
+    /// timer, finish, shutdown) resumes them.
+    pub flush_failures: u64,
     /// Wall time of the most recent flush.
     pub last_flush: Duration,
     /// Worst single flush.
@@ -136,6 +140,50 @@ fn parse_snapshot_id(name: &str) -> Option<CampaignId> {
         .parse()
         .map(CampaignId)
         .ok()
+}
+
+/// One decoded event record of a log segment: the campaign tag, the
+/// per-campaign sequence number, and the serialized event payload exactly
+/// as it was appended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegmentEvent {
+    /// Campaign the record belongs to.
+    pub campaign: CampaignId,
+    /// Per-campaign sequence number assigned at append time.
+    pub seq: u64,
+    /// The event payload (the bytes handed to `append_event`).
+    pub payload: Vec<u8>,
+}
+
+/// Lists the segment files present in one shard-log directory, ascending
+/// by segment index — the iteration entry point of the export API used by
+/// log-shipping replication and by [`recover_tree`] itself. A missing
+/// directory lists as empty.
+pub fn list_segments(dir: impl AsRef<Path>) -> Result<Vec<PathBuf>> {
+    let dir = dir.as_ref();
+    Ok(segment_indices(dir)?
+        .into_iter()
+        .map(|idx| segment_path(dir, idx))
+        .collect())
+}
+
+/// Reads every intact event record of one segment file and reports how the
+/// scan ended ([`WalTail`]), leaving the tail policy (tolerate torn,
+/// refuse corrupt) to the caller. Records decode to [`SegmentEvent`]s;
+/// a record too short to carry the campaign/sequence tag is an error.
+pub fn read_segment(path: impl AsRef<Path>) -> Result<(Vec<SegmentEvent>, WalTail)> {
+    let path = path.as_ref();
+    let (entries, tail) = Wal::replay_all(path)?;
+    let mut events = Vec::with_capacity(entries.len());
+    for entry in entries {
+        let (campaign, seq, payload) = decode_event_record(&entry.0, path)?;
+        events.push(SegmentEvent {
+            campaign,
+            seq,
+            payload,
+        });
+    }
+    Ok((events, tail))
 }
 
 /// Lists the segment indices present in a directory, ascending.
@@ -215,6 +263,19 @@ impl CampaignLog {
     /// Appends one event for a campaign, assigning and returning its
     /// sequence number, then flushes if the campaign's policy demands it.
     /// Unregistered campaigns default to [`FlushPolicy::EveryEvent`].
+    ///
+    /// The append itself **never half-fails**: the record is in the
+    /// buffer, owns its sequence number, and *will* reach the segment (a
+    /// failed flush resumes, never restarts). A policy-due flush that
+    /// fails here is therefore a durability *delay*, not an append
+    /// failure — it is counted in [`FlushStats::flush_failures`] and
+    /// retried at the next flush trigger. (Rejecting the append on a
+    /// failed sync was worse than wrong: the buffered record still
+    /// hardened later, so the log grew a "ghost" event the live system
+    /// never applied — recovery, replication, and the serving state all
+    /// disagreed.) Callers needing a hard durability point call
+    /// [`CampaignLog::flush`] and handle its error — the service does so
+    /// on `finish`, creation, and shutdown.
     pub fn append_event(&mut self, campaign: CampaignId, payload: &[u8]) -> Result<u64> {
         let seq = self.last_seq(campaign) + 1;
         self.seqs.insert(campaign, seq);
@@ -232,8 +293,8 @@ impl CampaignLog {
                 self.last_flush_at.elapsed() >= Duration::from_millis(ms)
             }
         };
-        if due {
-            self.flush()?;
+        if due && self.flush().is_err() {
+            self.stats.flush_failures += 1;
         }
         Ok(seq)
     }
@@ -388,6 +449,45 @@ impl CampaignLog {
         Ok(seq)
     }
 
+    /// The on-disk segment files of this log, ascending by index — the
+    /// last entry is the segment currently being appended to; everything
+    /// before it is sealed (never written again). Replication bootstrap
+    /// iterates these with [`read_segment`].
+    pub fn segments(&self) -> Result<Vec<PathBuf>> {
+        list_segments(&self.dir)
+    }
+
+    /// Reads one campaign's **durable** events with sequence numbers
+    /// strictly beyond `after_seq` from this log's on-disk segments,
+    /// ascending. Buffered (unflushed) events are invisible by
+    /// construction — they are not durable, so a log shipper must not
+    /// hand them to a follower. A torn tail (crash artifact) ends the scan
+    /// of its segment cleanly; a mid-segment CRC failure is an error.
+    pub fn export_events_after(
+        &self,
+        campaign: CampaignId,
+        after_seq: u64,
+    ) -> Result<Vec<(u64, Vec<u8>)>> {
+        let mut out = Vec::new();
+        for path in self.segments()? {
+            let (events, tail) = read_segment(&path)?;
+            if let WalTail::Corrupt(offset) = tail {
+                return Err(Error::Storage(format!(
+                    "corrupt event record at byte {offset} of {}",
+                    path.display()
+                )));
+            }
+            for event in events {
+                if event.campaign == campaign && event.seq > after_seq {
+                    out.push((event.seq, event.payload));
+                }
+            }
+        }
+        out.sort_by_key(|(seq, _)| *seq);
+        out.dedup_by(|a, b| a.0 == b.0);
+        Ok(out)
+    }
+
     /// Starts a fresh segment and deletes all older ones. Call only after
     /// [`CampaignLog::write_snapshot`] has covered every campaign this
     /// shard owns — pruned events are gone for good.
@@ -523,10 +623,10 @@ pub fn recover_tree(base: impl AsRef<Path>) -> Result<TreeRecovery> {
                 }
             }
         }
-        // Segments: collect every event, tolerating torn tails.
-        for idx in segment_indices(dir)? {
-            let path = segment_path(dir, idx);
-            let (entries, tail) = Wal::replay_all(&path)?;
+        // Segments: collect every event through the public iteration API,
+        // tolerating torn tails.
+        for path in list_segments(dir)? {
+            let (events, tail) = read_segment(&path)?;
             recovery.segments_scanned += 1;
             match tail {
                 WalTail::Clean => {}
@@ -539,9 +639,11 @@ pub fn recover_tree(base: impl AsRef<Path>) -> Result<TreeRecovery> {
                     )));
                 }
             }
-            for entry in entries {
-                let (campaign, seq, payload) = decode_event_record(&entry.0, &path)?;
-                raw_events.entry(campaign).or_default().push((seq, payload));
+            for event in events {
+                raw_events
+                    .entry(event.campaign)
+                    .or_default()
+                    .push((event.seq, event.payload));
             }
         }
     }
@@ -711,6 +813,59 @@ mod tests {
         assert_eq!(log.pending_events(), 0);
         assert_eq!(log.idle_flush_due_in(), None, "nothing left to harden");
         assert_eq!(log.stats().flushes, 1);
+    }
+
+    #[test]
+    fn segment_export_sees_durable_events_only() {
+        let base = tmp_dir("export");
+        let mut log = CampaignLog::open(base.join("shard-0")).unwrap();
+        log.register(C0, FlushPolicy::Batch(3), 0);
+        log.register(C1, FlushPolicy::EveryEvent, 0);
+        log.append_event(C0, b"a1").unwrap();
+        // Buffered events are not durable, so the export must not see them.
+        assert!(
+            log.export_events_after(C0, 0).unwrap().is_empty(),
+            "unflushed events leaked into the export"
+        );
+        // An EveryEvent neighbor forces the group commit: both harden.
+        log.append_event(C1, b"b1").unwrap();
+        assert_eq!(
+            log.export_events_after(C0, 0).unwrap(),
+            vec![(1, b"a1".to_vec())]
+        );
+        log.append_event(C0, b"a2").unwrap();
+        log.flush().unwrap();
+        // `after_seq` is exclusive, per-campaign.
+        assert_eq!(
+            log.export_events_after(C0, 1).unwrap(),
+            vec![(2, b"a2".to_vec())]
+        );
+        assert_eq!(
+            log.export_events_after(C1, 0).unwrap(),
+            vec![(1, b"b1".to_vec())]
+        );
+        // Export spans segments: prune starts a fresh one.
+        log.write_snapshot(C0, b"state").unwrap();
+        log.prune_segments().unwrap();
+        log.append_event(C0, b"a3").unwrap();
+        log.flush().unwrap();
+        assert_eq!(
+            log.export_events_after(C0, 2).unwrap(),
+            vec![(3, b"a3".to_vec())]
+        );
+        // The iteration API underneath: one live segment after the prune.
+        let segments = log.segments().unwrap();
+        assert_eq!(segments.len(), 1);
+        let (events, tail) = read_segment(&segments[0]).unwrap();
+        assert_eq!(tail, WalTail::Clean);
+        assert_eq!(
+            events,
+            vec![SegmentEvent {
+                campaign: C0,
+                seq: 3,
+                payload: b"a3".to_vec(),
+            }]
+        );
     }
 
     #[test]

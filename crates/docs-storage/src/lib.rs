@@ -29,7 +29,8 @@ mod params;
 mod wal;
 
 pub use campaign_log::{
-    recover_tree, CampaignLog, CampaignRecovery, FlushPolicy, FlushStats, TreeRecovery,
+    list_segments, read_segment, recover_tree, CampaignLog, CampaignRecovery, FlushPolicy,
+    FlushStats, SegmentEvent, TreeRecovery,
 };
 pub use crc::crc32;
 pub use kv::KvStore;

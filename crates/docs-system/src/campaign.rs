@@ -151,6 +151,21 @@ impl CampaignRegistry {
         Ok(stats)
     }
 
+    /// Installs a campaign from a serialized snapshot, replacing any
+    /// existing registration under `id` — the follower-replica bootstrap
+    /// (and fast-forward) path. Unlike [`CampaignRegistry::replay`], no
+    /// event suffix is applied here: a follower's events arrive as a live
+    /// stream after the snapshot, each applied through the same
+    /// deterministic `validate_event`/`apply` transition the primary used.
+    pub fn install_snapshot(&mut self, id: CampaignId, snapshot: &[u8]) -> Result<()> {
+        let snapshot: CampaignSnapshot = serde_json::from_slice(snapshot)
+            .map_err(|e| Error::Storage(format!("campaign {id} snapshot: {e}")))?;
+        let docs = Docs::restore(snapshot)?;
+        self.next_id = self.next_id.max(id.0 + 1);
+        self.campaigns.insert(id, docs);
+        Ok(())
+    }
+
     /// Drains the registry into `(id, state)` pairs, ascending by id.
     pub fn into_campaigns(mut self) -> Vec<(CampaignId, Docs)> {
         let mut out: Vec<(CampaignId, Docs)> = self.campaigns.drain().collect();

@@ -19,7 +19,11 @@
 mod campaign;
 mod config;
 mod system;
+mod watermark;
 
 pub use campaign::{run_campaign, CampaignRegistry, CampaignReport, ReplayStats};
 pub use config::DocsConfig;
-pub use system::{BatchSubmitReport, CampaignSnapshot, Docs, RequesterReport, WorkRequest};
+pub use system::{
+    BatchSubmitReport, CampaignSnapshot, CampaignStatus, Docs, RequesterReport, WorkRequest,
+};
+pub use watermark::{ReplicaWatermarks, WatermarkAdmission};

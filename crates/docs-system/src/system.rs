@@ -45,6 +45,28 @@ pub struct RequesterReport {
     pub accuracy: f64,
 }
 
+/// A campaign's observable serving state — the read-path summary a
+/// follower replica can answer locally (no mutation, no inference run).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignStatus {
+    /// Published tasks.
+    pub tasks: usize,
+    /// Golden tasks selected at publish time.
+    pub golden: usize,
+    /// Ordinary (non-golden) answers collected so far.
+    pub answers_collected: usize,
+    /// Workers seen this session (passed the golden gate or submitted).
+    pub seen_workers: usize,
+    /// Workers with quality statistics in the registry (includes returning
+    /// workers merged from the parameter database).
+    pub known_workers: usize,
+    /// Whether the collection budget is consumed.
+    pub budget_exhausted: bool,
+    /// Answers ingested per task shard (length = `task_shards`) — the
+    /// ingestion-balance view of the sharded TI scan.
+    pub shard_ingestion: Vec<u64>,
+}
+
 /// Per-answer outcome of [`Docs::submit_answer_batch`].
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct BatchSubmitReport {
@@ -180,6 +202,21 @@ impl Docs {
     /// Total (non-golden) answers collected so far.
     pub fn answers_collected(&self) -> usize {
         self.engine.log().len()
+    }
+
+    /// The campaign's observable serving state — a pure read over the live
+    /// state, cheap enough for status polling and safe to serve from a
+    /// follower replica (nothing is mutated, no inference runs).
+    pub fn status(&self) -> CampaignStatus {
+        CampaignStatus {
+            tasks: self.tasks().len(),
+            golden: self.golden_ids.len(),
+            answers_collected: self.answers_collected(),
+            seen_workers: self.seen_workers.len(),
+            known_workers: self.engine.registry().len(),
+            budget_exhausted: self.budget_exhausted(),
+            shard_ingestion: self.shard_ingestion(),
+        }
     }
 
     /// Whether the collection budget is consumed: the flat budget is spent,

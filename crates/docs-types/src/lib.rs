@@ -20,7 +20,11 @@
 //!   fact. Commands are validated, logged, then applied; replaying the
 //!   event sequence over a campaign snapshot is the crash-recovery path,
 //!   so each payload carries the *complete* input of its deterministic
-//!   transition (see the `events` module docs for the determinism rules).
+//!   transition (see the `events` module docs for the determinism rules),
+//! * [`ReplicaRole`] / [`ReplicationFrame`] — the replication vocabulary:
+//!   primary vs read-only follower, and the logical frames (snapshots,
+//!   durable event batches with per-campaign sequence watermarks) the
+//!   WAL-shipping protocol streams between them.
 //!
 //! Everything downstream (`docs-kb`, `docs-core`, `docs-baselines`,
 //! `docs-crowd`, ...) builds on these types, so they deliberately stay free of
@@ -33,6 +37,7 @@ mod events;
 mod ids;
 pub mod prob;
 mod reject;
+mod replication;
 mod task;
 mod vectors;
 
@@ -44,5 +49,6 @@ pub use events::{
 };
 pub use ids::{CampaignId, ChoiceIndex, DomainIndex, TaskId, WorkerId};
 pub use reject::RejectReason;
+pub use replication::{EventFrame, ReplicaRole, ReplicationFrame, SnapshotFrame};
 pub use task::{Task, TaskBuilder};
 pub use vectors::{DomainVector, QualityVector};

@@ -56,6 +56,20 @@ pub enum RejectReason {
     /// `DocsService::recover` was called on a configuration without a
     /// durability directory — there is nothing to recover from.
     RecoverWithoutDurability,
+    /// The request mutates campaign state but the service is running as a
+    /// read-only follower replica: writes must go to the primary (or wait
+    /// for this follower to be promoted).
+    ReadOnlyReplica {
+        /// The campaign the refused mutation addressed.
+        campaign: CampaignId,
+    },
+    /// A replication-plane request (snapshot install, replicated apply)
+    /// reached a service that is not a follower — only the promotion-free
+    /// applier path may feed a replica, and a primary has no applier.
+    NotAFollower {
+        /// The campaign the refused replication request addressed.
+        campaign: CampaignId,
+    },
     /// A requester's `finish` could not harden the campaign's buffered
     /// events; the report was withheld (the requester can retry — the
     /// events stay buffered for the resumed flush).
@@ -110,6 +124,16 @@ impl fmt::Display for RejectReason {
             RejectReason::RecoverWithoutDurability => {
                 write!(f, "recover needs a durability directory")
             }
+            RejectReason::ReadOnlyReplica { campaign } => write!(
+                f,
+                "campaign {campaign} is served by a read-only follower replica; \
+                 route writes to the primary"
+            ),
+            RejectReason::NotAFollower { campaign } => write!(
+                f,
+                "replication apply for campaign {campaign} refused: this service \
+                 is not a follower"
+            ),
             RejectReason::ReportNotDurable { campaign, cause } => write!(
                 f,
                 "campaign {campaign} report is not durable — flush on finish failed: {cause}"
@@ -192,6 +216,20 @@ mod tests {
                  storage error: disk on fire",
             ),
             (RejectReason::Storage("boom".into()), "storage error: boom"),
+            (
+                RejectReason::ReadOnlyReplica {
+                    campaign: CampaignId(2),
+                },
+                "campaign c2 is served by a read-only follower replica; \
+                 route writes to the primary",
+            ),
+            (
+                RejectReason::NotAFollower {
+                    campaign: CampaignId(4),
+                },
+                "replication apply for campaign c4 refused: this service \
+                 is not a follower",
+            ),
         ];
         for (reason, expected) in cases {
             assert_eq!(reason.to_string(), expected);

@@ -1,0 +1,141 @@
+//! The replication vocabulary: replica roles and the logical wire frames of
+//! the WAL-shipping protocol.
+//!
+//! The durable runtime already guarantees that replaying a campaign's
+//! snapshot + ordered event suffix reproduces a byte-identical state
+//! machine; replication is that same contract stretched over a wire. A
+//! **primary** service ships every durable (flushed) event — and every
+//! snapshot it writes — as frames; a **follower** applies them through the
+//! identical deterministic `validate_event`/`apply` path, so at every acked
+//! watermark the follower's campaign state serializes to the same bytes as
+//! the primary's.
+//!
+//! The frames here are the *logical* protocol. Their byte encoding
+//! (length-prefixed, CRC-checked records in the same style as the on-disk
+//! WAL) lives in `docs-replication`, which owns the transport; keeping the
+//! data model in `docs-types` lets every layer name roles and watermarks
+//! without depending on the transport crate.
+
+use crate::CampaignId;
+use std::fmt;
+
+/// The role a service plays in a replicated deployment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplicaRole {
+    /// Accepts mutations, owns the write-ahead log, ships frames.
+    Primary,
+    /// Applies shipped frames and serves reads; every mutation is refused
+    /// with [`RejectReason::ReadOnlyReplica`](crate::RejectReason) until
+    /// the follower is promoted.
+    Follower,
+}
+
+impl fmt::Display for ReplicaRole {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReplicaRole::Primary => write!(f, "primary"),
+            ReplicaRole::Follower => write!(f, "follower"),
+        }
+    }
+}
+
+/// One campaign snapshot travelling the replication stream: the serialized
+/// `CampaignSnapshot` the primary wrote (creation baseline, snapshot
+/// cadence, or recovery re-baseline), stamped with the sequence number it
+/// covers. A follower installs it when the campaign is new to it (the
+/// snapshot bootstrap) and skips it when its watermark already reached
+/// `seq` — the same supersession rule the on-disk recovery uses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotFrame {
+    /// Campaign the snapshot belongs to.
+    pub campaign: CampaignId,
+    /// Per-campaign sequence number the snapshot covers (everything at or
+    /// below it is contained in the payload).
+    pub seq: u64,
+    /// The serialized `CampaignSnapshot` — byte-identical to the on-disk
+    /// snapshot payload.
+    pub payload: Vec<u8>,
+}
+
+/// One durable campaign event travelling the replication stream:
+/// byte-identical to the WAL record payload the primary flushed, tagged
+/// with its per-campaign sequence number. Followers require the stream to
+/// be gap-free per campaign (`seq == watermark + 1`); anything at or below
+/// the watermark is a resend and skipped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventFrame {
+    /// Campaign the event belongs to.
+    pub campaign: CampaignId,
+    /// Per-campaign sequence number assigned by the primary's log.
+    pub seq: u64,
+    /// The serialized `CampaignEvent` — byte-identical to the WAL payload.
+    pub payload: Vec<u8>,
+}
+
+/// One frame of the replication stream. Events are batched per group
+/// commit: everything one `fdatasync` made durable ships as a single
+/// [`ReplicationFrame::Events`] frame, so the follower's watermark only
+/// ever advances to points the primary's disk actually reached.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplicationFrame {
+    /// A campaign snapshot (bootstrap for new followers, fast-forward for
+    /// lagging ones).
+    Snapshot(SnapshotFrame),
+    /// A batch of durable events, in shipping order (per-campaign
+    /// sequences ascending and gap-free within the stream).
+    Events(Vec<EventFrame>),
+}
+
+impl ReplicationFrame {
+    /// Short name of the frame kind, for logs and metrics.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ReplicationFrame::Snapshot(_) => "snapshot",
+            ReplicationFrame::Events(_) => "events",
+        }
+    }
+
+    /// Number of events the frame carries (snapshots carry none).
+    pub fn num_events(&self) -> usize {
+        match self {
+            ReplicationFrame::Snapshot(_) => 0,
+            ReplicationFrame::Events(events) => events.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roles_render_their_name() {
+        assert_eq!(ReplicaRole::Primary.to_string(), "primary");
+        assert_eq!(ReplicaRole::Follower.to_string(), "follower");
+    }
+
+    #[test]
+    fn frames_report_kind_and_event_count() {
+        let snap = ReplicationFrame::Snapshot(SnapshotFrame {
+            campaign: CampaignId(3),
+            seq: 7,
+            payload: b"state".to_vec(),
+        });
+        assert_eq!(snap.kind(), "snapshot");
+        assert_eq!(snap.num_events(), 0);
+        let events = ReplicationFrame::Events(vec![
+            EventFrame {
+                campaign: CampaignId(3),
+                seq: 8,
+                payload: b"e8".to_vec(),
+            },
+            EventFrame {
+                campaign: CampaignId(9),
+                seq: 1,
+                payload: b"e1".to_vec(),
+            },
+        ]);
+        assert_eq!(events.kind(), "events");
+        assert_eq!(events.num_events(), 2);
+    }
+}

@@ -219,6 +219,15 @@ fn crash_recover_case(
         handle.metrics().durability().snapshots_loaded >= 1,
         "{label}"
     );
+    // Satellite regression: `Wal::replay_all` classifies the torn tail,
+    // and the count must surface in `DurabilityStats` instead of being
+    // silently dropped after recovery.
+    if tear_tail {
+        assert!(
+            handle.metrics().durability().torn_tail_recoveries >= 1,
+            "torn tail swallowed instead of surfacing in DurabilityStats: {label}"
+        );
+    }
     for op in &ops {
         submit(&handle, campaign, op);
     }
