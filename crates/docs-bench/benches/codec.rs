@@ -1,0 +1,142 @@
+//! Binary event codec micro-benchmarks: encode/decode cost and wire size
+//! of the self-describing binary record format versus the serde_json path
+//! it replaced on the durable + replication hot paths.
+//!
+//! ```text
+//! cargo bench -p docs-bench --bench codec
+//! CODEC_SMOKE=1 cargo bench -p docs-bench --bench codec   # CI size
+//! ```
+//!
+//! Headline numbers merge into `BENCH_codec.json`:
+//! `codec_{encode,decode}_{binary,json}_ns_per_event` and
+//! `codec_bytes_per_event_{binary,json}`.
+
+use docs_types::{codec, Answer, CampaignEvent, TaskId, WorkerId};
+use std::time::Instant;
+
+fn smoke() -> bool {
+    std::env::var("CODEC_SMOKE").is_ok()
+}
+
+fn iterations() -> usize {
+    if smoke() {
+        20_000
+    } else {
+        200_000
+    }
+}
+
+/// A workload shaped like the durable hot path: overwhelmingly answer
+/// events, with a golden submission mixed in at the cadence a real
+/// campaign sees (one qualification per worker).
+fn events() -> Vec<CampaignEvent> {
+    (0..256)
+        .map(|i| {
+            if i % 64 == 0 {
+                CampaignEvent::golden(
+                    WorkerId(i as u32),
+                    (0..4u32).map(|g| (TaskId(g), (g as usize) % 2)).collect(),
+                )
+            } else {
+                CampaignEvent::answer(Answer::new(
+                    WorkerId((i / 8) as u32),
+                    TaskId((i % 64) as u32),
+                    i % 2,
+                ))
+            }
+        })
+        .collect()
+}
+
+fn ns_per_event(total: std::time::Duration, n: usize) -> f64 {
+    total.as_nanos() as f64 / n as f64
+}
+
+fn main() {
+    let events = events();
+    let iters = iterations();
+    let n = iters;
+    let mut updates: Vec<(String, f64)> = Vec::new();
+
+    // ---- Encode: binary (reused buffer, the hot-path shape) vs JSON. ----
+    let mut buf = codec::BytesMut::with_capacity(256);
+    let mut binary_bytes = 0usize;
+    let started = Instant::now();
+    for i in 0..iters {
+        buf.clear();
+        codec::encode_event_into(&events[i % events.len()], &mut buf);
+        binary_bytes += buf.len();
+    }
+    let encode_binary = started.elapsed();
+
+    let mut json_bytes = 0usize;
+    let started = Instant::now();
+    for i in 0..iters {
+        let bytes = serde_json::to_vec(&events[i % events.len()]).expect("encode json");
+        json_bytes += bytes.len();
+    }
+    let encode_json = started.elapsed();
+
+    // ---- Decode: pre-encode one copy of each variant, then round-robin. ----
+    let binary_records: Vec<Vec<u8>> = events.iter().map(codec::encode_event).collect();
+    let json_records: Vec<Vec<u8>> = events
+        .iter()
+        .map(|e| serde_json::to_vec(e).expect("encode json"))
+        .collect();
+
+    let started = Instant::now();
+    for i in 0..iters {
+        let event =
+            codec::decode_event(&binary_records[i % binary_records.len()]).expect("decode binary");
+        std::hint::black_box(&event);
+    }
+    let decode_binary = started.elapsed();
+
+    let started = Instant::now();
+    for i in 0..iters {
+        let event: CampaignEvent =
+            serde_json::from_slice(&json_records[i % json_records.len()]).expect("decode json");
+        std::hint::black_box(&event);
+    }
+    let decode_json = started.elapsed();
+
+    let binary_per_event = binary_bytes as f64 / n as f64;
+    let json_per_event = json_bytes as f64 / n as f64;
+    println!(
+        "codec bench over {iters} events ({} distinct):",
+        events.len()
+    );
+    println!(
+        "  encode  binary {:8.1} ns/event   json {:8.1} ns/event",
+        ns_per_event(encode_binary, n),
+        ns_per_event(encode_json, n),
+    );
+    println!(
+        "  decode  binary {:8.1} ns/event   json {:8.1} ns/event",
+        ns_per_event(decode_binary, n),
+        ns_per_event(decode_json, n),
+    );
+    println!(
+        "  size    binary {binary_per_event:8.1} B/event    json {json_per_event:8.1} B/event"
+    );
+
+    updates.push((
+        "codec_encode_binary_ns_per_event".to_string(),
+        ns_per_event(encode_binary, n),
+    ));
+    updates.push((
+        "codec_encode_json_ns_per_event".to_string(),
+        ns_per_event(encode_json, n),
+    ));
+    updates.push((
+        "codec_decode_binary_ns_per_event".to_string(),
+        ns_per_event(decode_binary, n),
+    ));
+    updates.push((
+        "codec_decode_json_ns_per_event".to_string(),
+        ns_per_event(decode_json, n),
+    ));
+    updates.push(("codec_bytes_per_event_binary".to_string(), binary_per_event));
+    updates.push(("codec_bytes_per_event_json".to_string(), json_per_event));
+    docs_bench::merge_bench_json("BENCH_codec.json", &updates);
+}

@@ -11,7 +11,7 @@
 //! trajectory of the durable runtime is tracked from PR to PR.
 
 use criterion::{black_box, criterion_group, BenchmarkId, Criterion};
-use docs_storage::{recover_tree, CampaignLog, FlushPolicy};
+use docs_storage::{recover_tree, AdaptiveCommit, CampaignLog, FlushPolicy};
 use docs_system::{CampaignRegistry, Docs, DocsConfig};
 use docs_types::{Answer, CampaignEvent, CampaignId, Task, TaskBuilder, TaskId, WorkerId};
 use std::path::PathBuf;
@@ -37,11 +37,13 @@ fn policies() -> Vec<FlushPolicy> {
     ]
 }
 
-/// Appends `n` fixed-size events under `policy`; returns events/second.
-fn append_throughput(policy: FlushPolicy, n: usize) -> f64 {
+/// Appends `n` fixed-size events under `policy` (optionally with adaptive
+/// group commit enabled); returns events/second.
+fn append_throughput_with(policy: FlushPolicy, adaptive: Option<AdaptiveCommit>, n: usize) -> f64 {
     let dir = tmp_dir(&format!("tput-{}", policy.label()));
     let mut log = CampaignLog::open(&dir).expect("open log");
     log.register(CAMPAIGN, policy, 0);
+    log.set_adaptive(adaptive);
     let started = Instant::now();
     for _ in 0..n {
         log.append_event(CAMPAIGN, PAYLOAD).expect("append");
@@ -51,6 +53,10 @@ fn append_throughput(policy: FlushPolicy, n: usize) -> f64 {
     drop(log);
     let _ = std::fs::remove_dir_all(&dir);
     events_per_s
+}
+
+fn append_throughput(policy: FlushPolicy, n: usize) -> f64 {
+    append_throughput_with(policy, None, n)
 }
 
 fn wal_append(c: &mut Criterion) {
@@ -171,12 +177,51 @@ fn write_bench_json() {
             tput,
         ));
     }
+    // Adaptive group commit keeps `EveryEvent` acknowledgment semantics
+    // (acked ⇒ durable, acks deferred to the batch sync) while amortizing
+    // the fdatasync like Batch(n) — the headline win of the group-commit
+    // work, tracked as its own key.
+    let adaptive_tput = append_throughput_with(
+        FlushPolicy::EveryEvent,
+        Some(AdaptiveCommit::default()),
+        4000,
+    );
+    updates.push((
+        "wal_append_tput_adaptive_every_event_events_per_s".to_string(),
+        adaptive_tput,
+    ));
     for n in [64usize, 512, 2048] {
         let (snapshot, events) = snapshot_and_events(n);
         updates.push((
             format!("snapshot_replay_latency_{n}_events_ms"),
             replay_latency(&snapshot, &events) * 1e3,
         ));
+    }
+    // Recovery read-path allocation accounting: with the shared per-file
+    // arena, payload buffers allocated scale with *files*, not events —
+    // before the arena every event payload was its own `to_vec`.
+    {
+        let dir = tmp_dir("alloc-count");
+        {
+            let mut log = CampaignLog::open(dir.join("shard-0")).expect("open log");
+            log.register(CAMPAIGN, FlushPolicy::Batch(64), 0);
+            for _ in 0..4096 {
+                log.append_event(CAMPAIGN, PAYLOAD).expect("append");
+            }
+        }
+        let rec = recover_tree(&dir).expect("recover");
+        println!(
+            "recovery allocations for {} events: {} arena buffers \
+             (per-event copy path would have allocated {})",
+            rec.events_recovered,
+            rec.payload_allocations,
+            rec.events_recovered + rec.campaigns.len() as u64,
+        );
+        updates.push((
+            "recovery_payload_allocations_4096_events".to_string(),
+            rec.payload_allocations as f64,
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
     }
     docs_bench::merge_bench_json("BENCH_durability.json", &updates);
 }

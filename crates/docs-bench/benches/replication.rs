@@ -22,7 +22,7 @@
 //! for a diverged replica would be meaningless.
 
 use docs_replication::{bootstrap_frames, replication_channel, Replica, ReplicationHub};
-use docs_service::{DocsService, DurabilityConfig, ServiceConfig};
+use docs_service::{AdaptiveCommit, DocsService, DurabilityConfig, ServiceConfig};
 use docs_storage::FlushPolicy;
 use docs_system::{Docs, DocsConfig, WorkRequest};
 use docs_types::{Answer, CampaignId, Task, TaskBuilder, WorkerId};
@@ -95,6 +95,7 @@ fn replicated_pair(name: &str, policy: FlushPolicy) -> Pair {
             dir: dir.clone(),
             default_flush: policy,
             snapshot_every: 100_000,
+            adaptive: Some(AdaptiveCommit::default()),
         }),
         ..Default::default()
     }

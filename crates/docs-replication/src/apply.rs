@@ -26,7 +26,7 @@ use crate::ship::FollowerLink;
 use crossbeam::channel::RecvTimeoutError;
 use docs_service::{DocsService, ServiceConfig, ServiceError, ServiceHandle};
 use docs_system::{ReplicaWatermarks, WatermarkAdmission};
-use docs_types::{CampaignEvent, CampaignId, Error, ReplicationFrame, Result};
+use docs_types::{codec, CampaignEvent, CampaignId, Error, ReplicationFrame, Result};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -299,7 +299,7 @@ fn apply_frame(
                     }
                     WatermarkAdmission::Next => {
                         let event: CampaignEvent =
-                            serde_json::from_slice(&e.payload).map_err(|err| {
+                            codec::decode_event(&e.payload).map_err(|err| {
                                 Error::Storage(format!(
                                     "campaign {} event {}: {err}",
                                     e.campaign, e.seq

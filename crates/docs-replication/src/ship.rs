@@ -75,18 +75,26 @@ struct HubInner {
     frames_shipped: AtomicU64,
     events_shipped: AtomicU64,
     bytes_shipped: AtomicU64,
+    snapshot_bytes_shipped: AtomicU64,
     followers_dropped: AtomicU64,
 }
 
 /// Aggregate shipping counters of one hub.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct HubStats {
-    /// Frames encoded and fanned out.
+    /// Frames fanned out (event and snapshot frames alike).
     pub frames_shipped: u64,
-    /// Events carried inside those frames.
+    /// Events carried inside event frames.
     pub events_shipped: u64,
-    /// Encoded wire bytes shipped (per follower copy not counted).
+    /// Encoded wire bytes of **event** frames actually fanned out (per
+    /// follower copy not counted). Snapshot frames are tallied separately
+    /// in [`HubStats::snapshot_bytes_shipped`]: a snapshot is a one-off
+    /// bootstrap/fast-forward cost, and folding it into the stream counter
+    /// would make "bytes per event" depend on how often campaigns snapshot
+    /// rather than on what the steady-state stream costs.
     pub bytes_shipped: u64,
+    /// Encoded wire bytes of snapshot frames actually fanned out.
+    pub snapshot_bytes_shipped: u64,
     /// Currently subscribed followers.
     pub followers: usize,
     /// Followers cut off for trailing the pump by more than their stream
@@ -123,6 +131,7 @@ impl ReplicationHub {
             frames_shipped: AtomicU64::new(0),
             events_shipped: AtomicU64::new(0),
             bytes_shipped: AtomicU64::new(0),
+            snapshot_bytes_shipped: AtomicU64::new(0),
             followers_dropped: AtomicU64::new(0),
         });
         let pump_inner = Arc::clone(&inner);
@@ -180,6 +189,7 @@ impl ReplicationHub {
             frames_shipped: self.inner.frames_shipped.load(Ordering::Relaxed),
             events_shipped: self.inner.events_shipped.load(Ordering::Relaxed),
             bytes_shipped: self.inner.bytes_shipped.load(Ordering::Relaxed),
+            snapshot_bytes_shipped: self.inner.snapshot_bytes_shipped.load(Ordering::Relaxed),
             followers: self.inner.followers.lock().len(),
             followers_dropped: self.inner.followers_dropped.load(Ordering::Relaxed),
         }
@@ -244,14 +254,23 @@ fn pump_loop(inner: &HubInner, feed: Receiver<ReplicationFrame>) {
                 }
             }
         }
-        let record = Arc::new(encode_frame(&frame));
         inner.frames_shipped.fetch_add(1, Ordering::Relaxed);
         inner
             .events_shipped
             .fetch_add(frame.num_events() as u64, Ordering::Relaxed);
-        inner
-            .bytes_shipped
-            .fetch_add(record.len() as u64, Ordering::Relaxed);
+        // Encode lazily: with nobody subscribed there is no wire to put
+        // bytes on, so the pump only tracks watermarks and frame counts.
+        // The encode cost (and the byte counters) start when the first
+        // follower actually exists.
+        if inner.followers.lock().is_empty() {
+            continue;
+        }
+        let record = Arc::new(encode_frame(&frame));
+        let byte_counter = match &frame {
+            ReplicationFrame::Snapshot(_) => &inner.snapshot_bytes_shipped,
+            ReplicationFrame::Events(_) => &inner.bytes_shipped,
+        };
+        byte_counter.fetch_add(record.len() as u64, Ordering::Relaxed);
         // Fan out (a refcount bump per follower, the bytes are shared),
         // forgetting followers whose applier hung up — and cutting off
         // followers whose bounded stream is full: the pump never blocks
@@ -354,7 +373,9 @@ pub fn bootstrap_frames(dir: impl AsRef<Path>) -> Result<Vec<ReplicationFrame>> 
         frames.push(ReplicationFrame::Snapshot(SnapshotFrame {
             campaign: *id,
             seq: *seq,
-            payload: payload.clone(),
+            // Cold path: a bootstrap scan runs once per subscriber, so
+            // detaching from the recovery arena is fine here.
+            payload: payload.to_vec(),
         }));
         if !campaign.events.is_empty() {
             frames.push(ReplicationFrame::Events(
@@ -364,7 +385,7 @@ pub fn bootstrap_frames(dir: impl AsRef<Path>) -> Result<Vec<ReplicationFrame>> 
                     .map(|(seq, payload)| EventFrame {
                         campaign: *id,
                         seq: *seq,
-                        payload: payload.clone(),
+                        payload: payload.to_vec(),
                     })
                     .collect(),
             ));

@@ -88,6 +88,9 @@ pub use routing::{ReadRouter, ReadRoutingStats};
 pub use server::{
     DocsService, DurabilityConfig, ReplicationSink, ServiceConfig, ServiceError, ServiceHandle,
 };
+// Adaptive group-commit bounds appear in `DurabilityConfig`; re-exported
+// so configuring a service doesn't require a direct docs-storage import.
+pub use docs_storage::AdaptiveCommit;
 pub use ticket::{Ticket, TicketWait};
 
 // The rejection taxonomy and the replica role travel the wire, so clients

@@ -46,11 +46,11 @@ use crate::message::{BatchOutcome, Completion, Request, RequestEnvelope, Respons
 use crate::metrics::{OpKind, ServiceMetrics};
 use crate::ticket::Ticket;
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender, TrySendError};
-use docs_storage::{recover_tree, CampaignLog, FlushPolicy};
+use docs_storage::{recover_tree, AdaptiveCommit, CampaignLog, FlushPolicy};
 use docs_system::{CampaignRegistry, CampaignStatus, Docs, RequesterReport, WorkRequest};
 use docs_types::{
-    Answer, CampaignEvent, CampaignId, ChoiceIndex, EventFrame, PublishedEvent, RejectReason,
-    ReplicaRole, ReplicationFrame, SnapshotFrame, TaskId, WorkerId,
+    codec, Answer, CampaignEvent, CampaignId, ChoiceIndex, EventFrame, PublishedEvent,
+    RejectReason, ReplicaRole, ReplicationFrame, SnapshotFrame, TaskId, WorkerId,
 };
 use std::collections::{BTreeSet, HashMap};
 use std::fmt;
@@ -172,17 +172,34 @@ pub struct DurabilityConfig {
     /// After this many logged events, a shard snapshots every campaign it
     /// owns and prunes its log segments (bounds replay cost).
     pub snapshot_every: u64,
+    /// Adaptive group commit for [`FlushPolicy::EveryEvent`] campaigns:
+    /// under load a shard grows the commit batch within these bounds and
+    /// pays one `fdatasync` for the whole batch, **deferring every
+    /// acknowledgment until the batch is durable** — the ack⇒durable
+    /// contract of `EveryEvent` survives while the sync cost amortizes
+    /// like `Batch(n)`. An idle shard flushes immediately (the batch
+    /// shrinks back to one event). `None` restores strict
+    /// one-sync-per-event behavior.
+    pub adaptive: Option<AdaptiveCommit>,
 }
 
 impl DurabilityConfig {
-    /// Durability rooted at `dir` with group commit (`Batch(64)`) and a
-    /// 1024-event snapshot cadence.
+    /// Durability rooted at `dir` with group commit (`Batch(64)`), a
+    /// 1024-event snapshot cadence, and adaptive commit for `EveryEvent`
+    /// campaigns.
     pub fn new(dir: impl Into<PathBuf>) -> Self {
         DurabilityConfig {
             dir: dir.into(),
             default_flush: FlushPolicy::Batch(64),
             snapshot_every: 1024,
+            adaptive: Some(AdaptiveCommit::default()),
         }
+    }
+
+    /// Overrides the adaptive-commit bounds (`None` disables deferral).
+    pub fn with_adaptive(mut self, adaptive: Option<AdaptiveCommit>) -> Self {
+        self.adaptive = adaptive;
+        self
     }
 }
 
@@ -904,8 +921,7 @@ impl ShardDurability {
         docs: &Docs,
         metrics: &ServiceMetrics,
     ) -> docs_types::Result<()> {
-        let bytes = serde_json::to_vec(&docs.snapshot())
-            .map_err(|e| docs_types::Error::Storage(format!("encode snapshot: {e}")))?;
+        let bytes = codec::to_bytes(&docs.snapshot());
         let seq = self.log.write_snapshot(campaign, &bytes)?;
         self.snapshotted_at.insert(campaign, seq);
         metrics.snapshot_written();
@@ -921,13 +937,15 @@ impl ShardDurability {
 
     /// Queues one appended event for shipping (no-op without a sink). The
     /// payload is the exact WAL record payload, so followers replay the
-    /// same bytes recovery would.
-    fn queue_event_for_ship(&mut self, campaign: CampaignId, seq: u64, payload: &[u8]) {
+    /// same bytes recovery would. Takes the encoded bytes by value: the
+    /// append path is done with them, so shipping moves the allocation
+    /// instead of copying it.
+    fn queue_event_for_ship(&mut self, campaign: CampaignId, seq: u64, payload: Vec<u8>) {
         if self.sink.is_some() {
             self.unshipped.push(Unshipped::Event(EventFrame {
                 campaign,
                 seq,
-                payload: payload.to_vec(),
+                payload,
             }));
         }
     }
@@ -1040,17 +1058,12 @@ fn apply_event(
         if let Err(e) = docs.validate_event(&event) {
             return Response::Rejected(e.into());
         }
-        let bytes = match serde_json::to_vec(&event) {
-            Ok(bytes) => bytes,
-            Err(e) => {
-                return Response::Rejected(RejectReason::Storage(format!("encode event: {e}")))
-            }
-        };
+        let bytes = codec::encode_event(&event);
         let seq = match d.log.append_event(campaign, &bytes) {
             Ok(seq) => seq,
             Err(e) => return Response::Rejected(e.into()),
         };
-        d.queue_event_for_ship(campaign, seq, &bytes);
+        d.queue_event_for_ship(campaign, seq, bytes);
         d.events_since_snapshot += 1;
         d.observe(shard, metrics);
     }
@@ -1251,7 +1264,44 @@ fn shard_loop(
     // deadline stays at zero; retry only once per interval window instead
     // of busy-spinning on a disk that keeps erroring.
     let mut idle_flush_retry_at: Option<Instant> = None;
+    // Completions withheld by adaptive group commit: an `EveryEvent`
+    // campaign's ack promises durability, so while its event sits in the
+    // deferred-sync batch the ack (and, to keep per-shard FIFO completion
+    // order, every completion behind it) queues here until the batch's one
+    // `fdatasync` lands.
+    let mut deferred: Vec<(Sender<Completion>, Completion)> = Vec::new();
     loop {
+        // Adaptive drain mode: with acks withheld, keep eating queued
+        // requests without blocking — the batch grows under load until a
+        // bound trips inside `append_event` — and the moment the queue is
+        // empty, close the batch (flush + ship + release the acks) instead
+        // of sitting on it. Load grows the batch; idleness shrinks it.
+        if !deferred.is_empty() {
+            match rx.try_recv() {
+                Ok(inbound) => {
+                    if crash.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    process_one(
+                        shard,
+                        inbound,
+                        &mut registry,
+                        &mut durability,
+                        &metrics,
+                        &role,
+                        &seed_next_campaign,
+                        &mut deferred,
+                    );
+                    continue;
+                }
+                Err(crossbeam::channel::TryRecvError::Empty) => {
+                    let d = durability.as_mut().expect("deferred implies durability");
+                    close_adaptive_batch(shard, d, &mut deferred, &metrics);
+                    continue;
+                }
+                Err(crossbeam::channel::TryRecvError::Disconnected) => break,
+            }
+        }
         // `IntervalMs`'s elapsed check only runs at append time, so an
         // *idle* shard would keep acknowledged events buffered
         // indefinitely; when such a deadline is pending, wait with a
@@ -1308,180 +1358,229 @@ fn shard_loop(
         if crash.load(Ordering::SeqCst) {
             break;
         }
-        let start = Instant::now();
-        let RequestEnvelope {
-            correlation,
-            request,
-        } = inbound.envelope;
-        let campaign = request.campaign();
-        let kind = kind_of(&request);
-        // The role gate: a follower refuses every external mutation (pure
-        // reads and the replication plane pass), a primary refuses the
-        // replication plane (nothing legitimate feeds it).
-        let refusal = match role.get() {
-            ReplicaRole::Follower if !request.is_read() && !request.is_replication() => {
-                metrics.read_only_rejection();
-                Some(Response::Rejected(RejectReason::ReadOnlyReplica {
-                    campaign,
-                }))
-            }
-            ReplicaRole::Primary if request.is_replication() => {
-                Some(Response::Rejected(RejectReason::NotAFollower { campaign }))
-            }
-            _ => None,
-        };
-        let mut response = match refusal {
-            Some(response) => response,
-            None => match request {
-                Request::CreateCampaign {
-                    campaign,
-                    docs,
-                    persistence,
-                } => create_campaign(
-                    &mut registry,
-                    &mut durability,
-                    &metrics,
-                    campaign,
-                    *docs,
-                    persistence,
-                ),
-                Request::RequestWork { worker, .. } => {
-                    on_campaign(&mut registry, campaign, |docs| {
-                        Response::Work(docs.request_tasks(worker))
-                    })
-                }
-                Request::SubmitGolden {
-                    worker, answers, ..
-                } => apply_event(
-                    &mut registry,
-                    &mut durability,
-                    &metrics,
-                    shard,
-                    campaign,
-                    CampaignEvent::golden(worker, answers),
-                    |_| Response::Ack,
-                ),
-                Request::SubmitAnswer { answer, .. } => apply_event(
-                    &mut registry,
-                    &mut durability,
-                    &metrics,
-                    shard,
-                    campaign,
-                    CampaignEvent::answer(answer),
-                    |_| Response::Ack,
-                ),
-                Request::SubmitAnswerBatch { answers, .. } => apply_answer_batch(
-                    &mut registry,
-                    &mut durability,
-                    &metrics,
-                    shard,
-                    campaign,
-                    answers,
-                ),
-                Request::Finish { .. } => apply_event(
-                    &mut registry,
-                    &mut durability,
-                    &metrics,
-                    shard,
-                    campaign,
-                    CampaignEvent::finished(),
-                    |docs| Response::Report(Box::new(docs.report())),
-                ),
-                Request::Status { .. } => on_campaign(&mut registry, campaign, |docs| {
-                    Response::Status(Box::new(docs.status()))
-                }),
-                Request::PeekReport { .. } => on_campaign(&mut registry, campaign, |docs| {
-                    Response::Report(Box::new(docs.report()))
-                }),
-                Request::SnapshotState { .. } => on_campaign(&mut registry, campaign, |docs| {
-                    match serde_json::to_vec(&docs.snapshot()) {
-                        Ok(bytes) => Response::State(bytes),
-                        Err(e) => Response::Rejected(RejectReason::Storage(format!(
-                            "encode snapshot: {e}"
-                        ))),
-                    }
-                }),
-                Request::InstallSnapshot { seq, snapshot, .. } => install_snapshot(
-                    &mut registry,
-                    &mut durability,
-                    &metrics,
-                    &seed_next_campaign,
-                    campaign,
-                    seq,
-                    &snapshot,
-                ),
-                Request::ApplyReplicated { seq, event, .. } => apply_replicated(
-                    &mut registry,
-                    &mut durability,
-                    &metrics,
-                    shard,
-                    campaign,
-                    seq,
-                    *event,
-                ),
-            },
-        };
-        // `finish` is the requester's "my report is final" moment: harden
-        // everything buffered for it, whatever the campaign's flush policy.
-        // A failed sync fails the finish — handing back a Report while its
-        // events are still only in memory would be a silent durability lie
-        // (the requester can retry; events stay buffered for the resumed
-        // flush).
-        if matches!(kind, OpKind::Finish) {
-            if let Some(d) = durability
-                .as_mut()
-                .filter(|d| d.persisted.contains(&campaign))
-            {
-                if let Err(e) = d.log.flush() {
-                    response = Response::Rejected(RejectReason::ReportNotDurable {
-                        campaign,
-                        cause: e.to_string(),
-                    });
-                }
-                d.observe(shard, &metrics);
-            }
-        }
-        // Snapshot cadence: after enough logged events, re-baseline every
-        // campaign on this shard and prune the log.
-        if let Some(d) = durability.as_mut() {
-            if d.snapshot_every > 0 && d.events_since_snapshot >= d.snapshot_every {
-                if let Err(e) = d.snapshot_cycle(&registry, &metrics) {
-                    // Keep serving; the log keeps growing until the next
-                    // cycle succeeds.
-                    eprintln!("docs-shard-{shard}: snapshot cycle failed: {e}");
-                }
-                d.observe(shard, &metrics);
-            }
-            // Ship everything this request's group commit made durable
-            // *before* acknowledging it: once a completion is out, the
-            // event it acknowledged is either still buffered (not yet
-            // durable, so not owed to followers) or already on the wire.
-            d.ship(&metrics);
-        }
-        let elapsed = start.elapsed();
-        metrics.record(kind, elapsed);
-        metrics.shard_processed(shard, elapsed);
-        // The completion echoes the submission's correlation id. A client
-        // that dropped its ticket after submitting is fine.
-        let _ = inbound.completions.send(Completion {
-            correlation,
-            response,
-        });
+        process_one(
+            shard,
+            inbound,
+            &mut registry,
+            &mut durability,
+            &metrics,
+            &role,
+            &seed_next_campaign,
+            &mut deferred,
+        );
     }
     if let Some(d) = durability.as_mut() {
         if crash.load(Ordering::SeqCst) {
             // Simulated kill: drop the unflushed group-commit buffer (and
             // the frames queued behind it — a real dead process ships
-            // nothing either).
+            // nothing either). Withheld completions are dropped unsent: a
+            // dead process never acknowledged them, and the events they
+            // would have acknowledged just vanished with the buffer.
             d.log.abandon();
+            deferred.clear();
         } else {
             if d.log.flush().is_ok() {
                 d.ship(&metrics);
             }
             d.observe(shard, &metrics);
+            // Shutdown closes the final adaptive batch like any other:
+            // flush first, then release the withheld acks in order.
+            for (tx, completion) in deferred.drain(..) {
+                let _ = tx.send(completion);
+            }
         }
     }
     registry
+}
+
+/// Flushes the adaptive group-commit batch, ships what became durable, and
+/// releases the withheld completions in arrival order. A failed flush is a
+/// durability *delay*, same as the append path's policy flush: the buffer
+/// resumes at the next trigger, and the acks are released anyway (holding
+/// them hostage to a broken disk would deadlock clients without making the
+/// events any more durable).
+fn close_adaptive_batch(
+    shard: usize,
+    d: &mut ShardDurability,
+    deferred: &mut Vec<(Sender<Completion>, Completion)>,
+    metrics: &ServiceMetrics,
+) {
+    if let Err(e) = d.log.flush() {
+        eprintln!("docs-shard-{shard}: adaptive batch flush failed: {e}");
+        d.log.clear_strict_pending();
+    }
+    d.ship(metrics);
+    d.observe(shard, metrics);
+    for (tx, completion) in deferred.drain(..) {
+        let _ = tx.send(completion);
+    }
+}
+
+/// Handles one inbound request end to end: role gate, dispatch, finish
+/// hardening, snapshot cadence, shipping, and the completion — which is
+/// either sent immediately or withheld in `deferred` while adaptive group
+/// commit keeps the event it acknowledges buffered.
+#[allow(clippy::too_many_arguments)]
+fn process_one(
+    shard: usize,
+    inbound: Inbound,
+    registry: &mut CampaignRegistry,
+    durability: &mut Option<ShardDurability>,
+    metrics: &ServiceMetrics,
+    role: &RoleCell,
+    seed_next_campaign: &Arc<AtomicU32>,
+    deferred: &mut Vec<(Sender<Completion>, Completion)>,
+) {
+    let start = Instant::now();
+    let RequestEnvelope {
+        correlation,
+        request,
+    } = inbound.envelope;
+    let campaign = request.campaign();
+    let kind = kind_of(&request);
+    // The role gate: a follower refuses every external mutation (pure
+    // reads and the replication plane pass), a primary refuses the
+    // replication plane (nothing legitimate feeds it).
+    let refusal = match role.get() {
+        ReplicaRole::Follower if !request.is_read() && !request.is_replication() => {
+            metrics.read_only_rejection();
+            Some(Response::Rejected(RejectReason::ReadOnlyReplica {
+                campaign,
+            }))
+        }
+        ReplicaRole::Primary if request.is_replication() => {
+            Some(Response::Rejected(RejectReason::NotAFollower { campaign }))
+        }
+        _ => None,
+    };
+    let mut response = match refusal {
+        Some(response) => response,
+        None => match request {
+            Request::CreateCampaign {
+                campaign,
+                docs,
+                persistence,
+            } => create_campaign(registry, durability, metrics, campaign, *docs, persistence),
+            Request::RequestWork { worker, .. } => on_campaign(registry, campaign, |docs| {
+                Response::Work(docs.request_tasks(worker))
+            }),
+            Request::SubmitGolden {
+                worker, answers, ..
+            } => apply_event(
+                registry,
+                durability,
+                metrics,
+                shard,
+                campaign,
+                CampaignEvent::golden(worker, answers),
+                |_| Response::Ack,
+            ),
+            Request::SubmitAnswer { answer, .. } => apply_event(
+                registry,
+                durability,
+                metrics,
+                shard,
+                campaign,
+                CampaignEvent::answer(answer),
+                |_| Response::Ack,
+            ),
+            Request::SubmitAnswerBatch { answers, .. } => {
+                apply_answer_batch(registry, durability, metrics, shard, campaign, answers)
+            }
+            Request::Finish { .. } => apply_event(
+                registry,
+                durability,
+                metrics,
+                shard,
+                campaign,
+                CampaignEvent::finished(),
+                |docs| Response::Report(Box::new(docs.report())),
+            ),
+            Request::Status { .. } => on_campaign(registry, campaign, |docs| {
+                Response::Status(Box::new(docs.status()))
+            }),
+            Request::PeekReport { .. } => on_campaign(registry, campaign, |docs| {
+                Response::Report(Box::new(docs.report()))
+            }),
+            Request::SnapshotState { .. } => on_campaign(registry, campaign, |docs| {
+                Response::State(codec::to_bytes(&docs.snapshot()))
+            }),
+            Request::InstallSnapshot { seq, snapshot, .. } => install_snapshot(
+                registry,
+                durability,
+                metrics,
+                seed_next_campaign,
+                campaign,
+                seq,
+                &snapshot,
+            ),
+            Request::ApplyReplicated { seq, event, .. } => {
+                apply_replicated(registry, durability, metrics, shard, campaign, seq, *event)
+            }
+        },
+    };
+    // `finish` is the requester's "my report is final" moment: harden
+    // everything buffered for it, whatever the campaign's flush policy.
+    // A failed sync fails the finish — handing back a Report while its
+    // events are still only in memory would be a silent durability lie
+    // (the requester can retry; events stay buffered for the resumed
+    // flush).
+    if matches!(kind, OpKind::Finish) {
+        if let Some(d) = durability
+            .as_mut()
+            .filter(|d| d.persisted.contains(&campaign))
+        {
+            if let Err(e) = d.log.flush() {
+                response = Response::Rejected(RejectReason::ReportNotDurable {
+                    campaign,
+                    cause: e.to_string(),
+                });
+            }
+            d.observe(shard, metrics);
+        }
+    }
+    // Snapshot cadence: after enough logged events, re-baseline every
+    // campaign on this shard and prune the log.
+    if let Some(d) = durability.as_mut() {
+        if d.snapshot_every > 0 && d.events_since_snapshot >= d.snapshot_every {
+            if let Err(e) = d.snapshot_cycle(registry, metrics) {
+                // Keep serving; the log keeps growing until the next
+                // cycle succeeds.
+                eprintln!("docs-shard-{shard}: snapshot cycle failed: {e}");
+            }
+            d.observe(shard, metrics);
+        }
+        // Ship everything this request's group commit made durable
+        // *before* acknowledging it: once a completion is out, the
+        // event it acknowledged is either still buffered (not yet
+        // durable, so not owed to followers) or already on the wire.
+        d.ship(metrics);
+    }
+    let elapsed = start.elapsed();
+    metrics.record(kind, elapsed);
+    metrics.shard_processed(shard, elapsed);
+    // The completion echoes the submission's correlation id. A client
+    // that dropped its ticket after submitting is fine.
+    let completion = Completion {
+        correlation,
+        response,
+    };
+    let strict_pending = durability
+        .as_ref()
+        .is_some_and(|d| d.log.pending_strict_events() > 0);
+    if strict_pending {
+        // Adaptive group commit still holds the event this completion
+        // acknowledges (or an earlier one — FIFO) in the unsynced batch:
+        // withhold the ack until the batch's fdatasync lands.
+        deferred.push((inbound.completions, completion));
+    } else {
+        // Everything acknowledged so far is durable; release any batch
+        // acks first so completions leave in arrival order.
+        for (tx, earlier) in deferred.drain(..) {
+            let _ = tx.send(earlier);
+        }
+        let _ = inbound.completions.send(completion);
+    }
 }
 
 /// Handles `CreateCampaign` on the owning shard: plain insert for
@@ -1519,10 +1618,9 @@ fn create_campaign(
                 num_tasks: docs.tasks().len() as u32,
                 num_golden: docs.golden_ids().len() as u32,
             });
-            let bytes = serde_json::to_vec(&event)
-                .map_err(|e| docs_types::Error::Storage(format!("encode event: {e}")))?;
+            let bytes = codec::encode_event(&event);
             let seq = d.log.append_event(campaign, &bytes)?;
-            d.queue_event_for_ship(campaign, seq, &bytes);
+            d.queue_event_for_ship(campaign, seq, bytes);
             // Control-plane creation is always synced immediately, whatever
             // the campaign's data-plane policy.
             d.log.flush()?;
@@ -1619,7 +1717,10 @@ impl DocsService {
                 continue;
             };
             let shard = id.shard(shards);
-            let events: Vec<Vec<u8>> = campaign
+            // Arena-backed views out of the recovered tree: cloning a
+            // `PayloadBytes` bumps a refcount on the per-file arena, so no
+            // event payload is copied on the way into replay.
+            let events: Vec<docs_storage::PayloadBytes> = campaign
                 .events
                 .iter()
                 .map(|(_, payload)| payload.clone())
@@ -1682,10 +1783,12 @@ impl DocsService {
         let mut joins = Vec::with_capacity(shards);
         for (shard, (registry, persisted)) in seeds.into_iter().enumerate() {
             let log = match &config.durability {
-                Some(d) => Some(
-                    CampaignLog::open(d.dir.join(format!("shard-{shard}")))
-                        .map_err(|e| ServiceError::Rejected(e.into()))?,
-                ),
+                Some(d) => {
+                    let mut log = CampaignLog::open(d.dir.join(format!("shard-{shard}")))
+                        .map_err(|e| ServiceError::Rejected(e.into()))?;
+                    log.set_adaptive(d.adaptive);
+                    Some(log)
+                }
                 None => None,
             };
             let seed = ShardSeed {

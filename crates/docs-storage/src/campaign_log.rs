@@ -34,12 +34,13 @@
 //! and ends that segment's scan cleanly; a CRC-corrupt *complete* record is
 //! data loss and fails recovery loudly instead of serving wrong state.
 
-use crate::{crc32, io_err, Wal, WalTail};
+use crate::{crc32, io_err, PayloadBytes, Wal, WalTail};
 use bytes::{Buf, BufMut, BytesMut};
 use docs_types::{CampaignId, Error, Result};
 use std::collections::{BTreeMap, HashMap};
 use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// When a shard's buffered events are written and `fdatasync`ed.
@@ -64,6 +65,37 @@ impl FlushPolicy {
             FlushPolicy::EveryEvent => "every_event".to_string(),
             FlushPolicy::Batch(n) => format!("batch_{n}"),
             FlushPolicy::IntervalMs(ms) => format!("interval_{ms}ms"),
+        }
+    }
+}
+
+/// Adaptive group commit: under load, [`FlushPolicy::EveryEvent`] appends
+/// accumulate into one batch (bounded by event count, buffered bytes, and a
+/// latency deadline) that is written and `fdatasync`ed once; when the load
+/// drops the batch collapses back to a single event, so an isolated append
+/// still hardens immediately.
+///
+/// Durability semantics are preserved by the *owner*, not the log: the
+/// service shard withholds acknowledgements for events in an open batch and
+/// releases them only after the batch flushes — acknowledged still implies
+/// durable, but the `fdatasync` cost is amortized like `Batch`/`IntervalMs`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdaptiveCommit {
+    /// Flush once this many events are buffered.
+    pub max_batch_events: usize,
+    /// Flush once the buffered batch reaches this many bytes.
+    pub max_batch_bytes: usize,
+    /// Flush once the oldest buffered event has waited this long — the
+    /// worst-case added acknowledgement latency under sustained load.
+    pub max_delay: Duration,
+}
+
+impl Default for AdaptiveCommit {
+    fn default() -> Self {
+        AdaptiveCommit {
+            max_batch_events: 64,
+            max_batch_bytes: 256 * 1024,
+            max_delay: Duration::from_millis(2),
         }
     }
 }
@@ -100,6 +132,15 @@ pub struct CampaignLog {
     pending_written: usize,
     pending_events: usize,
     last_flush_at: Instant,
+    /// When the oldest event still in `pending` was appended — the anchor
+    /// of the adaptive latency deadline.
+    first_pending_at: Option<Instant>,
+    /// Adaptive group commit for `EveryEvent` campaigns, when enabled.
+    adaptive: Option<AdaptiveCommit>,
+    /// Buffered events appended under `EveryEvent` while adaptive commit
+    /// deferred their sync. The owner must withhold these events'
+    /// acknowledgements until the batch flushes (acked ⇒ durable).
+    pending_strict: usize,
     policies: HashMap<CampaignId, FlushPolicy>,
     /// Last assigned sequence number per campaign (0 = none yet).
     seqs: HashMap<CampaignId, u64>,
@@ -173,14 +214,16 @@ pub fn list_segments(dir: impl AsRef<Path>) -> Result<Vec<PathBuf>> {
 /// a record too short to carry the campaign/sequence tag is an error.
 pub fn read_segment(path: impl AsRef<Path>) -> Result<(Vec<SegmentEvent>, WalTail)> {
     let path = path.as_ref();
-    let (entries, tail) = Wal::replay_all(path)?;
-    let mut events = Vec::with_capacity(entries.len());
-    for entry in entries {
-        let (campaign, seq, payload) = decode_event_record(&entry.0, path)?;
+    let data = Wal::load(path)?;
+    let (records, tail) = Wal::scan(&data);
+    let mut events = Vec::with_capacity(records.len());
+    for range in records {
+        let record = &data[range];
+        let (campaign, seq) = decode_event_tag(record, path)?;
         events.push(SegmentEvent {
             campaign,
             seq,
-            payload,
+            payload: record[12..].to_vec(),
         });
     }
     Ok((events, tail))
@@ -231,6 +274,9 @@ impl CampaignLog {
             pending_written: 0,
             pending_events: 0,
             last_flush_at: Instant::now(),
+            first_pending_at: None,
+            adaptive: None,
+            pending_strict: 0,
             policies: HashMap::new(),
             seqs: HashMap::new(),
             stats: FlushStats::default(),
@@ -285,9 +331,26 @@ impl CampaignLog {
         record.put_slice(payload);
         Wal::encode_record(&record, &mut self.pending);
         self.pending_events += 1;
+        if self.pending_events == 1 {
+            self.first_pending_at = Some(Instant::now());
+        }
         self.stats.appended += 1;
         let due = match self.policy(campaign).unwrap_or(FlushPolicy::EveryEvent) {
-            FlushPolicy::EveryEvent => true,
+            // Adaptive group commit defers the per-append sync: the batch
+            // grows until a bound trips here or the owner closes it (see
+            // [`CampaignLog::adaptive_flush_due_in`]); the owner withholds
+            // acknowledgements until the flush, preserving acked ⇒ durable.
+            FlushPolicy::EveryEvent => match self.adaptive {
+                None => true,
+                Some(cfg) => {
+                    self.pending_strict += 1;
+                    self.pending_events >= cfg.max_batch_events.max(1)
+                        || self.pending.len() >= cfg.max_batch_bytes
+                        || self
+                            .first_pending_at
+                            .is_some_and(|t| t.elapsed() >= cfg.max_delay)
+                }
+            },
             FlushPolicy::Batch(n) => self.pending_events >= n.max(1),
             FlushPolicy::IntervalMs(ms) => {
                 self.last_flush_at.elapsed() >= Duration::from_millis(ms)
@@ -297,6 +360,54 @@ impl CampaignLog {
             self.stats.flush_failures += 1;
         }
         Ok(seq)
+    }
+
+    /// Enables (or disables, with `None`) adaptive group commit for this
+    /// log's `EveryEvent` campaigns.
+    pub fn set_adaptive(&mut self, adaptive: Option<AdaptiveCommit>) {
+        self.adaptive = adaptive;
+        if adaptive.is_none() {
+            self.pending_strict = 0;
+        }
+    }
+
+    /// Buffered `EveryEvent` events whose sync was deferred by adaptive
+    /// commit — the owner must withhold their acknowledgements (and, for
+    /// FIFO ordering, everything queued behind them) until the next
+    /// successful [`CampaignLog::flush`] drops this to zero.
+    pub fn pending_strict_events(&self) -> usize {
+        self.pending_strict
+    }
+
+    /// Gives up on the strict-pending accounting without a successful
+    /// flush — for an owner that decided to degrade (e.g. release
+    /// acknowledgements after a failed batch sync, mirroring the
+    /// append-path policy-flush semantics where a sync failure is a
+    /// durability delay, not a refusal).
+    pub fn clear_strict_pending(&mut self) {
+        self.pending_strict = 0;
+    }
+
+    /// The adaptive group-commit configuration, if enabled.
+    pub fn adaptive(&self) -> Option<AdaptiveCommit> {
+        self.adaptive
+    }
+
+    /// Bytes buffered but not yet written + synced.
+    pub fn pending_bytes(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// How long the adaptive latency deadline allows the current batch to
+    /// stay open: `Some(ZERO)` means overdue (flush now), `None` means no
+    /// deadline is running (adaptive off or nothing buffered).
+    pub fn adaptive_flush_due_in(&self) -> Option<Duration> {
+        let cfg = self.adaptive?;
+        if self.pending_events == 0 {
+            return None;
+        }
+        let first = self.first_pending_at?;
+        Some(cfg.max_delay.saturating_sub(first.elapsed()))
     }
 
     /// Events buffered but not yet written + synced.
@@ -373,6 +484,8 @@ impl CampaignLog {
         self.pending.clear();
         self.pending_written = 0;
         self.pending_events = 0;
+        self.pending_strict = 0;
+        self.first_pending_at = None;
         self.last_flush_at = Instant::now();
         Ok(())
     }
@@ -386,6 +499,8 @@ impl CampaignLog {
         self.pending.clear();
         self.pending_written = 0;
         self.pending_events = 0;
+        self.pending_strict = 0;
+        self.first_pending_at = None;
     }
 
     /// Test hook: behaves like a flush that wrote `bytes` of the buffer and
@@ -519,14 +634,16 @@ impl Drop for CampaignLog {
     }
 }
 
-/// One campaign's recovered durable state.
+/// One campaign's recovered durable state. Payloads are [`PayloadBytes`]
+/// views into per-file arenas: recovery allocates one buffer per segment or
+/// snapshot *file*, not one per event.
 #[derive(Debug, Clone, Default)]
 pub struct CampaignRecovery {
     /// Highest-sequence intact snapshot payload, if any snapshot was taken.
-    pub snapshot: Option<(u64, Vec<u8>)>,
+    pub snapshot: Option<(u64, PayloadBytes)>,
     /// Event payloads with sequence numbers strictly beyond the snapshot,
     /// ascending and gap-free.
-    pub events: Vec<(u64, Vec<u8>)>,
+    pub events: Vec<(u64, PayloadBytes)>,
     /// Highest durable sequence number (snapshot or event).
     pub last_seq: u64,
 }
@@ -541,9 +658,15 @@ pub struct TreeRecovery {
     pub segments_scanned: u64,
     /// Segments that ended in a torn record (crash artifacts, tolerated).
     pub torn_tails: u64,
+    /// Payload buffers allocated while reading (one per file arena) —
+    /// before the shared-arena read path this was one per event plus one
+    /// per snapshot; the durability bench reports both counts.
+    pub payload_allocations: u64,
+    /// Event records decoded across all scanned segments.
+    pub events_recovered: u64,
 }
 
-fn read_snapshot_file(path: &Path) -> Result<(u64, Vec<u8>)> {
+fn read_snapshot_file(path: &Path) -> Result<(u64, PayloadBytes)> {
     let data = std::fs::read(path).map_err(io_err)?;
     if data.len() < 12 {
         return Err(Error::Storage(format!(
@@ -561,10 +684,13 @@ fn read_snapshot_file(path: &Path) -> Result<(u64, Vec<u8>)> {
             path.display()
         )));
     }
-    Ok((seq, cursor.to_vec()))
+    let len = data.len();
+    Ok((seq, PayloadBytes::slice_of(&Arc::new(data), 12..len)))
 }
 
-fn decode_event_record(record: &[u8], path: &Path) -> Result<(CampaignId, u64, Vec<u8>)> {
+/// Decodes the campaign/sequence tag of one event record, borrowed — the
+/// payload is the remainder of the record, sliced by the caller.
+fn decode_event_tag(record: &[u8], path: &Path) -> Result<(CampaignId, u64)> {
     if record.len() < 12 {
         return Err(Error::Storage(format!(
             "malformed event record in {}",
@@ -574,7 +700,7 @@ fn decode_event_record(record: &[u8], path: &Path) -> Result<(CampaignId, u64, V
     let mut cursor = record;
     let campaign = CampaignId(cursor.get_u32_le());
     let seq = cursor.get_u64_le();
-    Ok((campaign, seq, cursor.to_vec()))
+    Ok((campaign, seq))
 }
 
 /// Recovers every campaign under `base`: the directory itself plus each
@@ -602,7 +728,7 @@ pub fn recover_tree(base: impl AsRef<Path>) -> Result<TreeRecovery> {
     dirs.sort();
 
     let mut recovery = TreeRecovery::default();
-    let mut raw_events: HashMap<CampaignId, Vec<(u64, Vec<u8>)>> = HashMap::new();
+    let mut raw_events: HashMap<CampaignId, Vec<(u64, PayloadBytes)>> = HashMap::new();
     for dir in &dirs {
         // Snapshots: keep the highest sequence per campaign.
         let entries = match std::fs::read_dir(dir) {
@@ -617,17 +743,21 @@ pub fn recover_tree(base: impl AsRef<Path>) -> Result<TreeRecovery> {
             };
             if let Some(campaign) = parse_snapshot_id(&name) {
                 let (seq, payload) = read_snapshot_file(&entry.path())?;
+                recovery.payload_allocations += 1;
                 let slot = recovery.campaigns.entry(campaign).or_default();
                 if slot.snapshot.as_ref().is_none_or(|(s, _)| *s < seq) {
                     slot.snapshot = Some((seq, payload));
                 }
             }
         }
-        // Segments: collect every event through the public iteration API,
-        // tolerating torn tails.
+        // Segments: load each file into one shared arena and hand out
+        // borrowed payload views — no per-event copy. Torn tails are
+        // tolerated (crash artifacts).
         for path in list_segments(dir)? {
-            let (events, tail) = read_segment(&path)?;
+            let arena = Arc::new(Wal::load(&path)?);
+            let (records, tail) = Wal::scan(&arena);
             recovery.segments_scanned += 1;
+            recovery.payload_allocations += 1;
             match tail {
                 WalTail::Clean => {}
                 WalTail::Torn => recovery.torn_tails += 1,
@@ -639,11 +769,13 @@ pub fn recover_tree(base: impl AsRef<Path>) -> Result<TreeRecovery> {
                     )));
                 }
             }
-            for event in events {
-                raw_events
-                    .entry(event.campaign)
-                    .or_default()
-                    .push((event.seq, event.payload));
+            for range in records {
+                let (campaign, seq) = decode_event_tag(&arena[range.clone()], &path)?;
+                recovery.events_recovered += 1;
+                raw_events.entry(campaign).or_default().push((
+                    seq,
+                    PayloadBytes::slice_of(&arena, range.start + 12..range.end),
+                ));
             }
         }
     }
@@ -652,7 +784,7 @@ pub fn recover_tree(base: impl AsRef<Path>) -> Result<TreeRecovery> {
         let slot = recovery.campaigns.entry(campaign).or_default();
         events.sort_by_key(|(seq, _)| *seq);
         let snapshot_seq = slot.snapshot.as_ref().map_or(0, |(seq, _)| *seq);
-        let mut kept: Vec<(u64, Vec<u8>)> = Vec::new();
+        let mut kept: Vec<(u64, PayloadBytes)> = Vec::new();
         for (seq, payload) in events {
             if seq <= snapshot_seq {
                 continue;
@@ -711,6 +843,12 @@ mod tests {
     const C0: CampaignId = CampaignId(0);
     const C1: CampaignId = CampaignId(1);
 
+    /// Copies arena-backed recovery events into owned pairs so assertions
+    /// can compare against plain `Vec<u8>` literals.
+    fn owned(events: &[(u64, PayloadBytes)]) -> Vec<(u64, Vec<u8>)> {
+        events.iter().map(|(seq, p)| (*seq, p.to_vec())).collect()
+    }
+
     #[test]
     fn append_flush_recover_roundtrip() {
         let base = tmp_dir("roundtrip");
@@ -727,11 +865,11 @@ mod tests {
         let c0 = &rec.campaigns[&C0];
         assert_eq!(c0.last_seq, 2);
         assert_eq!(
-            c0.events,
+            owned(&c0.events),
             vec![(1, b"a0".to_vec()), (2, b"a1".to_vec())],
             "per-campaign sequences interleave cleanly"
         );
-        assert_eq!(rec.campaigns[&C1].events, vec![(1, b"b0".to_vec())]);
+        assert_eq!(owned(&rec.campaigns[&C1].events), vec![(1, b"b0".to_vec())]);
     }
 
     #[test]
@@ -759,6 +897,84 @@ mod tests {
     }
 
     #[test]
+    fn adaptive_commit_batches_every_event_appends() {
+        let base = tmp_dir("adaptive");
+        let mut log = CampaignLog::open(base.join("shard-0")).unwrap();
+        log.register(C0, FlushPolicy::EveryEvent, 0);
+        log.set_adaptive(Some(AdaptiveCommit {
+            max_batch_events: 4,
+            max_batch_bytes: 1 << 20,
+            max_delay: Duration::from_secs(3600), // never trip on time here
+        }));
+        // Three appends buffer; EveryEvent no longer syncs per append.
+        for payload in [b"e1", b"e2", b"e3"] {
+            log.append_event(C0, payload).unwrap();
+        }
+        assert_eq!(log.stats().flushes, 0);
+        assert_eq!(log.pending_events(), 3);
+        assert!(
+            log.adaptive_flush_due_in().is_some(),
+            "a deadline is armed while events are pending"
+        );
+        // The fourth trips the event bound: one fdatasync for the batch.
+        log.append_event(C0, b"e4").unwrap();
+        assert_eq!(log.stats().flushes, 1);
+        assert_eq!(log.stats().flushed_events, 4);
+        assert_eq!(log.pending_events(), 0);
+        assert!(log.adaptive_flush_due_in().is_none(), "nothing pending");
+        // Byte bound trips independently of the event bound.
+        log.set_adaptive(Some(AdaptiveCommit {
+            max_batch_events: 1000,
+            max_batch_bytes: 1,
+            max_delay: Duration::from_secs(3600),
+        }));
+        log.append_event(C0, b"big enough").unwrap();
+        assert_eq!(log.stats().flushes, 2);
+        // Turning adaptive off restores strict per-append durability.
+        log.set_adaptive(None);
+        log.append_event(C0, b"strict").unwrap();
+        assert_eq!(log.stats().flushes, 3);
+        drop(log);
+        // Everything flushed is recoverable, in order.
+        let rec = recover_tree(&base).unwrap();
+        assert_eq!(
+            owned(&rec.campaigns[&C0].events),
+            vec![
+                (1, b"e1".to_vec()),
+                (2, b"e2".to_vec()),
+                (3, b"e3".to_vec()),
+                (4, b"e4".to_vec()),
+                (5, b"big enough".to_vec()),
+                (6, b"strict".to_vec()),
+            ]
+        );
+    }
+
+    #[test]
+    fn adaptive_commit_deadline_makes_buffered_events_due() {
+        let base = tmp_dir("adaptive-deadline");
+        let mut log = CampaignLog::open(base.join("shard-0")).unwrap();
+        log.register(C0, FlushPolicy::EveryEvent, 0);
+        log.set_adaptive(Some(AdaptiveCommit {
+            max_batch_events: 1000,
+            max_batch_bytes: 1 << 20,
+            max_delay: Duration::from_millis(1),
+        }));
+        log.append_event(C0, b"first").unwrap();
+        assert_eq!(log.stats().flushes, 0, "within the latency window");
+        std::thread::sleep(Duration::from_millis(5));
+        assert_eq!(
+            log.adaptive_flush_due_in(),
+            Some(Duration::ZERO),
+            "deadline passed — batch is overdue"
+        );
+        // The next append observes the expired deadline and syncs the batch.
+        log.append_event(C0, b"second").unwrap();
+        assert_eq!(log.stats().flushes, 1);
+        assert_eq!(log.stats().flushed_events, 2);
+    }
+
+    #[test]
     fn failed_flush_resumes_instead_of_duplicating_records() {
         let base = tmp_dir("flush-resume");
         let mut log = CampaignLog::open(base.join("shard-0")).unwrap();
@@ -778,7 +994,7 @@ mod tests {
         let rec = recover_tree(&base).unwrap();
         let c0 = &rec.campaigns[&C0];
         assert_eq!(
-            c0.events,
+            owned(&c0.events),
             vec![
                 (1, b"one".to_vec()),
                 (2, b"two".to_vec()),
@@ -889,8 +1105,12 @@ mod tests {
         }
         let rec = recover_tree(&base).unwrap();
         let c0 = &rec.campaigns[&C0];
-        assert_eq!(c0.snapshot, Some((5, b"state-at-5".to_vec())));
-        assert_eq!(c0.events, vec![(6, b"e5".to_vec())]);
+        let (snap_seq, snap_payload) = c0.snapshot.as_ref().expect("snapshot recovered");
+        assert_eq!(
+            (*snap_seq, snap_payload.to_vec()),
+            (5, b"state-at-5".to_vec())
+        );
+        assert_eq!(owned(&c0.events), vec![(6, b"e5".to_vec())]);
         assert_eq!(c0.last_seq, 6);
     }
 
@@ -943,7 +1163,7 @@ mod tests {
         assert!(segment_path(&shard, 1).exists());
         let rec = recover_tree(&base).unwrap();
         assert_eq!(
-            rec.campaigns[&C0].events,
+            owned(&rec.campaigns[&C0].events),
             vec![(1, b"epoch-1".to_vec()), (2, b"epoch-2".to_vec())]
         );
     }
@@ -967,7 +1187,7 @@ mod tests {
         }
         let rec = recover_tree(&base).unwrap();
         assert_eq!(
-            rec.campaigns[&C0].events,
+            owned(&rec.campaigns[&C0].events),
             vec![
                 (1, b"s1".to_vec()),
                 (2, b"s2".to_vec()),

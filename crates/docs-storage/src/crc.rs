@@ -1,35 +1,11 @@
 //! CRC-32 (IEEE 802.3) used to detect torn or corrupted WAL records.
+//!
+//! The implementation lives in `docs-types` (the binary codec frames its
+//! records with the same checksum); this module keeps the historical
+//! `docs_storage::crc32` path alive and adds the incremental [`Crc32`]
+//! hasher used by streamed snapshot writers.
 
-/// Lazily built 256-entry lookup table for the reflected IEEE polynomial.
-fn table() -> &'static [u32; 256] {
-    use std::sync::OnceLock;
-    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
-    TABLE.get_or_init(|| {
-        let mut t = [0u32; 256];
-        for (i, slot) in t.iter_mut().enumerate() {
-            let mut c = i as u32;
-            for _ in 0..8 {
-                c = if c & 1 != 0 {
-                    0xEDB88320 ^ (c >> 1)
-                } else {
-                    c >> 1
-                };
-            }
-            *slot = c;
-        }
-        t
-    })
-}
-
-/// Computes the CRC-32 checksum of a byte slice.
-pub fn crc32(data: &[u8]) -> u32 {
-    let t = table();
-    let mut c = 0xFFFF_FFFFu32;
-    for &b in data {
-        c = t[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
-    }
-    c ^ 0xFFFF_FFFF
-}
+pub use docs_types::{crc32, Crc32};
 
 #[cfg(test)]
 mod tests {
@@ -43,15 +19,11 @@ mod tests {
     }
 
     #[test]
-    fn detects_single_bit_flips() {
-        let data = b"hello world".to_vec();
-        let base = crc32(&data);
-        for i in 0..data.len() {
-            for bit in 0..8 {
-                let mut corrupted = data.clone();
-                corrupted[i] ^= 1 << bit;
-                assert_ne!(crc32(&corrupted), base, "flip at byte {i} bit {bit}");
-            }
+    fn streamed_writes_checksum_like_one_shot() {
+        let mut hasher = Crc32::new();
+        for chunk in [b"12".as_slice(), b"345", b"", b"6789"] {
+            hasher.update(chunk);
         }
+        assert_eq!(hasher.finalize(), crc32(b"123456789"));
     }
 }

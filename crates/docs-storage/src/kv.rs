@@ -1,34 +1,40 @@
 //! The keyed byte store: snapshot + WAL of mutations + in-memory index.
 
-use crate::{io_err, Wal};
+use crate::{io_err, Crc32, Wal};
 use bytes::{Buf, BufMut, BytesMut};
+use docs_types::codec::{CODEC_MAGIC, CODEC_VERSION};
 use docs_types::{Error, Result};
 use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::path::PathBuf;
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
 
 const OP_PUT: u8 = 1;
 const OP_DELETE: u8 = 2;
 
-fn encode_put(key: &str, value: &[u8]) -> Vec<u8> {
-    let mut buf = BytesMut::with_capacity(9 + key.len() + value.len());
+/// Record kind byte of the binary KV snapshot (shares the codec's
+/// magic/version convention with the event and value records).
+const KIND_KV_SNAPSHOT: u8 = b'K';
+
+fn encode_put(buf: &mut BytesMut, key: &str, value: &[u8]) {
+    buf.clear();
     buf.put_u8(OP_PUT);
     buf.put_u32_le(key.len() as u32);
     buf.put_slice(key.as_bytes());
     buf.put_u32_le(value.len() as u32);
     buf.put_slice(value);
-    buf.to_vec()
 }
 
-fn encode_delete(key: &str) -> Vec<u8> {
-    let mut buf = BytesMut::with_capacity(5 + key.len());
+fn encode_delete(buf: &mut BytesMut, key: &str) {
+    buf.clear();
     buf.put_u8(OP_DELETE);
     buf.put_u32_le(key.len() as u32);
     buf.put_slice(key.as_bytes());
-    buf.to_vec()
 }
 
-fn decode(mut record: &[u8]) -> Result<(u8, String, Vec<u8>)> {
+/// Parses one mutation record into borrowed views — the replay loop copies
+/// only what it inserts into the index, never intermediate buffers.
+fn decode(mut record: &[u8]) -> Result<(u8, &str, &[u8])> {
     let fail = || Error::Storage("malformed WAL record".into());
     if record.len() < 5 {
         return Err(fail());
@@ -38,7 +44,7 @@ fn decode(mut record: &[u8]) -> Result<(u8, String, Vec<u8>)> {
     if record.len() < klen {
         return Err(fail());
     }
-    let key = String::from_utf8(record[..klen].to_vec()).map_err(|_| fail())?;
+    let key = std::str::from_utf8(&record[..klen]).map_err(|_| fail())?;
     record.advance(klen);
     let value = match op {
         OP_PUT => {
@@ -49,12 +55,88 @@ fn decode(mut record: &[u8]) -> Result<(u8, String, Vec<u8>)> {
             if record.len() < vlen {
                 return Err(fail());
             }
-            record[..vlen].to_vec()
+            &record[..vlen]
         }
-        OP_DELETE => Vec::new(),
+        OP_DELETE => &[],
         _ => return Err(fail()),
     };
     Ok((op, key, value))
+}
+
+/// Streams the index to `path` as a binary snapshot:
+/// `[magic][version][kind][count u32 LE]` then, per entry (sorted by key for
+/// deterministic bytes), `[klen u32 LE][key][vlen u32 LE][value]`, and a
+/// trailing `crc32` (u32 LE) over everything before it. A `BufWriter` plus an
+/// incremental [`Crc32`] keep the write single-pass with no intermediate
+/// whole-map buffer — the old path serialized the entire map to one JSON
+/// `Vec<u8>` before touching the disk.
+fn write_snapshot_bin(path: &Path, map: &HashMap<String, Vec<u8>>) -> Result<()> {
+    let file = std::fs::File::create(path).map_err(io_err)?;
+    let mut out = BufWriter::new(file);
+    let mut crc = Crc32::new();
+    let mut emit = |out: &mut BufWriter<std::fs::File>, bytes: &[u8]| -> Result<()> {
+        crc.update(bytes);
+        out.write_all(bytes).map_err(io_err)
+    };
+    emit(&mut out, &[CODEC_MAGIC, CODEC_VERSION, KIND_KV_SNAPSHOT])?;
+    emit(&mut out, &(map.len() as u32).to_le_bytes())?;
+    let mut keys: Vec<&String> = map.keys().collect();
+    keys.sort();
+    for key in keys {
+        let value = &map[key];
+        emit(&mut out, &(key.len() as u32).to_le_bytes())?;
+        emit(&mut out, key.as_bytes())?;
+        emit(&mut out, &(value.len() as u32).to_le_bytes())?;
+        emit(&mut out, value)?;
+    }
+    let digest = crc.finalize();
+    out.write_all(&digest.to_le_bytes()).map_err(io_err)?;
+    let file = out.into_inner().map_err(|e| io_err(e.into_error()))?;
+    file.sync_data().map_err(io_err)
+}
+
+/// Parses a binary snapshot produced by [`write_snapshot_bin`].
+fn read_snapshot_bin(data: &[u8]) -> Result<HashMap<String, Vec<u8>>> {
+    let fail = |why: &str| Error::Storage(format!("bad snapshot: {why}"));
+    if data.len() < 11 {
+        return Err(fail("truncated header"));
+    }
+    if data[0] != CODEC_MAGIC || data[2] != KIND_KV_SNAPSHOT {
+        return Err(fail("wrong magic or kind"));
+    }
+    if data[1] != CODEC_VERSION {
+        return Err(fail("unknown format version"));
+    }
+    let body = &data[..data.len() - 4];
+    let stored = (&data[data.len() - 4..]).get_u32_le();
+    if crate::crc32(body) != stored {
+        return Err(fail("crc mismatch"));
+    }
+    let mut cursor = &body[3..];
+    let count = cursor.get_u32_le() as usize;
+    let mut map = HashMap::with_capacity(count);
+    for _ in 0..count {
+        if cursor.len() < 4 {
+            return Err(fail("truncated entry"));
+        }
+        let klen = cursor.get_u32_le() as usize;
+        if cursor.len() < klen + 4 {
+            return Err(fail("truncated key"));
+        }
+        let key = std::str::from_utf8(&cursor[..klen]).map_err(|_| fail("key is not UTF-8"))?;
+        let key = key.to_string();
+        cursor.advance(klen);
+        let vlen = cursor.get_u32_le() as usize;
+        if cursor.len() < vlen {
+            return Err(fail("truncated value"));
+        }
+        map.insert(key, cursor[..vlen].to_vec());
+        cursor.advance(vlen);
+    }
+    if !cursor.is_empty() {
+        return Err(fail("trailing bytes"));
+    }
+    Ok(map)
 }
 
 #[derive(Debug)]
@@ -62,13 +144,18 @@ struct Inner {
     map: HashMap<String, Vec<u8>>,
     wal: Wal,
     dir: PathBuf,
+    /// Reused encode buffer for mutation records — `put`/`delete` fill it in
+    /// place instead of allocating a fresh `Vec<u8>` per record.
+    record_buf: BytesMut,
 }
 
 /// A durable key → bytes store.
 ///
 /// Every mutation is logged to the WAL before the in-memory index is
-/// touched; [`KvStore::snapshot`] persists the whole index as JSON and
-/// truncates the log. Reopening a directory recovers snapshot + log suffix.
+/// touched; [`KvStore::snapshot`] streams the whole index to a CRC-trailed
+/// binary snapshot and truncates the log. Reopening a directory recovers
+/// snapshot + log suffix; legacy JSON snapshots from older builds are still
+/// read and upgraded at the next snapshot.
 #[derive(Debug)]
 pub struct KvStore {
     inner: Mutex<Inner>,
@@ -76,38 +163,60 @@ pub struct KvStore {
 
 impl KvStore {
     /// Opens (or creates) a store rooted at `dir`.
+    ///
+    /// Prefers the binary `snapshot.bin`; a store last compacted by an older
+    /// build falls back to its legacy `snapshot.json`, which the next
+    /// [`KvStore::snapshot`] replaces (upgrade-on-snapshot).
     pub fn open(dir: impl Into<PathBuf>) -> Result<Self> {
         let dir = dir.into();
         std::fs::create_dir_all(&dir).map_err(io_err)?;
-        let snapshot_path = dir.join("snapshot.json");
-        let mut map: HashMap<String, Vec<u8>> = match std::fs::read(&snapshot_path) {
-            Ok(data) => serde_json::from_slice(&data)
-                .map_err(|e| Error::Storage(format!("bad snapshot: {e}")))?,
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => HashMap::new(),
+        let mut map: HashMap<String, Vec<u8>> = match std::fs::read(dir.join("snapshot.bin")) {
+            Ok(data) => read_snapshot_bin(&data)?,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                match std::fs::read(dir.join("snapshot.json")) {
+                    Ok(data) => serde_json::from_slice(&data)
+                        .map_err(|e| Error::Storage(format!("bad snapshot: {e}")))?,
+                    Err(e) if e.kind() == std::io::ErrorKind::NotFound => HashMap::new(),
+                    Err(e) => return Err(io_err(e)),
+                }
+            }
             Err(e) => return Err(io_err(e)),
         };
         let wal_path = dir.join("wal.log");
-        for entry in Wal::replay(&wal_path)? {
-            let (op, key, value) = decode(&entry.0)?;
+        // Load the log once and replay borrowed views; the only copies made
+        // are the key/value the index actually keeps.
+        let data = Wal::load(&wal_path)?;
+        let (records, _tail) = Wal::scan(&data);
+        for range in records {
+            let (op, key, value) = decode(&data[range])?;
             match op {
                 OP_PUT => {
-                    map.insert(key, value);
+                    map.insert(key.to_string(), value.to_vec());
                 }
                 _ => {
-                    map.remove(&key);
+                    map.remove(key);
                 }
             }
         }
         let wal = Wal::open(wal_path)?;
         Ok(KvStore {
-            inner: Mutex::new(Inner { map, wal, dir }),
+            inner: Mutex::new(Inner {
+                map,
+                wal,
+                dir,
+                record_buf: BytesMut::new(),
+            }),
         })
     }
 
     /// Stores a value, durably (WAL first).
     pub fn put(&self, key: &str, value: &[u8]) -> Result<()> {
         let mut inner = self.inner.lock();
-        inner.wal.append(&encode_put(key, value))?;
+        let Inner {
+            wal, record_buf, ..
+        } = &mut *inner;
+        encode_put(record_buf, key, value);
+        wal.append(record_buf)?;
         inner.map.insert(key.to_string(), value.to_vec());
         Ok(())
     }
@@ -120,7 +229,11 @@ impl KvStore {
     /// Deletes a key; returns whether it existed.
     pub fn delete(&self, key: &str) -> Result<bool> {
         let mut inner = self.inner.lock();
-        inner.wal.append(&encode_delete(key))?;
+        let Inner {
+            wal, record_buf, ..
+        } = &mut *inner;
+        encode_delete(record_buf, key);
+        wal.append(record_buf)?;
         Ok(inner.map.remove(key).is_some())
     }
 
@@ -147,15 +260,20 @@ impl KvStore {
         keys
     }
 
-    /// Writes an atomic snapshot (`tmp` + rename) and truncates the WAL.
+    /// Writes an atomic binary snapshot (`tmp` + rename) and truncates the
+    /// WAL. Any legacy `snapshot.json` left by an older build is removed
+    /// once the binary snapshot is durable, completing the format upgrade.
     pub fn snapshot(&self) -> Result<()> {
         let mut inner = self.inner.lock();
-        let json = serde_json::to_vec(&inner.map)
-            .map_err(|e| Error::Storage(format!("snapshot encode: {e}")))?;
-        let tmp = inner.dir.join("snapshot.json.tmp");
-        let dst = inner.dir.join("snapshot.json");
-        std::fs::write(&tmp, &json).map_err(io_err)?;
+        let tmp = inner.dir.join("snapshot.bin.tmp");
+        let dst = inner.dir.join("snapshot.bin");
+        write_snapshot_bin(&tmp, &inner.map)?;
         std::fs::rename(&tmp, &dst).map_err(io_err)?;
+        match std::fs::remove_file(inner.dir.join("snapshot.json")) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(io_err(e)),
+        }
         inner.wal.truncate()
     }
 
@@ -275,6 +393,73 @@ mod tests {
         assert_eq!(store.len(), 1);
         // And the store still accepts writes.
         store.put("after", b"crash").unwrap();
+    }
+
+    #[test]
+    fn legacy_json_snapshot_is_read_and_upgraded() {
+        let dir = tmp_dir("legacy-json");
+        std::fs::create_dir_all(&dir).unwrap();
+        // A snapshot written by an older build: the whole map as JSON.
+        let mut legacy: HashMap<String, Vec<u8>> = HashMap::new();
+        legacy.insert("old/1".into(), b"alpha".to_vec());
+        legacy.insert("old/2".into(), b"beta".to_vec());
+        std::fs::write(
+            dir.join("snapshot.json"),
+            serde_json::to_vec(&legacy).unwrap(),
+        )
+        .unwrap();
+        let store = KvStore::open(&dir).unwrap();
+        assert_eq!(store.get("old/1").unwrap(), b"alpha");
+        assert_eq!(store.get("old/2").unwrap(), b"beta");
+        store.put("new/1", b"gamma").unwrap();
+        // Compaction upgrades the on-disk format and retires the JSON file.
+        store.snapshot().unwrap();
+        assert!(dir.join("snapshot.bin").exists());
+        assert!(!dir.join("snapshot.json").exists());
+        drop(store);
+        let store = KvStore::open(&dir).unwrap();
+        assert_eq!(store.len(), 3);
+        assert_eq!(store.get("new/1").unwrap(), b"gamma");
+    }
+
+    #[test]
+    fn binary_snapshot_roundtrip_is_deterministic() {
+        let dir = tmp_dir("bin-snap");
+        {
+            let store = KvStore::open(&dir).unwrap();
+            store.put("b", b"2").unwrap();
+            store.put("a", b"1").unwrap();
+            store.snapshot().unwrap();
+        }
+        let first = std::fs::read(dir.join("snapshot.bin")).unwrap();
+        {
+            let store = KvStore::open(&dir).unwrap();
+            assert_eq!(store.get("a").unwrap(), b"1");
+            // Same contents → byte-identical snapshot (keys are sorted).
+            store.snapshot().unwrap();
+        }
+        let second = std::fs::read(dir.join("snapshot.bin")).unwrap();
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn corrupt_binary_snapshot_is_refused() {
+        let dir = tmp_dir("bin-corrupt");
+        {
+            let store = KvStore::open(&dir).unwrap();
+            store.put("k", b"precious").unwrap();
+            store.snapshot().unwrap();
+        }
+        let path = dir.join("snapshot.bin");
+        let clean = std::fs::read(&path).unwrap();
+        // Any single flipped bit must fail the CRC (or the header checks),
+        // never silently load wrong state.
+        for pos in [0, 1, 2, clean.len() / 2, clean.len() - 1] {
+            let mut evil = clean.clone();
+            evil[pos] ^= 0x10;
+            std::fs::write(&path, &evil).unwrap();
+            assert!(KvStore::open(&dir).is_err(), "flip at byte {pos} accepted");
+        }
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! * [`Wal`] — an append-only, CRC-checked, length-prefixed log that
 //!   tolerates torn writes at the tail (crash recovery),
 //! * [`KvStore`] — a keyed byte store: in-memory index + WAL of mutations +
-//!   atomic JSON snapshots with log truncation (compaction),
+//!   atomic CRC-trailed binary snapshots with log truncation (compaction),
 //! * [`ParamStore`] — a typed façade with the key scheme DOCS uses
 //!   (`worker/<id>`, `task/<id>`), generic over any `serde` value,
 //! * [`CampaignLog`] — the per-service-shard event log of the event-sourced
@@ -22,17 +22,19 @@
 //! `parking_lot` locking); a `CampaignLog` is owned by exactly one shard
 //! thread and needs no lock.
 
+mod arena;
 mod campaign_log;
 mod crc;
 mod kv;
 mod params;
 mod wal;
 
+pub use arena::PayloadBytes;
 pub use campaign_log::{
-    list_segments, read_segment, recover_tree, CampaignLog, CampaignRecovery, FlushPolicy,
-    FlushStats, SegmentEvent, TreeRecovery,
+    list_segments, read_segment, recover_tree, AdaptiveCommit, CampaignLog, CampaignRecovery,
+    FlushPolicy, FlushStats, SegmentEvent, TreeRecovery,
 };
-pub use crc::crc32;
+pub use crc::{crc32, Crc32};
 pub use kv::KvStore;
 pub use params::ParamStore;
 pub use wal::{Wal, WalEntry, WalTail};

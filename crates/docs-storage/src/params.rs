@@ -1,14 +1,16 @@
 //! Typed parameter store: the key scheme DOCS uses over the KV store.
 
 use crate::KvStore;
-use docs_types::{Error, Result, TaskId, WorkerId};
+use docs_types::{codec, Error, Result, TaskId, WorkerId};
 use serde::de::DeserializeOwned;
 use serde::Serialize;
 use std::path::PathBuf;
 
 /// Stores and retrieves the inference parameters Section 4.2 enumerates:
 /// per-worker statistics under `worker/<id>` and per-task state under
-/// `task/<id>`, each serialized as JSON so the on-disk state is auditable.
+/// `task/<id>`, each written as a compact CRC-framed binary record. Values
+/// persisted as JSON by older builds still decode (the codec sniffs the
+/// magic byte and falls back) and are rewritten in binary on the next put.
 ///
 /// The value types are generic: `docs-system` persists
 /// `docs_core::ti::WorkerStats` and `docs_core::ti::TaskState` through this
@@ -31,16 +33,14 @@ impl ParamStore {
         &self.kv
     }
 
-    fn put_json<T: Serialize>(&self, key: &str, value: &T) -> Result<()> {
-        let json =
-            serde_json::to_vec(value).map_err(|e| Error::Storage(format!("encode {key}: {e}")))?;
-        self.kv.put(key, &json)
+    fn put_value<T: Serialize>(&self, key: &str, value: &T) -> Result<()> {
+        self.kv.put(key, &codec::to_bytes(value))
     }
 
-    fn get_json<T: DeserializeOwned>(&self, key: &str) -> Result<Option<T>> {
+    fn get_value<T: DeserializeOwned>(&self, key: &str) -> Result<Option<T>> {
         match self.kv.get(key) {
             None => Ok(None),
-            Some(bytes) => serde_json::from_slice(&bytes)
+            Some(bytes) => codec::from_bytes(&bytes)
                 .map(Some)
                 .map_err(|e| Error::Storage(format!("decode {key}: {e}"))),
         }
@@ -48,22 +48,22 @@ impl ParamStore {
 
     /// Persists a worker's statistics.
     pub fn put_worker<T: Serialize>(&self, w: WorkerId, stats: &T) -> Result<()> {
-        self.put_json(&format!("worker/{}", w.0), stats)
+        self.put_value(&format!("worker/{}", w.0), stats)
     }
 
     /// Loads a worker's statistics.
     pub fn get_worker<T: DeserializeOwned>(&self, w: WorkerId) -> Result<Option<T>> {
-        self.get_json(&format!("worker/{}", w.0))
+        self.get_value(&format!("worker/{}", w.0))
     }
 
     /// Persists a task's inference state.
     pub fn put_task<T: Serialize>(&self, t: TaskId, state: &T) -> Result<()> {
-        self.put_json(&format!("task/{}", t.0), state)
+        self.put_value(&format!("task/{}", t.0), state)
     }
 
     /// Loads a task's inference state.
     pub fn get_task<T: DeserializeOwned>(&self, t: TaskId) -> Result<Option<T>> {
-        self.get_json(&format!("task/{}", t.0))
+        self.get_value(&format!("task/{}", t.0))
     }
 
     /// Ids of all persisted workers, ascending.
@@ -160,6 +160,22 @@ mod tests {
         let s1: Vec<f64> = store.get_task(TaskId(1)).unwrap().unwrap();
         assert_eq!(s0, vec![0.25, 0.75]);
         assert_eq!(s1, vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn legacy_json_values_still_decode() {
+        let store = ParamStore::open(tmp_dir("legacy-json")).unwrap();
+        let stats = FakeStats {
+            quality: vec![0.1, 0.2],
+            weight: vec![1.0, 2.0],
+        };
+        // A value persisted by an older (JSON-era) build.
+        store
+            .kv()
+            .put("worker/1", &serde_json::to_vec(&stats).unwrap())
+            .unwrap();
+        let loaded: FakeStats = store.get_worker(WorkerId(1)).unwrap().unwrap();
+        assert_eq!(loaded, stats);
     }
 
     #[test]

@@ -107,22 +107,27 @@ impl Wal {
         Ok(Self::replay_all(path)?.0)
     }
 
-    /// Replays all intact records and reports how the scan ended, letting
-    /// callers distinguish a crash artifact ([`WalTail::Torn`]) from data
-    /// corruption ([`WalTail::Corrupt`]). A missing file reads as empty and
-    /// clean.
-    pub fn replay_all(path: impl AsRef<Path>) -> Result<(Vec<WalEntry>, WalTail)> {
+    /// Reads the whole log file into memory; a missing file reads as empty.
+    /// Pair with [`Wal::scan`]: load once, then hand out borrowed payload
+    /// views instead of copying each record.
+    pub fn load(path: impl AsRef<Path>) -> Result<Vec<u8>> {
         let mut data = Vec::new();
         match File::open(path.as_ref()) {
             Ok(mut f) => {
                 f.read_to_end(&mut data).map_err(io_err)?;
             }
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
-                return Ok((Vec::new(), WalTail::Clean))
-            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
             Err(e) => return Err(io_err(e)),
         }
-        let mut entries = Vec::new();
+        Ok(data)
+    }
+
+    /// Scans loaded log bytes and returns the payload byte range of every
+    /// intact record, plus how the scan ended. The ranges index into `data`
+    /// — the zero-copy recovery path slices them out of a shared arena
+    /// instead of `to_vec()`-ing each payload.
+    pub fn scan(data: &[u8]) -> (Vec<std::ops::Range<usize>>, WalTail) {
+        let mut records = Vec::new();
         let mut offset = 0usize;
         let tail = loop {
             let cursor = &data[offset..];
@@ -141,9 +146,24 @@ impl Wal {
             if crc32(payload) != crc {
                 break WalTail::Corrupt(offset);
             }
-            entries.push(WalEntry(payload.to_vec()));
+            records.push(offset + 8..offset + 8 + len);
             offset += 8 + len;
         };
+        (records, tail)
+    }
+
+    /// Replays all intact records and reports how the scan ended, letting
+    /// callers distinguish a crash artifact ([`WalTail::Torn`]) from data
+    /// corruption ([`WalTail::Corrupt`]). A missing file reads as empty and
+    /// clean. Entries are owned copies; the recovery hot path uses
+    /// [`Wal::load`] + [`Wal::scan`] directly to avoid them.
+    pub fn replay_all(path: impl AsRef<Path>) -> Result<(Vec<WalEntry>, WalTail)> {
+        let data = Self::load(path)?;
+        let (records, tail) = Self::scan(&data);
+        let entries = records
+            .into_iter()
+            .map(|r| WalEntry(data[r].to_vec()))
+            .collect();
         Ok((entries, tail))
     }
 

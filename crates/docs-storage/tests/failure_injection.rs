@@ -121,7 +121,7 @@ fn corrupt_snapshot_fails_loudly_instead_of_serving_garbage() {
         store.put("worker/1", b"stats").unwrap();
         store.snapshot().unwrap();
     }
-    flip_byte(&dir.join("snapshot.json"), 2);
+    flip_byte(&dir.join("snapshot.bin"), 2);
     let err = KvStore::open(&dir).expect_err("corrupt snapshot must not open");
     let msg = err.to_string();
     assert!(msg.contains("snapshot"), "unexpected error: {msg}");
@@ -136,7 +136,7 @@ fn interrupted_snapshot_rename_recovers_previous_state() {
         store.put("b", b"2").unwrap();
         // Crash before rename: the half-written tmp snapshot exists, the
         // real snapshot does not, the WAL is untouched.
-        fs::write(dir.join("snapshot.json.tmp"), b"{ half-written").unwrap();
+        fs::write(dir.join("snapshot.bin.tmp"), b"half-written").unwrap();
     }
     let store = KvStore::open(&dir).unwrap();
     assert_eq!(store.get("a").unwrap(), b"1");
@@ -309,8 +309,16 @@ fn campaign_log_truncated_snapshot_tmp_is_ignored() {
     fs::write(shard.join("snap-1.bin.tmp"), b"trunc").unwrap();
     let rec = recover_tree(&base).unwrap();
     let c = &rec.campaigns[&campaign];
-    assert_eq!(c.snapshot, Some((1, b"full state".to_vec())));
-    assert_eq!(c.events, vec![(2, b"e2".to_vec())]);
+    let (snap_seq, snap_payload) = c.snapshot.as_ref().expect("snapshot survived");
+    assert_eq!(
+        (*snap_seq, snap_payload.as_slice()),
+        (1, b"full state".as_slice())
+    );
+    assert_eq!(c.events.len(), 1);
+    assert_eq!(
+        (c.events[0].0, c.events[0].1.as_slice()),
+        (2, b"e2".as_slice())
+    );
 }
 
 #[test]

@@ -12,7 +12,7 @@
 use crate::{CampaignSnapshot, Docs, DocsConfig, WorkRequest};
 use docs_crowd::{AnswerModel, WorkerPopulation};
 use docs_kb::KnowledgeBase;
-use docs_types::{Answer, CampaignEvent, CampaignId, Error, Result, Task, WorkerId};
+use docs_types::{codec, Answer, CampaignEvent, CampaignId, Error, Result, Task, WorkerId};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
@@ -106,22 +106,29 @@ impl CampaignRegistry {
     /// event suffix the write-ahead log recovered after it, and registers
     /// the result under `id` — the recovery path of the durable service.
     ///
-    /// Event payloads are the JSON-encoded [`CampaignEvent`]s the service
-    /// logged; malformed bytes fail loudly ([`Error::Storage`]), while
-    /// events whose *application* is rejected are counted and skipped (the
-    /// same rejection happened live, deterministically).
+    /// Event payloads are the encoded [`CampaignEvent`]s the service logged
+    /// — the compact binary codec records current builds write, or the JSON
+    /// that older builds wrote (the codec sniffs the magic byte, so a log
+    /// may freely mix both). Malformed bytes fail loudly
+    /// ([`Error::Storage`]), while events whose *application* is rejected
+    /// are counted and skipped (the same rejection happened live,
+    /// deterministically).
+    ///
+    /// The events are generic over any borrowable byte container so the
+    /// zero-copy recovery path can pass arena-backed views without first
+    /// copying each payload into an owned `Vec<u8>`.
     pub fn replay(
         &mut self,
         id: CampaignId,
         snapshot: &[u8],
-        events: &[Vec<u8>],
+        events: &[impl AsRef<[u8]>],
     ) -> Result<ReplayStats> {
-        let snapshot: CampaignSnapshot = serde_json::from_slice(snapshot)
+        let snapshot: CampaignSnapshot = codec::from_bytes(snapshot)
             .map_err(|e| Error::Storage(format!("campaign {id} snapshot: {e}")))?;
         let mut docs = Docs::restore(snapshot)?;
         let mut stats = ReplayStats::default();
         for (i, raw) in events.iter().enumerate() {
-            let event: CampaignEvent = serde_json::from_slice(raw)
+            let event: CampaignEvent = codec::decode_event(raw.as_ref())
                 .map_err(|e| Error::Storage(format!("campaign {id} event {i}: {e}")))?;
             // A `Published` marker pins the shape the snapshot must
             // satisfy — a mismatch means the snapshot and log belong to
@@ -158,7 +165,7 @@ impl CampaignRegistry {
     /// stream after the snapshot, each applied through the same
     /// deterministic `validate_event`/`apply` transition the primary used.
     pub fn install_snapshot(&mut self, id: CampaignId, snapshot: &[u8]) -> Result<()> {
-        let snapshot: CampaignSnapshot = serde_json::from_slice(snapshot)
+        let snapshot: CampaignSnapshot = codec::from_bytes(snapshot)
             .map_err(|e| Error::Storage(format!("campaign {id} snapshot: {e}")))?;
         let docs = Docs::restore(snapshot)?;
         self.next_id = self.next_id.max(id.0 + 1);

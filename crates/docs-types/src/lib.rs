@@ -31,6 +31,8 @@
 //! any algorithmic policy.
 
 mod answers;
+pub mod codec;
+pub mod crc;
 pub mod domain;
 mod error;
 mod events;
@@ -42,10 +44,13 @@ mod task;
 mod vectors;
 
 pub use answers::{Answer, AnswerLog, TaskAnswers, WorkerAnswers};
+pub use codec::CodecError;
+pub use crc::{crc32, Crc32};
 pub use domain::DomainSet;
 pub use error::{Error, Result};
 pub use events::{
-    AnswerSubmittedEvent, CampaignEvent, FinishedEvent, GoldenSubmittedEvent, PublishedEvent,
+    AnswerBatchSubmittedEvent, AnswerSubmittedEvent, CampaignEvent, FinishedEvent,
+    GoldenSubmittedEvent, PublishedEvent,
 };
 pub use ids::{CampaignId, ChoiceIndex, DomainIndex, TaskId, WorkerId};
 pub use reject::RejectReason;

@@ -24,7 +24,8 @@
 
 use docs_crowd::{AnswerModel, PopulationConfig, WorkerPopulation};
 use docs_service::{
-    drive_workers_on, DocsService, DurabilityConfig, ServiceConfig, ServiceError, ServiceHandle,
+    drive_workers_on, AdaptiveCommit, DocsService, DurabilityConfig, ServiceConfig, ServiceError,
+    ServiceHandle,
 };
 use docs_storage::FlushPolicy;
 use docs_system::{Docs, DocsConfig, RequesterReport, WorkRequest};
@@ -141,6 +142,7 @@ fn recovery_smoke(dir: &Path) {
             // Larger than the whole stream: recovery must lean on replay,
             // not on a lucky snapshot right before the kill.
             snapshot_every: 500,
+            adaptive: Some(AdaptiveCommit::default()),
         }),
         ..Default::default()
     };
@@ -222,6 +224,7 @@ fn measure(dir: &Path, flush: Option<FlushPolicy>, label: &str) -> f64 {
                 dir: dir.join(label),
                 default_flush: FlushPolicy::Batch(64),
                 snapshot_every: 4096,
+                adaptive: Some(AdaptiveCommit::default()),
             }),
             ..Default::default()
         },

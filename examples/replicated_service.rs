@@ -15,7 +15,9 @@
 //!    promoted primary's — and resumed traffic runs to a normal finish.
 
 use docs_replication::{bootstrap_frames, replication_channel, Replica, ReplicationHub};
-use docs_service::{DocsService, DurabilityConfig, ReadRouter, ServiceConfig, ServiceHandle};
+use docs_service::{
+    AdaptiveCommit, DocsService, DurabilityConfig, ReadRouter, ServiceConfig, ServiceHandle,
+};
 use docs_storage::FlushPolicy;
 use docs_system::{Docs, DocsConfig, WorkRequest};
 use docs_types::{Answer, CampaignId, ReplicaRole, Task, TaskBuilder, WorkerId};
@@ -109,6 +111,7 @@ fn main() {
             dir: dir.clone(),
             default_flush: FlushPolicy::EveryEvent,
             snapshot_every: 16,
+            adaptive: Some(AdaptiveCommit::default()),
         }),
         ..Default::default()
     }

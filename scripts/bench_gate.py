@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Bench-trajectory gate: compare working-tree BENCH_*.json files against
+the committed baseline (``git show HEAD:<file>``) and fail if any headline
+metric regressed beyond the tolerance (default 20%).
+
+Usage:
+    python3 scripts/bench_gate.py [--tolerance 0.20] [--baseline HEAD]
+
+The direction of "better" is inferred from the key name:
+
+* lower-is-better keys contain one of: ``overhead``, ``latency``, ``lag``,
+  ``bytes``, ``allocation``, ``_ns``, ``_us``, ``_ms``.
+* higher-is-better keys contain one of: ``_per_s``, ``tput``, ``speedup``,
+  or end in ``_x``.
+
+Lower-is-better markers win when both match (e.g. a ``..._overhead_..._x``
+multiplier is an overhead, not a speedup). Keys present on only one side
+are reported but never fail the gate — new metrics appear and old ones
+retire; the gate only protects metrics with a real baseline. A file absent
+from the baseline commit is skipped entirely.
+"""
+
+import argparse
+import glob
+import json
+import os
+import subprocess
+import sys
+
+LOWER_MARKERS = ("overhead", "latency", "lag", "bytes", "allocation", "_ns", "_us", "_ms")
+HIGHER_MARKERS = ("_per_s", "tput", "speedup")
+
+
+def direction(key: str) -> str | None:
+    k = key.lower()
+    if any(m in k for m in LOWER_MARKERS):
+        return "lower"
+    if any(m in k for m in HIGHER_MARKERS) or k.endswith("_x"):
+        return "higher"
+    return None
+
+
+def baseline_json(repo: str, rev: str, name: str) -> dict | None:
+    try:
+        blob = subprocess.run(
+            ["git", "-C", repo, "show", f"{rev}:{name}"],
+            capture_output=True,
+            check=True,
+        ).stdout
+    except subprocess.CalledProcessError:
+        return None
+    try:
+        return json.loads(blob)
+    except json.JSONDecodeError:
+        return None
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=float(os.environ.get("BENCH_GATE_TOLERANCE", "0.20")),
+        help="allowed fractional regression before failing (default 0.20)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default="HEAD",
+        help="git revision holding the committed baseline (default HEAD)",
+    )
+    args = parser.parse_args()
+
+    repo = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    failures = []
+    compared = 0
+
+    for path in sorted(glob.glob(os.path.join(repo, "BENCH_*.json"))):
+        name = os.path.basename(path)
+        with open(path) as f:
+            current = json.load(f)
+        base = baseline_json(repo, args.baseline, name)
+        if base is None:
+            print(f"{name}: no baseline at {args.baseline} — skipped (new file)")
+            continue
+        for key in sorted(current):
+            if key not in base:
+                print(f"{name}: {key} = {current[key]:.6g} (new metric, no baseline)")
+                continue
+            old, new = base[key], current[key]
+            d = direction(key)
+            if d is None:
+                print(f"{name}: {key} has no inferable direction — skipped")
+                continue
+            compared += 1
+            if old == 0:
+                continue
+            change = (new - old) / abs(old)
+            regressed = (d == "lower" and change > args.tolerance) or (
+                d == "higher" and change < -args.tolerance
+            )
+            arrow = "LOWER-IS-BETTER" if d == "lower" else "higher-is-better"
+            status = "REGRESSED" if regressed else "ok"
+            print(
+                f"{name}: {key}: {old:.6g} -> {new:.6g} "
+                f"({change:+.1%}, {arrow}) {status}"
+            )
+            if regressed:
+                failures.append(f"{name}: {key} {old:.6g} -> {new:.6g} ({change:+.1%})")
+        for key in sorted(set(base) - set(current)):
+            print(f"{name}: {key} retired (was {base[key]:.6g})")
+
+    print(f"\n{compared} metrics compared against {args.baseline}")
+    if failures:
+        print(f"bench gate FAILED: {len(failures)} metric(s) regressed > {args.tolerance:.0%}")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    print("bench gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,8 +18,8 @@
 
 use docs_replication::{bootstrap_frames, replication_channel, Replica, ReplicationHub};
 use docs_service::{
-    DocsService, DurabilityConfig, ReadRouter, RejectReason, ReplicaRole, ServiceConfig,
-    ServiceError, ServiceHandle,
+    AdaptiveCommit, DocsService, DurabilityConfig, ReadRouter, RejectReason, ReplicaRole,
+    ServiceConfig, ServiceError, ServiceHandle,
 };
 use docs_storage::FlushPolicy;
 use docs_system::{Docs, DocsConfig, RequesterReport, WorkRequest};
@@ -146,6 +146,7 @@ fn primary_config(
             dir: dir.to_path_buf(),
             default_flush: policy,
             snapshot_every,
+            adaptive: Some(AdaptiveCommit::default()),
         }),
         ..Default::default()
     }
