@@ -17,18 +17,18 @@
 //! interpreted: a flipped bit anywhere in a frame is a loud
 //! [`Error::Storage`], never a silently diverged replica.
 
-use bytes::{Buf, BufMut, BytesMut};
+use bytes::Buf;
 use docs_storage::crc32;
 use docs_types::{CampaignId, Error, EventFrame, ReplicationFrame, Result, SnapshotFrame};
 
 const KIND_SNAPSHOT: u8 = 0x01;
 const KIND_EVENTS: u8 = 0x02;
 
-fn put_tagged(buf: &mut BytesMut, campaign: CampaignId, seq: u64, payload: &[u8]) {
-    buf.put_u32_le(campaign.0);
-    buf.put_u64_le(seq);
-    buf.put_u32_le(payload.len() as u32);
-    buf.put_slice(payload);
+fn put_tagged(buf: &mut Vec<u8>, campaign: CampaignId, seq: u64, payload: &[u8]) {
+    buf.extend_from_slice(&campaign.0.to_le_bytes());
+    buf.extend_from_slice(&seq.to_le_bytes());
+    buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    buf.extend_from_slice(payload);
 }
 
 fn get_tagged(cursor: &mut &[u8]) -> Result<(CampaignId, u64, Vec<u8>)> {
@@ -46,27 +46,40 @@ fn get_tagged(cursor: &mut &[u8]) -> Result<(CampaignId, u64, Vec<u8>)> {
     Ok((campaign, seq, payload))
 }
 
-/// Encodes one frame into its CRC-stamped wire record.
-pub fn encode_frame(frame: &ReplicationFrame) -> Vec<u8> {
-    let mut body = BytesMut::new();
+/// Encodes one frame into `record`, **reusing its allocation**: the buffer
+/// is cleared, not reallocated, so a caller encoding frames in a loop (the
+/// hub's pump) settles into zero encode allocations once the buffer has
+/// grown to the stream's largest frame. The length/CRC header is written
+/// as a placeholder and back-patched after the body, keeping the record a
+/// single contiguous write.
+pub fn encode_frame_into(frame: &ReplicationFrame, record: &mut Vec<u8>) {
+    record.clear();
+    record.extend_from_slice(&[0u8; 8]);
     match frame {
         ReplicationFrame::Snapshot(s) => {
-            body.put_u8(KIND_SNAPSHOT);
-            put_tagged(&mut body, s.campaign, s.seq, &s.payload);
+            record.push(KIND_SNAPSHOT);
+            put_tagged(record, s.campaign, s.seq, &s.payload);
         }
         ReplicationFrame::Events(events) => {
-            body.put_u8(KIND_EVENTS);
-            body.put_u32_le(events.len() as u32);
+            record.push(KIND_EVENTS);
+            record.extend_from_slice(&(events.len() as u32).to_le_bytes());
             for e in events {
-                put_tagged(&mut body, e.campaign, e.seq, &e.payload);
+                put_tagged(record, e.campaign, e.seq, &e.payload);
             }
         }
     }
-    let mut record = BytesMut::with_capacity(8 + body.len());
-    record.put_u32_le(body.len() as u32);
-    record.put_u32_le(crc32(&body));
-    record.put_slice(&body);
-    record.to_vec()
+    let body_len = (record.len() - 8) as u32;
+    let crc = crc32(&record[8..]);
+    record[..4].copy_from_slice(&body_len.to_le_bytes());
+    record[4..8].copy_from_slice(&crc.to_le_bytes());
+}
+
+/// Encodes one frame into its CRC-stamped wire record (a fresh allocation;
+/// hot paths use [`encode_frame_into`] with a retained buffer).
+pub fn encode_frame(frame: &ReplicationFrame) -> Vec<u8> {
+    let mut record = Vec::new();
+    encode_frame_into(frame, &mut record);
+    record
 }
 
 /// Decodes one wire record back into its frame, verifying length and CRC
@@ -175,6 +188,20 @@ mod tests {
             let record = encode_frame(&frame);
             assert_eq!(decode_frame(&record).unwrap(), frame, "{}", frame.kind());
         }
+    }
+
+    #[test]
+    fn encode_into_reuses_the_buffer_and_matches_the_one_shot_encoding() {
+        let mut scratch = Vec::new();
+        for frame in frames() {
+            encode_frame_into(&frame, &mut scratch);
+            assert_eq!(scratch, encode_frame(&frame), "{}", frame.kind());
+            assert_eq!(decode_frame(&scratch).unwrap(), frame);
+        }
+        // Once grown, encoding a smaller frame reuses the allocation.
+        let cap = scratch.capacity();
+        encode_frame_into(&frames()[2], &mut scratch);
+        assert_eq!(scratch.capacity(), cap, "no reallocation on reuse");
     }
 
     #[test]

@@ -15,7 +15,7 @@
 //! [`ReplicationHub::lag`] is simply `shipped − acked` per campaign,
 //! summed — the replication-lag gauge the bench and the example report.
 
-use crate::frame::encode_frame;
+use crate::frame::encode_frame_into;
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TrySendError};
 use docs_service::ReplicationSink;
 use docs_storage::recover_tree;
@@ -53,7 +53,7 @@ pub const FOLLOWER_STREAM_CAPACITY: usize = 4096;
 /// the hub encodes once and fan-out is a refcount bump per follower, not
 /// a copy of the (potentially snapshot-sized) frame bytes.
 pub struct FollowerLink {
-    pub(crate) frames: Receiver<Arc<Vec<u8>>>,
+    pub(crate) frames: Receiver<Arc<[u8]>>,
     pub(crate) acked: Arc<Mutex<ReplicaWatermarks>>,
     /// Set by the pump when this follower was cut off for lag. The
     /// applier checks it at end-of-stream: a lag cutoff must be
@@ -64,7 +64,7 @@ pub struct FollowerLink {
 
 struct FollowerSlot {
     name: String,
-    tx: Sender<Arc<Vec<u8>>>,
+    tx: Sender<Arc<[u8]>>,
     acked: Arc<Mutex<ReplicaWatermarks>>,
     cut_for_lag: Arc<AtomicBool>,
 }
@@ -77,6 +77,7 @@ struct HubInner {
     bytes_shipped: AtomicU64,
     snapshot_bytes_shipped: AtomicU64,
     followers_dropped: AtomicU64,
+    encode_buffer_reuses: AtomicU64,
 }
 
 /// Aggregate shipping counters of one hub.
@@ -100,6 +101,12 @@ pub struct HubStats {
     /// Followers cut off for trailing the pump by more than their stream
     /// bound (they must re-subscribe and re-bootstrap to rejoin).
     pub followers_dropped: u64,
+    /// Pump iterations that encoded into the retained scratch buffer
+    /// without growing it — the per-frame encode allocations the arena
+    /// reuse avoided (one exact-size copy per fanned-out record remains;
+    /// fan-out itself is refcounting). In steady state this tracks
+    /// `frames_shipped` minus the handful of frames that grew the buffer.
+    pub encode_buffer_reuses: u64,
 }
 
 /// One follower's lag against the hub's shipped watermarks.
@@ -133,6 +140,7 @@ impl ReplicationHub {
             bytes_shipped: AtomicU64::new(0),
             snapshot_bytes_shipped: AtomicU64::new(0),
             followers_dropped: AtomicU64::new(0),
+            encode_buffer_reuses: AtomicU64::new(0),
         });
         let pump_inner = Arc::clone(&inner);
         let pump = std::thread::Builder::new()
@@ -192,6 +200,7 @@ impl ReplicationHub {
             snapshot_bytes_shipped: self.inner.snapshot_bytes_shipped.load(Ordering::Relaxed),
             followers: self.inner.followers.lock().len(),
             followers_dropped: self.inner.followers_dropped.load(Ordering::Relaxed),
+            encode_buffer_reuses: self.inner.encode_buffer_reuses.load(Ordering::Relaxed),
         }
     }
 
@@ -242,6 +251,11 @@ impl Drop for ReplicationHub {
 }
 
 fn pump_loop(inner: &HubInner, feed: Receiver<ReplicationFrame>) {
+    // The pump's encode scratch, reused across iterations: after the
+    // first few frames grow it to the stream's working-set size, each
+    // encode is allocation-free and the only per-frame allocation left is
+    // the exact-size shared record the followers refcount.
+    let mut scratch: Vec<u8> = Vec::new();
     while let Ok(frame) = feed.recv() {
         {
             let mut shipped = inner.shipped.lock();
@@ -265,7 +279,12 @@ fn pump_loop(inner: &HubInner, feed: Receiver<ReplicationFrame>) {
         if inner.followers.lock().is_empty() {
             continue;
         }
-        let record = Arc::new(encode_frame(&frame));
+        let cap_before = scratch.capacity();
+        encode_frame_into(&frame, &mut scratch);
+        if cap_before > 0 && scratch.capacity() == cap_before {
+            inner.encode_buffer_reuses.fetch_add(1, Ordering::Relaxed);
+        }
+        let record: Arc<[u8]> = Arc::from(scratch.as_slice());
         let byte_counter = match &frame {
             ReplicationFrame::Snapshot(_) => &inner.snapshot_bytes_shipped,
             ReplicationFrame::Events(_) => &inner.bytes_shipped,
@@ -470,6 +489,13 @@ mod tests {
         // the two buffered frames drain, then the stream ends.
         wait_until(|| hub.stats().followers_dropped == 1);
         assert_eq!(hub.stats().followers, 1, "laggard no longer subscribed");
+        // Four equally-sized frames: the first grows the pump's scratch,
+        // the rest reuse it without reallocating.
+        assert!(
+            hub.stats().encode_buffer_reuses >= 3,
+            "steady-state encodes reuse the scratch buffer: {:?}",
+            hub.stats()
+        );
         assert!(slow.frames.recv().is_ok());
         assert!(slow.frames.recv().is_ok());
         assert!(slow.frames.recv().is_err(), "stream ends after the cutoff");

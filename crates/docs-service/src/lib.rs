@@ -29,6 +29,14 @@
 //!   full queue while the `try_*` forms fail fast with
 //!   [`ServiceError::Busy`] and bump the shard's `busy_rejections`
 //!   counter,
+//! * **Push/hybrid dispatch** ([`ServiceConfig::dispatch`]): instead of
+//!   polling, a worker can register a long-lived assignment subscription
+//!   ([`ServiceHandle::subscribe_assignments_ticket_in`]); the owning
+//!   shard serves it immediately when possible and otherwise *parks* the
+//!   completion, pushing the next assignment when the campaign's dispatch
+//!   epoch advances — the benefit index is consulted once per state
+//!   change instead of once per worker poll, with picks byte-identical to
+//!   pull mode (see ARCHITECTURE.md, "Task dispatch"),
 //! * **Typed errors**: every refusal carries a matchable
 //!   [`RejectReason`](docs_types::RejectReason)
 //!   (`DuplicateAnswer`, `UnknownCampaign`, `BudgetExhausted`, …) whose
@@ -86,7 +94,8 @@ pub use message::{BatchOutcome, Completion, CorrelationId, Request, RequestEnvel
 pub use metrics::{DurabilityStats, OpKind, OpStats, ReplicationStats, ServiceMetrics, ShardStats};
 pub use routing::{ReadRouter, ReadRoutingStats};
 pub use server::{
-    DocsService, DurabilityConfig, ReplicationSink, ServiceConfig, ServiceError, ServiceHandle,
+    DispatchConfig, DispatchMode, DocsService, DurabilityConfig, ReplicationSink, ServiceConfig,
+    ServiceError, ServiceHandle,
 };
 // Adaptive group-commit bounds appear in `DurabilityConfig`; re-exported
 // so configuring a service doesn't require a direct docs-storage import.

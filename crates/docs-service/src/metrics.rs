@@ -46,9 +46,14 @@ pub enum OpKind {
     /// Replication plane: snapshot install or replicated event apply on a
     /// follower.
     Replicate,
+    /// Push-dispatch plane: subscription registration/cancellation, plus
+    /// the park-to-dispatch wait of every parked subscription (recorded
+    /// when the shard resolves it) — so the push plane's time-to-assignment
+    /// is visible next to `Assign`'s pull latency.
+    Subscribe,
 }
 
-const NUM_KINDS: usize = 8;
+const NUM_KINDS: usize = 9;
 
 impl OpKind {
     #[inline]
@@ -62,6 +67,7 @@ impl OpKind {
             OpKind::Create => 5,
             OpKind::Read => 6,
             OpKind::Replicate => 7,
+            OpKind::Subscribe => 8,
         }
     }
 }
@@ -123,6 +129,15 @@ struct ShardCounters {
     max_flush_nanos: AtomicU64,
     /// Bytes across this shard's on-disk log segments (gauge).
     log_bytes: AtomicU64,
+    /// Assignment subscriptions currently parked in this shard's
+    /// subscription table (gauge).
+    subscriptions: AtomicUsize,
+    /// Tasks pushed to subscribed workers by the dispatch plane (counter).
+    dispatched_tasks: AtomicU64,
+    /// Pushed HITs whose worker lease expired before an answer came back —
+    /// their cap slot was released and the tasks became re-dispatchable
+    /// (counter).
+    dispatch_timeouts: AtomicU64,
 }
 
 /// Snapshot of one shard's counters.
@@ -157,6 +172,13 @@ pub struct ShardStats {
     pub max_flush: Duration,
     /// Bytes across the shard's on-disk log segments.
     pub log_bytes: u64,
+    /// Assignment subscriptions currently parked on the shard.
+    pub subscriptions: usize,
+    /// Tasks pushed to subscribed workers by the dispatch plane.
+    pub dispatched_tasks: u64,
+    /// Pushed HITs whose worker lease timed out (cap slot released, tasks
+    /// re-dispatchable).
+    pub dispatch_timeouts: u64,
 }
 
 /// Service-wide durability counters (replay happens before the pool runs,
@@ -359,6 +381,38 @@ impl ServiceMetrics {
         c.max_nanos.fetch_max(nanos, Ordering::Relaxed);
     }
 
+    /// Notes an assignment subscription parked in `shard`'s subscription
+    /// table. Paired with [`ServiceMetrics::subscription_resolved`] when
+    /// the shard dispatches, replaces, or cancels it.
+    pub fn subscription_parked(&self, shard: usize) {
+        self.shards[shard]
+            .subscriptions
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Notes a parked subscription leaving `shard`'s table (dispatched,
+    /// replaced, or cancelled). Saturating like the other gauges: a stray
+    /// decrement degrades to "slightly wrong", never wraps.
+    pub fn subscription_resolved(&self, shard: usize) {
+        saturating_dec(&self.shards[shard].subscriptions);
+    }
+
+    /// Counts `tasks` pushed to a subscribed worker by `shard`'s dispatch
+    /// plane.
+    pub fn tasks_dispatched(&self, shard: usize, tasks: u64) {
+        self.shards[shard]
+            .dispatched_tasks
+            .fetch_add(tasks, Ordering::Relaxed);
+    }
+
+    /// Counts one pushed HIT whose worker lease expired before its answers
+    /// arrived: the cap slot is released and the tasks are re-dispatchable.
+    pub fn dispatch_timeout(&self, shard: usize) {
+        self.shards[shard]
+            .dispatch_timeouts
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Publishes a shard's campaign-log gauges (called by the shard thread
     /// on flush boundaries and at shutdown).
     pub fn shard_log_observed(
@@ -502,6 +556,9 @@ impl ServiceMetrics {
             last_flush: Duration::from_nanos(c.last_flush_nanos.load(Ordering::Relaxed)),
             max_flush: Duration::from_nanos(c.max_flush_nanos.load(Ordering::Relaxed)),
             log_bytes: c.log_bytes.load(Ordering::Relaxed),
+            subscriptions: c.subscriptions.load(Ordering::Relaxed),
+            dispatched_tasks: c.dispatched_tasks.load(Ordering::Relaxed),
+            dispatch_timeouts: c.dispatch_timeouts.load(Ordering::Relaxed),
         }
     }
 
@@ -621,6 +678,32 @@ mod tests {
         m.busy_rejection(0);
         assert_eq!(m.shard(0).busy_rejections, 2);
         assert_eq!(m.shard(1).busy_rejections, 0);
+    }
+
+    #[test]
+    fn subscription_gauge_and_dispatch_counters_track_the_push_plane() {
+        let m = ServiceMetrics::new(2);
+        m.subscription_parked(0);
+        m.subscription_parked(0);
+        m.subscription_parked(1);
+        assert_eq!(m.shard(0).subscriptions, 2);
+        assert_eq!(m.shard(1).subscriptions, 1);
+        m.subscription_resolved(0);
+        assert_eq!(m.shard(0).subscriptions, 1);
+        // Saturating: a stray resolve must not wrap the gauge.
+        m.subscription_resolved(1);
+        m.subscription_resolved(1);
+        assert_eq!(m.shard(1).subscriptions, 0, "no underflow wrap");
+        m.tasks_dispatched(0, 3);
+        m.tasks_dispatched(0, 2);
+        m.dispatch_timeout(0);
+        let s = m.shard(0);
+        assert_eq!(s.dispatched_tasks, 5);
+        assert_eq!(s.dispatch_timeouts, 1);
+        assert_eq!(m.shard(1).dispatched_tasks, 0);
+        // Subscribe latency shares the OpStats machinery.
+        m.record(OpKind::Subscribe, Duration::from_micros(12));
+        assert_eq!(m.stats(OpKind::Subscribe).count, 1);
     }
 
     #[test]

@@ -153,6 +153,27 @@ impl ReadRouter {
         self.primary.request_tasks_in(campaign, worker)
     }
 
+    /// Assignment subscription (push/hybrid dispatch) — primary only:
+    /// like polling, a pushed assignment leads to answers that consume the
+    /// primary's budget, and a follower refuses the subscribe outright.
+    pub fn subscribe_assignments_ticket_in(
+        &self,
+        campaign: CampaignId,
+        worker: WorkerId,
+    ) -> Result<crate::Ticket<WorkRequest>, ServiceError> {
+        self.primary
+            .subscribe_assignments_ticket_in(campaign, worker)
+    }
+
+    /// Drops a parked assignment subscription — primary only.
+    pub fn unsubscribe_in(
+        &self,
+        campaign: CampaignId,
+        worker: WorkerId,
+    ) -> Result<(), ServiceError> {
+        self.primary.unsubscribe_in(campaign, worker)
+    }
+
     /// Golden-HIT submission — primary only.
     pub fn submit_golden_in(
         &self,

@@ -42,7 +42,7 @@
 //!   `Docs` as the *default campaign* and the un-suffixed handle methods
 //!   target it, so single-campaign callers are unchanged.
 
-use crate::message::{BatchOutcome, Completion, Request, RequestEnvelope, Response};
+use crate::message::{BatchOutcome, Completion, CorrelationId, Request, RequestEnvelope, Response};
 use crate::metrics::{OpKind, ServiceMetrics};
 use crate::ticket::Ticket;
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender, TrySendError};
@@ -52,7 +52,7 @@ use docs_types::{
     codec, Answer, CampaignEvent, CampaignId, ChoiceIndex, EventFrame, PublishedEvent,
     RejectReason, ReplicaRole, ReplicationFrame, SnapshotFrame, TaskId, WorkerId,
 };
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, Ordering};
@@ -203,6 +203,72 @@ impl DurabilityConfig {
     }
 }
 
+/// How assignments travel from shards to workers.
+///
+/// The paper's deployment is pull-only: every worker polls
+/// `RequestWork`, and every poll pays one benefit-index consultation (or a
+/// flat candidate scan). Under thousands of concurrent workers those polls
+/// contend on the assignment path even when nothing changed since the last
+/// one. Push mode inverts the flow: workers register long-lived
+/// subscriptions ([`Request::Subscribe`]) and the shard dispatches
+/// assignments *as state changes* — the benefit index is consulted once
+/// per ingested answer instead of once per worker poll. Picks are
+/// byte-identical across modes: a pushed assignment is computed by the
+/// exact same [`Docs::request_tasks`] call a poll would have made.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DispatchMode {
+    /// Workers poll with `RequestWork`; [`Request::Subscribe`] is refused
+    /// with [`RejectReason::Invalid`]. The seed's behavior, and the
+    /// default.
+    Pull,
+    /// Workers subscribe; the shard pushes assignments when the campaign's
+    /// dispatch epoch advances. Polling still works (the pull plane is
+    /// never switched off), but subscribed workers are served without it.
+    Push,
+    /// Push with a client-side pull fallback: a worker whose subscription
+    /// does not resolve promptly unsubscribes and polls instead. The
+    /// server side is identical to [`DispatchMode::Push`]; the difference
+    /// is client strategy (see the open-loop harness).
+    Hybrid,
+}
+
+/// Knobs of the push-dispatch plane (ignored under [`DispatchMode::Pull`]).
+#[derive(Debug, Clone)]
+pub struct DispatchConfig {
+    /// The dispatch mode the pool runs in.
+    pub mode: DispatchMode,
+    /// How many pushed HITs a worker may hold unanswered before further
+    /// subscriptions from it park instead of being served immediately. Any
+    /// accepted submission from the worker retires its outstanding lease.
+    pub max_in_flight_per_worker: usize,
+    /// A worker whose pushed HIT goes unanswered this long is presumed
+    /// gone: its lease is expired (freeing its in-flight slot) at the next
+    /// dispatch pass and counted in `ShardStats::dispatch_timeouts`. Tasks
+    /// are never reserved, so the timed-out HIT's tasks were re-assignable
+    /// all along — expiry re-enqueues the *worker*, not the tasks.
+    pub worker_timeout: Duration,
+}
+
+impl Default for DispatchConfig {
+    fn default() -> Self {
+        DispatchConfig {
+            mode: DispatchMode::Pull,
+            max_in_flight_per_worker: 1,
+            worker_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+impl DispatchConfig {
+    /// The given mode with default cap and timeout.
+    pub fn new(mode: DispatchMode) -> Self {
+        DispatchConfig {
+            mode,
+            ..Default::default()
+        }
+    }
+}
+
 /// Deployment knobs of the service runtime.
 #[derive(Debug, Clone)]
 pub struct ServiceConfig {
@@ -229,6 +295,9 @@ pub struct ServiceConfig {
     /// every flushed (durable) event is also handed to this sink as a
     /// [`ReplicationFrame`] — the WAL-shipping feed followers apply.
     pub replication: Option<ReplicationSink>,
+    /// How assignments reach workers: polled ([`DispatchMode::Pull`], the
+    /// default) or pushed through subscriptions.
+    pub dispatch: DispatchConfig,
 }
 
 impl Default for ServiceConfig {
@@ -239,6 +308,7 @@ impl Default for ServiceConfig {
             queue_capacity: Self::DEFAULT_QUEUE_CAPACITY,
             role: ReplicaRole::Primary,
             replication: None,
+            dispatch: DispatchConfig::default(),
         }
     }
 }
@@ -292,6 +362,18 @@ impl ServiceConfig {
     /// through it as frames (see [`ReplicationSink`]).
     pub fn with_replication(mut self, sink: ReplicationSink) -> Self {
         self.replication = Some(sink);
+        self
+    }
+
+    /// Sets the dispatch mode (default cap and worker timeout).
+    pub fn with_dispatch(mut self, mode: DispatchMode) -> Self {
+        self.dispatch.mode = mode;
+        self
+    }
+
+    /// Overrides the full push-dispatch configuration.
+    pub fn with_dispatch_config(mut self, dispatch: DispatchConfig) -> Self {
+        self.dispatch = dispatch;
         self
     }
 
@@ -504,6 +586,63 @@ impl ServiceHandle {
             Admission::FailFast,
             decode_work,
         )
+    }
+
+    /// Registers an assignment subscription for `(campaign, worker)` and
+    /// returns its completion handle: the push-dispatch plane's entry
+    /// point. The ticket resolves with [`WorkRequest`] — immediately when
+    /// the worker is servable right now, or when the shard's next dispatch
+    /// pass pushes an assignment (the subscription *parks* on the shard in
+    /// the meantime). On a [`DispatchMode::Pull`] service the ticket
+    /// resolves with [`RejectReason::Invalid`].
+    pub fn subscribe_assignments_ticket_in(
+        &self,
+        campaign: CampaignId,
+        worker: WorkerId,
+    ) -> Result<Ticket<WorkRequest>, ServiceError> {
+        self.submit_with(
+            Request::Subscribe { campaign, worker },
+            Admission::Block,
+            decode_work,
+        )
+    }
+
+    /// Fail-fast form of [`ServiceHandle::subscribe_assignments_ticket_in`].
+    pub fn try_subscribe_assignments_in(
+        &self,
+        campaign: CampaignId,
+        worker: WorkerId,
+    ) -> Result<Ticket<WorkRequest>, ServiceError> {
+        self.submit_with(
+            Request::Subscribe { campaign, worker },
+            Admission::FailFast,
+            decode_work,
+        )
+    }
+
+    /// Drops `(campaign, worker)`'s parked subscription, if any; the
+    /// outstanding subscribe ticket resolves with `Work(Done)`. Idempotent
+    /// — unsubscribing without a parked subscription still acks. The
+    /// hybrid client's fallback edge: unsubscribe, then poll.
+    pub fn unsubscribe_ticket_in(
+        &self,
+        campaign: CampaignId,
+        worker: WorkerId,
+    ) -> Result<Ticket<()>, ServiceError> {
+        self.submit_with(
+            Request::Unsubscribe { campaign, worker },
+            Admission::Block,
+            decode_ack,
+        )
+    }
+
+    /// Blocking form of [`ServiceHandle::unsubscribe_ticket_in`].
+    pub fn unsubscribe_in(
+        &self,
+        campaign: CampaignId,
+        worker: WorkerId,
+    ) -> Result<(), ServiceError> {
+        self.unsubscribe_ticket_in(campaign, worker)?.wait()
     }
 
     /// Submits a golden HIT on one campaign without waiting for the ack.
@@ -1193,6 +1332,285 @@ fn apply_replicated(
     response
 }
 
+/// One parked assignment subscription: the subscriber's one-shot
+/// completion slot, held by the shard until the campaign's dispatch epoch
+/// advances (or the worker unsubscribes / the budget exhausts).
+struct ParkedSub {
+    completions: Sender<Completion>,
+    correlation: CorrelationId,
+    parked_at: Instant,
+}
+
+/// One worker's outstanding pushed-HIT lease: how many pushed HITs it
+/// holds unanswered and when the last one was dispatched.
+struct Lease {
+    outstanding: usize,
+    last_dispatch: Instant,
+}
+
+/// Per-shard push-dispatch state: parked subscriptions, in-flight leases,
+/// and the last dispatch epoch consulted per campaign. Lives on the shard
+/// thread next to the registry — share-nothing like everything else.
+struct DispatchTable {
+    config: DispatchConfig,
+    /// Parked subscriptions per campaign. A `BTreeMap` keyed by worker so
+    /// a dispatch pass serves subscribers in a deterministic order.
+    parked: HashMap<CampaignId, BTreeMap<WorkerId, ParkedSub>>,
+    /// Outstanding pushed-HIT leases per campaign.
+    leases: HashMap<CampaignId, HashMap<WorkerId, Lease>>,
+    /// The dispatch epoch each campaign was last served at: a pass whose
+    /// epoch matches is a no-op (nothing changed since), which is what
+    /// keeps the per-request trigger O(1) when no answers land.
+    epochs: HashMap<CampaignId, u64>,
+    /// When the leases were last scanned for expiry. The scan is O(live
+    /// leases) — with thousands of concurrent workers that is thousands of
+    /// map entries — so it runs at a bounded cadence (a fraction of the
+    /// worker timeout), not once per request.
+    last_expiry_scan: Instant,
+}
+
+impl DispatchTable {
+    fn new(config: DispatchConfig) -> Self {
+        DispatchTable {
+            config,
+            parked: HashMap::new(),
+            leases: HashMap::new(),
+            epochs: HashMap::new(),
+            last_expiry_scan: Instant::now(),
+        }
+    }
+
+    fn push_enabled(&self) -> bool {
+        self.config.mode != DispatchMode::Pull
+    }
+
+    fn at_capacity(&self, campaign: CampaignId, worker: WorkerId) -> bool {
+        self.leases
+            .get(&campaign)
+            .and_then(|l| l.get(&worker))
+            .map_or(0, |lease| lease.outstanding)
+            >= self.config.max_in_flight_per_worker
+    }
+
+    /// Records one pushed HIT against the worker's lease when the served
+    /// work actually hands it tasks (`Done` leases nothing).
+    fn lease_if_hit(&mut self, campaign: CampaignId, worker: WorkerId, work: &WorkRequest) {
+        if matches!(work, WorkRequest::Done) {
+            return;
+        }
+        let now = Instant::now();
+        let lease = self
+            .leases
+            .entry(campaign)
+            .or_default()
+            .entry(worker)
+            .or_insert(Lease {
+                outstanding: 0,
+                last_dispatch: now,
+            });
+        lease.outstanding += 1;
+        lease.last_dispatch = now;
+    }
+
+    /// Any accepted submission from the worker retires its outstanding
+    /// pushed HIT(s): the worker proved it is alive and delivering.
+    fn clear_lease(&mut self, campaign: CampaignId, worker: WorkerId) {
+        if let Some(leases) = self.leases.get_mut(&campaign) {
+            leases.remove(&worker);
+        }
+    }
+
+    /// Expires leases older than the worker timeout, freeing their
+    /// in-flight slots and returning the timed-out workers (each a
+    /// dispatch-pass candidate: its parked re-subscription, if any, is
+    /// servable again). Tasks were never reserved, so nothing needs to be
+    /// returned to a queue — the timed-out HIT's tasks stayed assignable
+    /// throughout; expiry re-enqueues the *worker's cap slot*.
+    fn expire_leases(
+        &mut self,
+        shard: usize,
+        campaign: CampaignId,
+        metrics: &ServiceMetrics,
+    ) -> Vec<WorkerId> {
+        let timeout = self.config.worker_timeout;
+        let now = Instant::now();
+        // Cadence gate: at most one full scan per timeout/8, so detection
+        // lags expiry by at most one eighth of the timeout — noise against
+        // a human-scale worker timeout, and the per-request cost between
+        // scans is a single clock read.
+        if now.duration_since(self.last_expiry_scan) < timeout / 8 {
+            return Vec::new();
+        }
+        self.last_expiry_scan = now;
+        let Some(leases) = self.leases.get_mut(&campaign) else {
+            return Vec::new();
+        };
+        let mut expired = Vec::new();
+        leases.retain(|worker, lease| {
+            let live = now.duration_since(lease.last_dispatch) < timeout;
+            if !live {
+                expired.push(*worker);
+            }
+            live
+        });
+        for _ in &expired {
+            metrics.dispatch_timeout(shard);
+        }
+        expired
+    }
+
+    /// Parks a subscription, returning any older one it displaced
+    /// (newest-wins: the stale ticket must not be left hanging).
+    fn park(
+        &mut self,
+        campaign: CampaignId,
+        worker: WorkerId,
+        sub: ParkedSub,
+    ) -> Option<ParkedSub> {
+        self.parked.entry(campaign).or_default().insert(worker, sub)
+    }
+
+    fn remove_parked(&mut self, campaign: CampaignId, worker: WorkerId) -> Option<ParkedSub> {
+        self.parked.get_mut(&campaign)?.remove(&worker)
+    }
+}
+
+/// Resolves a parked subscription with `work`, accounting the park-to-
+/// dispatch wait under [`OpKind::Subscribe`] and the dispatched task count.
+fn resolve_parked(shard: usize, metrics: &ServiceMetrics, sub: ParkedSub, work: WorkRequest) {
+    let dispatched = match &work {
+        WorkRequest::Golden(t) | WorkRequest::Tasks(t) => t.len() as u64,
+        WorkRequest::Done => 0,
+    };
+    metrics.subscription_resolved(shard);
+    if dispatched > 0 {
+        metrics.tasks_dispatched(shard, dispatched);
+    }
+    metrics.record(OpKind::Subscribe, sub.parked_at.elapsed());
+    let _ = sub.completions.send(Completion {
+        correlation: sub.correlation,
+        response: Response::Work(work),
+    });
+}
+
+/// Handles [`Request::Subscribe`]: immediate service when the worker can
+/// be served right now, parking when it is at its in-flight cap with
+/// budget still open. Returns `None` when the subscription parked (no
+/// completion is sent yet — the dispatch pass owns it now).
+#[allow(clippy::too_many_arguments)]
+fn on_subscribe(
+    shard: usize,
+    registry: &mut CampaignRegistry,
+    table: &mut DispatchTable,
+    metrics: &ServiceMetrics,
+    campaign: CampaignId,
+    worker: WorkerId,
+    correlation: CorrelationId,
+    completions: &Sender<Completion>,
+) -> Option<Response> {
+    if !table.push_enabled() {
+        return Some(Response::Rejected(RejectReason::Invalid(
+            "assignment subscriptions require push or hybrid dispatch".into(),
+        )));
+    }
+    let Some(docs) = registry.get_mut(campaign) else {
+        return Some(Response::Rejected(RejectReason::UnknownCampaign(campaign)));
+    };
+    // At the in-flight cap with budget remaining: park until an answer
+    // lands (every dispatch pass rechecks) or the lease times out. With
+    // the budget exhausted there may never be another state change, so
+    // fall through and let `request_tasks` answer `Done` immediately.
+    if !docs.budget_exhausted() && table.at_capacity(campaign, worker) {
+        let stale = table.park(
+            campaign,
+            worker,
+            ParkedSub {
+                completions: completions.clone(),
+                correlation,
+                parked_at: Instant::now(),
+            },
+        );
+        if let Some(stale) = stale {
+            // Newest wins; the displaced ticket is told to stop waiting.
+            resolve_parked(shard, metrics, stale, WorkRequest::Done);
+        }
+        metrics.subscription_parked(shard);
+        return None;
+    }
+    // Servable now: the pick is the exact call a `RequestWork` poll makes,
+    // so push picks are byte-identical to pull picks by construction.
+    let work = docs.request_tasks(worker);
+    table.lease_if_hit(campaign, worker, &work);
+    if let WorkRequest::Golden(t) | WorkRequest::Tasks(t) = &work {
+        metrics.tasks_dispatched(shard, t.len() as u64);
+    }
+    Some(Response::Work(work))
+}
+
+/// The push plane's heart: runs after any request that may have advanced
+/// `campaign`'s dispatch epoch and serves every parked subscriber that
+/// became servable. The epoch guard makes the common no-change case one
+/// hash lookup and one integer compare — the benefit index is consulted
+/// once per *state change*, not once per worker poll.
+///
+/// A subscription only parks when its worker is at the in-flight cap, and
+/// a cap only opens through that worker's own accepted submission
+/// (`freed`), its lease timing out (`expire_leases`), or the budget
+/// running out (drain everything with a final serve). So the pass visits
+/// exactly those workers instead of rescanning the whole table: cost is
+/// O(state changes), independent of how many subscribers sit parked.
+fn dispatch_pass(
+    shard: usize,
+    registry: &mut CampaignRegistry,
+    table: &mut DispatchTable,
+    metrics: &ServiceMetrics,
+    campaign: CampaignId,
+    freed: &[WorkerId],
+) {
+    if !table.push_enabled() {
+        return;
+    }
+    let expired = table.expire_leases(shard, campaign, metrics);
+    let Some(docs) = registry.get_mut(campaign) else {
+        return;
+    };
+    let epoch = docs.dispatch_epoch();
+    if expired.is_empty() && table.epochs.get(&campaign) == Some(&epoch) {
+        return;
+    }
+    table.epochs.insert(campaign, epoch);
+    if table.parked.get(&campaign).is_none_or(|p| p.is_empty()) {
+        return;
+    }
+    let workers: Vec<WorkerId> = if docs.budget_exhausted() {
+        // The budget is gone: every parked subscriber is drained with a
+        // final pick (which answers `Done`) so no ticket waits forever on
+        // a campaign that will never change again.
+        table.parked[&campaign].keys().copied().collect()
+    } else {
+        let parked = &table.parked[&campaign];
+        freed
+            .iter()
+            .chain(expired.iter())
+            .copied()
+            .filter(|w| parked.contains_key(w))
+            .collect()
+    };
+    for worker in workers {
+        // Still at cap (e.g. a batch cleared one lease but the worker
+        // re-leased in between): stays parked for the next opening.
+        if !docs.budget_exhausted() && table.at_capacity(campaign, worker) {
+            continue;
+        }
+        let Some(sub) = table.remove_parked(campaign, worker) else {
+            continue;
+        };
+        let work = docs.request_tasks(worker);
+        table.lease_if_hit(campaign, worker, &work);
+        resolve_parked(shard, metrics, sub, work);
+    }
+}
+
 /// The metrics bucket each request kind lands in.
 fn kind_of(request: &Request) -> OpKind {
     match request {
@@ -1201,6 +1619,7 @@ fn kind_of(request: &Request) -> OpKind {
         Request::SubmitGolden { .. } => OpKind::Golden,
         Request::SubmitAnswer { .. } => OpKind::Submit,
         Request::SubmitAnswerBatch { .. } => OpKind::SubmitBatch,
+        Request::Subscribe { .. } | Request::Unsubscribe { .. } => OpKind::Subscribe,
         Request::Finish { .. } => OpKind::Finish,
         Request::Status { .. } | Request::PeekReport { .. } | Request::SnapshotState { .. } => {
             OpKind::Read
@@ -1221,6 +1640,7 @@ struct ShardSeed {
     /// The handle-level campaign-id allocator, shared so snapshot installs
     /// keep it ahead of every replicated id (see `install_snapshot`).
     next_campaign: Arc<AtomicU32>,
+    dispatch: DispatchConfig,
 }
 
 fn shard_loop(
@@ -1233,6 +1653,7 @@ fn shard_loop(
 ) -> CampaignRegistry {
     let mut registry = seed.registry;
     let seed_next_campaign = seed.next_campaign;
+    let mut dispatch = DispatchTable::new(seed.dispatch);
     let mut durability = seed.log.map(|log| ShardDurability {
         log,
         persisted: BTreeSet::new(),
@@ -1287,6 +1708,7 @@ fn shard_loop(
                         inbound,
                         &mut registry,
                         &mut durability,
+                        &mut dispatch,
                         &metrics,
                         &role,
                         &seed_next_campaign,
@@ -1363,6 +1785,7 @@ fn shard_loop(
             inbound,
             &mut registry,
             &mut durability,
+            &mut dispatch,
             &metrics,
             &role,
             &seed_next_campaign,
@@ -1426,6 +1849,7 @@ fn process_one(
     inbound: Inbound,
     registry: &mut CampaignRegistry,
     durability: &mut Option<ShardDurability>,
+    dispatch: &mut DispatchTable,
     metrics: &ServiceMetrics,
     role: &RoleCell,
     seed_next_campaign: &Arc<AtomicU32>,
@@ -1438,6 +1862,24 @@ fn process_one(
     } = inbound.envelope;
     let campaign = request.campaign();
     let kind = kind_of(&request);
+    // Under push/hybrid dispatch, remember which workers this request
+    // carries answers from: an accepted submission retires the worker's
+    // pushed-HIT lease before the dispatch pass runs.
+    let submitters: Vec<WorkerId> = if dispatch.push_enabled() {
+        match &request {
+            Request::SubmitGolden { worker, .. } => vec![*worker],
+            Request::SubmitAnswer { answer, .. } => vec![answer.worker],
+            Request::SubmitAnswerBatch { answers, .. } => {
+                let mut workers: Vec<WorkerId> = answers.iter().map(|a| a.worker).collect();
+                workers.sort_unstable();
+                workers.dedup();
+                workers
+            }
+            _ => Vec::new(),
+        }
+    } else {
+        Vec::new()
+    };
     // The role gate: a follower refuses every external mutation (pure
     // reads and the replication plane pass), a primary refuses the
     // replication plane (nothing legitimate feeds it).
@@ -1486,6 +1928,35 @@ fn process_one(
             ),
             Request::SubmitAnswerBatch { answers, .. } => {
                 apply_answer_batch(registry, durability, metrics, shard, campaign, answers)
+            }
+            Request::Subscribe { worker, .. } => {
+                match on_subscribe(
+                    shard,
+                    registry,
+                    dispatch,
+                    metrics,
+                    campaign,
+                    worker,
+                    correlation,
+                    &inbound.completions,
+                ) {
+                    Some(response) => response,
+                    None => {
+                        // Parked: no completion leaves yet — the dispatch
+                        // pass owns the slot now. The request itself *was*
+                        // dequeued, so the ingress bookkeeping still runs.
+                        let elapsed = start.elapsed();
+                        metrics.record(kind, elapsed);
+                        metrics.shard_processed(shard, elapsed);
+                        return;
+                    }
+                }
+            }
+            Request::Unsubscribe { worker, .. } => {
+                if let Some(sub) = dispatch.remove_parked(campaign, worker) {
+                    resolve_parked(shard, metrics, sub, WorkRequest::Done);
+                }
+                Response::Ack
             }
             Request::Finish { .. } => apply_event(
                 registry,
@@ -1559,6 +2030,7 @@ fn process_one(
     let elapsed = start.elapsed();
     metrics.record(kind, elapsed);
     metrics.shard_processed(shard, elapsed);
+    let accepted = !matches!(response, Response::Rejected(_));
     // The completion echoes the submission's correlation id. A client
     // that dropped its ticket after submitting is fine.
     let completion = Completion {
@@ -1580,6 +2052,19 @@ fn process_one(
             let _ = tx.send(earlier);
         }
         let _ = inbound.completions.send(completion);
+    }
+    // The push plane rides the same state changes the request made: an
+    // accepted submission retires its workers' pushed-HIT leases, then the
+    // dispatch pass serves whatever parked subscriptions became servable.
+    // Pushed assignments are sent directly (above, via `resolve_parked`),
+    // never deferred — an assignment promises nothing durable, and each
+    // ticket owns a one-shot slot so inter-ticket order is meaningless.
+    if dispatch.push_enabled() {
+        let freed: &[WorkerId] = if accepted { &submitters } else { &[] };
+        for &worker in freed {
+            dispatch.clear_lease(campaign, worker);
+        }
+        dispatch_pass(shard, registry, dispatch, metrics, campaign, freed);
     }
 }
 
@@ -1798,6 +2283,7 @@ impl DocsService {
                 snapshot_every: config.durability.as_ref().map_or(0, |d| d.snapshot_every),
                 sink: config.replication.clone(),
                 next_campaign: Arc::clone(&next_campaign),
+                dispatch: config.dispatch.clone(),
             };
             // The ingress bound is the pool's admission control: blocking
             // submissions park on a full queue, fail-fast ones bounce.

@@ -14,10 +14,11 @@ The direction of "better" is inferred from the key name:
   or end in ``_x``.
 
 Lower-is-better markers win when both match (e.g. a ``..._overhead_..._x``
-multiplier is an overhead, not a speedup). Keys present on only one side
-are reported but never fail the gate — new metrics appear and old ones
-retire; the gate only protects metrics with a real baseline. A file absent
-from the baseline commit is skipped entirely.
+multiplier is an overhead, not a speedup). A metric (or whole file) with no
+committed baseline is a **warning, never a failure** — new metrics appear
+with every bench added and old ones retire; the gate only protects metrics
+with a real baseline, and the warnings make the unprotected ones visible
+so a typo'd key can't silently opt a metric out of the gate.
 """
 
 import argparse
@@ -72,7 +73,12 @@ def main() -> int:
 
     repo = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
     failures = []
+    warnings = []
     compared = 0
+
+    def warn(message: str) -> None:
+        warnings.append(message)
+        print(f"WARNING: {message}")
 
     for path in sorted(glob.glob(os.path.join(repo, "BENCH_*.json"))):
         name = os.path.basename(path)
@@ -80,16 +86,19 @@ def main() -> int:
             current = json.load(f)
         base = baseline_json(repo, args.baseline, name)
         if base is None:
-            print(f"{name}: no baseline at {args.baseline} — skipped (new file)")
+            warn(
+                f"{name}: no baseline at {args.baseline} — "
+                f"{len(current)} metric(s) unchecked (new file)"
+            )
             continue
         for key in sorted(current):
             if key not in base:
-                print(f"{name}: {key} = {current[key]:.6g} (new metric, no baseline)")
+                warn(f"{name}: {key} = {current[key]:.6g} — new metric, no baseline")
                 continue
             old, new = base[key], current[key]
             d = direction(key)
             if d is None:
-                print(f"{name}: {key} has no inferable direction — skipped")
+                warn(f"{name}: {key} has no inferable direction — unchecked")
                 continue
             compared += 1
             if old == 0:
@@ -109,13 +118,16 @@ def main() -> int:
         for key in sorted(set(base) - set(current)):
             print(f"{name}: {key} retired (was {base[key]:.6g})")
 
-    print(f"\n{compared} metrics compared against {args.baseline}")
+    print(
+        f"\n{compared} metrics compared against {args.baseline}, "
+        f"{len(warnings)} warning(s)"
+    )
     if failures:
         print(f"bench gate FAILED: {len(failures)} metric(s) regressed > {args.tolerance:.0%}")
         for f in failures:
             print(f"  {f}")
         return 1
-    print("bench gate passed")
+    print("bench gate passed" + (" (with warnings)" if warnings else ""))
     return 0
 
 
