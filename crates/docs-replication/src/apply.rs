@@ -252,7 +252,9 @@ fn decode_and_apply(
 }
 
 /// Applies one frame, advancing the shared watermark table as the ack.
-fn apply_frame(
+/// Shared with the migration engine: a campaign hand-off applies the same
+/// snapshot + suffix stream to the destination primary's intake.
+pub(crate) fn apply_frame(
     handle: &ServiceHandle,
     acked: &Mutex<ReplicaWatermarks>,
     frame: ReplicationFrame,

@@ -30,14 +30,21 @@
 //!   the pool to primary at a recorded watermark, and the service resumes
 //!   accepting writes. Under `FlushPolicy::EveryEvent`, no event the old
 //!   primary ever acknowledged can be lost across the crash → promotion →
-//!   resume cycle (`tests/replication.rs` pins this with fault injection).
+//!   resume cycle (`tests/replication.rs` pins this with fault injection);
+//! * **migration**: [`migrate_campaign`] reuses the snapshot + suffix
+//!   shipment as a live hand-off between two *primaries* — copy, fence
+//!   the source at a recorded watermark, chase the tail, adopt — so a
+//!   campaign can move nodes mid-traffic with no acknowledged event lost
+//!   (see ARCHITECTURE.md, "Cluster & migration").
 
 mod apply;
 mod frame;
+mod migrate;
 mod ship;
 
 pub use apply::{Promotion, Replica};
 pub use frame::{decode_frame, encode_frame};
+pub use migrate::{migrate_campaign, MigrationOutcome, MigrationSource};
 pub use ship::{
     bootstrap_frames, replication_channel, FollowerLag, FollowerLink, HubStats, ReplicationHub,
 };

@@ -19,14 +19,132 @@
 //! `service_pipeline` bench measures the two against each other.
 
 use crate::message::BatchOutcome;
+use crate::routing::ClusterRouter;
 use crate::server::{ServiceError, ServiceHandle};
 use crate::ticket::Ticket;
 use docs_crowd::{AnswerModel, WorkerPopulation};
 use docs_system::WorkRequest;
-use docs_types::{Answer, CampaignId, Task, WorkerId};
+use docs_types::{Answer, CampaignId, ChoiceIndex, NodeId, RejectReason, Task, TaskId, WorkerId};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::sync::Arc;
+use std::time::Duration;
+
+/// Redirect budget of one drive-side operation; mirrors the router's
+/// blocking write path (~10 s of 1 ms parks across a fence window).
+const DRIVE_REDIRECT_LIMIT: usize = 10_000;
+
+/// Anything a crowd drive can aim at: a single service pool
+/// ([`ServiceHandle`]) or a whole multi-primary cluster
+/// ([`ClusterRouter`]). The drive only needs the three pipelined
+/// submission entry points plus redirect bookkeeping — a stale-map
+/// [`RejectReason::WrongNode`] answer is a *retry* signal, not a
+/// submission failure, so the drive resubmits against the owner the
+/// service named instead of counting a rejection.
+pub trait DriveTarget: Clone + Send + Sync + 'static {
+    /// The campaign the target serves when the caller names none.
+    fn default_campaign(&self) -> CampaignId;
+
+    /// Pipelined assignment request.
+    fn request_tasks_ticket_in(
+        &self,
+        campaign: CampaignId,
+        worker: WorkerId,
+    ) -> Result<Ticket<WorkRequest>, ServiceError>;
+
+    /// Pipelined golden-HIT submission.
+    fn submit_golden_ticket_in(
+        &self,
+        campaign: CampaignId,
+        worker: WorkerId,
+        answers: Vec<(TaskId, ChoiceIndex)>,
+    ) -> Result<Ticket<()>, ServiceError>;
+
+    /// Pipelined batched answer submission.
+    fn submit_answer_batch_ticket_in(
+        &self,
+        campaign: CampaignId,
+        answers: Vec<Answer>,
+    ) -> Result<Ticket<BatchOutcome>, ServiceError>;
+
+    /// A `WrongNode` answer was harvested: learn the placement so the
+    /// retry aims right. A single pool has nothing to learn.
+    fn note_redirect(&self, _campaign: CampaignId, _owner: NodeId) {}
+
+    /// An operation succeeded after at least one redirect (forwarding
+    /// accounting). A single pool keeps no such ledger.
+    fn note_forwarded(&self, _campaign: CampaignId) {}
+}
+
+impl DriveTarget for ServiceHandle {
+    fn default_campaign(&self) -> CampaignId {
+        ServiceHandle::default_campaign(self)
+    }
+
+    fn request_tasks_ticket_in(
+        &self,
+        campaign: CampaignId,
+        worker: WorkerId,
+    ) -> Result<Ticket<WorkRequest>, ServiceError> {
+        ServiceHandle::request_tasks_ticket_in(self, campaign, worker)
+    }
+
+    fn submit_golden_ticket_in(
+        &self,
+        campaign: CampaignId,
+        worker: WorkerId,
+        answers: Vec<(TaskId, ChoiceIndex)>,
+    ) -> Result<Ticket<()>, ServiceError> {
+        ServiceHandle::submit_golden_ticket_in(self, campaign, worker, answers)
+    }
+
+    fn submit_answer_batch_ticket_in(
+        &self,
+        campaign: CampaignId,
+        answers: Vec<Answer>,
+    ) -> Result<Ticket<BatchOutcome>, ServiceError> {
+        ServiceHandle::submit_answer_batch_ticket_in(self, campaign, answers)
+    }
+}
+
+impl DriveTarget for ClusterRouter {
+    fn default_campaign(&self) -> CampaignId {
+        self.nodes()[0].primary.default_campaign()
+    }
+
+    fn request_tasks_ticket_in(
+        &self,
+        campaign: CampaignId,
+        worker: WorkerId,
+    ) -> Result<Ticket<WorkRequest>, ServiceError> {
+        ClusterRouter::request_tasks_ticket_in(self, campaign, worker)
+    }
+
+    fn submit_golden_ticket_in(
+        &self,
+        campaign: CampaignId,
+        worker: WorkerId,
+        answers: Vec<(TaskId, ChoiceIndex)>,
+    ) -> Result<Ticket<()>, ServiceError> {
+        ClusterRouter::submit_golden_ticket_in(self, campaign, worker, answers)
+    }
+
+    fn submit_answer_batch_ticket_in(
+        &self,
+        campaign: CampaignId,
+        answers: Vec<Answer>,
+    ) -> Result<Ticket<BatchOutcome>, ServiceError> {
+        ClusterRouter::submit_answer_batch_ticket_in(self, campaign, answers)
+    }
+
+    fn note_redirect(&self, campaign: CampaignId, owner: NodeId) {
+        ClusterRouter::note_redirect(self, campaign, owner)
+    }
+
+    fn note_forwarded(&self, campaign: CampaignId) {
+        ClusterRouter::note_forwarded(self, campaign)
+    }
+}
 
 /// Per-thread outcome of a drive run.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -93,8 +211,8 @@ enum DriveMode {
 ///
 /// # Panics
 /// Panics if `threads` is zero or the population is empty.
-pub fn drive_workers(
-    handle: &ServiceHandle,
+pub fn drive_workers<T: DriveTarget>(
+    handle: &T,
     tasks: Arc<Vec<Task>>,
     population: &WorkerPopulation,
     model: AnswerModel,
@@ -116,8 +234,8 @@ pub fn drive_workers(
 /// service. Several campaigns can be driven concurrently from independent
 /// thread pools; each campaign's request stream stays deterministic for a
 /// given `seed` because campaigns share no state.
-pub fn drive_workers_on(
-    handle: &ServiceHandle,
+pub fn drive_workers_on<T: DriveTarget>(
+    handle: &T,
     campaign: CampaignId,
     tasks: Arc<Vec<Task>>,
     population: &WorkerPopulation,
@@ -141,8 +259,8 @@ pub fn drive_workers_on(
 /// is one synchronous round-trip, exactly like the paper's HTTP clients.
 /// Kept as the reference the pipelined driver is measured — and pinned
 /// byte-identical — against.
-pub fn drive_workers_blocking(
-    handle: &ServiceHandle,
+pub fn drive_workers_blocking<T: DriveTarget>(
+    handle: &T,
     tasks: Arc<Vec<Task>>,
     population: &WorkerPopulation,
     model: AnswerModel,
@@ -161,8 +279,8 @@ pub fn drive_workers_blocking(
 }
 
 /// [`drive_workers_blocking`] against one specific campaign.
-pub fn drive_workers_blocking_on(
-    handle: &ServiceHandle,
+pub fn drive_workers_blocking_on<T: DriveTarget>(
+    handle: &T,
     campaign: CampaignId,
     tasks: Arc<Vec<Task>>,
     population: &WorkerPopulation,
@@ -183,8 +301,8 @@ pub fn drive_workers_blocking_on(
 }
 
 #[allow(clippy::too_many_arguments)]
-fn run_drive(
-    handle: &ServiceHandle,
+fn run_drive<T: DriveTarget>(
+    handle: &T,
     campaign: CampaignId,
     tasks: Arc<Vec<Task>>,
     population: &WorkerPopulation,
@@ -236,52 +354,128 @@ fn run_drive(
 }
 
 /// A submission whose ack is still in flight, with what its settlement
-/// contributes to the drive accounting.
+/// contributes to the drive accounting. The original payload rides along
+/// so a stale-map redirect can resubmit against the owner the service
+/// named (a `WrongNode` answer guarantees the submission was *not*
+/// applied, so the retry cannot double-count).
 enum PendingAck {
     /// A golden HIT; counts one golden submission when acked.
-    Golden(Ticket<()>),
-    /// An answer batch of the given size; counts per-answer outcomes.
-    Batch(usize, Ticket<BatchOutcome>),
+    Golden {
+        worker: WorkerId,
+        answers: Vec<(TaskId, ChoiceIndex)>,
+        ticket: Ticket<()>,
+    },
+    /// An answer batch; counts per-answer outcomes.
+    Batch {
+        answers: Vec<Answer>,
+        ticket: Ticket<BatchOutcome>,
+    },
 }
 
-/// Harvests a pending ack into the outcome. Rejections are absorbed (they
-/// are per-worker races, exactly what the deployment sees); anything else
-/// aborts the drive.
-fn settle(
+/// Waits on a pipelined ack, absorbing stale-map redirects: every
+/// `WrongNode` answer teaches the target the named owner and resubmits
+/// there. The inner result carries ordinary rejections for the caller to
+/// account; the outer one aborts the drive (disconnects, full queues on
+/// resubmission).
+fn wait_absorbing_redirects<T: DriveTarget, R>(
+    target: &T,
+    campaign: CampaignId,
+    mut ticket: Ticket<R>,
+    resubmit: impl Fn(&T) -> Result<Ticket<R>, ServiceError>,
+) -> Result<Result<R, ServiceError>, ServiceError> {
+    let mut redirects = 0usize;
+    loop {
+        match ticket.wait() {
+            Ok(value) => {
+                if redirects > 0 {
+                    target.note_forwarded(campaign);
+                }
+                return Ok(Ok(value));
+            }
+            Err(ServiceError::Rejected(RejectReason::WrongNode { owner })) => {
+                redirects += 1;
+                if redirects > DRIVE_REDIRECT_LIMIT {
+                    return Ok(Err(ServiceError::Rejected(RejectReason::WrongNode {
+                        owner,
+                    })));
+                }
+                target.note_redirect(campaign, owner);
+                if redirects > 1 {
+                    // Fence window: source and destination both redirect
+                    // until the tail is adopted; park instead of spinning.
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                ticket = match resubmit(target) {
+                    Ok(t) => t,
+                    // The named owner is outside the target's node set;
+                    // nothing to retry against — surface the rejection.
+                    Err(e @ ServiceError::Rejected(RejectReason::WrongNode { .. })) => {
+                        return Ok(Err(e))
+                    }
+                    Err(e) => return Err(e),
+                };
+            }
+            Err(e) => return Ok(Err(e)),
+        }
+    }
+}
+
+/// Harvests a pending ack into the outcome. Stale-map redirects are
+/// *retried* (see [`wait_absorbing_redirects`]); ordinary rejections are
+/// absorbed (they are per-worker races, exactly what the deployment
+/// sees); anything else aborts the drive.
+fn settle<T: DriveTarget>(
+    target: &T,
+    campaign: CampaignId,
     pending: &mut Option<PendingAck>,
     outcome: &mut DriveOutcome,
 ) -> Result<(), ServiceError> {
     match pending.take() {
         None => Ok(()),
-        Some(PendingAck::Golden(ticket)) => match ticket.wait() {
-            Ok(()) => {
-                outcome.golden_hits += 1;
-                Ok(())
+        Some(PendingAck::Golden {
+            worker,
+            answers,
+            ticket,
+        }) => {
+            let settled = wait_absorbing_redirects(target, campaign, ticket, |t| {
+                t.submit_golden_ticket_in(campaign, worker, answers.clone())
+            })?;
+            match settled {
+                Ok(()) => {
+                    outcome.golden_hits += 1;
+                    Ok(())
+                }
+                Err(ServiceError::Rejected(_)) => {
+                    outcome.rejected += 1;
+                    Ok(())
+                }
+                Err(e) => Err(e),
             }
-            Err(ServiceError::Rejected(_)) => {
-                outcome.rejected += 1;
-                Ok(())
+        }
+        Some(PendingAck::Batch { answers, ticket }) => {
+            let len = answers.len();
+            let settled = wait_absorbing_redirects(target, campaign, ticket, |t| {
+                t.submit_answer_batch_ticket_in(campaign, answers.clone())
+            })?;
+            match settled {
+                Ok(batch) => {
+                    outcome.answers += batch.accepted;
+                    outcome.rejected += batch.rejected.len();
+                    Ok(())
+                }
+                Err(ServiceError::Rejected(_)) => {
+                    outcome.rejected += len;
+                    Ok(())
+                }
+                Err(e) => Err(e),
             }
-            Err(e) => Err(e),
-        },
-        Some(PendingAck::Batch(len, ticket)) => match ticket.wait() {
-            Ok(batch) => {
-                outcome.answers += batch.accepted;
-                outcome.rejected += batch.rejected.len();
-                Ok(())
-            }
-            Err(ServiceError::Rejected(_)) => {
-                outcome.rejected += len;
-                Ok(())
-            }
-            Err(e) => Err(e),
-        },
+        }
     }
 }
 
 #[allow(clippy::too_many_arguments)]
-fn drive_shard(
-    handle: &ServiceHandle,
+fn drive_shard<T: DriveTarget>(
+    handle: &T,
     campaign: CampaignId,
     tasks: &[Task],
     population: &WorkerPopulation,
@@ -313,8 +507,13 @@ fn drive_shard(
     while outcome.arrivals < max_arrivals {
         outcome.arrivals += 1;
         let w = my_workers[rng.gen_range(0..my_workers.len())];
-        let work = handle.request_tasks_ticket_in(campaign, w)?.wait()?;
-        settle(&mut pending, &mut outcome)?;
+        let work = wait_absorbing_redirects(
+            handle,
+            campaign,
+            handle.request_tasks_ticket_in(campaign, w)?,
+            |t| t.request_tasks_ticket_in(campaign, w),
+        )??;
+        settle(handle, campaign, &mut pending, &mut outcome)?;
         match work {
             WorkRequest::Golden(golden) => {
                 let worker = population.worker(w);
@@ -322,8 +521,12 @@ fn drive_shard(
                     .iter()
                     .map(|&gid| (gid, worker.answer(&tasks[gid.index()], model, &mut rng)))
                     .collect();
-                let ack = PendingAck::Golden(handle.submit_golden_ticket_in(campaign, w, answers)?);
-                pending = Some(ack);
+                let ticket = handle.submit_golden_ticket_in(campaign, w, answers.clone())?;
+                pending = Some(PendingAck::Golden {
+                    worker: w,
+                    answers,
+                    ticket,
+                });
             }
             WorkRequest::Tasks(hit) => {
                 // The whole HIT goes back in one batched round-trip — the
@@ -338,21 +541,18 @@ fn drive_shard(
                         Answer::new(w, tid, choice)
                     })
                     .collect();
-                let ack = PendingAck::Batch(
-                    hit.len(),
-                    handle.submit_answer_batch_ticket_in(campaign, answers)?,
-                );
-                pending = Some(ack);
+                let ticket = handle.submit_answer_batch_ticket_in(campaign, answers.clone())?;
+                pending = Some(PendingAck::Batch { answers, ticket });
             }
             WorkRequest::Done => break,
         }
         if matches!(mode, DriveMode::Blocking) {
             // Strict request/response: the ack rendezvous happens before
             // the next arrival, like the paper's HTTP clients.
-            settle(&mut pending, &mut outcome)?;
+            settle(handle, campaign, &mut pending, &mut outcome)?;
         }
     }
-    settle(&mut pending, &mut outcome)?;
+    settle(handle, campaign, &mut pending, &mut outcome)?;
     Ok(outcome)
 }
 

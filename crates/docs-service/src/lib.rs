@@ -71,6 +71,16 @@
 //!   writes to the primary. The streaming hub, applier, and
 //!   promotion/failover live in the `docs-replication` crate (see
 //!   ARCHITECTURE.md, "Replication & failover"),
+//! * **Cluster routing** ([`ClusterRouter`]): campaigns partition across
+//!   multiple primary nodes by a versioned
+//!   [`ClusterMap`](docs_types::ClusterMap); writes go to the owning
+//!   primary, reads fan out replica-first on the owning node, and a
+//!   stale map self-heals — a
+//!   [`RejectReason::WrongNode`](docs_types::RejectReason) answer names
+//!   the owner and the router retries there. Live campaign migration
+//!   (fence → chase tail → adopt → flip the directory epoch) lives in
+//!   `docs-replication::migrate_campaign` (see ARCHITECTURE.md,
+//!   "Cluster & migration"),
 //! * [`drive_workers`] / [`drive_workers_on`] run a whole simulated crowd
 //!   (from `docs-crowd`) against one campaign from `threads` parallel
 //!   clients until the budget is consumed, **pipelining** each client's
@@ -88,11 +98,13 @@ mod ticket;
 
 pub use client::{
     drive_workers, drive_workers_blocking, drive_workers_blocking_on, drive_workers_on,
-    DriveOutcome, DriveReport,
+    DriveOutcome, DriveReport, DriveTarget,
 };
 pub use message::{BatchOutcome, Completion, CorrelationId, Request, RequestEnvelope, Response};
-pub use metrics::{DurabilityStats, OpKind, OpStats, ReplicationStats, ServiceMetrics, ShardStats};
-pub use routing::{ReadRouter, ReadRoutingStats};
+pub use metrics::{
+    DurabilityStats, OpKind, OpStats, ReplicationStats, RoutingStats, ServiceMetrics, ShardStats,
+};
+pub use routing::{ClusterNode, ClusterRouter, ClusterRouterStats, ReadRouter, ReadRoutingStats};
 pub use server::{
     DispatchConfig, DispatchMode, DocsService, DurabilityConfig, ReplicationSink, ServiceConfig,
     ServiceError, ServiceHandle,

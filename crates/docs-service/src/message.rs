@@ -21,7 +21,10 @@
 
 use docs_storage::FlushPolicy;
 use docs_system::{CampaignStatus, Docs, RequesterReport, WorkRequest};
-use docs_types::{Answer, CampaignEvent, CampaignId, ChoiceIndex, RejectReason, TaskId, WorkerId};
+use docs_types::{
+    Answer, CampaignEvent, CampaignId, ChoiceIndex, ClusterMap, NodeId, RejectReason, TaskId,
+    WorkerId,
+};
 
 /// Client-assigned tag pairing a submission with its completion. Allocated
 /// monotonically per handle; the shard never interprets it, only echoes it.
@@ -179,6 +182,41 @@ pub enum Request {
         /// The event to apply.
         event: Box<CampaignEvent>,
     },
+    /// Cluster control: fence a campaign away to `owner`. The owning shard
+    /// hardens the campaign's log, records the hand-off, answers
+    /// [`Response::Fenced`] with the hardened watermark, and refuses every
+    /// later mutation of the campaign with [`RejectReason::WrongNode`].
+    Fence {
+        /// Campaign being handed off.
+        campaign: CampaignId,
+        /// The node that owns the campaign from now on.
+        owner: NodeId,
+    },
+    /// Cluster control: begin migration intake — the campaign is being
+    /// shipped here from `source`, which keeps the write path until
+    /// [`Request::CompleteMigration`]. While in intake the shard admits the
+    /// replication plane for this campaign (despite running as a primary)
+    /// and redirects mutations back to the source.
+    PrepareMigration {
+        /// Campaign being shipped in.
+        campaign: CampaignId,
+        /// The node that still owns the write path.
+        source: NodeId,
+    },
+    /// Cluster control: the migrated campaign's tail is fully applied —
+    /// adopt its write path (end intake, clear any stale fence).
+    CompleteMigration {
+        /// Campaign being adopted.
+        campaign: CampaignId,
+    },
+    /// Cluster control: install a routing directory on the shard. Fresher
+    /// epochs win; stale installs are acknowledged and dropped. Unlike
+    /// every other request this is *broadcast* — the handle sends one copy
+    /// to each shard rather than routing by campaign.
+    InstallMap {
+        /// The directory to install.
+        map: Box<ClusterMap>,
+    },
 }
 
 impl Request {
@@ -197,7 +235,14 @@ impl Request {
             | Request::PeekReport { campaign }
             | Request::SnapshotState { campaign }
             | Request::InstallSnapshot { campaign, .. }
-            | Request::ApplyReplicated { campaign, .. } => *campaign,
+            | Request::ApplyReplicated { campaign, .. }
+            | Request::Fence { campaign, .. }
+            | Request::PrepareMigration { campaign, .. }
+            | Request::CompleteMigration { campaign } => *campaign,
+            // A directory install is broadcast by the handle (one copy per
+            // shard); the nominal route only matters if a caller submits
+            // it through the campaign-routed path anyway.
+            Request::InstallMap { .. } => CampaignId(0),
         }
     }
 
@@ -215,11 +260,25 @@ impl Request {
 
     /// Whether the request belongs to the replication plane (snapshot
     /// install / replicated apply) — accepted only on a follower, fed only
-    /// by its applier.
+    /// by its applier. A primary shard in migration intake admits it for
+    /// the campaign being shipped in.
     pub fn is_replication(&self) -> bool {
         matches!(
             self,
             Request::InstallSnapshot { .. } | Request::ApplyReplicated { .. }
+        )
+    }
+
+    /// Whether the request is cluster control (fencing, migration intake,
+    /// directory install) — ownership bookkeeping that bypasses the
+    /// campaign state machine and the ownership admission check itself.
+    pub fn is_cluster_control(&self) -> bool {
+        matches!(
+            self,
+            Request::Fence { .. }
+                | Request::PrepareMigration { .. }
+                | Request::CompleteMigration { .. }
+                | Request::InstallMap { .. }
         )
     }
 }
@@ -256,6 +315,13 @@ pub enum Response {
     /// `CampaignSnapshot`, byte-identical across primary and caught-up
     /// followers.
     State(Vec<u8>),
+    /// Reply to [`Request::Fence`]: the campaign's log was hardened
+    /// through this per-campaign sequence number before the fence took
+    /// effect — the migration's linearization watermark.
+    Fenced {
+        /// Highest durable sequence at the moment of the fence.
+        watermark: u64,
+    },
     /// The system refused the request; the reason is matchable data, not
     /// prose (e.g. `RejectReason::DuplicateAnswer`,
     /// `RejectReason::UnknownCampaign`).

@@ -51,9 +51,12 @@ pub enum OpKind {
     /// when the shard resolves it) — so the push plane's time-to-assignment
     /// is visible next to `Assign`'s pull latency.
     Subscribe,
+    /// Cluster control plane: fencing, migration intake, directory
+    /// installs — ownership bookkeeping, not campaign work.
+    Cluster,
 }
 
-const NUM_KINDS: usize = 9;
+const NUM_KINDS: usize = 10;
 
 impl OpKind {
     #[inline]
@@ -68,6 +71,7 @@ impl OpKind {
             OpKind::Read => 6,
             OpKind::Replicate => 7,
             OpKind::Subscribe => 8,
+            OpKind::Cluster => 9,
         }
     }
 }
@@ -204,6 +208,52 @@ struct ReplicationCounters {
     read_only_rejections: AtomicU64,
 }
 
+/// Service-wide cluster-routing counters: what the ownership admission
+/// check decided, and what the migration machinery did to this node.
+#[derive(Debug, Default)]
+struct RoutingCounters {
+    wrong_node_rejections: AtomicU64,
+    maps_installed: AtomicU64,
+    campaigns_fenced: AtomicU64,
+    migrations_adopted: AtomicU64,
+    forwarded_submissions: AtomicU64,
+}
+
+/// Aggregate cluster-routing view across the whole service — surfaced by
+/// [`ServiceMetrics::routing`] next to the replication counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RoutingStats {
+    /// Mutations refused with `RejectReason::WrongNode` (fenced, in
+    /// intake, or directory-placed elsewhere).
+    pub wrong_node_rejections: u64,
+    /// Cluster maps installed (counted once per shard per accepted
+    /// install).
+    pub maps_installed: u64,
+    /// Campaigns fenced away from this node.
+    pub campaigns_fenced: u64,
+    /// Campaigns adopted through a completed migration intake.
+    pub migrations_adopted: u64,
+    /// Submissions that reached this node after a `WrongNode` redirect
+    /// elsewhere — the forwarded tail of a migration's fence window
+    /// (counted by the router on successful retry).
+    pub forwarded_submissions: u64,
+}
+
+impl std::fmt::Display for RoutingStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "routing: {} wrong-node rejections, {} maps installed, \
+             {} campaigns fenced, {} migrations adopted, {} forwarded submissions",
+            self.wrong_node_rejections,
+            self.maps_installed,
+            self.campaigns_fenced,
+            self.migrations_adopted,
+            self.forwarded_submissions
+        )
+    }
+}
+
 /// Aggregate replication view across the whole service.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ReplicationStats {
@@ -269,6 +319,7 @@ pub struct ServiceMetrics {
     shards: Arc<Vec<ShardCounters>>,
     durability: Arc<DurabilityCounters>,
     replication: Arc<ReplicationCounters>,
+    routing: Arc<RoutingCounters>,
 }
 
 impl Default for ServiceMetrics {
@@ -286,6 +337,7 @@ impl ServiceMetrics {
             shards: Arc::new((0..shards).map(|_| ShardCounters::default()).collect()),
             durability: Arc::new(DurabilityCounters::default()),
             replication: Arc::new(ReplicationCounters::default()),
+            routing: Arc::new(RoutingCounters::default()),
         }
     }
 
@@ -502,6 +554,52 @@ impl ServiceMetrics {
         self.replication
             .read_only_rejections
             .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one mutation refused with `RejectReason::WrongNode`.
+    pub fn wrong_node_rejection(&self) {
+        self.routing
+            .wrong_node_rejections
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one accepted cluster-map install (per shard).
+    pub fn map_installed(&self) {
+        self.routing.maps_installed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one campaign fenced away from this node.
+    pub fn campaign_fenced(&self) {
+        self.routing
+            .campaigns_fenced
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one campaign adopted through migration intake.
+    pub fn migration_adopted(&self) {
+        self.routing
+            .migrations_adopted
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one submission that landed here after a `WrongNode`
+    /// redirect elsewhere (recorded by the routing client on successful
+    /// retry against this node).
+    pub fn forwarded_submission(&self) {
+        self.routing
+            .forwarded_submissions
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Aggregate cluster-routing view.
+    pub fn routing(&self) -> RoutingStats {
+        RoutingStats {
+            wrong_node_rejections: self.routing.wrong_node_rejections.load(Ordering::Relaxed),
+            maps_installed: self.routing.maps_installed.load(Ordering::Relaxed),
+            campaigns_fenced: self.routing.campaigns_fenced.load(Ordering::Relaxed),
+            migrations_adopted: self.routing.migrations_adopted.load(Ordering::Relaxed),
+            forwarded_submissions: self.routing.forwarded_submissions.load(Ordering::Relaxed),
+        }
     }
 
     /// Aggregate replication view (shipping side on a primary, applying
@@ -762,6 +860,29 @@ mod tests {
         assert_eq!(m.durability().torn_tail_recoveries, 0);
         m.torn_tail_recovered(2);
         assert_eq!(m.durability().torn_tail_recoveries, 2);
+    }
+
+    #[test]
+    fn routing_counters_accumulate_and_display() {
+        let m = ServiceMetrics::new(2);
+        assert_eq!(m.routing(), RoutingStats::default());
+        m.wrong_node_rejection();
+        m.wrong_node_rejection();
+        m.map_installed();
+        m.campaign_fenced();
+        m.migration_adopted();
+        m.forwarded_submission();
+        let r = m.routing();
+        assert_eq!(r.wrong_node_rejections, 2);
+        assert_eq!(r.maps_installed, 1);
+        assert_eq!(r.campaigns_fenced, 1);
+        assert_eq!(r.migrations_adopted, 1);
+        assert_eq!(r.forwarded_submissions, 1);
+        assert_eq!(
+            r.to_string(),
+            "routing: 2 wrong-node rejections, 1 maps installed, \
+             1 campaigns fenced, 1 migrations adopted, 1 forwarded submissions"
+        );
     }
 
     #[test]

@@ -1,89 +1,296 @@
-//! Read-routing client for a replicated deployment: reads fan out to
-//! follower replicas round-robin, writes pin to the primary.
+//! Cluster routing client: a campaign→node directory with role-aware
+//! fan-out — writes go to the owning primary, reads fan out to that node's
+//! replicas round-robin, and stale-map redirects retry against the owner
+//! the service names.
 //!
 //! The paper's deployment serves every request from one Django backend;
-//! with WAL-shipping replication the status/truths/stats read traffic — the
-//! kind that dominates a dashboarded crowdsourcing campaign — can be
-//! offloaded to followers while the primary keeps exclusive ownership of
-//! the mutation path (cf. the HTAP read-path offloading direction in
-//! PAPERS.md). A [`ReadRouter`] wraps one primary [`ServiceHandle`] plus
-//! any number of replica handles:
+//! WAL-shipping replication (PR 5) scaled the read path, and the cluster
+//! directory scales the write path: campaigns are partitioned across
+//! multiple primary nodes, and ownership is a *migratable* fact recorded
+//! in a versioned [`ClusterMap`] (see ARCHITECTURE.md, "Cluster &
+//! migration"). A [`ClusterRouter`] wraps any number of [`ClusterNode`]s
+//! (each a primary [`ServiceHandle`] plus its read replicas):
 //!
-//! * **writes** (`request_tasks_in`, `submit_*`, `finish_in`,
-//!   `create_campaign`) always go to the primary,
+//! * **writes** (`request_tasks_in`, `submit_*`, `finish_in`) resolve the
+//!   campaign's owner through the router's map and go to that node's
+//!   primary. A [`RejectReason::WrongNode`] answer means the map is stale
+//!   (the campaign was migrated): the router learns the returned owner and
+//!   retries there — one retry for a settled directory, a brief
+//!   park-and-ping-pong during a migration's fence window (both sides
+//!   redirect until the new owner adopts the tail, which is exactly the
+//!   "buffer and forward in-flight submissions" phase),
 //! * **reads** (`status_in`, `peek_report_in`, `snapshot_state_in`) go to
-//!   the next replica in round-robin order, **falling back to the
-//!   primary** when a replica is gone, refuses, or simply has not
+//!   the owning node's next replica in round-robin order, falling back to
+//!   that node's primary when a replica is gone, refuses, or has not
 //!   bootstrapped the campaign yet (its lag shows as `UnknownCampaign`).
 //!
 //! Replicas serve *their watermark's* state: a read routed to a lagging
 //! follower is consistent-but-stale, exactly like any asynchronous read
 //! replica. Callers that need read-your-writes read from the primary.
+//!
+//! [`ReadRouter`] — the single-node primary+replicas client from the
+//! replication era — survives as a thin wrapper around a one-node
+//! [`ClusterRouter`]: same API, same counters, one routing engine.
 
 use crate::server::{ServiceError, ServiceHandle};
+use crate::ticket::Ticket;
 use docs_system::{CampaignStatus, RequesterReport, WorkRequest};
-use docs_types::{Answer, CampaignId, ChoiceIndex, RejectReason, TaskId, WorkerId};
+use docs_types::{
+    Answer, CampaignId, ChoiceIndex, ClusterMap, NodeId, RejectReason, TaskId, WorkerId,
+};
+use parking_lot::Mutex;
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
-/// Where the router sent reads so far (observability for tests, examples,
-/// and capacity planning).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct ReadRoutingStats {
-    /// Reads served by a replica.
-    pub replica_reads: u64,
-    /// Reads served by the primary (no replicas, or fallback).
-    pub primary_reads: u64,
-    /// Reads that fell back to the primary after a replica refused or
-    /// disconnected.
-    pub fallbacks: u64,
+/// Redirect budget of one write: generous enough to ride out a
+/// migration's whole fence window (each post-first redirect parks ~1 ms,
+/// so this is ~10 s of forwarding patience), finite so a routing loop
+/// between two confused nodes cannot hang a client forever.
+const WRITE_REDIRECT_LIMIT: usize = 10_000;
+
+/// One primary node of the cluster, as the router sees it: the write-side
+/// handle plus any read replicas tailing it.
+#[derive(Clone)]
+pub struct ClusterNode {
+    /// The node's cluster identity ([`ServiceConfig::node`] of its pool).
+    ///
+    /// [`ServiceConfig::node`]: crate::ServiceConfig
+    pub id: NodeId,
+    /// The node's primary (write-side) handle.
+    pub primary: ServiceHandle,
+    /// Read replicas tailing this node (may be empty).
+    pub replicas: Vec<ServiceHandle>,
 }
 
-/// The routing client of a primary + replicas deployment.
+/// Per-node routing state: the handles plus the node's replica
+/// round-robin cursor.
+struct NodeEntry {
+    node: ClusterNode,
+    next_replica: AtomicUsize,
+}
+
+/// Where the router sent traffic so far (observability for tests,
+/// examples, and capacity planning).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClusterRouterStats {
+    /// Reads served by a replica.
+    pub replica_reads: u64,
+    /// Reads served by a primary (no replicas, or fallback).
+    pub primary_reads: u64,
+    /// Reads that fell back to a primary after a replica refused or
+    /// disconnected.
+    pub fallbacks: u64,
+    /// `WrongNode` answers absorbed: the map was stale and the router
+    /// re-aimed at the owner the service named.
+    pub wrong_node_redirects: u64,
+    /// Writes that succeeded after at least one redirect — the forwarded
+    /// in-flight submissions of migration fence windows plus ordinary
+    /// stale-map retries.
+    pub forwarded_writes: u64,
+}
+
+impl std::fmt::Display for ClusterRouterStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "reads: {} replica / {} primary ({} fallbacks); \
+             writes: {} redirects absorbed, {} forwarded",
+            self.replica_reads,
+            self.primary_reads,
+            self.fallbacks,
+            self.wrong_node_redirects,
+            self.forwarded_writes
+        )
+    }
+}
+
+/// The routing client of a multi-primary cluster.
 #[derive(Clone)]
-pub struct ReadRouter {
-    primary: ServiceHandle,
-    replicas: Arc<Vec<ServiceHandle>>,
-    next: Arc<AtomicUsize>,
+pub struct ClusterRouter {
+    nodes: Arc<Vec<NodeEntry>>,
+    map: Arc<Mutex<ClusterMap>>,
+    /// Placements learned from `WrongNode` answers — fresher than the map
+    /// but not epoch-stamped, so a real [`ClusterRouter::install_map`]
+    /// clears them.
+    learned: Arc<Mutex<HashMap<CampaignId, NodeId>>>,
     replica_reads: Arc<AtomicU64>,
     primary_reads: Arc<AtomicU64>,
     fallbacks: Arc<AtomicU64>,
+    wrong_node_redirects: Arc<AtomicU64>,
+    forwarded_writes: Arc<AtomicU64>,
 }
 
-impl ReadRouter {
-    /// Routes writes to `primary` and fans reads out across `replicas`
-    /// (an empty list degrades to an all-primary router).
-    pub fn new(primary: ServiceHandle, replicas: Vec<ServiceHandle>) -> Self {
-        ReadRouter {
-            primary,
-            replicas: Arc::new(replicas),
-            next: Arc::new(AtomicUsize::new(0)),
+impl ClusterRouter {
+    /// Routes by `map` across `nodes`.
+    ///
+    /// # Panics
+    /// Panics when `nodes` is empty — a router with nowhere to send
+    /// traffic is a construction bug, not a runtime condition.
+    pub fn new(nodes: Vec<ClusterNode>, map: ClusterMap) -> Self {
+        assert!(!nodes.is_empty(), "cluster router needs at least one node");
+        ClusterRouter {
+            nodes: Arc::new(
+                nodes
+                    .into_iter()
+                    .map(|node| NodeEntry {
+                        node,
+                        next_replica: AtomicUsize::new(0),
+                    })
+                    .collect(),
+            ),
+            map: Arc::new(Mutex::new(map)),
+            learned: Arc::new(Mutex::new(HashMap::new())),
             replica_reads: Arc::new(AtomicU64::new(0)),
             primary_reads: Arc::new(AtomicU64::new(0)),
             fallbacks: Arc::new(AtomicU64::new(0)),
+            wrong_node_redirects: Arc::new(AtomicU64::new(0)),
+            forwarded_writes: Arc::new(AtomicU64::new(0)),
         }
     }
 
-    /// The write-side handle.
-    pub fn primary(&self) -> &ServiceHandle {
-        &self.primary
+    /// A one-node cluster: every campaign lives on `primary`, reads fan
+    /// out to `replicas` — the [`ReadRouter`] deployment shape.
+    pub fn single(id: NodeId, primary: ServiceHandle, replicas: Vec<ServiceHandle>) -> Self {
+        Self::new(
+            vec![ClusterNode {
+                id,
+                primary,
+                replicas,
+            }],
+            ClusterMap::new(id),
+        )
     }
 
-    /// The attached replica handles.
-    pub fn replicas(&self) -> &[ServiceHandle] {
-        &self.replicas
+    /// The routing directory the router currently follows (learned
+    /// placements not included — they are transient hints).
+    pub fn map(&self) -> ClusterMap {
+        self.map.lock().clone()
     }
 
-    /// Read-routing accounting so far.
-    pub fn stats(&self) -> ReadRoutingStats {
-        ReadRoutingStats {
+    /// Adopts a fresher directory (stale epochs are ignored) and drops
+    /// every learned placement — the map is authoritative now. Returns
+    /// whether the map was adopted.
+    pub fn install_map(&self, map: &ClusterMap) -> bool {
+        let mut current = self.map.lock();
+        if map.epoch() <= current.epoch() && *current != *map {
+            return false;
+        }
+        *current = map.clone();
+        self.learned.lock().clear();
+        true
+    }
+
+    /// The cluster nodes, in construction order.
+    pub fn nodes(&self) -> Vec<ClusterNode> {
+        self.nodes.iter().map(|e| e.node.clone()).collect()
+    }
+
+    /// Routing accounting so far.
+    pub fn stats(&self) -> ClusterRouterStats {
+        ClusterRouterStats {
             replica_reads: self.replica_reads.load(Ordering::Relaxed),
             primary_reads: self.primary_reads.load(Ordering::Relaxed),
             fallbacks: self.fallbacks.load(Ordering::Relaxed),
+            wrong_node_redirects: self.wrong_node_redirects.load(Ordering::Relaxed),
+            forwarded_writes: self.forwarded_writes.load(Ordering::Relaxed),
         }
     }
 
-    /// Whether a replica's refusal warrants retrying on the primary: the
+    /// Records a `WrongNode` answer observed *outside* the router's own
+    /// retry loop (a pipelined ticket harvested by the caller): the
+    /// router learns the placement so the caller's retry aims right.
+    pub fn note_redirect(&self, campaign: CampaignId, owner: NodeId) {
+        self.wrong_node_redirects.fetch_add(1, Ordering::Relaxed);
+        self.learn(campaign, owner);
+    }
+
+    /// Records a write that succeeded after an out-of-loop redirect (the
+    /// pipelined twin of the blocking path's forwarding accounting).
+    pub fn note_forwarded(&self, campaign: CampaignId) {
+        self.forwarded_writes.fetch_add(1, Ordering::Relaxed);
+        if let Some(entry) = self.entry_of(self.owner_of(campaign)) {
+            entry.node.primary.metrics().forwarded_submission();
+        }
+    }
+
+    fn learn(&self, campaign: CampaignId, owner: NodeId) {
+        self.learned.lock().insert(campaign, owner);
+    }
+
+    /// The node currently believed to own `campaign`: a learned placement
+    /// if one is pending, the directory otherwise. A one-node router
+    /// skips the lookup — there is nothing to resolve.
+    fn owner_of(&self, campaign: CampaignId) -> NodeId {
+        if self.nodes.len() == 1 {
+            return self.nodes[0].node.id;
+        }
+        if let Some(&owner) = self.learned.lock().get(&campaign) {
+            return owner;
+        }
+        self.map.lock().owner(campaign)
+    }
+
+    fn entry_of(&self, id: NodeId) -> Option<&NodeEntry> {
+        self.nodes.iter().find(|e| e.node.id == id)
+    }
+
+    /// The primary handle a pipelined submission for `campaign` should
+    /// target right now. An owner outside the router's node set surfaces
+    /// as the same `WrongNode` rejection the service would send.
+    pub fn owner_primary(&self, campaign: CampaignId) -> Result<&ServiceHandle, ServiceError> {
+        let owner = self.owner_of(campaign);
+        match self.entry_of(owner) {
+            Some(entry) => Ok(&entry.node.primary),
+            None => Err(ServiceError::Rejected(RejectReason::WrongNode { owner })),
+        }
+    }
+
+    /// Runs one write with redirect-retry: resolve the owner, call its
+    /// primary, and absorb `WrongNode` answers by learning the named
+    /// owner and retrying there. The first retry is immediate (the
+    /// settled stale-map case converges in one); later ones park ~1 ms,
+    /// riding out a migration's fence window in which source and
+    /// destination both redirect until the tail is adopted.
+    fn write<T>(
+        &self,
+        campaign: CampaignId,
+        op: impl Fn(&ServiceHandle) -> Result<T, ServiceError>,
+    ) -> Result<T, ServiceError> {
+        let mut redirects = 0usize;
+        loop {
+            let owner = self.owner_of(campaign);
+            let Some(entry) = self.entry_of(owner) else {
+                return Err(ServiceError::Rejected(RejectReason::WrongNode { owner }));
+            };
+            match op(&entry.node.primary) {
+                Ok(value) => {
+                    if redirects > 0 {
+                        self.forwarded_writes.fetch_add(1, Ordering::Relaxed);
+                        entry.node.primary.metrics().forwarded_submission();
+                    }
+                    return Ok(value);
+                }
+                Err(ServiceError::Rejected(RejectReason::WrongNode { owner: actual })) => {
+                    redirects += 1;
+                    if redirects > WRITE_REDIRECT_LIMIT {
+                        return Err(ServiceError::Rejected(RejectReason::WrongNode {
+                            owner: actual,
+                        }));
+                    }
+                    self.wrong_node_redirects.fetch_add(1, Ordering::Relaxed);
+                    self.learn(campaign, actual);
+                    if redirects > 1 {
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Whether a replica's refusal warrants retrying on its primary: the
     /// replica is gone, lagging (campaign not bootstrapped yet), or was
     /// promoted/demoted out from under the router.
     fn retry_on_primary(error: &ServiceError) -> bool {
@@ -95,17 +302,25 @@ impl ReadRouter {
         )
     }
 
-    /// Runs one read: next replica in round-robin order, primary fallback.
+    /// Runs one read on the owning node: next replica in round-robin
+    /// order, primary fallback. An owner outside the router's node set
+    /// falls back to the first node — a fenced ex-owner still serves
+    /// reads as a consistent-but-stale replica, so any node beats an
+    /// error for read traffic.
     fn read<T>(
         &self,
+        campaign: CampaignId,
         op: impl Fn(&ServiceHandle) -> Result<T, ServiceError>,
     ) -> Result<T, ServiceError> {
-        if self.replicas.is_empty() {
+        let owner = self.owner_of(campaign);
+        let entry = self.entry_of(owner).unwrap_or(&self.nodes[0]);
+        let replicas = &entry.node.replicas;
+        if replicas.is_empty() {
             self.primary_reads.fetch_add(1, Ordering::Relaxed);
-            return op(&self.primary);
+            return op(&entry.node.primary);
         }
-        let pick = self.next.fetch_add(1, Ordering::Relaxed) % self.replicas.len();
-        match op(&self.replicas[pick]) {
+        let pick = entry.next_replica.fetch_add(1, Ordering::Relaxed) % replicas.len();
+        match op(&replicas[pick]) {
             Ok(value) => {
                 self.replica_reads.fetch_add(1, Ordering::Relaxed);
                 Ok(value)
@@ -113,34 +328,218 @@ impl ReadRouter {
             Err(e) if Self::retry_on_primary(&e) => {
                 self.fallbacks.fetch_add(1, Ordering::Relaxed);
                 self.primary_reads.fetch_add(1, Ordering::Relaxed);
-                op(&self.primary)
+                op(&entry.node.primary)
             }
             Err(e) => Err(e),
         }
     }
 
     // ------------------------------------------------------------------
-    // Reads: replica-first.
+    // Reads: owning node, replica-first.
     // ------------------------------------------------------------------
 
-    /// Campaign status, served replica-first.
+    /// Campaign status, served replica-first on the owning node.
     pub fn status_in(&self, campaign: CampaignId) -> Result<CampaignStatus, ServiceError> {
-        self.read(|h| h.status_in(campaign))
+        self.read(campaign, |h| h.status_in(campaign))
     }
 
     /// Inferred truths under the current state, served replica-first.
     pub fn peek_report_in(&self, campaign: CampaignId) -> Result<RequesterReport, ServiceError> {
-        self.read(|h| h.peek_report_in(campaign))
+        self.read(campaign, |h| h.peek_report_in(campaign))
     }
 
     /// Serialized campaign state, served replica-first.
     pub fn snapshot_state_in(&self, campaign: CampaignId) -> Result<Vec<u8>, ServiceError> {
-        self.read(|h| h.snapshot_state_in(campaign))
+        self.read(campaign, |h| h.snapshot_state_in(campaign))
     }
 
     // ------------------------------------------------------------------
-    // Writes: primary-pinned.
+    // Writes: owner-routed, redirect-retried.
     // ------------------------------------------------------------------
+
+    /// "A worker comes and requests tasks" — owner's primary (assignment
+    /// reads *and then consumes* budget as answers flow back).
+    pub fn request_tasks_in(
+        &self,
+        campaign: CampaignId,
+        worker: WorkerId,
+    ) -> Result<WorkRequest, ServiceError> {
+        self.write(campaign, |h| h.request_tasks_in(campaign, worker))
+    }
+
+    /// Pipelined assignment request against the current owner. Redirects
+    /// surface through the ticket; callers that harvest them should
+    /// [`note_redirect`](Self::note_redirect) and resubmit.
+    pub fn request_tasks_ticket_in(
+        &self,
+        campaign: CampaignId,
+        worker: WorkerId,
+    ) -> Result<Ticket<WorkRequest>, ServiceError> {
+        self.owner_primary(campaign)?
+            .request_tasks_ticket_in(campaign, worker)
+    }
+
+    /// Assignment subscription (push/hybrid dispatch) — owner's primary.
+    pub fn subscribe_assignments_ticket_in(
+        &self,
+        campaign: CampaignId,
+        worker: WorkerId,
+    ) -> Result<Ticket<WorkRequest>, ServiceError> {
+        self.owner_primary(campaign)?
+            .subscribe_assignments_ticket_in(campaign, worker)
+    }
+
+    /// Drops a parked assignment subscription — owner's primary.
+    pub fn unsubscribe_in(
+        &self,
+        campaign: CampaignId,
+        worker: WorkerId,
+    ) -> Result<(), ServiceError> {
+        self.write(campaign, |h| h.unsubscribe_in(campaign, worker))
+    }
+
+    /// Golden-HIT submission — owner's primary.
+    pub fn submit_golden_in(
+        &self,
+        campaign: CampaignId,
+        worker: WorkerId,
+        answers: Vec<(TaskId, ChoiceIndex)>,
+    ) -> Result<(), ServiceError> {
+        self.write(campaign, |h| {
+            h.submit_golden_in(campaign, worker, answers.clone())
+        })
+    }
+
+    /// Pipelined golden-HIT submission against the current owner.
+    pub fn submit_golden_ticket_in(
+        &self,
+        campaign: CampaignId,
+        worker: WorkerId,
+        answers: Vec<(TaskId, ChoiceIndex)>,
+    ) -> Result<Ticket<()>, ServiceError> {
+        self.owner_primary(campaign)?
+            .submit_golden_ticket_in(campaign, worker, answers)
+    }
+
+    /// Single-answer submission — owner's primary.
+    pub fn submit_answer_in(
+        &self,
+        campaign: CampaignId,
+        answer: Answer,
+    ) -> Result<(), ServiceError> {
+        self.write(campaign, |h| h.submit_answer_in(campaign, answer))
+    }
+
+    /// Batched answer submission — owner's primary.
+    pub fn submit_answer_batch_in(
+        &self,
+        campaign: CampaignId,
+        answers: Vec<Answer>,
+    ) -> Result<crate::message::BatchOutcome, ServiceError> {
+        self.write(campaign, |h| {
+            h.submit_answer_batch_in(campaign, answers.clone())
+        })
+    }
+
+    /// Pipelined batched submission against the current owner.
+    pub fn submit_answer_batch_ticket_in(
+        &self,
+        campaign: CampaignId,
+        answers: Vec<Answer>,
+    ) -> Result<Ticket<crate::message::BatchOutcome>, ServiceError> {
+        self.owner_primary(campaign)?
+            .submit_answer_batch_ticket_in(campaign, answers)
+    }
+
+    /// Finalization (runs inference, logs `Finished`) — owner's primary.
+    pub fn finish_in(&self, campaign: CampaignId) -> Result<RequesterReport, ServiceError> {
+        self.write(campaign, |h| h.finish_in(campaign))
+    }
+}
+
+impl std::fmt::Debug for ClusterRouter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClusterRouter")
+            .field("nodes", &self.nodes.len())
+            .field("epoch", &self.map.lock().epoch())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+/// Where a [`ReadRouter`] sent reads so far (observability for tests,
+/// examples, and capacity planning).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReadRoutingStats {
+    /// Reads served by a replica.
+    pub replica_reads: u64,
+    /// Reads served by the primary (no replicas, or fallback).
+    pub primary_reads: u64,
+    /// Reads that fell back to the primary after a replica refused or
+    /// disconnected.
+    pub fallbacks: u64,
+}
+
+impl std::fmt::Display for ReadRoutingStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "reads: {} replica / {} primary ({} fallbacks)",
+            self.replica_reads, self.primary_reads, self.fallbacks
+        )
+    }
+}
+
+/// The routing client of a single primary + replicas deployment — a
+/// one-node [`ClusterRouter`] with the pre-cluster API kept intact.
+#[derive(Clone)]
+pub struct ReadRouter {
+    inner: ClusterRouter,
+}
+
+impl ReadRouter {
+    /// Routes writes to `primary` and fans reads out across `replicas`
+    /// (an empty list degrades to an all-primary router).
+    pub fn new(primary: ServiceHandle, replicas: Vec<ServiceHandle>) -> Self {
+        ReadRouter {
+            inner: ClusterRouter::single(NodeId(0), primary, replicas),
+        }
+    }
+
+    /// The write-side handle.
+    pub fn primary(&self) -> &ServiceHandle {
+        &self.inner.nodes[0].node.primary
+    }
+
+    /// The attached replica handles.
+    pub fn replicas(&self) -> &[ServiceHandle] {
+        &self.inner.nodes[0].node.replicas
+    }
+
+    /// Read-routing accounting so far.
+    pub fn stats(&self) -> ReadRoutingStats {
+        let stats = self.inner.stats();
+        ReadRoutingStats {
+            replica_reads: stats.replica_reads,
+            primary_reads: stats.primary_reads,
+            fallbacks: stats.fallbacks,
+        }
+    }
+
+    /// Campaign status, served replica-first.
+    pub fn status_in(&self, campaign: CampaignId) -> Result<CampaignStatus, ServiceError> {
+        self.inner.status_in(campaign)
+    }
+
+    /// Inferred truths under the current state, served replica-first.
+    pub fn peek_report_in(&self, campaign: CampaignId) -> Result<RequesterReport, ServiceError> {
+        self.inner.peek_report_in(campaign)
+    }
+
+    /// Serialized campaign state, served replica-first.
+    pub fn snapshot_state_in(&self, campaign: CampaignId) -> Result<Vec<u8>, ServiceError> {
+        self.inner.snapshot_state_in(campaign)
+    }
 
     /// "A worker comes and requests tasks" — primary only (assignment
     /// reads *and then consumes* budget as answers flow back; a follower
@@ -150,7 +549,7 @@ impl ReadRouter {
         campaign: CampaignId,
         worker: WorkerId,
     ) -> Result<WorkRequest, ServiceError> {
-        self.primary.request_tasks_in(campaign, worker)
+        self.inner.request_tasks_in(campaign, worker)
     }
 
     /// Assignment subscription (push/hybrid dispatch) — primary only:
@@ -160,9 +559,8 @@ impl ReadRouter {
         &self,
         campaign: CampaignId,
         worker: WorkerId,
-    ) -> Result<crate::Ticket<WorkRequest>, ServiceError> {
-        self.primary
-            .subscribe_assignments_ticket_in(campaign, worker)
+    ) -> Result<Ticket<WorkRequest>, ServiceError> {
+        self.inner.subscribe_assignments_ticket_in(campaign, worker)
     }
 
     /// Drops a parked assignment subscription — primary only.
@@ -171,7 +569,7 @@ impl ReadRouter {
         campaign: CampaignId,
         worker: WorkerId,
     ) -> Result<(), ServiceError> {
-        self.primary.unsubscribe_in(campaign, worker)
+        self.inner.unsubscribe_in(campaign, worker)
     }
 
     /// Golden-HIT submission — primary only.
@@ -181,7 +579,7 @@ impl ReadRouter {
         worker: WorkerId,
         answers: Vec<(TaskId, ChoiceIndex)>,
     ) -> Result<(), ServiceError> {
-        self.primary.submit_golden_in(campaign, worker, answers)
+        self.inner.submit_golden_in(campaign, worker, answers)
     }
 
     /// Single-answer submission — primary only.
@@ -190,7 +588,7 @@ impl ReadRouter {
         campaign: CampaignId,
         answer: Answer,
     ) -> Result<(), ServiceError> {
-        self.primary.submit_answer_in(campaign, answer)
+        self.inner.submit_answer_in(campaign, answer)
     }
 
     /// Batched answer submission — primary only.
@@ -199,19 +597,19 @@ impl ReadRouter {
         campaign: CampaignId,
         answers: Vec<Answer>,
     ) -> Result<crate::message::BatchOutcome, ServiceError> {
-        self.primary.submit_answer_batch_in(campaign, answers)
+        self.inner.submit_answer_batch_in(campaign, answers)
     }
 
     /// Finalization (runs inference, logs `Finished`) — primary only.
     pub fn finish_in(&self, campaign: CampaignId) -> Result<RequesterReport, ServiceError> {
-        self.primary.finish_in(campaign)
+        self.inner.finish_in(campaign)
     }
 }
 
 impl std::fmt::Debug for ReadRouter {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ReadRouter")
-            .field("replicas", &self.replicas.len())
+            .field("replicas", &self.replicas().len())
             .field("stats", &self.stats())
             .finish()
     }

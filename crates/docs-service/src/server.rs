@@ -47,10 +47,13 @@ use crate::metrics::{OpKind, ServiceMetrics};
 use crate::ticket::Ticket;
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender, TrySendError};
 use docs_storage::{recover_tree, AdaptiveCommit, CampaignLog, FlushPolicy};
-use docs_system::{CampaignRegistry, CampaignStatus, Docs, RequesterReport, WorkRequest};
+use docs_system::{
+    CampaignRegistry, CampaignStatus, Docs, MutationAdmission, OwnershipTable, RequesterReport,
+    WorkRequest,
+};
 use docs_types::{
-    codec, Answer, CampaignEvent, CampaignId, ChoiceIndex, EventFrame, PublishedEvent,
-    RejectReason, ReplicaRole, ReplicationFrame, SnapshotFrame, TaskId, WorkerId,
+    codec, Answer, CampaignEvent, CampaignId, ChoiceIndex, ClusterMap, EventFrame, NodeId,
+    PublishedEvent, RejectReason, ReplicaRole, ReplicationFrame, SnapshotFrame, TaskId, WorkerId,
 };
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
@@ -298,6 +301,11 @@ pub struct ServiceConfig {
     /// How assignments reach workers: polled ([`DispatchMode::Pull`], the
     /// default) or pushed through subscriptions.
     pub dispatch: DispatchConfig,
+    /// This pool's identity inside a multi-primary cluster. Single-node
+    /// deployments keep the default `NodeId(0)` and never notice it; in a
+    /// cluster each primary pool gets a distinct id, which fencing records
+    /// as the redirect target of [`RejectReason::WrongNode`].
+    pub node: NodeId,
 }
 
 impl Default for ServiceConfig {
@@ -309,6 +317,7 @@ impl Default for ServiceConfig {
             role: ReplicaRole::Primary,
             replication: None,
             dispatch: DispatchConfig::default(),
+            node: NodeId(0),
         }
     }
 }
@@ -368,6 +377,12 @@ impl ServiceConfig {
     /// Sets the dispatch mode (default cap and worker timeout).
     pub fn with_dispatch(mut self, mode: DispatchMode) -> Self {
         self.dispatch.mode = mode;
+        self
+    }
+
+    /// Sets this pool's cluster node identity.
+    pub fn with_node(mut self, node: NodeId) -> Self {
+        self.node = node;
         self
     }
 
@@ -439,6 +454,19 @@ impl ServiceHandle {
         decode: fn(Response) -> Result<T, ServiceError>,
     ) -> Result<Ticket<T>, ServiceError> {
         let shard = request.campaign().shard(self.shards.len());
+        self.submit_to_shard(shard, request, admission, decode)
+    }
+
+    /// Like [`submit_with`](Self::submit_with) but with an explicit target
+    /// shard — the broadcast path (`InstallMap`) sends one copy per shard
+    /// instead of routing by campaign.
+    fn submit_to_shard<T>(
+        &self,
+        shard: usize,
+        request: Request,
+        admission: Admission,
+        decode: fn(Response) -> Result<T, ServiceError>,
+    ) -> Result<Ticket<T>, ServiceError> {
         let correlation = self.next_correlation.fetch_add(1, Ordering::Relaxed);
         let (completion_tx, completion_rx) = bounded(1);
         let inbound = Inbound {
@@ -861,6 +889,75 @@ impl ServiceHandle {
     }
 
     // ------------------------------------------------------------------
+    // Cluster control plane: fencing, migration intake, directory
+    // installs (see ARCHITECTURE.md, "Cluster & migration").
+    // ------------------------------------------------------------------
+
+    /// Fences `campaign` away to `owner`: the owning shard hardens the
+    /// campaign's buffered events, ships them, records the hand-off, and
+    /// returns the hardened watermark — every later mutation of the
+    /// campaign is refused with [`RejectReason::WrongNode`] naming
+    /// `owner`. The linearization point of a live migration.
+    pub fn fence_in(&self, campaign: CampaignId, owner: NodeId) -> Result<u64, ServiceError> {
+        self.submit_with(
+            Request::Fence { campaign, owner },
+            Admission::Block,
+            decode_fenced,
+        )?
+        .wait()
+    }
+
+    /// Begins migration intake for `campaign`: this pool admits the
+    /// replication plane for it (despite running as a primary) and
+    /// redirects mutations back to `source` until
+    /// [`ServiceHandle::complete_migration_in`].
+    pub fn prepare_migration_in(
+        &self,
+        campaign: CampaignId,
+        source: NodeId,
+    ) -> Result<(), ServiceError> {
+        self.submit_with(
+            Request::PrepareMigration { campaign, source },
+            Admission::Block,
+            decode_ack,
+        )?
+        .wait()
+    }
+
+    /// Adopts the migrated campaign's write path: ends intake, clears any
+    /// stale fence from a previous round-trip.
+    pub fn complete_migration_in(&self, campaign: CampaignId) -> Result<(), ServiceError> {
+        self.submit_with(
+            Request::CompleteMigration { campaign },
+            Admission::Block,
+            decode_ack,
+        )?
+        .wait()
+    }
+
+    /// Installs a routing directory on **every** shard of this pool
+    /// (broadcast — the one request not routed by campaign). Fresher
+    /// epochs win per shard; stale installs are acknowledged and dropped.
+    pub fn install_cluster_map(&self, map: &ClusterMap) -> Result<(), ServiceError> {
+        let tickets: Vec<Ticket<()>> = (0..self.shards.len())
+            .map(|shard| {
+                self.submit_to_shard(
+                    shard,
+                    Request::InstallMap {
+                        map: Box::new(map.clone()),
+                    },
+                    Admission::Block,
+                    decode_ack,
+                )
+            })
+            .collect::<Result<_, _>>()?;
+        for ticket in tickets {
+            ticket.wait()?;
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
     // Blocking API: submit + wait, one synchronous round-trip.
     // ------------------------------------------------------------------
 
@@ -1003,6 +1100,14 @@ fn decode_status(response: Response) -> Result<CampaignStatus, ServiceError> {
 fn decode_state(response: Response) -> Result<Vec<u8>, ServiceError> {
     match response {
         Response::State(bytes) => Ok(bytes),
+        Response::Rejected(reason) => Err(ServiceError::Rejected(reason)),
+        other => unreachable!("protocol violation: {other:?}"),
+    }
+}
+
+fn decode_fenced(response: Response) -> Result<u64, ServiceError> {
+    match response {
+        Response::Fenced { watermark } => Ok(watermark),
         Response::Rejected(reason) => Err(ServiceError::Rejected(reason)),
         other => unreachable!("protocol violation: {other:?}"),
     }
@@ -1625,6 +1730,10 @@ fn kind_of(request: &Request) -> OpKind {
             OpKind::Read
         }
         Request::InstallSnapshot { .. } | Request::ApplyReplicated { .. } => OpKind::Replicate,
+        Request::Fence { .. }
+        | Request::PrepareMigration { .. }
+        | Request::CompleteMigration { .. }
+        | Request::InstallMap { .. } => OpKind::Cluster,
     }
 }
 
@@ -1641,6 +1750,7 @@ struct ShardSeed {
     /// keep it ahead of every replicated id (see `install_snapshot`).
     next_campaign: Arc<AtomicU32>,
     dispatch: DispatchConfig,
+    node: NodeId,
 }
 
 fn shard_loop(
@@ -1654,6 +1764,7 @@ fn shard_loop(
     let mut registry = seed.registry;
     let seed_next_campaign = seed.next_campaign;
     let mut dispatch = DispatchTable::new(seed.dispatch);
+    let mut ownership = OwnershipTable::new(seed.node);
     let mut durability = seed.log.map(|log| ShardDurability {
         log,
         persisted: BTreeSet::new(),
@@ -1709,6 +1820,7 @@ fn shard_loop(
                         &mut registry,
                         &mut durability,
                         &mut dispatch,
+                        &mut ownership,
                         &metrics,
                         &role,
                         &seed_next_campaign,
@@ -1786,6 +1898,7 @@ fn shard_loop(
             &mut registry,
             &mut durability,
             &mut dispatch,
+            &mut ownership,
             &metrics,
             &role,
             &seed_next_campaign,
@@ -1850,6 +1963,7 @@ fn process_one(
     registry: &mut CampaignRegistry,
     durability: &mut Option<ShardDurability>,
     dispatch: &mut DispatchTable,
+    ownership: &mut OwnershipTable,
     metrics: &ServiceMetrics,
     role: &RoleCell,
     seed_next_campaign: &Arc<AtomicU32>,
@@ -1882,7 +1996,13 @@ fn process_one(
     };
     // The role gate: a follower refuses every external mutation (pure
     // reads and the replication plane pass), a primary refuses the
-    // replication plane (nothing legitimate feeds it).
+    // replication plane — unless the campaign is in migration intake,
+    // whose shipping feed is the one legitimate primary-side source.
+    // Behind the role, the ownership gate: a primary mutation for a
+    // campaign this node fenced away (or never owned under the installed
+    // directory) is redirected with `WrongNode` instead of applied. Reads
+    // stay served locally — a fenced campaign's state is exactly a
+    // consistent-but-stale replica of its new owner.
     let refusal = match role.get() {
         ReplicaRole::Follower if !request.is_read() && !request.is_replication() => {
             metrics.read_only_rejection();
@@ -1890,8 +2010,21 @@ fn process_one(
                 campaign,
             }))
         }
-        ReplicaRole::Primary if request.is_replication() => {
+        ReplicaRole::Primary
+            if request.is_replication() && !ownership.accepts_replication(campaign) =>
+        {
             Some(Response::Rejected(RejectReason::NotAFollower { campaign }))
+        }
+        ReplicaRole::Primary
+            if !request.is_read() && !request.is_replication() && !request.is_cluster_control() =>
+        {
+            match ownership.admit_mutation(campaign) {
+                MutationAdmission::Allowed => None,
+                MutationAdmission::Redirect { owner } => {
+                    metrics.wrong_node_rejection();
+                    Some(Response::Rejected(RejectReason::WrongNode { owner }))
+                }
+            }
         }
         _ => None,
     };
@@ -1987,6 +2120,24 @@ fn process_one(
             ),
             Request::ApplyReplicated { seq, event, .. } => {
                 apply_replicated(registry, durability, metrics, shard, campaign, seq, *event)
+            }
+            Request::Fence { owner, .. } => on_fence(
+                registry, durability, ownership, metrics, shard, campaign, owner,
+            ),
+            Request::PrepareMigration { source, .. } => {
+                ownership.begin_intake(campaign, source);
+                Response::Ack
+            }
+            Request::CompleteMigration { .. } => {
+                ownership.complete_intake(campaign);
+                metrics.migration_adopted();
+                Response::Ack
+            }
+            Request::InstallMap { map } => {
+                if ownership.install_map(&map) {
+                    metrics.map_installed();
+                }
+                Response::Ack
             }
         },
     };
@@ -2121,6 +2272,45 @@ fn create_campaign(
     }
 }
 
+/// Handles `Fence` on the owning shard: hardens and ships everything the
+/// campaign still has buffered, records the hand-off at the resulting
+/// watermark, and answers [`Response::Fenced`]. After this returns, no
+/// mutation of the campaign can commit locally — the watermark is the
+/// migration's linearization point. Memory-only campaigns fence at
+/// watermark 0 (a routing-only hand-off; there is no log to harden).
+#[allow(clippy::too_many_arguments)]
+fn on_fence(
+    registry: &mut CampaignRegistry,
+    durability: &mut Option<ShardDurability>,
+    ownership: &mut OwnershipTable,
+    metrics: &ServiceMetrics,
+    shard: usize,
+    campaign: CampaignId,
+    owner: NodeId,
+) -> Response {
+    if registry.get(campaign).is_none() {
+        return Response::Rejected(RejectReason::UnknownCampaign(campaign));
+    }
+    let mut watermark = 0;
+    if let Some(d) = durability
+        .as_mut()
+        .filter(|d| d.persisted.contains(&campaign))
+    {
+        // Flush-then-ship before recording the watermark: every event the
+        // new owner must chase is durable *and* on the wire when the fence
+        // answer (carrying the watermark) leaves this shard.
+        if let Err(e) = d.log.flush() {
+            return Response::Rejected(RejectReason::Storage(e.to_string()));
+        }
+        d.ship(metrics);
+        d.observe(shard, metrics);
+        watermark = d.log.last_seq(campaign);
+    }
+    ownership.fence(campaign, owner, watermark);
+    metrics.campaign_fenced();
+    Response::Fenced { watermark }
+}
+
 impl DocsService {
     /// Spawns a single-shard service around one published [`Docs`] — the
     /// seed's API, now routed through the shard pool.
@@ -2163,6 +2353,21 @@ impl DocsService {
         mut config: ServiceConfig,
     ) -> Result<(DocsService, ServiceHandle), ServiceError> {
         config.role = ReplicaRole::Follower;
+        let shards = config.num_shards();
+        let seeds = (0..shards)
+            .map(|_| (CampaignRegistry::new(), Vec::new()))
+            .collect();
+        Self::spawn_pool(&config, seeds, 0, CampaignId(0))
+    }
+
+    /// Spawns an **empty primary pool**: no default campaign. A cluster
+    /// node usually starts this way — campaigns arrive later through
+    /// [`ServiceHandle::create_campaign`] or through a migration's intake
+    /// (`docs-replication::migrate_campaign` ships a campaign in over the
+    /// replication plane and then hands it the write path).
+    pub fn spawn_empty(
+        config: ServiceConfig,
+    ) -> Result<(DocsService, ServiceHandle), ServiceError> {
         let shards = config.num_shards();
         let seeds = (0..shards)
             .map(|_| (CampaignRegistry::new(), Vec::new()))
@@ -2284,6 +2489,7 @@ impl DocsService {
                 sink: config.replication.clone(),
                 next_campaign: Arc::clone(&next_campaign),
                 dispatch: config.dispatch.clone(),
+                node: config.node,
             };
             // The ingress bound is the pool's admission control: blocking
             // submissions park on a full queue, fail-fast ones bounce.

@@ -18,11 +18,13 @@
 
 mod campaign;
 mod config;
+mod ownership;
 mod system;
 mod watermark;
 
 pub use campaign::{run_campaign, CampaignRegistry, CampaignReport, ReplayStats};
 pub use config::DocsConfig;
+pub use ownership::{MutationAdmission, OwnershipTable};
 pub use system::{
     BatchSubmitReport, CampaignSnapshot, CampaignStatus, Docs, RequesterReport, WorkRequest,
 };

@@ -12,6 +12,9 @@ The direction of "better" is inferred from the key name:
   ``bytes``, ``allocation``, ``_ns``, ``_us``, ``_ms``.
 * higher-is-better keys contain one of: ``_per_s``, ``tput``, ``speedup``,
   or end in ``_x``.
+* keys ending in ``_count`` are **informational**: reported, never gated
+  (they describe workload shape — e.g. how many submissions a migration
+  forwarded — not performance).
 
 Lower-is-better markers win when both match (e.g. a ``..._overhead_..._x``
 multiplier is an overhead, not a speedup). A metric (or whole file) with no
@@ -92,6 +95,9 @@ def main() -> int:
             )
             continue
         for key in sorted(current):
+            if key.endswith("_count"):
+                print(f"{name}: {key} = {current[key]:.6g} (informational, never gated)")
+                continue
             if key not in base:
                 warn(f"{name}: {key} = {current[key]:.6g} — new metric, no baseline")
                 continue
