@@ -50,10 +50,16 @@ pub fn golden_scalar_quality(
 }
 
 /// Accuracy of inferred truths against ground truth (shared by tests and
-/// experiment harnesses).
+/// experiment harnesses). NaN when no task carries a ground truth — see
+/// [`docs_crowd::accuracy_of`] for the policy.
 pub fn accuracy(truths: &[ChoiceIndex], tasks: &[Task]) -> f64 {
     docs_crowd::accuracy_of(truths, tasks)
 }
+
+/// Fallible accuracy: `None` when no task carries a ground truth.
+/// Re-exported from `docs-crowd` so scoring harnesses comparing against
+/// these baselines need only one import surface.
+pub use docs_crowd::try_accuracy_of;
 
 #[cfg(test)]
 pub(crate) mod testutil {

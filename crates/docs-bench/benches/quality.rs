@@ -1,0 +1,125 @@
+//! Inference-quality benchmark: the full scenario matrix, scored and
+//! merged into `BENCH_quality.json`.
+//!
+//! ```text
+//! cargo bench -p docs-bench --bench quality
+//! QUALITY_SMOKE=1 cargo bench -p docs-bench --bench quality   # CI size
+//! ```
+//!
+//! Every other bench in this directory measures *speed*. This one measures
+//! the paper's actual claim — per-domain truth inference beats majority
+//! vote, and the golden gate calibrates worker quality — across the named
+//! [`docs_scenarios::registry`]: honest crowds on three datasets and four
+//! service topologies, plus uniform spammers, golden-gaming sleepers,
+//! colluding cliques, and quality drifters. Each scenario is a seeded,
+//! byte-reproducible manifest driven through the *real* `docs-service`
+//! request path, so any change in a merged quality number is an inference
+//! change, not run-to-run noise — `scripts/bench_gate.py` gates these keys
+//! exactly like perf numbers (accuracy higher-is-better, calibration error
+//! and budget-per-correct lower-is-better).
+//!
+//! Before anything is merged, the bench asserts the paper's core claim on
+//! every honest scenario: DOCS accuracy ≥ majority vote over the same
+//! mirrored answers. A quality number for a run where that claim already
+//! fell over would gate the wrong thing.
+//!
+//! The smoke run shrinks every scenario (fewer tasks, smaller budget),
+//! asserts the per-class quality signatures, and merges **nothing**: smoke
+//! sizes must not overwrite the committed full-matrix trajectory.
+
+use docs_scenarios::{registry, render_table, run_scenario, score, QualityReport};
+
+fn smoke() -> bool {
+    std::env::var("QUALITY_SMOKE").is_ok()
+}
+
+/// Runs one spec (shrunk in smoke mode) and scores it.
+fn run_one(spec: &docs_scenarios::ScenarioSpec) -> QualityReport {
+    let spec = if smoke() {
+        spec.shrunk(120, 8)
+    } else {
+        spec.clone()
+    };
+    let outcome = run_scenario(&spec);
+    let q = score(&outcome);
+    println!(
+        "{}: {} answers in {:?} ({:.0} answers/s)",
+        q.scenario, q.answers_collected, outcome.wall, q.answers_per_s
+    );
+    q
+}
+
+fn main() {
+    let specs = registry();
+    let reports: Vec<QualityReport> = specs.iter().map(run_one).collect();
+    println!("\n{}", render_table(&reports));
+
+    // The paper's core claim, asserted before any number is merged.
+    for q in &reports {
+        let spec = docs_scenarios::named(&q.scenario).expect("registry scenario");
+        if spec.population.class.is_honest() {
+            assert!(
+                q.docs_accuracy >= q.majority_accuracy,
+                "{}: DOCS {:.4} lost to majority vote {:.4}",
+                q.scenario,
+                q.docs_accuracy,
+                q.majority_accuracy
+            );
+        }
+    }
+
+    // Per-class quality signatures: what each adversarial population is
+    // *for*. Checked in smoke and full runs alike.
+    let by_name = |name: &str| {
+        reports
+            .iter()
+            .find(|q| q.scenario == name)
+            .expect("registry scenario")
+    };
+    let honest = by_name("four_domain_honest");
+    let spammers = by_name("four_domain_spammers");
+    let sleepers = by_name("four_domain_sleepers");
+    let colluders = by_name("four_domain_colluders");
+    let drift = by_name("four_domain_drift");
+
+    // Spam widens the DOCS-vs-majority gap: majority vote averages the
+    // noise in, per-domain weighting discounts it.
+    assert!(
+        spammers.accuracy_delta_vs_majority >= honest.accuracy_delta_vs_majority,
+        "spam should widen the DOCS advantage: {:+.4} vs honest {:+.4}",
+        spammers.accuracy_delta_vs_majority,
+        honest.accuracy_delta_vs_majority
+    );
+    // Sleepers game the golden gate, so their first impression lies:
+    // calibration error must visibly exceed the honest baseline.
+    assert!(
+        sleepers.golden_calibration_err > honest.golden_calibration_err,
+        "sleepers should inflate calibration error: {:.4} vs honest {:.4}",
+        sleepers.golden_calibration_err,
+        honest.golden_calibration_err
+    );
+    // Colluding cliques are built to flip majority vote; DOCS must keep a
+    // decisive lead on the same answers.
+    assert!(
+        colluders.accuracy_delta_vs_majority > 0.05,
+        "colluders should crater majority vote, delta {:+.4}",
+        colluders.accuracy_delta_vs_majority
+    );
+    // Drifters degrade over the campaign; DOCS must still not lose.
+    assert!(
+        drift.accuracy_delta_vs_majority >= 0.0,
+        "drift scenario lost to majority vote: {:+.4}",
+        drift.accuracy_delta_vs_majority
+    );
+
+    if smoke() {
+        println!("QUALITY_SMOKE: assertions passed; numbers not merged.");
+        return;
+    }
+
+    let mut metrics = Vec::new();
+    for q in &reports {
+        metrics.extend(docs_scenarios::bench_metrics(q, true));
+    }
+    docs_bench::merge_bench_json("BENCH_quality.json", &metrics);
+}

@@ -1,52 +1,21 @@
 //! Worker populations for the dataset experiments.
 //!
-//! The paper's AMT crowd has domain structure: Figure 6(a) shows most
-//! workers strong on Auto and weak on Food, with experts spread unevenly.
-//! This module builds 26-domain populations whose expertise concentrates on
-//! a dataset's four focus domains with per-domain skew.
+//! The quality shape lives in [`docs_datasets::focus_population_qualities`]
+//! (the paper's Figure 6(a) crowd: experts concentrated on the dataset's
+//! four focus domains with per-domain skew, 10% spammers); this module
+//! wraps it into the [`WorkerPopulation`] the figure benches drive.
 
 use docs_crowd::WorkerPopulation;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use docs_datasets::focus_population_qualities;
 
 /// Builds a worker population for a dataset with the given focus domains.
-///
-/// * A rotating share of workers are *experts* in exactly one focus domain
-///   (quality 0.85–0.97 there).
-/// * Every domain has a population-wide base level that differs per focus
-///   domain (first focus domain easiest, last hardest — reproducing the
-///   skew of Figure 6(a)).
-/// * 10% are spammers (0.42–0.55 everywhere).
 pub fn dataset_population(
     m: usize,
     focus_domains: &[usize],
     size: usize,
     seed: u64,
 ) -> WorkerPopulation {
-    assert!(!focus_domains.is_empty());
-    let mut rng = SmallRng::seed_from_u64(seed);
-    let qualities: Vec<Vec<f64>> = (0..size)
-        .map(|i| {
-            let mut q: Vec<f64> = (0..m).map(|_| rng.gen_range(0.5..0.65)).collect();
-            // Per-focus-domain base skew: later focus domains are harder.
-            for (j, &fd) in focus_domains.iter().enumerate() {
-                let base_lo = 0.62 - 0.05 * j as f64;
-                q[fd] = rng.gen_range(base_lo..base_lo + 0.12);
-            }
-            if i % 10 == 9 {
-                // Spammer.
-                for slot in q.iter_mut() {
-                    *slot = rng.gen_range(0.42..0.55);
-                }
-            } else if i % 2 == 0 {
-                // Expert in one rotating focus domain.
-                let fd = focus_domains[(i / 2) % focus_domains.len()];
-                q[fd] = rng.gen_range(0.85..0.97);
-            }
-            q
-        })
-        .collect();
-    WorkerPopulation::from_qualities(qualities)
+    WorkerPopulation::from_qualities(focus_population_qualities(m, focus_domains, size, seed))
 }
 
 #[cfg(test)]

@@ -26,7 +26,7 @@ pub use metrics::{evaluate_corpus, jensen_shannon, mode_scores, top_j_recall, Mu
 
 use docs_kb::LinkedEntity;
 use docs_types::DomainVector;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Pack a `(numerator, denominator)` pair into one `u64` hash-map key.
 ///
@@ -76,8 +76,15 @@ pub fn domain_vector(entities: &[LinkedEntity], m: usize) -> DomainVector {
         .collect();
 
     let mut r = vec![0.0; m];
-    let mut map: HashMap<u64, f64> = HashMap::new();
-    let mut tmp: HashMap<u64, f64> = HashMap::new();
+    // BTreeMaps, not HashMaps: each DP layer *accumulates* linking mass
+    // per (nm, dm) cell and float addition is not associative, so the
+    // iteration order must be a function of the keys alone. A hash map's
+    // per-instance random order would make every task's domain vector
+    // differ at ULP level between runs — and through quality estimation
+    // and OTA benefit ties, make the whole assignment stream
+    // process-random. (The scenario harness pins byte-reproducibility.)
+    let mut map: BTreeMap<u64, f64> = BTreeMap::new();
+    let mut tmp: BTreeMap<u64, f64> = BTreeMap::new();
 
     // Lines 4-17: one dynamic program per domain k.
     for (k, rk) in r.iter_mut().enumerate() {
@@ -85,7 +92,6 @@ pub fn domain_vector(entities: &[LinkedEntity], m: usize) -> DomainVector {
         map.insert(pack(0, 0), 1.0);
         for (i, e) in entities.iter().enumerate() {
             tmp.clear();
-            tmp.reserve(map.len() * e.probs.len());
             for (&key, &value) in &map {
                 let (nm, dm) = unpack(key);
                 for (j, &p) in e.probs.iter().enumerate() {
@@ -189,10 +195,12 @@ pub fn domain_vector_tuple_key(entities: &[LinkedEntity], m: usize) -> DomainVec
         .collect();
     let mut r = vec![0.0; m];
     for (k, rk) in r.iter_mut().enumerate() {
-        let mut map: HashMap<(u32, u32), f64> = HashMap::new();
+        // Ordered for the same reason as `domain_vector`: the layers
+        // accumulate float mass, so iteration order must be key-derived.
+        let mut map: BTreeMap<(u32, u32), f64> = BTreeMap::new();
         map.insert((0, 0), 1.0);
         for (i, e) in entities.iter().enumerate() {
-            let mut tmp: HashMap<(u32, u32), f64> = HashMap::with_capacity(map.len() * 2);
+            let mut tmp: BTreeMap<(u32, u32), f64> = BTreeMap::new();
             for (&(nm, dm), &value) in &map {
                 for (j, &p) in e.probs.iter().enumerate() {
                     let h = e.indicators[j].get(k);

@@ -69,7 +69,11 @@ impl TiResult {
         }
         let mut total = 0.0;
         let mut count = 0usize;
-        for (&w, q) in &self.qualities {
+        // Sorted for a process-stable float sum (same reason as `run`).
+        let mut ids: Vec<WorkerId> = self.qualities.keys().copied().collect();
+        ids.sort_unstable();
+        for w in ids {
+            let q = &self.qualities[&w];
             let tq = true_quality(w);
             debug_assert_eq!(tq.len(), q.len());
             total += prob::l1_distance(q, &tq);
@@ -122,9 +126,13 @@ impl TruthInference {
         // with their recorded weight `u^w_k` — the Theorem 1 merge between
         // stored statistics and the current batch. Unseen workers carry zero
         // weight and reduce to the plain Eq. 5.
-        let mut qualities: HashMap<WorkerId, Vec<f64>> = answers
-            .workers()
-            .map(|w| (w, registry.quality(w)))
+        // Sorted id order (see `AnswerLog::workers`): Step 2 accumulates
+        // `delta_q` over workers, and the accumulation order must not
+        // depend on hash-map layout or convergence becomes process-random.
+        let worker_ids: Vec<WorkerId> = answers.workers().collect();
+        let mut qualities: HashMap<WorkerId, Vec<f64>> = worker_ids
+            .iter()
+            .map(|&w| (w, registry.quality(w)))
             .collect();
         let init_qualities = qualities.clone();
         let prior_weights: HashMap<WorkerId, Vec<f64>> = answers
@@ -163,7 +171,8 @@ impl TruthInference {
             // ---- Step 2: estimate worker quality (s_i → q^w), Eq. 5. ----
             let mut delta_q = 0.0;
             let num_workers = qualities.len().max(1);
-            for (w, q) in qualities.iter_mut() {
+            for w in &worker_ids {
+                let q = qualities.get_mut(w).expect("worker id from the log");
                 let prior_w = &prior_weights[w];
                 let init_q = &init_qualities[w];
                 // Seed Eq. 5's sums with the registry evidence (golden

@@ -15,12 +15,22 @@
 //! * [`Platform`] — the parallel-comparison experiment protocol of
 //!   Section 6.1: when a worker arrives, *every* method under comparison
 //!   assigns `k` tasks, all answers are collected into per-method logs, and
-//!   every method ends with the same number of answers.
+//!   every method ends with the same number of answers,
+//! * [`AdversarialPopulation`] — behavioral classes layered over a
+//!   population (uniform spammers, golden-gaming sleepers, colluding
+//!   cliques, quality drifters) for the scenario harness's adversarial
+//!   workloads, with [`ArrivalProcess::Bursty`] supplying the matching
+//!   flash-crowd arrival pattern.
 
+mod behavior;
 mod platform;
 mod strategy;
 mod worker;
 
-pub use platform::{accuracy_of, ArrivalProcess, ExperimentOutcome, Platform, PlatformConfig};
+pub use behavior::{AdversarialConfig, AdversarialPopulation, WorkerClass};
+pub use platform::{
+    accuracy_of, try_accuracy_of, ArrivalProcess, ArrivalSampler, ExperimentOutcome, Platform,
+    PlatformConfig,
+};
 pub use strategy::AssignmentStrategy;
-pub use worker::{AnswerModel, PopulationConfig, SimulatedWorker, WorkerPopulation};
+pub use worker::{AnswerContext, AnswerModel, PopulationConfig, SimulatedWorker, WorkerPopulation};

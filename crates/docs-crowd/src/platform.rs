@@ -37,6 +37,110 @@ pub enum ArrivalProcess {
         /// concentrated).
         exponent: f64,
     },
+    /// Bursty arrivals: a *hot cohort* of `window` consecutive workers
+    /// (starting at a random offset) supplies the next `hold` arrivals,
+    /// then the cohort re-bases at a fresh random offset. Models the
+    /// forum-post / push-notification effect where a batch of related
+    /// workers floods the campaign at once — the worst case for golden-gate
+    /// calibration because many first-time workers hit the gate together.
+    Bursty {
+        /// Hot-cohort size (capped at the population size).
+        window: usize,
+        /// Arrivals served by one cohort before re-basing.
+        hold: usize,
+    },
+}
+
+/// Stateful sampler for a worker arrival stream.
+///
+/// [`ArrivalProcess::Uniform`] and [`ArrivalProcess::Zipf`] are memoryless,
+/// but [`ArrivalProcess::Bursty`] carries cohort state between arrivals, so
+/// sampling lives in its own (cheaply cloneable) object rather than on
+/// [`Platform`]. Construction validates the process parameters.
+#[derive(Debug, Clone)]
+pub struct ArrivalSampler {
+    population: usize,
+    kind: SamplerKind,
+}
+
+#[derive(Debug, Clone)]
+enum SamplerKind {
+    Uniform,
+    /// Cumulative arrival distribution over workers.
+    Zipf(Vec<f64>),
+    Bursty {
+        window: usize,
+        hold: usize,
+        /// First worker of the current hot cohort.
+        base: usize,
+        /// Arrivals left before the cohort re-bases (0 = re-base now).
+        left: usize,
+    },
+}
+
+impl ArrivalSampler {
+    /// Builds a sampler over a population of the given size. Panics on
+    /// invalid parameters (non-positive Zipf exponent, zero bursty window
+    /// or hold, empty population).
+    pub fn new(process: ArrivalProcess, population: usize) -> Self {
+        assert!(population > 0, "arrival sampler needs workers");
+        let kind = match process {
+            ArrivalProcess::Uniform => SamplerKind::Uniform,
+            ArrivalProcess::Zipf { exponent } => {
+                assert!(
+                    exponent > 0.0 && exponent.is_finite(),
+                    "Zipf exponent must be positive"
+                );
+                let mut acc = 0.0;
+                let mut cdf: Vec<f64> = (0..population)
+                    .map(|i| {
+                        acc += 1.0 / ((i + 1) as f64).powf(exponent);
+                        acc
+                    })
+                    .collect();
+                let total = acc;
+                cdf.iter_mut().for_each(|c| *c /= total);
+                SamplerKind::Zipf(cdf)
+            }
+            ArrivalProcess::Bursty { window, hold } => {
+                assert!(window >= 1, "bursty window must be positive");
+                assert!(hold >= 1, "bursty hold must be positive");
+                SamplerKind::Bursty {
+                    window: window.min(population),
+                    hold,
+                    base: 0,
+                    left: 0,
+                }
+            }
+        };
+        ArrivalSampler { population, kind }
+    }
+
+    /// Samples the next arriving worker.
+    pub fn next(&mut self, rng: &mut SmallRng) -> WorkerId {
+        match &mut self.kind {
+            SamplerKind::Uniform => WorkerId::from(rng.gen_range(0..self.population)),
+            SamplerKind::Zipf(cdf) => {
+                let u: f64 = rng.gen();
+                let idx = cdf.partition_point(|&c| c < u);
+                WorkerId::from(idx.min(self.population - 1))
+            }
+            SamplerKind::Bursty {
+                window,
+                hold,
+                base,
+                left,
+            } => {
+                if *left == 0 {
+                    *base = rng.gen_range(0..self.population);
+                    *left = *hold;
+                }
+                *left -= 1;
+                let offset = rng.gen_range(0..*window);
+                WorkerId::from((*base + offset) % self.population)
+            }
+        }
+    }
 }
 
 /// Platform configuration.
@@ -93,8 +197,9 @@ pub struct Platform<'a> {
     golden_ids: Vec<TaskId>,
     population: &'a WorkerPopulation,
     config: PlatformConfig,
-    /// Cumulative arrival distribution over workers (None = uniform).
-    arrival_cdf: Option<Vec<f64>>,
+    /// Validated sampler template — cloned per run so `run_parallel` stays
+    /// `&self` while bursty arrivals keep per-run cohort state.
+    sampler: ArrivalSampler,
 }
 
 impl<'a> Platform<'a> {
@@ -108,43 +213,13 @@ impl<'a> Platform<'a> {
         config: PlatformConfig,
     ) -> Self {
         assert!(config.k_per_hit >= 1);
-        let arrival_cdf = match config.arrivals {
-            ArrivalProcess::Uniform => None,
-            ArrivalProcess::Zipf { exponent } => {
-                assert!(
-                    exponent > 0.0 && exponent.is_finite(),
-                    "Zipf exponent must be positive"
-                );
-                let mut acc = 0.0;
-                let mut cdf: Vec<f64> = (0..population.len())
-                    .map(|i| {
-                        acc += 1.0 / ((i + 1) as f64).powf(exponent);
-                        acc
-                    })
-                    .collect();
-                let total = acc;
-                cdf.iter_mut().for_each(|c| *c /= total);
-                Some(cdf)
-            }
-        };
+        let sampler = ArrivalSampler::new(config.arrivals, population.len());
         Platform {
             tasks,
             golden_ids,
             population,
             config,
-            arrival_cdf,
-        }
-    }
-
-    /// Samples the next arriving worker under the configured process.
-    fn next_worker(&self, rng: &mut SmallRng) -> WorkerId {
-        match &self.arrival_cdf {
-            None => WorkerId::from(rng.gen_range(0..self.population.len())),
-            Some(cdf) => {
-                let u: f64 = rng.gen();
-                let idx = cdf.partition_point(|&c| c < u);
-                WorkerId::from(idx.min(self.population.len() - 1))
-            }
+            sampler,
         }
     }
 
@@ -175,9 +250,10 @@ impl<'a> Platform<'a> {
         // bounded so a stuck strategy cannot loop forever.
         let max_arrivals = (budget * strategies.len() / self.config.k_per_hit + 1) * 8;
         let mut arrivals = 0usize;
+        let mut sampler = self.sampler.clone();
         while collected.iter().any(|&c| c < budget) && arrivals < max_arrivals {
             arrivals += 1;
-            let w = self.next_worker(&mut rng);
+            let w = sampler.next(&mut rng);
 
             // First visit: answer the golden tasks and initialize every
             // method's view of this worker.
@@ -299,8 +375,10 @@ impl<'a> Platform<'a> {
     }
 }
 
-/// Accuracy of inferred truths against the tasks' ground truth.
-pub fn accuracy_of(truths: &[ChoiceIndex], tasks: &[Task]) -> f64 {
+/// Accuracy of inferred truths against the tasks' ground truth, or `None`
+/// when no task carries a ground truth (the fraction is then `0/0` —
+/// undefined, not zero). Tasks without ground truth are skipped either way.
+pub fn try_accuracy_of(truths: &[ChoiceIndex], tasks: &[Task]) -> Option<f64> {
     let mut correct = 0usize;
     let mut totaled = 0usize;
     for (task, &t) in tasks.iter().zip(truths) {
@@ -312,10 +390,22 @@ pub fn accuracy_of(truths: &[ChoiceIndex], tasks: &[Task]) -> f64 {
         }
     }
     if totaled == 0 {
-        0.0
+        None
     } else {
-        correct as f64 / totaled as f64
+        Some(correct as f64 / totaled as f64)
     }
+}
+
+/// Accuracy of inferred truths against the tasks' ground truth.
+///
+/// NaN policy: when *no* task carries a ground truth the accuracy is
+/// undefined and this returns `f64::NAN` — deliberately not `0.0`, which
+/// would read as "everything wrong" and could trip quality gates on
+/// evaluation-free campaigns. NaN is unequal to every threshold, so a
+/// comparison against it fails loudly instead of silently passing. Callers
+/// that need to branch on definedness use [`try_accuracy_of`].
+pub fn accuracy_of(truths: &[ChoiceIndex], tasks: &[Task]) -> f64 {
+    try_accuracy_of(truths, tasks).unwrap_or(f64::NAN)
 }
 
 #[cfg(test)]
@@ -326,27 +416,11 @@ mod tests {
 
     #[test]
     fn zipf_arrivals_concentrate_on_low_ids() {
-        let tasks = make_tasks(4, 2);
-        let population = WorkerPopulation::generate(&PopulationConfig {
-            m: 2,
-            size: 20,
-            seed: 9,
-            ..Default::default()
-        });
-        let platform = Platform::new(
-            &tasks,
-            vec![],
-            &population,
-            PlatformConfig {
-                arrivals: ArrivalProcess::Zipf { exponent: 1.2 },
-                seed: 9,
-                ..Default::default()
-            },
-        );
+        let mut sampler = ArrivalSampler::new(ArrivalProcess::Zipf { exponent: 1.2 }, 20);
         let mut rng = SmallRng::seed_from_u64(1);
         let mut counts = vec![0usize; 20];
         for _ in 0..20_000 {
-            counts[platform.next_worker(&mut rng).index()] += 1;
+            counts[sampler.next(&mut rng).index()] += 1;
         }
         // Worker 0 dominates; the tail is rare but non-zero.
         assert!(counts[0] > counts[10] * 5, "{counts:?}");
@@ -356,22 +430,74 @@ mod tests {
 
     #[test]
     fn uniform_arrivals_are_balanced() {
-        let tasks = make_tasks(4, 2);
-        let population = WorkerPopulation::generate(&PopulationConfig {
-            m: 2,
-            size: 10,
-            seed: 9,
-            ..Default::default()
-        });
-        let platform = Platform::new(&tasks, vec![], &population, PlatformConfig::default());
+        let mut sampler = ArrivalSampler::new(ArrivalProcess::Uniform, 10);
         let mut rng = SmallRng::seed_from_u64(2);
         let mut counts = vec![0usize; 10];
         for _ in 0..10_000 {
-            counts[platform.next_worker(&mut rng).index()] += 1;
+            counts[sampler.next(&mut rng).index()] += 1;
         }
         for &c in &counts {
             assert!((800..1200).contains(&c), "{counts:?}");
         }
+    }
+
+    #[test]
+    fn bursty_arrivals_concentrate_within_cohorts() {
+        let mut sampler = ArrivalSampler::new(
+            ArrivalProcess::Bursty {
+                window: 5,
+                hold: 40,
+            },
+            100,
+        );
+        let mut rng = SmallRng::seed_from_u64(3);
+        // Within one hold period, at most `window` distinct workers appear
+        // and they are cyclically consecutive.
+        for burst in 0..50 {
+            let mut seen: Vec<usize> = (0..40).map(|_| sampler.next(&mut rng).index()).collect();
+            seen.sort_unstable();
+            seen.dedup();
+            assert!(seen.len() <= 5, "burst {burst}: {seen:?}");
+            // All ids fit inside a window of 5 on the 100-cycle.
+            let spread = (0..seen.len())
+                .map(|i| {
+                    let next = seen[(i + 1) % seen.len()];
+                    (next + 100 - seen[i]) % 100
+                })
+                .max()
+                .unwrap_or(0);
+            assert!(
+                100 - spread < 5 || seen.len() == 1,
+                "burst {burst}: {seen:?}"
+            );
+        }
+        // Across many re-bases the whole population is reachable.
+        let mut counts = vec![0usize; 100];
+        for _ in 0..40_000 {
+            counts[sampler.next(&mut rng).index()] += 1;
+        }
+        assert!(counts.iter().filter(|&&c| c > 0).count() > 90, "{counts:?}");
+    }
+
+    #[test]
+    fn bursty_sampler_is_deterministic_per_seed() {
+        let process = ArrivalProcess::Bursty {
+            window: 3,
+            hold: 10,
+        };
+        let mut a = ArrivalSampler::new(process, 50);
+        let mut b = ArrivalSampler::new(process, 50);
+        let mut rng_a = SmallRng::seed_from_u64(7);
+        let mut rng_b = SmallRng::seed_from_u64(7);
+        for _ in 0..200 {
+            assert_eq!(a.next(&mut rng_a), b.next(&mut rng_b));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn bursty_rejects_zero_window() {
+        let _ = ArrivalSampler::new(ArrivalProcess::Bursty { window: 0, hold: 5 }, 10);
     }
 
     #[test]
@@ -629,5 +755,29 @@ mod tests {
         assert_eq!(accuracy_of(&[0, 1, 0, 1], &tasks), 1.0);
         assert_eq!(accuracy_of(&[1, 0, 1, 0], &tasks), 0.0);
         assert_eq!(accuracy_of(&[0, 1, 1, 0], &tasks), 0.5);
+    }
+
+    #[test]
+    fn accuracy_is_undefined_without_ground_truth() {
+        // Empty task set: 0/0 — None / NaN, never 0.0.
+        assert_eq!(try_accuracy_of(&[], &[]), None);
+        assert!(accuracy_of(&[], &[]).is_nan());
+        // Tasks that simply lack ground truth count the same as absent.
+        let blind: Vec<Task> = (0..3)
+            .map(|i| {
+                TaskBuilder::new(i, format!("b{i}"))
+                    .yes_no()
+                    .with_true_domain(0)
+                    .with_domain_vector(DomainVector::one_hot(2, 0))
+                    .build()
+                    .unwrap()
+            })
+            .collect();
+        assert_eq!(try_accuracy_of(&[0, 1, 0], &blind), None);
+        assert!(accuracy_of(&[0, 1, 0], &blind).is_nan());
+        // Mixed: only the graded tasks enter the fraction.
+        let mut mixed = make_tasks(2, 2);
+        mixed.extend(blind);
+        assert_eq!(try_accuracy_of(&[0, 1, 0, 0, 0], &mixed), Some(1.0));
     }
 }

@@ -4,6 +4,33 @@ use docs_types::{ChoiceIndex, QualityVector, Task, WorkerId};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
+/// Per-answer situation the simulated worker observes — everything an
+/// adversarial behavior may key on beyond the task itself.
+///
+/// The honest models ignore it entirely; the scenario harness
+/// (`docs-scenarios`) threads it through every answer so sleeper spammers
+/// can tell golden tasks apart and drifting workers know how far into the
+/// campaign they are.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnswerContext {
+    /// Whether the platform presented this task as part of the golden HIT.
+    /// Real platforms leak this: the golden HIT is always the worker's
+    /// *first* HIT, which is exactly what a sleeper spammer exploits.
+    pub is_golden: bool,
+    /// Campaign progress in `[0, 1]`: answers collected so far over the
+    /// collection budget. Drives per-domain quality drift.
+    pub progress: f64,
+}
+
+impl Default for AnswerContext {
+    fn default() -> Self {
+        AnswerContext {
+            is_golden: false,
+            progress: 0.0,
+        }
+    }
+}
+
 /// How a simulated worker produces an answer from her true quality.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum AnswerModel {
@@ -37,6 +64,52 @@ pub enum AnswerModel {
         /// Probability of giving the colluding wrong answer.
         malice: f64,
     },
+    /// Uniform spammer: every answer is uniform over all `ℓ` choices
+    /// (truth included), regardless of the worker's nominal quality — the
+    /// classic click-through worker. Expected accuracy `1/ℓ`.
+    UniformSpammer,
+    /// Sleeper spammer: behaves like a high-quality worker on the golden
+    /// HIT (correct with probability `golden_quality`) and answers
+    /// uniformly at random everywhere else. The golden gate scores her as
+    /// an expert, which is precisely the calibration error the quality
+    /// harness measures ([`AnswerContext::is_golden`] tells her which
+    /// regime she is in).
+    Sleeper {
+        /// Accuracy the sleeper fakes on golden tasks.
+        golden_quality: f64,
+    },
+    /// Colluding clique member: with probability `collusion` the worker
+    /// answers the clique's canonical wrong choice for the task — a
+    /// deterministic function of `(task id, clique)`, so every member of
+    /// the same clique gives the *same* wrong answer while different
+    /// cliques usually disagree. Otherwise she answers per
+    /// [`AnswerModel::DomainUniform`]. Unlike [`AnswerModel::Adversarial`]
+    /// (whose single canonical distractor is shared by every adversary in
+    /// the population), cliques let a scenario pit several internally
+    /// consistent wrong consensuses against each other.
+    Clique {
+        /// Which clique the worker belongs to.
+        clique: u32,
+        /// Probability of giving the clique's colluding wrong answer.
+        collusion: f64,
+    },
+}
+
+/// The clique's canonical wrong choice for a task: a deterministic hash of
+/// `(task id, clique)` over the `ℓ − 1` distractors, so clique members
+/// agree with each other without any runtime coordination.
+fn clique_wrong(task: &Task, clique: u32, truth: ChoiceIndex, l: usize) -> ChoiceIndex {
+    let h = (task.id.index() as u64)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add((u64::from(clique) + 1).wrapping_mul(0xD1B5_4A32_D192_ED03));
+    // xorshift-style mix so consecutive task ids don't map to consecutive
+    // distractors.
+    let h = (h ^ (h >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    let mut c = (h % (l as u64 - 1)) as usize;
+    if c >= truth {
+        c += 1;
+    }
+    c
 }
 
 /// One simulated worker: her identity and ground-truth quality vector `q̃^w`.
@@ -54,16 +127,44 @@ impl SimulatedWorker {
     ///
     /// The task must carry its ground truth and true domain (datasets built
     /// by `docs-datasets` always do). The worker's accuracy is her true
-    /// quality in the task's true domain.
+    /// quality in the task's true domain. Context-free form: golden tasks
+    /// are not distinguished and no drift applies (the pre-adversarial
+    /// behavior, byte-identical rng streams for the original variants).
     pub fn answer(&self, task: &Task, model: AnswerModel, rng: &mut SmallRng) -> ChoiceIndex {
-        let truth = task
-            .ground_truth
-            .expect("simulated workers need tasks with ground truth");
+        self.answer_in_context(task, model, AnswerContext::default(), rng)
+    }
+
+    /// [`SimulatedWorker::answer`] with an explicit [`AnswerContext`] —
+    /// required by the context-sensitive models ([`AnswerModel::Sleeper`]
+    /// keys on `ctx.is_golden`).
+    pub fn answer_in_context(
+        &self,
+        task: &Task,
+        model: AnswerModel,
+        ctx: AnswerContext,
+        rng: &mut SmallRng,
+    ) -> ChoiceIndex {
         let domain = task
             .true_domain
             .expect("simulated workers need tasks with a true domain");
+        self.answer_with_quality(self.true_quality[domain], task, model, ctx, rng)
+    }
+
+    /// Core answer generator with the per-domain accuracy supplied by the
+    /// caller — the hook `AdversarialPopulation` uses to apply quality
+    /// drift without mutating the worker's ground-truth vector.
+    pub fn answer_with_quality(
+        &self,
+        q: f64,
+        task: &Task,
+        model: AnswerModel,
+        ctx: AnswerContext,
+        rng: &mut SmallRng,
+    ) -> ChoiceIndex {
+        let truth = task
+            .ground_truth
+            .expect("simulated workers need tasks with ground truth");
         let l = task.num_choices();
-        let q = self.true_quality[domain];
 
         match model {
             AnswerModel::DomainUniform => {
@@ -96,6 +197,27 @@ impl SimulatedWorker {
             AnswerModel::Adversarial { malice } => {
                 if rng.gen::<f64>() < malice {
                     (truth + 1) % l
+                } else if rng.gen::<f64>() < q {
+                    truth
+                } else {
+                    wrong_uniform(truth, l, rng)
+                }
+            }
+            AnswerModel::UniformSpammer => rng.gen_range(0..l),
+            AnswerModel::Sleeper { golden_quality } => {
+                if ctx.is_golden {
+                    if rng.gen::<f64>() < golden_quality {
+                        truth
+                    } else {
+                        wrong_uniform(truth, l, rng)
+                    }
+                } else {
+                    rng.gen_range(0..l)
+                }
+            }
+            AnswerModel::Clique { clique, collusion } => {
+                if rng.gen::<f64>() < collusion {
+                    clique_wrong(task, clique, truth, l)
                 } else if rng.gen::<f64>() < q {
                     truth
                 } else {
@@ -362,6 +484,129 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(6);
         let correct = (0..trials)
             .filter(|_| w.answer(&t, AnswerModel::Adversarial { malice: 0.0 }, &mut rng) == 0)
+            .count();
+        let acc = correct as f64 / trials as f64;
+        assert!((acc - 0.8).abs() < 0.03, "{acc}");
+    }
+
+    #[test]
+    fn uniform_spammer_ignores_quality() {
+        let w = SimulatedWorker {
+            id: WorkerId(0),
+            true_quality: QualityVector::new(vec![0.99, 0.99]).unwrap(),
+        };
+        let t = task(4, 2, 0);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut counts = [0usize; 4];
+        for _ in 0..8000 {
+            counts[w.answer(&t, AnswerModel::UniformSpammer, &mut rng)] += 1;
+        }
+        for &c in &counts {
+            let frac = c as f64 / 8000.0;
+            assert!((frac - 0.25).abs() < 0.03, "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn sleeper_is_expert_on_golden_and_noise_elsewhere() {
+        let w = SimulatedWorker {
+            id: WorkerId(0),
+            // Nominal quality is irrelevant to a sleeper.
+            true_quality: QualityVector::new(vec![0.5, 0.5]).unwrap(),
+        };
+        let t = task(4, 1, 0);
+        let model = AnswerModel::Sleeper {
+            golden_quality: 0.95,
+        };
+        let mut rng = SmallRng::seed_from_u64(8);
+        let trials = 6000;
+        let golden_ctx = AnswerContext {
+            is_golden: true,
+            progress: 0.0,
+        };
+        let correct_golden = (0..trials)
+            .filter(|_| w.answer_in_context(&t, model, golden_ctx, &mut rng) == 1)
+            .count() as f64
+            / trials as f64;
+        let correct_normal = (0..trials)
+            .filter(|_| w.answer(&t, model, &mut rng) == 1)
+            .count() as f64
+            / trials as f64;
+        assert!((correct_golden - 0.95).abs() < 0.03, "{correct_golden}");
+        assert!((correct_normal - 0.25).abs() < 0.03, "{correct_normal}");
+    }
+
+    #[test]
+    fn clique_members_agree_and_cliques_differ() {
+        let w = SimulatedWorker {
+            id: WorkerId(0),
+            true_quality: QualityVector::new(vec![0.8, 0.8]).unwrap(),
+        };
+        let mut rng = SmallRng::seed_from_u64(9);
+        // With collusion 1.0 the clique answer is deterministic per
+        // (task, clique): two draws agree, and it is never the truth.
+        let mut cross_clique_disagreements = 0usize;
+        for i in 0..40 {
+            let t = task(4, i % 4, 0);
+            let a0 = w.answer(
+                &t,
+                AnswerModel::Clique {
+                    clique: 0,
+                    collusion: 1.0,
+                },
+                &mut rng,
+            );
+            let a0b = w.answer(
+                &t,
+                AnswerModel::Clique {
+                    clique: 0,
+                    collusion: 1.0,
+                },
+                &mut rng,
+            );
+            let a1 = w.answer(
+                &t,
+                AnswerModel::Clique {
+                    clique: 1,
+                    collusion: 1.0,
+                },
+                &mut rng,
+            );
+            assert_eq!(a0, a0b, "clique 0 must agree with itself on task {i}");
+            assert_ne!(a0, i % 4, "collusion never lands on the truth");
+            assert_ne!(a1, i % 4, "collusion never lands on the truth");
+            if a0 != a1 {
+                cross_clique_disagreements += 1;
+            }
+        }
+        // Two cliques hashing over 3 distractors must split on a healthy
+        // fraction of tasks (deterministic given the hash; ~2/3 expected).
+        assert!(
+            cross_clique_disagreements >= 15,
+            "cliques should usually disagree: {cross_clique_disagreements}/40"
+        );
+    }
+
+    #[test]
+    fn clique_with_zero_collusion_is_domain_uniform() {
+        let w = SimulatedWorker {
+            id: WorkerId(0),
+            true_quality: QualityVector::new(vec![0.8]).unwrap(),
+        };
+        let t = task(2, 0, 0);
+        let trials = 4000;
+        let mut rng = SmallRng::seed_from_u64(10);
+        let correct = (0..trials)
+            .filter(|_| {
+                w.answer(
+                    &t,
+                    AnswerModel::Clique {
+                        clique: 3,
+                        collusion: 0.0,
+                    },
+                    &mut rng,
+                ) == 0
+            })
             .count();
         let acc = correct as f64 / trials as f64;
         assert!((acc - 0.8).abs() < 0.03, "{acc}");

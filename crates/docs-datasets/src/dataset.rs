@@ -63,6 +63,16 @@ impl Dataset {
         });
     }
 
+    /// Per-domain quality vectors for a simulated crowd matched to this
+    /// dataset — see [`focus_population_qualities`]. The scenario harness
+    /// and the figure benches both build their worker populations from
+    /// this shape; it is what makes per-domain inference worth its extra
+    /// parameters on these tasks (a crowd whose experts are scattered over
+    /// all 26 domains leaves nothing for domain weighting to exploit).
+    pub fn worker_qualities(&self, size: usize, seed: u64) -> Vec<Vec<f64>> {
+        focus_population_qualities(self.domain_set.len(), &self.focus_domains, size, seed)
+    }
+
     /// Fraction of tasks whose DVE-dominant domain equals the true domain —
     /// the Figure 3 domain-detection accuracy. Optionally restricted to one
     /// true domain (for the per-domain bars).
@@ -90,6 +100,47 @@ impl Dataset {
             correct as f64 / total as f64
         }
     }
+}
+
+/// Quality vectors of a worker population whose expertise concentrates on
+/// the given focus domains, reproducing the domain structure of the
+/// paper's AMT crowd (Figure 6(a)): most workers strong on the first focus
+/// domain and weaker on later ones, with experts spread unevenly.
+///
+/// * A rotating share of workers are *experts* in exactly one focus domain
+///   (quality 0.85–0.97 there).
+/// * Every domain has a population-wide base level that differs per focus
+///   domain (first focus domain easiest, last hardest).
+/// * 10% are spammers (0.42–0.55 everywhere).
+pub fn focus_population_qualities(
+    m: usize,
+    focus_domains: &[usize],
+    size: usize,
+    seed: u64,
+) -> Vec<Vec<f64>> {
+    assert!(!focus_domains.is_empty());
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..size)
+        .map(|i| {
+            let mut q: Vec<f64> = (0..m).map(|_| rng.gen_range(0.5..0.65)).collect();
+            // Per-focus-domain base skew: later focus domains are harder.
+            for (j, &fd) in focus_domains.iter().enumerate() {
+                let base_lo = 0.62 - 0.05 * j as f64;
+                q[fd] = rng.gen_range(base_lo..base_lo + 0.12);
+            }
+            if i % 10 == 9 {
+                // Spammer.
+                for slot in q.iter_mut() {
+                    *slot = rng.gen_range(0.42..0.55);
+                }
+            } else if i % 2 == 0 {
+                // Expert in one rotating focus domain.
+                let fd = focus_domains[(i / 2) % focus_domains.len()];
+                q[fd] = rng.gen_range(0.85..0.97);
+            }
+            q
+        })
+        .collect()
 }
 
 /// Draws a random pair of distinct indices.
@@ -737,6 +788,22 @@ pub fn all_datasets() -> Vec<Dataset> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn focus_qualities_have_experts_in_every_focus_domain() {
+        let d = item();
+        let qualities = d.worker_qualities(40, 7);
+        assert_eq!(qualities.len(), 40);
+        for &fd in &d.focus_domains {
+            assert!(
+                qualities.iter().any(|q| q[fd] >= 0.85),
+                "no expert in focus domain {fd}"
+            );
+        }
+        // Deterministic per seed.
+        assert_eq!(qualities, d.worker_qualities(40, 7));
+        assert_ne!(qualities, d.worker_qualities(40, 8));
+    }
 
     #[test]
     fn dataset_sizes_match_paper() {

@@ -22,6 +22,8 @@ mod kb;
 pub mod pools;
 mod scalability;
 
-pub use dataset::{all_datasets, four_domain, item, sfv, yahoo_qa, Dataset};
+pub use dataset::{
+    all_datasets, focus_population_qualities, four_domain, item, sfv, yahoo_qa, Dataset,
+};
 pub use kb::{curated_kb, curated_kb_with_distractors};
 pub use scalability::{scalability_tasks, scalability_workload};

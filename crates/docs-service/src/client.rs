@@ -23,7 +23,7 @@ use crate::routing::ClusterRouter;
 use crate::server::{ServiceError, ServiceHandle};
 use crate::ticket::Ticket;
 use docs_crowd::{AnswerModel, WorkerPopulation};
-use docs_system::WorkRequest;
+use docs_system::{CampaignStatus, RequesterReport, WorkRequest};
 use docs_types::{Answer, CampaignId, ChoiceIndex, NodeId, RejectReason, Task, TaskId, WorkerId};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -74,6 +74,14 @@ pub trait DriveTarget: Clone + Send + Sync + 'static {
     /// An operation succeeded after at least one redirect (forwarding
     /// accounting). A single pool keeps no such ledger.
     fn note_forwarded(&self, _campaign: CampaignId) {}
+
+    /// Blocking finish: run full inference and return the requester
+    /// report. Harness entry point — the scenario driver scores whatever
+    /// topology it drove through the same call.
+    fn finish_in(&self, campaign: CampaignId) -> Result<RequesterReport, ServiceError>;
+
+    /// Blocking read of the campaign's serving status.
+    fn status_in(&self, campaign: CampaignId) -> Result<CampaignStatus, ServiceError>;
 }
 
 impl DriveTarget for ServiceHandle {
@@ -104,6 +112,14 @@ impl DriveTarget for ServiceHandle {
         answers: Vec<Answer>,
     ) -> Result<Ticket<BatchOutcome>, ServiceError> {
         ServiceHandle::submit_answer_batch_ticket_in(self, campaign, answers)
+    }
+
+    fn finish_in(&self, campaign: CampaignId) -> Result<RequesterReport, ServiceError> {
+        ServiceHandle::finish_in(self, campaign)
+    }
+
+    fn status_in(&self, campaign: CampaignId) -> Result<CampaignStatus, ServiceError> {
+        ServiceHandle::status_in(self, campaign)
     }
 }
 
@@ -143,6 +159,14 @@ impl DriveTarget for ClusterRouter {
 
     fn note_forwarded(&self, campaign: CampaignId) {
         ClusterRouter::note_forwarded(self, campaign)
+    }
+
+    fn finish_in(&self, campaign: CampaignId) -> Result<RequesterReport, ServiceError> {
+        ClusterRouter::finish_in(self, campaign)
+    }
+
+    fn status_in(&self, campaign: CampaignId) -> Result<CampaignStatus, ServiceError> {
+        ClusterRouter::status_in(self, campaign)
     }
 }
 

@@ -122,9 +122,18 @@ impl AnswerLog {
         self.by_task[task.index()].iter().any(|(w, _)| *w == worker)
     }
 
-    /// All workers that appear in the log.
+    /// All workers that appear in the log, in ascending id order.
+    ///
+    /// The order is load-bearing: every truth-inference method accumulates
+    /// floating-point sums while iterating workers, and float addition is
+    /// not associative — iterating the backing `HashMap` directly would
+    /// make convergence thresholds (and through the OTA feedback loop, the
+    /// assignment stream itself) differ between *processes*, breaking the
+    /// byte-reproducibility the scenario harness pins.
     pub fn workers(&self) -> impl Iterator<Item = WorkerId> + '_ {
-        self.by_worker.keys().copied()
+        let mut ids: Vec<WorkerId> = self.by_worker.keys().copied().collect();
+        ids.sort_unstable();
+        ids.into_iter()
     }
 
     /// Number of distinct workers.

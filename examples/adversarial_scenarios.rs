@@ -1,0 +1,71 @@
+//! Honest crowd vs uniform spammers vs colluding cliques on the 4-Domain
+//! dataset — the scenario harness as a requester would use it.
+//!
+//! ```text
+//! cargo run --release --example adversarial_scenarios
+//! ```
+//!
+//! Each scenario is a named manifest from [`docs_scenarios::registry`]:
+//! the same dataset, budget, and seed discipline, differing only in the
+//! behavioral mix of the crowd. The run goes through the real
+//! `docs-service` request path (golden gate → OTA assignment → batched
+//! submission → final inference) and is scored client-side against the
+//! majority-vote baseline over the *same* mirrored answers.
+//!
+//! What the table shows:
+//!
+//! * **honest** — per-domain weighting already beats majority vote on a
+//!   well-behaved crowd (the paper's Figure 5 claim).
+//! * **spammers** — 30% uniform spammers: majority vote absorbs the noise
+//!   into every tally, DOCS discounts the spammers' low estimated quality
+//!   and widens the gap.
+//! * **colluders** — 25% of the crowd votes for a coordinated wrong answer:
+//!   majority vote collapses, DOCS keeps the colluders' quality estimates
+//!   low (their golden answers don't help them — collusion is off-script
+//!   there) and stays accurate.
+
+use docs_scenarios::{named, render_table, run_scenario, score};
+
+fn main() {
+    let scenarios = [
+        "four_domain_honest",
+        "four_domain_spammers",
+        "four_domain_colluders",
+    ];
+    let mut reports = Vec::new();
+    for name in scenarios {
+        let spec = named(name).expect("registry scenario");
+        println!(
+            "running {name} ({} tasks x {} answers, {} workers, {:?})…",
+            spec.dataset.build().len(),
+            spec.answers_per_task,
+            spec.population.size,
+            spec.service,
+        );
+        let outcome = run_scenario(&spec);
+        reports.push(score(&outcome));
+    }
+
+    println!("\n{}", render_table(&reports));
+
+    let honest = &reports[0];
+    let spammers = &reports[1];
+    let colluders = &reports[2];
+    assert!(
+        honest.docs_accuracy >= honest.majority_accuracy,
+        "honest crowd: DOCS lost to majority vote"
+    );
+    assert!(
+        spammers.accuracy_delta_vs_majority >= honest.accuracy_delta_vs_majority,
+        "spam should widen the DOCS advantage"
+    );
+    assert!(
+        colluders.accuracy_delta_vs_majority > 0.05,
+        "collusion should crater majority vote, not DOCS"
+    );
+    println!(
+        "collusion cost majority vote {:.1} points; DOCS kept {:.1}% accuracy",
+        100.0 * (honest.majority_accuracy - colluders.majority_accuracy),
+        100.0 * colluders.docs_accuracy,
+    );
+}

@@ -9,9 +9,14 @@ Usage:
 The direction of "better" is inferred from the key name:
 
 * lower-is-better keys contain one of: ``overhead``, ``latency``, ``lag``,
-  ``bytes``, ``allocation``, ``_ns``, ``_us``, ``_ms``.
+  ``bytes``, ``allocation``, ``_ns``, ``_us``, ``_ms``, ``calibration_err``,
+  ``per_correct``.
 * higher-is-better keys contain one of: ``_per_s``, ``tput``, ``speedup``,
-  or end in ``_x``.
+  ``accuracy``, or end in ``_x``. This covers the quality metrics of
+  ``BENCH_quality.json`` (``*_accuracy``, ``*_accuracy_delta_vs_majority``):
+  scenario runs are byte-deterministic, so any change in a quality key is a
+  real inference change, not run-to-run noise — a PR that makes the service
+  faster but dumber fails here like any perf regression.
 * keys ending in ``_count`` are **informational**: reported, never gated
   (they describe workload shape — e.g. how many submissions a migration
   forwarded — not performance).
@@ -31,8 +36,19 @@ import os
 import subprocess
 import sys
 
-LOWER_MARKERS = ("overhead", "latency", "lag", "bytes", "allocation", "_ns", "_us", "_ms")
-HIGHER_MARKERS = ("_per_s", "tput", "speedup")
+LOWER_MARKERS = (
+    "overhead",
+    "latency",
+    "lag",
+    "bytes",
+    "allocation",
+    "_ns",
+    "_us",
+    "_ms",
+    "calibration_err",
+    "per_correct",
+)
+HIGHER_MARKERS = ("_per_s", "tput", "speedup", "accuracy")
 
 
 def direction(key: str) -> str | None:
