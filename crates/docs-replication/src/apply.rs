@@ -22,7 +22,7 @@
 //! at or below the promotion watermark.
 
 use crate::frame::decode_frame;
-use crate::ship::FollowerLink;
+use crate::ship::{FollowerLink, ShippedRecord};
 use crossbeam::channel::RecvTimeoutError;
 use docs_service::{DocsService, ServiceConfig, ServiceError, ServiceHandle};
 use docs_system::{ReplicaWatermarks, WatermarkAdmission};
@@ -246,9 +246,15 @@ fn applier_loop(
 fn decode_and_apply(
     handle: &ServiceHandle,
     acked: &Mutex<ReplicaWatermarks>,
-    record: &[u8],
+    record: &ShippedRecord,
 ) -> Result<()> {
-    apply_frame(handle, acked, decode_frame(record)?)
+    apply_frame(handle, acked, decode_frame(record.bytes())?)?;
+    // Ship→applied lag, as the follower experienced it: the pump stamped
+    // the record at fan-out, the frame is applied (and acked) now.
+    handle
+        .metrics()
+        .replication_lag_recorded(record.shipped_at.elapsed());
+    Ok(())
 }
 
 /// Applies one frame, advancing the shared watermark table as the ack.

@@ -47,4 +47,5 @@ pub use frame::{decode_frame, encode_frame};
 pub use migrate::{migrate_campaign, MigrationOutcome, MigrationSource};
 pub use ship::{
     bootstrap_frames, replication_channel, FollowerLag, FollowerLink, HubStats, ReplicationHub,
+    ShippedRecord,
 };

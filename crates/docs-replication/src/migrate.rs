@@ -176,6 +176,9 @@ pub fn migrate_campaign(
     // the routers buffered during the fence window land here now.
     dst.complete_migration_in(campaign).map_err(lift)?;
     let fence_window = fence_started.elapsed();
+    // The adopting node owns the campaign now; the fence window is its
+    // unavailability story, so its histogram gets the sample.
+    dst.metrics().fence_window_recorded(fence_window);
     let applied = link.acked.lock().get(campaign);
     Ok(MigrationOutcome {
         campaign,

@@ -17,15 +17,18 @@
 
 use crate::frame::encode_frame_into;
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TrySendError};
-use docs_service::ReplicationSink;
+use docs_obs::JournalKind;
+use docs_service::{FollowerLagSample, HubHealth, ReplicationSink, ServiceMetrics};
 use docs_storage::recover_tree;
 use docs_system::ReplicaWatermarks;
 use docs_types::{CampaignId, EventFrame, ReplicationFrame, Result, SnapshotFrame};
 use parking_lot::Mutex;
+use std::ops::Deref;
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// Creates the primary→hub feed: hand the [`ReplicationSink`] to
 /// [`ServiceConfig::with_replication`](docs_service::ServiceConfig) and
@@ -48,12 +51,38 @@ pub fn replication_channel() -> (ReplicationSink, Receiver<ReplicationFrame>) {
 /// take.
 pub const FOLLOWER_STREAM_CAPACITY: usize = 4096;
 
+/// One encoded frame on a follower's stream: the shared wire bytes plus
+/// the instant the pump fanned it out. The applier measures ship→applied
+/// lag from `shipped_at`; everything that only wants the bytes derefs to
+/// `[u8]` and never notices the timestamp.
+#[derive(Clone)]
+pub struct ShippedRecord {
+    bytes: Arc<[u8]>,
+    pub(crate) shipped_at: Instant,
+}
+
+impl ShippedRecord {
+    /// The encoded frame bytes.
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+}
+
+impl Deref for ShippedRecord {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.bytes
+    }
+}
+
 /// One follower's subscription: the encoded-frame stream to apply and the
-/// shared watermark table it advances as acks. Records arrive as `Arc`s:
-/// the hub encodes once and fan-out is a refcount bump per follower, not
-/// a copy of the (potentially snapshot-sized) frame bytes.
+/// shared watermark table it advances as acks. Records arrive as
+/// [`ShippedRecord`]s wrapping shared `Arc` bytes: the hub encodes once
+/// and fan-out is a refcount bump per follower, not a copy of the
+/// (potentially snapshot-sized) frame bytes.
 pub struct FollowerLink {
-    pub(crate) frames: Receiver<Arc<[u8]>>,
+    pub(crate) frames: Receiver<ShippedRecord>,
     pub(crate) acked: Arc<Mutex<ReplicaWatermarks>>,
     /// Set by the pump when this follower was cut off for lag. The
     /// applier checks it at end-of-stream: a lag cutoff must be
@@ -64,7 +93,7 @@ pub struct FollowerLink {
 
 struct FollowerSlot {
     name: String,
-    tx: Sender<Arc<[u8]>>,
+    tx: Sender<ShippedRecord>,
     acked: Arc<Mutex<ReplicaWatermarks>>,
     cut_for_lag: Arc<AtomicBool>,
 }
@@ -78,6 +107,49 @@ struct HubInner {
     snapshot_bytes_shipped: AtomicU64,
     followers_dropped: AtomicU64,
     encode_buffer_reuses: AtomicU64,
+    /// The primary's metrics, when attached: the pump publishes
+    /// [`HubHealth`] snapshots into it and journals follower cutoffs.
+    metrics: Mutex<Option<ServiceMetrics>>,
+}
+
+impl HubInner {
+    /// The hub's counters and per-follower lag as one [`HubHealth`]
+    /// sample, for the metrics exposition.
+    fn health(&self) -> HubHealth {
+        let shipped = self.shipped.lock().clone();
+        let follower_lags = self
+            .followers
+            .lock()
+            .iter()
+            .map(|slot| {
+                let acked = slot.acked.lock().clone();
+                let lag_events = shipped
+                    .all()
+                    .into_iter()
+                    .map(|(campaign, seq)| seq.saturating_sub(acked.get(campaign)))
+                    .sum();
+                FollowerLagSample {
+                    name: slot.name.clone(),
+                    lag_events,
+                    acked_max: acked
+                        .all()
+                        .into_iter()
+                        .map(|(_, seq)| seq)
+                        .max()
+                        .unwrap_or(0),
+                }
+            })
+            .collect::<Vec<_>>();
+        HubHealth {
+            frames_shipped: self.frames_shipped.load(Ordering::Relaxed),
+            events_shipped: self.events_shipped.load(Ordering::Relaxed),
+            bytes_shipped: self.bytes_shipped.load(Ordering::Relaxed),
+            snapshot_bytes_shipped: self.snapshot_bytes_shipped.load(Ordering::Relaxed),
+            followers: follower_lags.len(),
+            followers_dropped: self.followers_dropped.load(Ordering::Relaxed),
+            follower_lags,
+        }
+    }
 }
 
 /// Aggregate shipping counters of one hub.
@@ -141,6 +213,7 @@ impl ReplicationHub {
             snapshot_bytes_shipped: AtomicU64::new(0),
             followers_dropped: AtomicU64::new(0),
             encode_buffer_reuses: AtomicU64::new(0),
+            metrics: Mutex::new(None),
         });
         let pump_inner = Arc::clone(&inner);
         let pump = std::thread::Builder::new()
@@ -189,6 +262,15 @@ impl ReplicationHub {
             acked,
             cut_for_lag,
         }
+    }
+
+    /// Attaches the primary's metrics: from now on the pump publishes a
+    /// [`HubHealth`] snapshot (counters + per-follower lag) after every
+    /// shipped frame, and follower lag-cutoffs land in the control
+    /// journal — so `render_prometheus()` on the primary covers the hub.
+    pub fn attach_metrics(&self, metrics: &ServiceMetrics) {
+        *self.inner.metrics.lock() = Some(metrics.clone());
+        metrics.hub_observed(self.inner.health());
     }
 
     /// Shipping counters so far.
@@ -284,7 +366,10 @@ fn pump_loop(inner: &HubInner, feed: Receiver<ReplicationFrame>) {
         if cap_before > 0 && scratch.capacity() == cap_before {
             inner.encode_buffer_reuses.fetch_add(1, Ordering::Relaxed);
         }
-        let record: Arc<[u8]> = Arc::from(scratch.as_slice());
+        let record = ShippedRecord {
+            bytes: Arc::from(scratch.as_slice()),
+            shipped_at: Instant::now(),
+        };
         let byte_counter = match &frame {
             ReplicationFrame::Snapshot(_) => &inner.snapshot_bytes_shipped,
             ReplicationFrame::Events(_) => &inner.bytes_shipped,
@@ -295,11 +380,11 @@ fn pump_loop(inner: &HubInner, feed: Receiver<ReplicationFrame>) {
         // followers whose bounded stream is full: the pump never blocks
         // on a laggard, so one wedged follower cannot stall the others or
         // grow the primary's memory without limit.
-        let mut cut_for_lag = 0u64;
+        let mut cut_names: Vec<String> = Vec::new();
         inner
             .followers
             .lock()
-            .retain(|slot| match slot.tx.try_send(Arc::clone(&record)) {
+            .retain(|slot| match slot.tx.try_send(record.clone()) {
                 Ok(()) => true,
                 Err(TrySendError::Full(_)) => {
                     eprintln!(
@@ -310,15 +395,26 @@ fn pump_loop(inner: &HubInner, feed: Receiver<ReplicationFrame>) {
                     // Flag first, then drop the sender: by the time the
                     // applier sees end-of-stream the flag is visible.
                     slot.cut_for_lag.store(true, Ordering::SeqCst);
-                    cut_for_lag += 1;
+                    cut_names.push(slot.name.clone());
                     false
                 }
                 Err(TrySendError::Disconnected(_)) => false,
             });
-        if cut_for_lag > 0 {
+        if !cut_names.is_empty() {
             inner
                 .followers_dropped
-                .fetch_add(cut_for_lag, Ordering::Relaxed);
+                .fetch_add(cut_names.len() as u64, Ordering::Relaxed);
+        }
+        // Metrics ride the pump thread, never a shard: publish the hub's
+        // health after each fan-out and journal any cutoffs.
+        if let Some(metrics) = inner.metrics.lock().as_ref() {
+            for name in &cut_names {
+                metrics.journal().warn(
+                    JournalKind::FollowerDisconnect,
+                    format!("follower '{name}' cut off for trailing past its stream bound"),
+                );
+            }
+            metrics.hub_observed(inner.health());
         }
     }
     // Feed gone (primary stopped or crashed): drop every follower sender
@@ -441,7 +537,7 @@ mod tests {
         // Both followers receive the identical CRC-checked record.
         let rec_a = a.frames.recv().unwrap();
         let rec_b = b.frames.recv().unwrap();
-        assert_eq!(rec_a, rec_b);
+        assert_eq!(rec_a.bytes(), rec_b.bytes());
         assert_eq!(decode_frame(&rec_a).unwrap(), frame);
 
         // Shipped watermarks advanced; nobody acked yet.

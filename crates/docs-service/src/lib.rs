@@ -102,7 +102,8 @@ pub use client::{
 };
 pub use message::{BatchOutcome, Completion, CorrelationId, Request, RequestEnvelope, Response};
 pub use metrics::{
-    DurabilityStats, OpKind, OpStats, ReplicationStats, RoutingStats, ServiceMetrics, ShardStats,
+    DurabilityStats, FollowerLagSample, HubHealth, OpKind, OpStats, ReplicationStats, RoutingStats,
+    ServiceMetrics, ShardStats,
 };
 pub use routing::{ClusterNode, ClusterRouter, ClusterRouterStats, ReadRouter, ReadRoutingStats};
 pub use server::{

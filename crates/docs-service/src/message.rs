@@ -19,6 +19,7 @@
 //! carries a matchable [`RejectReason`] instead of the string blob the
 //! pre-pipelining protocol used.
 
+use docs_obs::TraceContext;
 use docs_storage::FlushPolicy;
 use docs_system::{CampaignStatus, Docs, RequesterReport, WorkRequest};
 use docs_types::{
@@ -38,6 +39,12 @@ pub struct RequestEnvelope {
     pub correlation: CorrelationId,
     /// The operation to run on the owning shard.
     pub request: Request,
+    /// Sampled-request trace riding the envelope: `None` for the vast
+    /// unsampled majority (one null check on the hot path), a live
+    /// [`TraceContext`] for the sampled few. The shard closes queue-wait /
+    /// apply / flush-wait / ship spans on it and lands the finished trace
+    /// in the service's flight recorder when the completion is released.
+    pub trace: Option<Box<TraceContext>>,
 }
 
 /// One completed operation, as delivered to the submitter's completion

@@ -1,17 +1,32 @@
-//! Per-operation and per-shard service accounting.
+//! Per-operation and per-shard service accounting, plus the service's
+//! observability surface: latency distributions, request traces, the
+//! control-plane journal, and one-call exposition of all of it.
 //!
 //! Figure 8(b) reports the *worst-case* assignment time; a deployed service
 //! must measure it while other requests contend for the inference state.
 //! [`ServiceMetrics`] is shared (via `Arc`) between every shard thread and
 //! every client handle:
 //!
-//! * per-operation latency (count/mean/max) under a `parking_lot` mutex —
-//!   uncontended locks are a handful of nanoseconds, negligible next to the
-//!   microsecond-scale operations measured,
+//! * per-operation latency as **lock-free log-bucketed histograms**
+//!   ([`docs_obs::AtomicHistogram`]), one per `OpKind` × shard — recording
+//!   is a handful of relaxed `fetch_add`s (≈ 10–20 ns), and any quantile
+//!   (p50/p99/p999) is available per kind, per shard, or merged,
 //! * per-shard queue depth (current + high-water mark) and service-time
-//!   counters on atomics, updated on the enqueue/dequeue hot path without
-//!   taking the mutex.
+//!   counters on atomics, updated on the enqueue/dequeue hot path,
+//! * pipeline-stage histograms: group-commit batch size and fdatasync
+//!   duration, replication ship→applied lag, dispatch park-to-assign
+//!   wait, router hop time, and migration fence windows,
+//! * a sampled-request [`FlightRecorder`] and a [`ControlJournal`] of
+//!   promotions / fences / migrations / failures,
+//! * [`ServiceMetrics::render_prometheus`] and
+//!   [`ServiceMetrics::snapshot_json`]: every counter, gauge, and
+//!   histogram above in one coherent exposition.
 
+use docs_obs::{
+    AtomicHistogram, ControlJournal, Exposition, FlightRecorder, LatencyHistogram, MetricKind,
+    TraceContext,
+};
+use docs_types::TraceId;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -56,27 +71,53 @@ pub enum OpKind {
     Cluster,
 }
 
-const NUM_KINDS: usize = 10;
-
 impl OpKind {
+    /// Every kind, in declaration order. The histogram table, exposition,
+    /// and [`OpKind::index`] are all derived from this array, so adding a
+    /// variant means adding it here (and the cross-check test fails if the
+    /// orders drift).
+    pub const ALL: [OpKind; 10] = [
+        OpKind::Assign,
+        OpKind::Golden,
+        OpKind::Submit,
+        OpKind::SubmitBatch,
+        OpKind::Finish,
+        OpKind::Create,
+        OpKind::Read,
+        OpKind::Replicate,
+        OpKind::Subscribe,
+        OpKind::Cluster,
+    ];
+
     #[inline]
     fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Stable snake_case label used by the exposition.
+    pub fn name(self) -> &'static str {
         match self {
-            OpKind::Assign => 0,
-            OpKind::Golden => 1,
-            OpKind::Submit => 2,
-            OpKind::SubmitBatch => 3,
-            OpKind::Finish => 4,
-            OpKind::Create => 5,
-            OpKind::Read => 6,
-            OpKind::Replicate => 7,
-            OpKind::Subscribe => 8,
-            OpKind::Cluster => 9,
+            OpKind::Assign => "assign",
+            OpKind::Golden => "golden",
+            OpKind::Submit => "submit",
+            OpKind::SubmitBatch => "submit_batch",
+            OpKind::Finish => "finish",
+            OpKind::Create => "create",
+            OpKind::Read => "read",
+            OpKind::Replicate => "replicate",
+            OpKind::Subscribe => "subscribe",
+            OpKind::Cluster => "cluster",
         }
     }
 }
 
-/// Aggregated statistics for one operation kind.
+/// Derived from the enum's own [`OpKind::ALL`] — no hand-maintained count
+/// to fall out of sync when a kind is added.
+const NUM_KINDS: usize = OpKind::ALL.len();
+
+/// Aggregated statistics for one operation kind, derived from its
+/// latency histogram (count and sum are exact; quantiles live on
+/// [`ServiceMetrics::op_histogram`]).
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct OpStats {
     /// Number of completed operations.
@@ -219,6 +260,70 @@ struct RoutingCounters {
     forwarded_submissions: AtomicU64,
 }
 
+/// Pipeline-stage histograms: where a durable replicated request's time
+/// goes *between* the per-operation service times — group commit, the
+/// replication stream, the push plane, routing, and migrations.
+#[derive(Debug, Default)]
+struct PipelineHistograms {
+    /// Events per group-commit flush (a size distribution, recorded
+    /// through the nanosecond histogram machinery — buckets are unitless).
+    flush_batch_events: AtomicHistogram,
+    /// Wall time of one WAL flush (write + fdatasync), ns.
+    flush_sync_ns: AtomicHistogram,
+    /// Ship→applied lag of replicated events as observed by the follower
+    /// applier, ns.
+    replication_lag_ns: AtomicHistogram,
+    /// Park→assignment wait of push-dispatch subscriptions, ns.
+    dispatch_park_ns: AtomicHistogram,
+    /// One routing hop (map consult / redirect absorb + retry), ns.
+    router_hop_ns: AtomicHistogram,
+    /// Write-unavailability window of one campaign migration, ns.
+    fence_window_ns: AtomicHistogram,
+}
+
+/// Trace sampling state: `every == 0` disables tracing; `every == n`
+/// samples every `n`-th submission (round-robin over a shared counter).
+#[derive(Debug, Default)]
+struct TraceSampling {
+    every: AtomicU64,
+    counter: AtomicU64,
+}
+
+/// Replication-hub health as published into the metrics surface, so the
+/// exposition can cover replication without callers reaching for the
+/// hub's bespoke stats methods. The shape mirrors the hub's `HubStats` +
+/// `FollowerLag` (docs-replication publishes it; docs-service only
+/// renders it — the dependency points this way because docs-replication
+/// already depends on docs-service).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct HubHealth {
+    /// Frames fanned out (event and snapshot frames alike).
+    pub frames_shipped: u64,
+    /// Events carried inside event frames.
+    pub events_shipped: u64,
+    /// Encoded wire bytes of event frames fanned out.
+    pub bytes_shipped: u64,
+    /// Encoded wire bytes of snapshot frames fanned out.
+    pub snapshot_bytes_shipped: u64,
+    /// Currently subscribed followers.
+    pub followers: usize,
+    /// Followers cut off for trailing the pump beyond their stream bound.
+    pub followers_dropped: u64,
+    /// Per-follower lag, one entry per subscribed follower.
+    pub follower_lags: Vec<FollowerLagSample>,
+}
+
+/// One follower's lag as published into the exposition.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FollowerLagSample {
+    /// The name the follower subscribed under.
+    pub name: String,
+    /// Shipped-but-unacked events, summed across campaigns.
+    pub lag_events: u64,
+    /// Highest acked per-campaign watermark (coarse progress indicator).
+    pub acked_max: u64,
+}
+
 /// Aggregate cluster-routing view across the whole service — surfaced by
 /// [`ServiceMetrics::routing`] next to the replication counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -312,14 +417,27 @@ impl ShardStats {
     }
 }
 
+/// One shard's per-kind latency histograms.
+type KindHistograms = [AtomicHistogram; NUM_KINDS];
+
+fn new_kind_histograms() -> KindHistograms {
+    std::array::from_fn(|_| AtomicHistogram::new())
+}
+
 /// Thread-safe recorder shared by the shard pool and all handles.
 #[derive(Debug, Clone)]
 pub struct ServiceMetrics {
-    ops: Arc<Mutex<[OpStats; NUM_KINDS]>>,
+    /// Per-shard × per-kind latency histograms (lock-free recording).
+    ops: Arc<Vec<KindHistograms>>,
     shards: Arc<Vec<ShardCounters>>,
     durability: Arc<DurabilityCounters>,
     replication: Arc<ReplicationCounters>,
     routing: Arc<RoutingCounters>,
+    pipeline: Arc<PipelineHistograms>,
+    hub: Arc<Mutex<Option<HubHealth>>>,
+    journal: Arc<ControlJournal>,
+    flight: Arc<FlightRecorder>,
+    trace: Arc<TraceSampling>,
 }
 
 impl Default for ServiceMetrics {
@@ -333,11 +451,16 @@ impl ServiceMetrics {
     pub fn new(shards: usize) -> Self {
         assert!(shards >= 1, "need at least one shard");
         ServiceMetrics {
-            ops: Arc::new(Mutex::new([OpStats::default(); NUM_KINDS])),
+            ops: Arc::new((0..shards).map(|_| new_kind_histograms()).collect()),
             shards: Arc::new((0..shards).map(|_| ShardCounters::default()).collect()),
             durability: Arc::new(DurabilityCounters::default()),
             replication: Arc::new(ReplicationCounters::default()),
             routing: Arc::new(RoutingCounters::default()),
+            pipeline: Arc::new(PipelineHistograms::default()),
+            hub: Arc::new(Mutex::new(None)),
+            journal: Arc::new(ControlJournal::new()),
+            flight: Arc::new(FlightRecorder::new()),
+            trace: Arc::new(TraceSampling::default()),
         }
     }
 
@@ -346,23 +469,54 @@ impl ServiceMetrics {
         self.shards.len()
     }
 
-    /// Records one completed operation.
+    /// Records one completed operation with no shard attribution (client
+    /// side wrappers; shard threads use [`ServiceMetrics::record_on`]).
+    /// Lands in shard 0's histogram table.
     pub fn record(&self, kind: OpKind, elapsed: Duration) {
-        let mut stats = self.ops.lock();
-        let s = &mut stats[kind.index()];
-        s.count += 1;
-        s.total += elapsed;
-        s.max = s.max.max(elapsed);
+        self.record_on(0, kind, elapsed);
     }
 
-    /// Snapshot of one operation kind's statistics.
+    /// Records one completed operation against the shard that served it.
+    /// Lock-free: a few relaxed `fetch_add`s on the shard's histogram.
+    pub fn record_on(&self, shard: usize, kind: OpKind, elapsed: Duration) {
+        self.ops[shard][kind.index()].record(elapsed);
+    }
+
+    /// Snapshot of one operation kind's aggregate statistics across all
+    /// shards (count and total are exact; quantiles via
+    /// [`ServiceMetrics::op_histogram`]).
     pub fn stats(&self, kind: OpKind) -> OpStats {
-        self.ops.lock()[kind.index()]
+        let mut out = OpStats::default();
+        for shard in self.ops.iter() {
+            let h = &shard[kind.index()];
+            out.count += h.count();
+            out.total += Duration::from_nanos(h.sum_ns());
+            out.max = out.max.max(Duration::from_nanos(h.max_ns()));
+        }
+        out
+    }
+
+    /// One kind's full latency distribution, merged across shards.
+    pub fn op_histogram(&self, kind: OpKind) -> LatencyHistogram {
+        let mut merged = LatencyHistogram::new();
+        for shard in self.ops.iter() {
+            merged.merge(&shard[kind.index()].snapshot());
+        }
+        merged
+    }
+
+    /// One kind's latency distribution on one shard.
+    pub fn op_histogram_on(&self, shard: usize, kind: OpKind) -> LatencyHistogram {
+        self.ops[shard][kind.index()].snapshot()
     }
 
     /// Total operations recorded across all kinds.
     pub fn total_ops(&self) -> u64 {
-        self.ops.lock().iter().map(|s| s.count).sum()
+        self.ops
+            .iter()
+            .flat_map(|shard| shard.iter())
+            .map(|h| h.count())
+            .sum()
     }
 
     /// Notes a request entering a shard's queue (called by handles before
@@ -591,6 +745,121 @@ impl ServiceMetrics {
             .fetch_add(1, Ordering::Relaxed);
     }
 
+    // ---- pipeline-stage histograms -------------------------------------
+
+    /// Records one group-commit flush: `events` in the batch, `sync` wall
+    /// time for the write + fdatasync (published by the storage layer's
+    /// flush observer).
+    pub fn flush_recorded(&self, events: u64, sync: Duration) {
+        self.pipeline.flush_batch_events.record_ns(events);
+        self.pipeline.flush_sync_ns.record(sync);
+    }
+
+    /// Records one replicated event's ship→applied lag as observed by the
+    /// follower applier.
+    pub fn replication_lag_recorded(&self, lag: Duration) {
+        self.pipeline.replication_lag_ns.record(lag);
+    }
+
+    /// Records one push-dispatch subscription's park→assignment wait.
+    pub fn dispatch_park_recorded(&self, wait: Duration) {
+        self.pipeline.dispatch_park_ns.record(wait);
+    }
+
+    /// Records one routing hop (map consult, or redirect absorb + retry).
+    pub fn router_hop_recorded(&self, hop: Duration) {
+        self.pipeline.router_hop_ns.record(hop);
+    }
+
+    /// Records one campaign migration's write-fence window.
+    pub fn fence_window_recorded(&self, window: Duration) {
+        self.pipeline.fence_window_ns.record(window);
+    }
+
+    /// Distribution of events per group-commit flush (bucket values are
+    /// counts, not nanoseconds).
+    pub fn flush_batch_histogram(&self) -> LatencyHistogram {
+        self.pipeline.flush_batch_events.snapshot()
+    }
+
+    /// Distribution of WAL flush (write + fdatasync) wall times.
+    pub fn flush_sync_histogram(&self) -> LatencyHistogram {
+        self.pipeline.flush_sync_ns.snapshot()
+    }
+
+    /// Distribution of replication ship→applied lag.
+    pub fn replication_lag_histogram(&self) -> LatencyHistogram {
+        self.pipeline.replication_lag_ns.snapshot()
+    }
+
+    /// Distribution of push-dispatch park→assignment waits.
+    pub fn dispatch_park_histogram(&self) -> LatencyHistogram {
+        self.pipeline.dispatch_park_ns.snapshot()
+    }
+
+    /// Distribution of routing hop times.
+    pub fn router_hop_histogram(&self) -> LatencyHistogram {
+        self.pipeline.router_hop_ns.snapshot()
+    }
+
+    /// Distribution of migration fence windows.
+    pub fn fence_window_histogram(&self) -> LatencyHistogram {
+        self.pipeline.fence_window_ns.snapshot()
+    }
+
+    // ---- hub health ----------------------------------------------------
+
+    /// Publishes the replication hub's health (called by the hub pump, so
+    /// the exposition always has a fresh copy without polling the hub).
+    pub fn hub_observed(&self, health: HubHealth) {
+        *self.hub.lock() = Some(health);
+    }
+
+    /// The most recently published hub health, if a hub is attached.
+    pub fn hub_health(&self) -> Option<HubHealth> {
+        self.hub.lock().clone()
+    }
+
+    // ---- tracing and the control journal -------------------------------
+
+    /// Enables trace sampling: every `every`-th submission carries a
+    /// [`TraceContext`] (0 disables tracing; 1 traces everything).
+    pub fn set_trace_sampling(&self, every: u64) {
+        self.trace.every.store(every, Ordering::Relaxed);
+    }
+
+    /// Current sampling interval (0 = tracing disabled).
+    pub fn trace_sampling(&self) -> u64 {
+        self.trace.every.load(Ordering::Relaxed)
+    }
+
+    /// Starts a trace for this submission if the sampler selects it. The
+    /// unsampled path is one relaxed load.
+    pub fn maybe_trace(&self, correlation: u64) -> Option<TraceContext> {
+        let every = self.trace.every.load(Ordering::Relaxed);
+        if every == 0 {
+            return None;
+        }
+        let n = self.trace.counter.fetch_add(1, Ordering::Relaxed);
+        if n.is_multiple_of(every) {
+            Some(TraceContext::start(TraceId(correlation)))
+        } else {
+            None
+        }
+    }
+
+    /// The flight recorder holding recent sampled traces.
+    pub fn flight(&self) -> &FlightRecorder {
+        &self.flight
+    }
+
+    /// The control-plane journal.
+    pub fn journal(&self) -> &ControlJournal {
+        &self.journal
+    }
+
+    // ---- aggregate views ----------------------------------------------
+
     /// Aggregate cluster-routing view.
     pub fn routing(&self) -> RoutingStats {
         RoutingStats {
@@ -664,11 +933,402 @@ impl ServiceMetrics {
     pub fn all_shards(&self) -> Vec<ShardStats> {
         (0..self.shards.len()).map(|s| self.shard(s)).collect()
     }
+
+    // ---- exposition ----------------------------------------------------
+
+    /// Builds one coherent exposition of every counter, gauge, and
+    /// histogram the service tracks: per-kind × per-shard op latencies,
+    /// shard queues, durability/replication/routing counters, pipeline
+    /// histograms, hub health with per-follower lag, and the journal's
+    /// per-kind event counts.
+    pub fn exposition(&self) -> Exposition {
+        let mut expo = Exposition::new();
+        let shard_label = |s: usize| s.to_string();
+
+        // Per-kind × per-shard latency summaries (non-empty pairs only).
+        {
+            let mut counts = expo.family(
+                "docs_ops_total",
+                "Completed operations by kind and shard.",
+                MetricKind::Counter,
+            );
+            for (s, kinds) in self.ops.iter().enumerate() {
+                let shard = shard_label(s);
+                for kind in OpKind::ALL {
+                    let n = kinds[kind.index()].count();
+                    if n > 0 {
+                        counts.sample(&[("kind", kind.name()), ("shard", &shard)], n as f64);
+                    }
+                }
+            }
+        }
+        {
+            let mut lat = expo.family(
+                "docs_op_latency_ns",
+                "Operation service time quantiles by kind and shard.",
+                MetricKind::Summary,
+            );
+            for (s, kinds) in self.ops.iter().enumerate() {
+                let shard = shard_label(s);
+                for kind in OpKind::ALL {
+                    let h = kinds[kind.index()].snapshot();
+                    if h.count() == 0 {
+                        continue;
+                    }
+                    for (q, label) in [(0.5, "0.5"), (0.99, "0.99"), (0.999, "0.999")] {
+                        lat.sample(
+                            &[
+                                ("kind", kind.name()),
+                                ("shard", &shard),
+                                ("quantile", label),
+                            ],
+                            h.quantile(q) as f64,
+                        );
+                    }
+                    lat.sample(
+                        &[("kind", kind.name()), ("shard", &shard), ("quantile", "1")],
+                        h.max_ns() as f64,
+                    );
+                }
+            }
+        }
+
+        // Per-shard gauges and counters.
+        macro_rules! shard_family {
+            ($name:expr, $help:expr, $kind:expr, $field:ident) => {{
+                let mut fam = expo.family($name, $help, $kind);
+                for (s, stats) in self.all_shards().iter().enumerate() {
+                    fam.sample(&[("shard", &shard_label(s))], stats.$field as f64);
+                }
+            }};
+        }
+        shard_family!(
+            "docs_shard_queue_depth",
+            "Requests queued on or executing at the shard (plus parked submitters).",
+            MetricKind::Gauge,
+            queued
+        );
+        shard_family!(
+            "docs_shard_queue_depth_max",
+            "High-water mark of the shard's queue depth.",
+            MetricKind::Gauge,
+            max_queued
+        );
+        shard_family!(
+            "docs_shard_in_flight",
+            "Tickets issued against the shard and not yet resolved.",
+            MetricKind::Gauge,
+            in_flight
+        );
+        shard_family!(
+            "docs_shard_busy_rejections_total",
+            "Fail-fast submissions refused because the ingress queue was full.",
+            MetricKind::Counter,
+            busy_rejections
+        );
+        shard_family!(
+            "docs_shard_processed_total",
+            "Requests processed by the shard.",
+            MetricKind::Counter,
+            processed
+        );
+        shard_family!(
+            "docs_shard_events_logged",
+            "Events appended to the shard's campaign log.",
+            MetricKind::Gauge,
+            events_logged
+        );
+        shard_family!(
+            "docs_shard_log_flushes",
+            "Group-commit flushes performed by the shard's log.",
+            MetricKind::Gauge,
+            log_flushes
+        );
+        shard_family!(
+            "docs_shard_log_bytes",
+            "Bytes across the shard's on-disk log segments.",
+            MetricKind::Gauge,
+            log_bytes
+        );
+        shard_family!(
+            "docs_shard_subscriptions",
+            "Assignment subscriptions parked on the shard.",
+            MetricKind::Gauge,
+            subscriptions
+        );
+        shard_family!(
+            "docs_shard_dispatched_tasks_total",
+            "Tasks pushed to subscribed workers by the dispatch plane.",
+            MetricKind::Counter,
+            dispatched_tasks
+        );
+        shard_family!(
+            "docs_shard_dispatch_timeouts_total",
+            "Pushed HITs whose worker lease expired (tasks re-dispatchable).",
+            MetricKind::Counter,
+            dispatch_timeouts
+        );
+
+        // Durability / replication / routing counters.
+        let d = self.durability();
+        expo.scalar(
+            "docs_replay_events_total",
+            "Events replayed during recovery.",
+            MetricKind::Counter,
+            d.events_replayed as f64,
+        );
+        expo.scalar(
+            "docs_replay_rejected_total",
+            "Replayed events deterministically rejected.",
+            MetricKind::Counter,
+            d.replay_rejected as f64,
+        );
+        expo.scalar(
+            "docs_snapshots_loaded_total",
+            "Campaign snapshots loaded during recovery.",
+            MetricKind::Counter,
+            d.snapshots_loaded as f64,
+        );
+        expo.scalar(
+            "docs_snapshots_written_total",
+            "Campaign snapshots written while serving.",
+            MetricKind::Counter,
+            d.snapshots_written as f64,
+        );
+        expo.scalar(
+            "docs_torn_tail_recoveries_total",
+            "Log segments whose recovery scan ended in a torn record.",
+            MetricKind::Counter,
+            d.torn_tail_recoveries as f64,
+        );
+        let r = self.replication();
+        expo.scalar(
+            "docs_replication_frames_shipped_total",
+            "Frames handed to the replication sink (primary side).",
+            MetricKind::Counter,
+            r.frames_shipped as f64,
+        );
+        expo.scalar(
+            "docs_replication_events_shipped_total",
+            "Durable events shipped inside frames (primary side).",
+            MetricKind::Counter,
+            r.events_shipped as f64,
+        );
+        expo.scalar(
+            "docs_replication_events_applied_total",
+            "Replicated events applied (follower side).",
+            MetricKind::Counter,
+            r.events_applied as f64,
+        );
+        expo.scalar(
+            "docs_replication_snapshots_installed_total",
+            "Snapshots installed from the stream (follower side).",
+            MetricKind::Counter,
+            r.snapshots_installed as f64,
+        );
+        expo.scalar(
+            "docs_replication_read_only_rejections_total",
+            "Mutations refused on a read-only follower.",
+            MetricKind::Counter,
+            r.read_only_rejections as f64,
+        );
+        let rt = self.routing();
+        expo.scalar(
+            "docs_routing_wrong_node_rejections_total",
+            "Mutations refused with WrongNode (fenced, intake, or placed elsewhere).",
+            MetricKind::Counter,
+            rt.wrong_node_rejections as f64,
+        );
+        expo.scalar(
+            "docs_routing_maps_installed_total",
+            "Cluster maps installed (per shard per accepted install).",
+            MetricKind::Counter,
+            rt.maps_installed as f64,
+        );
+        expo.scalar(
+            "docs_routing_campaigns_fenced_total",
+            "Campaigns fenced away from this node.",
+            MetricKind::Counter,
+            rt.campaigns_fenced as f64,
+        );
+        expo.scalar(
+            "docs_routing_migrations_adopted_total",
+            "Campaigns adopted through migration intake.",
+            MetricKind::Counter,
+            rt.migrations_adopted as f64,
+        );
+        expo.scalar(
+            "docs_routing_forwarded_submissions_total",
+            "Submissions that landed here after a WrongNode redirect elsewhere.",
+            MetricKind::Counter,
+            rt.forwarded_submissions as f64,
+        );
+
+        // Pipeline-stage histograms.
+        let summaries: [(&str, &str, LatencyHistogram); 6] = [
+            (
+                "docs_flush_batch_events",
+                "Events per group-commit flush (unitless).",
+                self.flush_batch_histogram(),
+            ),
+            (
+                "docs_flush_sync_ns",
+                "WAL flush (write + fdatasync) wall time.",
+                self.flush_sync_histogram(),
+            ),
+            (
+                "docs_replication_lag_ns",
+                "Replicated event ship-to-applied lag.",
+                self.replication_lag_histogram(),
+            ),
+            (
+                "docs_dispatch_park_ns",
+                "Push-dispatch subscription park-to-assignment wait.",
+                self.dispatch_park_histogram(),
+            ),
+            (
+                "docs_router_hop_ns",
+                "Routing hop time (map consult or redirect absorb).",
+                self.router_hop_histogram(),
+            ),
+            (
+                "docs_migration_fence_window_ns",
+                "Write-unavailability window of campaign migrations.",
+                self.fence_window_histogram(),
+            ),
+        ];
+        for (name, help, hist) in &summaries {
+            {
+                let mut fam = expo.family(*name, *help, MetricKind::Summary);
+                for (q, label) in [(0.5, "0.5"), (0.99, "0.99"), (0.999, "0.999")] {
+                    fam.sample(&[("quantile", label)], hist.quantile(q) as f64);
+                }
+                fam.sample(&[("quantile", "1")], hist.max_ns() as f64);
+            }
+            expo.scalar(
+                &format!("{name}_count"),
+                "Samples in the summary above.",
+                MetricKind::Counter,
+                hist.count() as f64,
+            );
+        }
+
+        // Replication hub health (present once a hub published it).
+        if let Some(hub) = self.hub_health() {
+            expo.scalar(
+                "docs_hub_frames_shipped_total",
+                "Frames fanned out by the replication hub.",
+                MetricKind::Counter,
+                hub.frames_shipped as f64,
+            );
+            expo.scalar(
+                "docs_hub_events_shipped_total",
+                "Events fanned out inside event frames.",
+                MetricKind::Counter,
+                hub.events_shipped as f64,
+            );
+            expo.scalar(
+                "docs_hub_bytes_shipped_total",
+                "Encoded wire bytes of event frames fanned out.",
+                MetricKind::Counter,
+                hub.bytes_shipped as f64,
+            );
+            expo.scalar(
+                "docs_hub_snapshot_bytes_shipped_total",
+                "Encoded wire bytes of snapshot frames fanned out.",
+                MetricKind::Counter,
+                hub.snapshot_bytes_shipped as f64,
+            );
+            expo.scalar(
+                "docs_hub_followers",
+                "Currently subscribed followers.",
+                MetricKind::Gauge,
+                hub.followers as f64,
+            );
+            expo.scalar(
+                "docs_hub_followers_dropped_total",
+                "Followers cut off for trailing beyond their stream bound.",
+                MetricKind::Counter,
+                hub.followers_dropped as f64,
+            );
+            {
+                let mut lag = expo.family(
+                    "docs_follower_lag_events",
+                    "Shipped-but-unacked events per follower.",
+                    MetricKind::Gauge,
+                );
+                for f in &hub.follower_lags {
+                    lag.sample(&[("follower", &f.name)], f.lag_events as f64);
+                }
+            }
+            {
+                let mut acked = expo.family(
+                    "docs_follower_acked_watermark",
+                    "Highest acked per-campaign watermark per follower.",
+                    MetricKind::Gauge,
+                );
+                for f in &hub.follower_lags {
+                    acked.sample(&[("follower", &f.name)], f.acked_max as f64);
+                }
+            }
+        }
+
+        // Control-plane journal: per-kind counts over the held window.
+        {
+            let mut fam = expo.family(
+                "docs_journal_events",
+                "Control-plane journal entries in the held window, by kind.",
+                MetricKind::Gauge,
+            );
+            for (kind, count) in self.journal.counts_by_kind() {
+                fam.sample(&[("kind", kind.name())], count as f64);
+            }
+        }
+        expo.scalar(
+            "docs_journal_logged_total",
+            "Control-plane journal entries ever logged.",
+            MetricKind::Counter,
+            self.journal.total_logged() as f64,
+        );
+        expo.scalar(
+            "docs_flight_traces",
+            "Sampled request traces held by the flight recorder.",
+            MetricKind::Gauge,
+            self.flight.len() as f64,
+        );
+        expo
+    }
+
+    /// Prometheus text exposition of [`ServiceMetrics::exposition`].
+    pub fn render_prometheus(&self) -> String {
+        self.exposition().render_prometheus()
+    }
+
+    /// One JSON document with the full metric snapshot, the control-plane
+    /// journal, and the flight recorder's held traces.
+    pub fn snapshot_json(&self) -> String {
+        format!(
+            "{{\"metrics\":{},\"journal\":{},\"traces\":{}}}",
+            self.exposition().to_json(),
+            self.journal.to_json(),
+            self.flight.to_json()
+        )
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn op_kind_index_matches_declaration_order() {
+        // `index()` is the enum discriminant; ALL must list the variants in
+        // that same order or per-kind histograms would transpose.
+        for (i, kind) in OpKind::ALL.iter().enumerate() {
+            assert_eq!(kind.index(), i, "{kind:?}");
+        }
+        assert_eq!(NUM_KINDS, OpKind::ALL.len());
+    }
 
     #[test]
     fn records_count_total_and_max() {
@@ -684,6 +1344,28 @@ mod tests {
         assert_eq!(m.stats(OpKind::Submit).count, 1);
         assert_eq!(m.stats(OpKind::Finish), OpStats::default());
         assert_eq!(m.total_ops(), 3);
+    }
+
+    #[test]
+    fn per_shard_op_histograms_expose_quantiles() {
+        let m = ServiceMetrics::new(2);
+        for i in 1..=100u64 {
+            m.record_on(0, OpKind::Assign, Duration::from_micros(i));
+        }
+        m.record_on(1, OpKind::Assign, Duration::from_millis(5));
+        // Per-shard: shard 1 has exactly the one slow sample.
+        let s1 = m.op_histogram_on(1, OpKind::Assign);
+        assert_eq!(s1.count(), 1);
+        assert_eq!(s1.max_ns(), 5_000_000);
+        assert_eq!(m.op_histogram_on(0, OpKind::Assign).count(), 100);
+        // Merged: quantiles within the histogram's 1/16 relative bound.
+        let merged = m.op_histogram(OpKind::Assign);
+        assert_eq!(merged.count(), 101);
+        let p50 = merged.quantile(0.5);
+        assert!((47_000..=51_000).contains(&p50), "p50 = {p50}");
+        assert_eq!(merged.quantile(1.0), 5_000_000, "max is exact");
+        // Aggregate stats stay exact.
+        assert_eq!(m.stats(OpKind::Assign).max, Duration::from_millis(5));
     }
 
     #[test]
@@ -779,6 +1461,46 @@ mod tests {
     }
 
     #[test]
+    fn gauges_saturate_under_concurrent_increment_and_decrement() {
+        // The wrap the saturating decrement exists to prevent is only
+        // reachable under interleaving: one thread's stray resolve racing
+        // another's issue. Hammer the gauge with more resolves than
+        // issues from both sides and require it to end in the valid
+        // range — a single wrap would leave it near usize::MAX.
+        let m = std::sync::Arc::new(ServiceMetrics::new(1));
+        let issues_per_thread = 10_000usize;
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let m = std::sync::Arc::clone(&m);
+                std::thread::spawn(move || {
+                    for i in 0..issues_per_thread {
+                        if t % 2 == 0 {
+                            m.ticket_issued(0);
+                        }
+                        m.ticket_resolved(0);
+                        if i % 3 == 0 {
+                            m.ticket_resolved(0); // stray extra resolve
+                        }
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let in_flight = m.shard(0).in_flight;
+        assert!(
+            in_flight <= 4 * issues_per_thread,
+            "gauge wrapped under concurrency: {in_flight}"
+        );
+        // Draining whatever survived must bottom out at exactly zero.
+        for _ in 0..in_flight + 5 {
+            m.ticket_resolved(0);
+        }
+        assert_eq!(m.shard(0).in_flight, 0, "drain must saturate at zero");
+    }
+
+    #[test]
     fn subscription_gauge_and_dispatch_counters_track_the_push_plane() {
         let m = ServiceMetrics::new(2);
         m.subscription_parked(0);
@@ -799,9 +1521,12 @@ mod tests {
         assert_eq!(s.dispatched_tasks, 5);
         assert_eq!(s.dispatch_timeouts, 1);
         assert_eq!(m.shard(1).dispatched_tasks, 0);
-        // Subscribe latency shares the OpStats machinery.
+        // Subscribe latency shares the histogram machinery.
         m.record(OpKind::Subscribe, Duration::from_micros(12));
         assert_eq!(m.stats(OpKind::Subscribe).count, 1);
+        // The park-to-assignment wait also lands in its own histogram.
+        m.dispatch_park_recorded(Duration::from_micros(250));
+        assert_eq!(m.dispatch_park_histogram().count(), 1);
     }
 
     #[test]
@@ -907,5 +1632,74 @@ mod tests {
         let total: u64 = m.all_shards().iter().map(|s| s.processed).sum();
         assert_eq!(total, 8000);
         assert!(m.all_shards().iter().all(|s| s.queued == 0));
+    }
+
+    #[test]
+    fn trace_sampling_selects_every_nth_submission() {
+        let m = ServiceMetrics::new(1);
+        assert!(m.maybe_trace(1).is_none(), "tracing starts disabled");
+        m.set_trace_sampling(3);
+        let sampled = (0..9).filter(|&c| m.maybe_trace(c).is_some()).count();
+        assert_eq!(sampled, 3, "every 3rd submission sampled");
+        m.set_trace_sampling(0);
+        assert!(m.maybe_trace(99).is_none());
+    }
+
+    #[test]
+    fn exposition_covers_every_surface_and_parses() {
+        let m = ServiceMetrics::new(2);
+        m.record_on(1, OpKind::Assign, Duration::from_micros(15));
+        m.shard_enqueued(0);
+        m.busy_rejection(0);
+        m.frame_shipped(4);
+        m.wrong_node_rejection();
+        m.replay_recorded(2, 0);
+        m.flush_recorded(16, Duration::from_micros(120));
+        m.replication_lag_recorded(Duration::from_micros(80));
+        m.fence_window_recorded(Duration::from_micros(300));
+        m.hub_observed(HubHealth {
+            frames_shipped: 9,
+            events_shipped: 40,
+            bytes_shipped: 1800,
+            snapshot_bytes_shipped: 0,
+            followers: 1,
+            followers_dropped: 0,
+            follower_lags: vec![FollowerLagSample {
+                name: "replica-a".into(),
+                lag_events: 2,
+                acked_max: 38,
+            }],
+        });
+        m.journal()
+            .info(docs_obs::JournalKind::Fence, "campaign c1 fenced");
+
+        let text = m.render_prometheus();
+        let samples = docs_obs::validate_prometheus(&text).expect("valid exposition");
+        assert!(samples > 30, "expected a rich exposition, got {samples}");
+        for needle in [
+            "docs_ops_total{kind=\"assign\",shard=\"1\"} 1",
+            "docs_op_latency_ns{kind=\"assign\",shard=\"1\",quantile=\"0.99\"}",
+            "docs_shard_busy_rejections_total{shard=\"0\"} 1",
+            "docs_replication_events_shipped_total 4",
+            "docs_routing_wrong_node_rejections_total 1",
+            "docs_replay_events_total 2",
+            "docs_flush_batch_events{quantile=\"1\"} 16",
+            "docs_flush_sync_ns_count 1",
+            "docs_replication_lag_ns{quantile=\"0.5\"}",
+            "docs_migration_fence_window_ns_count 1",
+            "docs_hub_followers 1",
+            "docs_follower_lag_events{follower=\"replica-a\"} 2",
+            "docs_journal_events{kind=\"fence\"} 1",
+        ] {
+            assert!(
+                text.contains(needle),
+                "exposition missing {needle:?}\n{text}"
+            );
+        }
+
+        let json = m.snapshot_json();
+        assert!(json.starts_with("{\"metrics\":{"));
+        assert!(json.contains("\"journal\":[{\"seq\":0"));
+        assert!(json.contains("\"traces\":[]"));
     }
 }

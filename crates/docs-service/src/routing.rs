@@ -42,7 +42,7 @@ use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Redirect budget of one write: generous enough to ride out a
 /// migration's whole fence window (each post-first redirect parks ~1 ms,
@@ -258,12 +258,21 @@ impl ClusterRouter {
         campaign: CampaignId,
         op: impl Fn(&ServiceHandle) -> Result<T, ServiceError>,
     ) -> Result<T, ServiceError> {
+        let started = Instant::now();
         let mut redirects = 0usize;
         loop {
             let owner = self.owner_of(campaign);
             let Some(entry) = self.entry_of(owner) else {
                 return Err(ServiceError::Rejected(RejectReason::WrongNode { owner }));
             };
+            // Routing work so far — directory lookup plus every absorbed
+            // redirect and fence-window park — is what this hop cost the
+            // request before it reached the node it is about to try.
+            entry
+                .node
+                .primary
+                .metrics()
+                .router_hop_recorded(started.elapsed());
             match op(&entry.node.primary) {
                 Ok(value) => {
                     if redirects > 0 {

@@ -46,6 +46,7 @@ use crate::message::{BatchOutcome, Completion, CorrelationId, Request, RequestEn
 use crate::metrics::{OpKind, ServiceMetrics};
 use crate::ticket::Ticket;
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender, TrySendError};
+use docs_obs::{JournalKind, SpanKind, TraceContext};
 use docs_storage::{recover_tree, AdaptiveCommit, CampaignLog, FlushPolicy};
 use docs_system::{
     CampaignRegistry, CampaignStatus, Docs, MutationAdmission, OwnershipTable, RequesterReport,
@@ -301,6 +302,11 @@ pub struct ServiceConfig {
     /// How assignments reach workers: polled ([`DispatchMode::Pull`], the
     /// default) or pushed through subscriptions.
     pub dispatch: DispatchConfig,
+    /// Sample every Nth submission into the flight recorder as a full
+    /// request trace (`0` disables tracing). Sampling is cheap enough to
+    /// leave on in production at, say, `1024`; traced requests pay one
+    /// heap allocation plus a handful of clock reads.
+    pub trace_sample_every: u64,
     /// This pool's identity inside a multi-primary cluster. Single-node
     /// deployments keep the default `NodeId(0)` and never notice it; in a
     /// cluster each primary pool gets a distinct id, which fencing records
@@ -316,6 +322,7 @@ impl Default for ServiceConfig {
             queue_capacity: Self::DEFAULT_QUEUE_CAPACITY,
             role: ReplicaRole::Primary,
             replication: None,
+            trace_sample_every: 0,
             dispatch: DispatchConfig::default(),
             node: NodeId(0),
         }
@@ -348,6 +355,12 @@ impl ServiceConfig {
     /// Overrides the per-shard ingress bound (`0` = unbounded).
     pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
         self.queue_capacity = capacity;
+        self
+    }
+
+    /// Samples every Nth submission into the flight recorder (`0` = off).
+    pub fn with_trace_sampling(mut self, every: u64) -> Self {
+        self.trace_sample_every = every;
         self
     }
 
@@ -469,10 +482,18 @@ impl ServiceHandle {
     ) -> Result<Ticket<T>, ServiceError> {
         let correlation = self.next_correlation.fetch_add(1, Ordering::Relaxed);
         let (completion_tx, completion_rx) = bounded(1);
+        // Sampled tracing: the unsampled path is one relaxed load inside
+        // `maybe_trace`. A sampled envelope closes its client-submit span
+        // here, so everything until the shard dequeues it is queue wait.
+        let trace = self.metrics.maybe_trace(correlation).map(|mut t| {
+            t.span(SpanKind::ClientSubmit);
+            Box::new(t)
+        });
         let inbound = Inbound {
             envelope: RequestEnvelope {
                 correlation,
                 request,
+                trace,
             },
             completions: completion_tx,
         };
@@ -570,6 +591,9 @@ impl ServiceHandle {
     /// it so no in-flight frame is abandoned below the promised watermark.
     pub fn promote_to_primary(&self) {
         self.role.set(ReplicaRole::Primary);
+        self.metrics
+            .journal()
+            .info(JournalKind::Promotion, "replica promoted to primary");
     }
 
     /// Fault injection: makes every shard behave as if the process died —
@@ -1558,8 +1582,12 @@ impl DispatchTable {
             }
             live
         });
-        for _ in &expired {
+        for worker in &expired {
             metrics.dispatch_timeout(shard);
+            metrics.journal().warn(
+                JournalKind::DispatchTimeout,
+                format!("shard {shard}: lease for {worker} on {campaign} expired"),
+            );
         }
         expired
     }
@@ -1591,7 +1619,9 @@ fn resolve_parked(shard: usize, metrics: &ServiceMetrics, sub: ParkedSub, work: 
     if dispatched > 0 {
         metrics.tasks_dispatched(shard, dispatched);
     }
-    metrics.record(OpKind::Subscribe, sub.parked_at.elapsed());
+    let parked_for = sub.parked_at.elapsed();
+    metrics.record_on(shard, OpKind::Subscribe, parked_for);
+    metrics.dispatch_park_recorded(parked_for);
     let _ = sub.completions.send(Completion {
         correlation: sub.correlation,
         response: Response::Work(work),
@@ -1801,7 +1831,9 @@ fn shard_loop(
     // deferred-sync batch the ack (and, to keep per-shard FIFO completion
     // order, every completion behind it) queues here until the batch's one
     // `fdatasync` lands.
-    let mut deferred: Vec<(Sender<Completion>, Completion)> = Vec::new();
+    // Each withheld completion carries its request's trace (if sampled) so
+    // the flush-wait span can close when the ack is finally released.
+    let mut deferred: Vec<DeferredCompletion> = Vec::new();
     loop {
         // Adaptive drain mode: with acks withheld, keep eating queued
         // requests without blocking — the batch grows under load until a
@@ -1869,6 +1901,10 @@ fn shard_loop(
                         }
                         Err(e) => {
                             eprintln!("docs-shard-{shard}: idle interval flush failed: {e}");
+                            metrics.journal().error(
+                                JournalKind::FlushFailure,
+                                format!("shard {shard}: idle interval flush failed: {e}"),
+                            );
                             // Floored: IntervalMs(0) must not turn a broken
                             // disk into a ~1 kHz retry spin.
                             let backoff = d
@@ -1921,9 +1957,7 @@ fn shard_loop(
             d.observe(shard, &metrics);
             // Shutdown closes the final adaptive batch like any other:
             // flush first, then release the withheld acks in order.
-            for (tx, completion) in deferred.drain(..) {
-                let _ = tx.send(completion);
-            }
+            release_deferred(&mut deferred, &metrics);
         }
     }
     registry
@@ -1938,16 +1972,39 @@ fn shard_loop(
 fn close_adaptive_batch(
     shard: usize,
     d: &mut ShardDurability,
-    deferred: &mut Vec<(Sender<Completion>, Completion)>,
+    deferred: &mut Vec<DeferredCompletion>,
     metrics: &ServiceMetrics,
 ) {
     if let Err(e) = d.log.flush() {
         eprintln!("docs-shard-{shard}: adaptive batch flush failed: {e}");
+        metrics.journal().error(
+            JournalKind::FlushFailure,
+            format!("shard {shard}: adaptive batch flush failed: {e}"),
+        );
         d.log.clear_strict_pending();
     }
     d.ship(metrics);
     d.observe(shard, metrics);
-    for (tx, completion) in deferred.drain(..) {
+    release_deferred(deferred, metrics);
+}
+
+/// A completion withheld by adaptive group commit, with the trace of the
+/// request it acknowledges (if that request was sampled).
+type DeferredCompletion = (Sender<Completion>, Completion, Option<Box<TraceContext>>);
+
+/// Sends every withheld completion in arrival order. A sampled request's
+/// trace closes its flush-wait span here — the whole deferral window,
+/// including the batch `fdatasync` and the post-flush ship, counts as
+/// waiting for the flush — and lands in the flight recorder.
+fn release_deferred(deferred: &mut Vec<DeferredCompletion>, metrics: &ServiceMetrics) {
+    for (tx, completion, trace) in deferred.drain(..) {
+        if let Some(mut t) = trace {
+            t.span(SpanKind::FlushWait);
+            // Record before the send: waking the blocked client is a
+            // futex syscall whose cost belongs to the *client's* next
+            // span, not to an unattributed tail of this trace.
+            metrics.flight().record(t.finish());
+        }
         let _ = tx.send(completion);
     }
 }
@@ -1967,13 +2024,20 @@ fn process_one(
     metrics: &ServiceMetrics,
     role: &RoleCell,
     seed_next_campaign: &Arc<AtomicU32>,
-    deferred: &mut Vec<(Sender<Completion>, Completion)>,
+    deferred: &mut Vec<DeferredCompletion>,
 ) {
     let start = Instant::now();
     let RequestEnvelope {
         correlation,
         request,
+        mut trace,
     } = inbound.envelope;
+    // The trace's mark was last advanced when the submitter closed its
+    // client-submit span, so everything since is time spent in the shard's
+    // ingress queue.
+    if let Some(t) = trace.as_mut() {
+        t.span(SpanKind::QueueWait);
+    }
     let campaign = request.campaign();
     let kind = kind_of(&request);
     // Under push/hybrid dispatch, remember which workers this request
@@ -2022,6 +2086,10 @@ fn process_one(
                 MutationAdmission::Allowed => None,
                 MutationAdmission::Redirect { owner } => {
                     metrics.wrong_node_rejection();
+                    metrics.journal().warn(
+                        JournalKind::WrongNodeRejection,
+                        format!("campaign {campaign}: mutation redirected to {owner}"),
+                    );
                     Some(Response::Rejected(RejectReason::WrongNode { owner }))
                 }
             }
@@ -2078,8 +2146,11 @@ fn process_one(
                         // Parked: no completion leaves yet — the dispatch
                         // pass owns the slot now. The request itself *was*
                         // dequeued, so the ingress bookkeeping still runs.
+                        // A sampled trace ends here unrecorded: the park can
+                        // outlive the envelope by an unbounded dispatch wait,
+                        // which the park-time histogram tracks instead.
                         let elapsed = start.elapsed();
-                        metrics.record(kind, elapsed);
+                        metrics.record_on(shard, kind, elapsed);
                         metrics.shard_processed(shard, elapsed);
                         return;
                     }
@@ -2131,16 +2202,29 @@ fn process_one(
             Request::CompleteMigration { .. } => {
                 ownership.complete_intake(campaign);
                 metrics.migration_adopted();
+                metrics.journal().info(
+                    JournalKind::MigrationAdopted,
+                    format!("campaign {campaign} adopted after migration intake"),
+                );
                 Response::Ack
             }
             Request::InstallMap { map } => {
                 if ownership.install_map(&map) {
                     metrics.map_installed();
+                    metrics.journal().info(
+                        JournalKind::MapInstall,
+                        format!("cluster map epoch {} installed", map.epoch()),
+                    );
                 }
                 Response::Ack
             }
         },
     };
+    // Validation + event render + WAL append + in-memory apply all
+    // happened inside the request match above.
+    if let Some(t) = trace.as_mut() {
+        t.span(SpanKind::Apply);
+    }
     // `finish` is the requester's "my report is final" moment: harden
     // everything buffered for it, whatever the campaign's flush policy.
     // A failed sync fails the finish — handing back a Report while its
@@ -2169,6 +2253,10 @@ fn process_one(
                 // Keep serving; the log keeps growing until the next
                 // cycle succeeds.
                 eprintln!("docs-shard-{shard}: snapshot cycle failed: {e}");
+                metrics.journal().error(
+                    JournalKind::SnapshotFailure,
+                    format!("shard {shard}: snapshot cycle failed: {e}"),
+                );
             }
             d.observe(shard, metrics);
         }
@@ -2177,9 +2265,16 @@ fn process_one(
         // event it acknowledged is either still buffered (not yet
         // durable, so not owed to followers) or already on the wire.
         d.ship(metrics);
+        // Inline finish-hardening, snapshot cadence, and the ship above
+        // all count as the ship stage. An event still held by adaptive
+        // group commit ships at batch close instead; its trace folds that
+        // into the flush-wait span.
+        if let Some(t) = trace.as_mut() {
+            t.span(SpanKind::Ship);
+        }
     }
     let elapsed = start.elapsed();
-    metrics.record(kind, elapsed);
+    metrics.record_on(shard, kind, elapsed);
     metrics.shard_processed(shard, elapsed);
     let accepted = !matches!(response, Response::Rejected(_));
     // The completion echoes the submission's correlation id. A client
@@ -2195,12 +2290,16 @@ fn process_one(
         // Adaptive group commit still holds the event this completion
         // acknowledges (or an earlier one — FIFO) in the unsynced batch:
         // withhold the ack until the batch's fdatasync lands.
-        deferred.push((inbound.completions, completion));
+        deferred.push((inbound.completions, completion, trace));
     } else {
         // Everything acknowledged so far is durable; release any batch
         // acks first so completions leave in arrival order.
-        for (tx, earlier) in deferred.drain(..) {
-            let _ = tx.send(earlier);
+        release_deferred(deferred, metrics);
+        if let Some(t) = trace {
+            // Nothing withheld, so there is no flush-wait span; the
+            // trace is complete. Record before the send so the client
+            // wake-up (a futex syscall) is not an unattributed tail.
+            metrics.flight().record(t.finish());
         }
         let _ = inbound.completions.send(completion);
     }
@@ -2308,6 +2407,10 @@ fn on_fence(
     }
     ownership.fence(campaign, owner, watermark);
     metrics.campaign_fenced();
+    metrics.journal().info(
+        JournalKind::Fence,
+        format!("campaign {campaign} fenced to {owner} at watermark {watermark}"),
+    );
     Response::Fenced { watermark }
 }
 
@@ -2462,6 +2565,7 @@ impl DocsService {
     ) -> Result<(DocsService, ServiceHandle), ServiceError> {
         let shards = config.num_shards();
         debug_assert_eq!(seeds.len(), shards);
+        metrics.set_trace_sampling(config.trace_sample_every);
         let crash = Arc::new(AtomicBool::new(false));
         let role = RoleCell::new(config.role);
         // Shared with every shard: snapshot installs on a follower must
@@ -2477,6 +2581,12 @@ impl DocsService {
                     let mut log = CampaignLog::open(d.dir.join(format!("shard-{shard}")))
                         .map_err(|e| ServiceError::Rejected(e.into()))?;
                     log.set_adaptive(d.adaptive);
+                    // Every group commit reports its batch size and sync
+                    // latency straight into the lock-free histograms.
+                    let flush_metrics = metrics.clone();
+                    log.set_flush_observer(Some(Arc::new(move |events, sync| {
+                        flush_metrics.flush_recorded(events, sync);
+                    })));
                     Some(log)
                 }
                 None => None,

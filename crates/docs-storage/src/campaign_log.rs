@@ -119,9 +119,32 @@ pub struct FlushStats {
     pub max_flush: Duration,
 }
 
+/// Callback invoked after every successful [`CampaignLog::flush`] with the
+/// number of events the group commit hardened and the wall time the
+/// write + `fdatasync` took. Owners use it to feed batch-size and sync
+/// latency histograms without polling [`FlushStats`].
+pub type FlushObserver = Arc<dyn Fn(u64, Duration) + Send + Sync>;
+
+/// Holds the optional observer; a separate type only so [`CampaignLog`]
+/// can keep deriving `Debug` around a non-`Debug` closure.
+#[derive(Default, Clone)]
+struct ObserverSlot(Option<FlushObserver>);
+
+impl std::fmt::Debug for ObserverSlot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(if self.0.is_some() {
+            "FlushObserver(set)"
+        } else {
+            "FlushObserver(unset)"
+        })
+    }
+}
+
 /// Per-shard group-commit event log (see the module docs).
 #[derive(Debug)]
 pub struct CampaignLog {
+    /// Observer notified after each successful flush.
+    observer: ObserverSlot,
     dir: PathBuf,
     segment: Wal,
     segment_index: u64,
@@ -267,6 +290,7 @@ impl CampaignLog {
         let segment = Wal::open(segment_path(&dir, segment_index))?;
         sync_dir(&dir)?;
         Ok(CampaignLog {
+            observer: ObserverSlot::default(),
             dir,
             segment,
             segment_index,
@@ -287,6 +311,13 @@ impl CampaignLog {
     /// Root directory of the log.
     pub fn dir(&self) -> &Path {
         &self.dir
+    }
+
+    /// Installs (or clears) the per-flush observer. Called once at shard
+    /// start-up; the closure runs on the shard thread at the end of every
+    /// successful group commit, so it must be cheap and lock-free.
+    pub fn set_flush_observer(&mut self, observer: Option<FlushObserver>) {
+        self.observer = ObserverSlot(observer);
     }
 
     /// Registers a campaign with its flush policy and the last sequence
@@ -480,6 +511,9 @@ impl CampaignLog {
         self.stats.flushed_events += self.pending_events as u64;
         self.stats.last_flush = elapsed;
         self.stats.max_flush = self.stats.max_flush.max(elapsed);
+        if let Some(observer) = self.observer.0.as_ref() {
+            observer(self.pending_events as u64, elapsed);
+        }
         self.disk_bytes += self.pending.len() as u64;
         self.pending.clear();
         self.pending_written = 0;

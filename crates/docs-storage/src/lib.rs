@@ -32,7 +32,7 @@ mod wal;
 pub use arena::PayloadBytes;
 pub use campaign_log::{
     list_segments, read_segment, recover_tree, AdaptiveCommit, CampaignLog, CampaignRecovery,
-    FlushPolicy, FlushStats, SegmentEvent, TreeRecovery,
+    FlushObserver, FlushPolicy, FlushStats, SegmentEvent, TreeRecovery,
 };
 pub use crc::{crc32, Crc32};
 pub use kv::KvStore;

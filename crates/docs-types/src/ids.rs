@@ -120,6 +120,29 @@ impl From<usize> for CampaignId {
     }
 }
 
+/// Identifier of one sampled request trace.
+///
+/// Allocated by the service when a request is chosen for tracing (a
+/// sampled subset of correlation ids); every span the request accumulates
+/// across layers — client submit, router hop, queue wait, apply, flush
+/// wait, ship — carries this id into the flight recorder. Unlike the
+/// dense ids above it is a plain opaque `u64` tag: traces are sparse and
+/// never used as vector indexes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TraceId(pub u64);
+
+impl fmt::Display for TraceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tr{}", self.0)
+    }
+}
+
+impl From<u64> for TraceId {
+    fn from(v: u64) -> Self {
+        TraceId(v)
+    }
+}
+
 /// Zero-based index of one of the `ℓ_{t_i}` choices of a task.
 ///
 /// The paper numbers choices `1..=ℓ`; we use `0..ℓ` throughout and only

@@ -57,7 +57,7 @@ pub use events::{
     AnswerBatchSubmittedEvent, AnswerSubmittedEvent, CampaignEvent, FinishedEvent,
     GoldenSubmittedEvent, PublishedEvent,
 };
-pub use ids::{CampaignId, ChoiceIndex, DomainIndex, TaskId, WorkerId};
+pub use ids::{CampaignId, ChoiceIndex, DomainIndex, TaskId, TraceId, WorkerId};
 pub use reject::RejectReason;
 pub use replication::{EventFrame, ReplicaRole, ReplicationFrame, SnapshotFrame};
 pub use task::{Task, TaskBuilder};

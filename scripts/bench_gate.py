@@ -9,8 +9,10 @@ Usage:
 The direction of "better" is inferred from the key name:
 
 * lower-is-better keys contain one of: ``overhead``, ``latency``, ``lag``,
-  ``bytes``, ``allocation``, ``_ns``, ``_us``, ``_ms``, ``calibration_err``,
-  ``per_correct``.
+  ``bytes``, ``allocation``, ``_ns``, ``_us``, ``_ms``, ``_p50``, ``_p99``,
+  ``_p999``, ``calibration_err``, ``per_correct``. The quantile markers
+  cover the histogram metrics ``BENCH_obs.json`` reports: a latency
+  quantile is always a cost, whatever unit suffix it carries.
 * higher-is-better keys contain one of: ``_per_s``, ``tput``, ``speedup``,
   ``accuracy``, or end in ``_x``. This covers the quality metrics of
   ``BENCH_quality.json`` (``*_accuracy``, ``*_accuracy_delta_vs_majority``):
@@ -45,6 +47,9 @@ LOWER_MARKERS = (
     "_ns",
     "_us",
     "_ms",
+    "_p50",
+    "_p99",
+    "_p999",
     "calibration_err",
     "per_correct",
 )
